@@ -1,0 +1,56 @@
+//===- BenchUtil.h - Shared helpers for the figure benches ------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table printing and run helpers shared by the per-figure benchmark
+/// binaries. Each binary regenerates the rows/series of one paper table or
+/// figure (see DESIGN.md Sec. 4 and EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_BENCH_BENCHUTIL_H
+#define AXI4MLIR_BENCH_BENCHUTIL_H
+
+#include "exec/Pipeline.h"
+
+#include <cstdio>
+#include <string>
+
+namespace axi4mlir {
+namespace bench {
+
+inline void printHeader(const std::string &Title) {
+  std::printf("\n=== %s ===\n", Title.c_str());
+}
+
+inline void printRow(const std::string &Label, const sim::PerfReport &R) {
+  std::printf("%-42s task-clock %10.3f ms | cache-refs %10llu | "
+              "branches %12llu | dma %8llu xfers %12llu B\n",
+              Label.c_str(), R.TaskClockMs,
+              static_cast<unsigned long long>(R.CacheReferences),
+              static_cast<unsigned long long>(R.BranchInstructions),
+              static_cast<unsigned long long>(R.DmaTransfers),
+              static_cast<unsigned long long>(R.DmaBytesMoved));
+}
+
+/// Runs and aborts loudly on pipeline/protocol errors so CI catches them.
+inline sim::PerfReport mustRun(exec::RunResult (*Fn)(
+                                   const exec::MatMulRunConfig &),
+                               const exec::MatMulRunConfig &Config,
+                               const char *What) {
+  exec::RunResult Result = Fn(Config);
+  if (!Result.Ok || (Config.Validate && !Result.NumericsMatch)) {
+    std::fprintf(stderr, "FATAL: %s failed: %s\n", What,
+                 Result.Error.c_str());
+    std::abort();
+  }
+  return Result.Report;
+}
+
+} // namespace bench
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_BENCH_BENCHUTIL_H

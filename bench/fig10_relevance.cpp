@@ -1,0 +1,49 @@
+//===- fig10_relevance.cpp - Paper Fig. 10: CPU vs accelerator ------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates paper Fig. 10: task-clock of CPU execution (mlir_CPU) vs
+/// manual accelerator offload (cpp_MANUAL, Ns flow) across problem sizes
+/// (dims = M = N = K) and v1 accelerator sizes. Expected shape: the
+/// accelerator only becomes relevant for dims >= 64 and accel size >= 8.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace axi4mlir;
+using namespace axi4mlir::bench;
+using namespace axi4mlir::exec;
+using V = sim::MatMulAccelerator::Version;
+
+int main() {
+  printHeader("Fig. 10: runtime characterization CPU vs accelerator "
+              "(task-clock in ms, lower is better)");
+  std::printf("%-28s %14s\n", "(dims, accel_size, version)", "task-clock");
+
+  for (int64_t Dims : {16, 32, 64, 128, 256}) {
+    MatMulRunConfig Config;
+    Config.M = Config.N = Config.K = Dims;
+    Config.Validate = Dims <= 64;
+    {
+      sim::PerfReport R = mustRun(runMatMulCpuOnly, Config, "mlir_CPU");
+      std::printf("(%4lld, %2d, %-6s) %20.3f ms   [mlir_CPU]\n",
+                  static_cast<long long>(Dims), 0, "NONE", R.TaskClockMs);
+    }
+    for (int64_t Size : {4, 8, 16}) {
+      Config.Version = V::V1;
+      Config.AccelSize = Size;
+      Config.Flow = "Ns";
+      sim::PerfReport R = mustRun(runMatMulManual, Config, "cpp_MANUAL");
+      std::printf("(%4lld, %2lld, %-6s) %20.3f ms   [cpp_MANUAL]\n",
+                  static_cast<long long>(Dims),
+                  static_cast<long long>(Size), "v1", R.TaskClockMs);
+    }
+  }
+  std::printf("\nExpected (paper): accelerator beats CPU only for dims >= "
+              "64 with accel size >= 8.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===- fig11_flows.cpp - Paper Fig. 11: flows before the copy opt ---------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates paper Fig. 11: manual Ns driver vs AXI4MLIR-generated
+/// Ns/As/Bs/Cs flows on v2/v3 accelerators, *before* the MemRef-DMA copy
+/// specialization (the experiment that exposed the staging-copy
+/// bottleneck). Expected shape: generated Ns slower than manual Ns; Cs the
+/// most promising generated flow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace axi4mlir;
+using namespace axi4mlir::bench;
+using namespace axi4mlir::exec;
+using V = sim::MatMulAccelerator::Version;
+
+int main() {
+  printHeader("Fig. 11: manual Ns vs AXI4MLIR flows, copy specialization "
+              "OFF (task-clock in ms)");
+  for (int64_t Dims : {64, 128, 256}) {
+    for (int64_t Size : {8, 16}) {
+      for (V Version : {V::V2, V::V3}) {
+        MatMulRunConfig Config;
+        Config.M = Config.N = Config.K = Dims;
+        Config.Version = Version;
+        Config.AccelSize = Size;
+        Config.Validate = false;
+        Config.SpecializeCopies = false;
+
+        std::printf("(%3lld, %2lld, v%d): ",
+                    static_cast<long long>(Dims),
+                    static_cast<long long>(Size),
+                    Version == V::V2 ? 2 : 3);
+        Config.Flow = "Ns";
+        std::printf("manual_Ns %9.3f | ",
+                    mustRun(runMatMulManual, Config, "manual").TaskClockMs);
+        for (const char *Flow : {"Ns", "As", "Bs", "Cs"}) {
+          if (Version == V::V2 && std::string(Flow) == "Cs")
+            continue;
+          Config.Flow = Flow;
+          std::printf("%s %9.3f | ", Flow,
+                      mustRun(runMatMulAxi4mlir, Config, Flow).TaskClockMs);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  std::printf("\nExpected (paper): generated Ns slower than manual Ns "
+              "before the copy optimization; Cs the best generated flow "
+              "on v3.\n");
+  return 0;
+}

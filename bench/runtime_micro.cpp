@@ -1,0 +1,92 @@
+//===- runtime_micro.cpp - google-benchmark runtime microbenchmarks -------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock microbenchmarks (google-benchmark) of the simulator-side
+/// primitives: staging copies (generic vs specialized), the cache
+/// simulator, and the accelerator state machines. These measure the
+/// reproduction's own performance, complementing the modeled task-clock
+/// numbers of the figure benches.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Reference.h"
+#include "runtime/DmaRuntime.h"
+#include "sim/SoC.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace axi4mlir;
+using namespace axi4mlir::sim;
+using runtime::MemRefDesc;
+
+namespace {
+
+void BM_CopyToDmaGeneric(benchmark::State &State) {
+  auto Soc = makeMatMulSoC(MatMulAccelerator::Version::V3, 16);
+  runtime::DmaRuntime Runtime(*Soc, /*SpecializeCopies=*/false);
+  accel::DmaInitConfig Config;
+  Config.InputBufferSize = 1 << 20;
+  Config.OutputBufferSize = 1 << 20;
+  Runtime.dmaInit(Config);
+  MemRefDesc Full = MemRefDesc::alloc({256, 256});
+  MemRefDesc Tile = Full.subview({8, 8}, {State.range(0), State.range(0)});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Runtime.copyToDmaRegion(Tile, 0));
+  State.SetItemsProcessed(State.iterations() * State.range(0) *
+                          State.range(0));
+}
+
+void BM_CopyToDmaSpecialized(benchmark::State &State) {
+  auto Soc = makeMatMulSoC(MatMulAccelerator::Version::V3, 16);
+  runtime::DmaRuntime Runtime(*Soc, /*SpecializeCopies=*/true);
+  accel::DmaInitConfig Config;
+  Config.InputBufferSize = 1 << 20;
+  Config.OutputBufferSize = 1 << 20;
+  Runtime.dmaInit(Config);
+  MemRefDesc Full = MemRefDesc::alloc({256, 256});
+  MemRefDesc Tile = Full.subview({8, 8}, {State.range(0), State.range(0)});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Runtime.copyToDmaRegion(Tile, 0));
+  State.SetItemsProcessed(State.iterations() * State.range(0) *
+                          State.range(0));
+}
+
+void BM_CacheSimAccess(benchmark::State &State) {
+  SoCParams Params;
+  CacheSim Cache(Params);
+  uint64_t Address = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Cache.access(Address, 4));
+    Address += 64;
+  }
+}
+
+void BM_MatMulAcceleratorTile(benchmark::State &State) {
+  SoCParams Params;
+  MatMulAccelerator Accel(MatMulAccelerator::Version::V1, State.range(0),
+                          ElemKind::I32, Params);
+  int64_t Words = 2 * State.range(0) * State.range(0);
+  for (auto _ : State) {
+    Accel.consumeWord(opcodes::MM_SASBCCRC);
+    for (int64_t I = 0; I < Words; ++I)
+      Accel.consumeWord(1);
+    benchmark::DoNotOptimize(
+        Accel.drainOutput(State.range(0) * State.range(0)));
+    Accel.takeComputeCycles();
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0) *
+                          State.range(0) * State.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_CopyToDmaGeneric)->Arg(8)->Arg(16)->Arg(64);
+BENCHMARK(BM_CopyToDmaSpecialized)->Arg(8)->Arg(16)->Arg(64);
+BENCHMARK(BM_CacheSimAccess);
+BENCHMARK(BM_MatMulAcceleratorTile)->Arg(4)->Arg(8)->Arg(16);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+//===- matmul_flows.cpp - Comparing stationary dataflows ------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Domain example: a machine-learning GEMM offloaded with each dataflow
+/// the v3 accelerator supports (Ns/As/Bs/Cs). Shows how the same
+/// application + accelerator pair yields different host drivers (and
+/// performance) purely by editing `selected_flow` in the config file —
+/// the paper's core usability claim.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Pipeline.h"
+
+#include <iostream>
+
+using namespace axi4mlir;
+using namespace axi4mlir::exec;
+using V = sim::MatMulAccelerator::Version;
+
+int main() {
+  std::cout << "GEMM 128x128x128 on the v3_16 accelerator, one run per "
+               "selected_flow:\n\n";
+  MatMulRunConfig Config;
+  Config.M = Config.N = Config.K = 128;
+  Config.Version = V::V3;
+  Config.AccelSize = 16;
+
+  double ManualMs = 0;
+  {
+    Config.Flow = "Ns";
+    RunResult Manual = runMatMulManual(Config);
+    if (!Manual.Ok) {
+      std::cerr << "manual baseline failed: " << Manual.Error << "\n";
+      return 1;
+    }
+    ManualMs = Manual.Report.TaskClockMs;
+    std::cout << "cpp_MANUAL (Ns):   task-clock " << ManualMs << " ms\n";
+  }
+
+  for (const char *Flow : {"Ns", "As", "Bs", "Cs"}) {
+    Config.Flow = Flow;
+    RunResult Result = runMatMulAxi4mlir(Config);
+    if (!Result.Ok || !Result.NumericsMatch) {
+      std::cerr << Flow << " failed: " << Result.Error << "\n";
+      return 1;
+    }
+    std::cout << "AXI4MLIR (" << Flow << "):     task-clock "
+              << Result.Report.TaskClockMs << " ms  (" << ManualMs /
+                     Result.Report.TaskClockMs
+              << "x vs manual, " << Result.Report.DmaBytesMoved
+              << " B moved)\n";
+  }
+  std::cout << "\nStationary flows move less data; all of them validate "
+               "against the reference kernel.\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+//===- CEmitter.h - C host-code emitter -------------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders fully lowered host driver IR (scf/arith/memref + axirt.* calls)
+/// as a readable, self-contained C source file — what you would
+/// cross-compile for the real PYNQ-Z2 board instead of interpreting. This
+/// corresponds to the paper's final "Translate host code to LLVM IR,
+/// compile to binary file" stage (Fig. 4), rendered as C for inspection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_CODEGEN_CEMITTER_H
+#define AXI4MLIR_CODEGEN_CEMITTER_H
+
+#include "dialects/Func.h"
+#include "support/LogicalResult.h"
+
+#include <string>
+
+namespace axi4mlir {
+namespace codegen {
+
+/// Emits C99 host driver code for \p Func. \p Func must already be fully
+/// lowered (no linalg/accel ops). On failure fills \p Error.
+FailureOr<std::string> emitC(func::FuncOp Func, std::string *Error = nullptr);
+
+} // namespace codegen
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_CODEGEN_CEMITTER_H

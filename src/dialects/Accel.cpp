@@ -1,0 +1,145 @@
+//===- Accel.cpp - accel dialect implementation ---------------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialects/Accel.h"
+
+#include "ir/OpRegistry.h"
+
+using namespace axi4mlir;
+using namespace axi4mlir::accel;
+
+DmaInitOp accel::DmaInitOp::create(OpBuilder &Builder,
+                                   const DmaInitConfig &Config) {
+  return DmaInitOp(Builder.create(
+      OpName, {}, {}, {{"dma_config", Attribute::getDmaConfig(Config)}}));
+}
+
+SendLiteralOp accel::SendLiteralOp::create(OpBuilder &Builder,
+                                           int64_t Literal, Value Offset) {
+  return SendLiteralOp(
+      Builder.create(OpName, {Offset}, {Builder.getIndexType()},
+                     {{"literal", Attribute::getInteger(Literal)}}));
+}
+
+SendOp accel::SendOp::create(OpBuilder &Builder, Value MemRef, Value Offset) {
+  return SendOp(
+      Builder.create(OpName, {MemRef, Offset}, {Builder.getIndexType()}));
+}
+
+SendDimOp accel::SendDimOp::create(OpBuilder &Builder, Value MemRef,
+                                   int64_t DimIndex, Value Offset) {
+  return SendDimOp(
+      Builder.create(OpName, {MemRef, Offset}, {Builder.getIndexType()},
+                     {{"dim", Attribute::getInteger(DimIndex)}}));
+}
+
+SendIdxOp accel::SendIdxOp::create(OpBuilder &Builder, Value Index,
+                                   Value Offset) {
+  return SendIdxOp(
+      Builder.create(OpName, {Index, Offset}, {Builder.getIndexType()}));
+}
+
+RecvOp accel::RecvOp::create(OpBuilder &Builder, Value MemRef, Value Offset,
+                             const std::string &Mode) {
+  assert((Mode == "accumulate" || Mode == "overwrite") &&
+         "recv mode must be accumulate or overwrite");
+  return RecvOp(Builder.create(OpName, {MemRef, Offset},
+                               {Builder.getIndexType()},
+                               {{"mode", Attribute::getString(Mode)}}));
+}
+
+static LogicalResult verifyMemRefAndOffset(Operation *Op,
+                                           std::string &Error) {
+  if (!Op->getOperand(0).getType().isa<MemRefType>()) {
+    Error = "'" + Op->getName() + "' first operand must be a memref";
+    return failure();
+  }
+  if (!Op->getOperand(1).getType().isIntOrIndex()) {
+    Error = "'" + Op->getName() + "' offset must be index-typed";
+    return failure();
+  }
+  return success();
+}
+
+void accel::registerDialect(MLIRContext &Context) {
+  OpRegistry &Registry = Context.getOpRegistry();
+  Registry.registerOp({DmaInitOp::OpName, /*NumOperands=*/0,
+                       /*NumResults=*/0, /*NumRegions=*/0,
+                       /*IsTerminator=*/false,
+                       [](Operation *Op, std::string &Error) {
+                         if (!Op->hasAttr("dma_config")) {
+                           Error = "accel.dma_init requires dma_config";
+                           return failure();
+                         }
+                         return success();
+                       }});
+  Registry.registerOp({SendLiteralOp::OpName, /*NumOperands=*/1,
+                       /*NumResults=*/1, /*NumRegions=*/0,
+                       /*IsTerminator=*/false,
+                       [](Operation *Op, std::string &Error) {
+                         if (!Op->hasAttr("literal")) {
+                           Error = "accel.send_literal requires a literal";
+                           return failure();
+                         }
+                         if (!Op->getOperand(0).getType().isIntOrIndex()) {
+                           Error = "accel.send_literal offset must be "
+                                   "index-typed";
+                           return failure();
+                         }
+                         return success();
+                       }});
+  Registry.registerOp({SendOp::OpName, /*NumOperands=*/2, /*NumResults=*/1,
+                       /*NumRegions=*/0, /*IsTerminator=*/false,
+                       verifyMemRefAndOffset});
+  Registry.registerOp({SendDimOp::OpName, /*NumOperands=*/2,
+                       /*NumResults=*/1, /*NumRegions=*/0,
+                       /*IsTerminator=*/false,
+                       [](Operation *Op, std::string &Error) {
+                         if (failed(verifyMemRefAndOffset(Op, Error)))
+                           return failure();
+                         if (!Op->hasAttr("dim")) {
+                           Error = "accel.send_dim requires a dim attribute";
+                           return failure();
+                         }
+                         MemRefType Ty =
+                             Op->getOperand(0).getType().cast<MemRefType>();
+                         int64_t Dim = Op->getIntAttr("dim");
+                         if (Dim < 0 || Dim >= Ty.getRank()) {
+                           Error = "accel.send_dim dim out of range";
+                           return failure();
+                         }
+                         return success();
+                       }});
+  Registry.registerOp({SendIdxOp::OpName, /*NumOperands=*/2,
+                       /*NumResults=*/1, /*NumRegions=*/0,
+                       /*IsTerminator=*/false,
+                       [](Operation *Op, std::string &Error) {
+                         if (!Op->getOperand(0).getType().isIntOrIndex() ||
+                             !Op->getOperand(1).getType().isIntOrIndex()) {
+                           Error = "accel.send_idx operands must be "
+                                   "index-typed";
+                           return failure();
+                         }
+                         return success();
+                       }});
+  Registry.registerOp({RecvOp::OpName, /*NumOperands=*/2, /*NumResults=*/1,
+                       /*NumRegions=*/0, /*IsTerminator=*/false,
+                       [](Operation *Op, std::string &Error) {
+                         if (failed(verifyMemRefAndOffset(Op, Error)))
+                           return failure();
+                         if (!Op->hasAttr("mode")) {
+                           Error = "accel.recv requires a mode attribute";
+                           return failure();
+                         }
+                         std::string Mode = Op->getStringAttr("mode");
+                         if (Mode != "accumulate" && Mode != "overwrite") {
+                           Error = "accel.recv mode must be accumulate or "
+                                   "overwrite";
+                           return failure();
+                         }
+                         return success();
+                       }});
+}

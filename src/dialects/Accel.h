@@ -1,0 +1,155 @@
+//===- Accel.h - accel dialect (paper Sec. III-C) ---------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `accel` dialect introduced by AXI4MLIR: operations abstracting
+/// host-accelerator transactions (paper Fig. 9). Keeping communication at
+/// this abstraction makes hoisting/stationary transformations trivial
+/// before the final lowering to DMA runtime library calls.
+///
+/// Ops (offsets thread through sends so transfers can be batched):
+///   accel.dma_init   {dma_config}                      -> ()
+///   accel.send_literal(%offset) {literal}              -> %new_offset
+///   accel.send       (%memref, %offset)                -> %new_offset
+///   accel.send_dim   (%memref, %offset) {dim}          -> %new_offset
+///   accel.send_idx   (%index,  %offset)                -> %new_offset
+///   accel.recv       (%memref, %offset) {mode}         -> %new_offset
+///
+/// This header also defines the names of the AXI4MLIR trait attributes
+/// attached to linalg.generic (paper Fig. 6a).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_DIALECTS_ACCEL_H
+#define AXI4MLIR_DIALECTS_ACCEL_H
+
+#include "dialects/OpView.h"
+
+namespace axi4mlir {
+namespace accel {
+
+//===----------------------------------------------------------------------===//
+// Trait attribute names on linalg.generic (paper Fig. 6a)
+//===----------------------------------------------------------------------===//
+
+inline constexpr const char *DmaInitConfigAttrName = "accel.dma_init_config";
+inline constexpr const char *InitOpcodesAttrName = "accel.init_opcodes";
+inline constexpr const char *AccelDimAttrName = "accel.accel_dim";
+inline constexpr const char *PermutationMapAttrName = "accel.permutation_map";
+inline constexpr const char *OpcodeMapAttrName = "accel.opcode_map";
+inline constexpr const char *OpcodeFlowAttrName = "accel.opcode_flow";
+/// Name of the accelerator (from the config file), for diagnostics.
+inline constexpr const char *AcceleratorNameAttrName = "accel.name";
+
+//===----------------------------------------------------------------------===//
+// Ops
+//===----------------------------------------------------------------------===//
+
+/// accel.dma_init: one-time DMA engine configuration (paper Fig. 6b L3).
+class DmaInitOp : public OpView {
+public:
+  static constexpr const char *OpName = "accel.dma_init";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static DmaInitOp create(OpBuilder &Builder, const DmaInitConfig &Config);
+
+  const DmaInitConfig &getConfig() const {
+    return Op->getAttr("dma_config").getDmaConfigValue();
+  }
+};
+
+/// accel.send_literal: stages a 32-bit literal (an opcode word) into the
+/// DMA region at %offset and flushes it. Returns the updated offset.
+class SendLiteralOp : public OpView {
+public:
+  static constexpr const char *OpName = "accel.send_literal";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static SendLiteralOp create(OpBuilder &Builder, int64_t Literal,
+                              Value Offset);
+
+  int64_t getLiteral() const { return Op->getIntAttr("literal"); }
+  Value getOffset() const { return Op->getOperand(0); }
+  Value getResult() const { return Op->getResult(0); }
+};
+
+/// accel.send: stages a memref tile into the DMA region and transfers it.
+class SendOp : public OpView {
+public:
+  static constexpr const char *OpName = "accel.send";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static SendOp create(OpBuilder &Builder, Value MemRef, Value Offset);
+
+  Value getMemRef() const { return Op->getOperand(0); }
+  Value getOffset() const { return Op->getOperand(1); }
+  Value getResult() const { return Op->getResult(0); }
+};
+
+/// accel.send_dim: transfers one dimension size of a memref (used to
+/// configure runtime-flexible accelerators, paper Fig. 15a `rst`).
+class SendDimOp : public OpView {
+public:
+  static constexpr const char *OpName = "accel.send_dim";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static SendDimOp create(OpBuilder &Builder, Value MemRef, int64_t DimIndex,
+                          Value Offset);
+
+  Value getMemRef() const { return Op->getOperand(0); }
+  int64_t getDimIndex() const { return Op->getIntAttr("dim"); }
+  Value getOffset() const { return Op->getOperand(1); }
+  Value getResult() const { return Op->getResult(0); }
+};
+
+/// accel.send_idx: transfers the current value of a loop index.
+class SendIdxOp : public OpView {
+public:
+  static constexpr const char *OpName = "accel.send_idx";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static SendIdxOp create(OpBuilder &Builder, Value Index, Value Offset);
+
+  Value getIndex() const { return Op->getOperand(0); }
+  Value getOffset() const { return Op->getOperand(1); }
+  Value getResult() const { return Op->getResult(0); }
+};
+
+/// accel.recv: waits for accelerator output and copies it back into a
+/// memref tile. mode = "accumulate" adds into the destination (partial
+/// results), mode = "overwrite" replaces it.
+class RecvOp : public OpView {
+public:
+  static constexpr const char *OpName = "accel.recv";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static RecvOp create(OpBuilder &Builder, Value MemRef, Value Offset,
+                       const std::string &Mode = "accumulate");
+
+  Value getMemRef() const { return Op->getOperand(0); }
+  Value getOffset() const { return Op->getOperand(1); }
+  std::string getMode() const { return Op->getStringAttr("mode"); }
+  Value getResult() const { return Op->getResult(0); }
+};
+
+void registerDialect(MLIRContext &Context);
+
+} // namespace accel
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_DIALECTS_ACCEL_H

@@ -1,0 +1,73 @@
+//===- Func.cpp - func dialect implementation -----------------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialects/Func.h"
+
+#include "ir/OpRegistry.h"
+
+using namespace axi4mlir;
+using namespace axi4mlir::func;
+
+FuncOp func::FuncOp::create(OpBuilder &Builder, const std::string &Name,
+                            const std::vector<Type> &ArgumentTypes,
+                            const std::vector<Type> &ResultTypes) {
+  FunctionType FuncTy =
+      FunctionType::get(Builder.getContext(), ArgumentTypes, ResultTypes);
+  Operation *Op = Operation::create(
+      Builder.getContext(), OpName, /*Operands=*/{}, /*ResultTypes=*/{},
+      {{"sym_name", Attribute::getString(Name)},
+       {"function_type", Attribute::getType(FuncTy)}},
+      /*NumRegions=*/1);
+  Block &Entry = Op->getRegion(0).emplaceBlock();
+  for (Type ArgTy : ArgumentTypes)
+    Entry.addArgument(ArgTy);
+  return FuncOp(Op);
+}
+
+ReturnOp func::ReturnOp::create(OpBuilder &Builder,
+                                const std::vector<Value> &Operands) {
+  return ReturnOp(Builder.create(OpName, Operands));
+}
+
+CallOp func::CallOp::create(OpBuilder &Builder, const std::string &Callee,
+                            const std::vector<Value> &Operands,
+                            const std::vector<Type> &ResultTypes) {
+  return CallOp(Builder.create(OpName, Operands, ResultTypes,
+                               {{"callee", Attribute::getString(Callee)}}));
+}
+
+void func::registerDialect(MLIRContext &Context) {
+  OpRegistry &Registry = Context.getOpRegistry();
+  Registry.registerOp({/*Name=*/FuncOp::OpName, /*NumOperands=*/0,
+                       /*NumResults=*/0, /*NumRegions=*/1,
+                       /*IsTerminator=*/false,
+                       [](Operation *Op, std::string &Error) {
+                         if (!Op->hasAttr("sym_name") ||
+                             !Op->hasAttr("function_type")) {
+                           Error = "func.func requires sym_name and "
+                                   "function_type attributes";
+                           return failure();
+                         }
+                         if (Op->getRegion(0).empty()) {
+                           Error = "func.func requires a non-empty body";
+                           return failure();
+                         }
+                         return success();
+                       }});
+  Registry.registerOp({ReturnOp::OpName, /*NumOperands=*/-1,
+                       /*NumResults=*/0, /*NumRegions=*/0,
+                       /*IsTerminator=*/true, nullptr});
+  Registry.registerOp({CallOp::OpName, /*NumOperands=*/-1,
+                       /*NumResults=*/-1, /*NumRegions=*/0,
+                       /*IsTerminator=*/false,
+                       [](Operation *Op, std::string &Error) {
+                         if (!Op->hasAttr("callee")) {
+                           Error = "func.call requires a callee attribute";
+                           return failure();
+                         }
+                         return success();
+                       }});
+}

@@ -1,0 +1,81 @@
+//===- Func.h - func dialect ------------------------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `func` dialect: func.func / func.return / func.call. Functions hold
+/// the host code being generated (paper Fig. 2, Fig. 6b).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_DIALECTS_FUNC_H
+#define AXI4MLIR_DIALECTS_FUNC_H
+
+#include "dialects/OpView.h"
+
+namespace axi4mlir {
+namespace func {
+
+/// func.func: a named function with one region. Arguments are the entry
+/// block's arguments.
+class FuncOp : public OpView {
+public:
+  static constexpr const char *OpName = "func.func";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  /// Creates a function with an entry block whose arguments match
+  /// \p ArgumentTypes. The builder's insertion point is left untouched.
+  static FuncOp create(OpBuilder &Builder, const std::string &Name,
+                       const std::vector<Type> &ArgumentTypes,
+                       const std::vector<Type> &ResultTypes = {});
+
+  std::string getFuncName() const { return Op->getStringAttr("sym_name"); }
+  Block &getBody() const { return Op->getRegion(0).front(); }
+  Value getArgument(unsigned Index) const {
+    return getBody().getArgument(Index);
+  }
+  unsigned getNumArguments() const { return getBody().getNumArguments(); }
+  FunctionType getFunctionType() const {
+    return Op->getAttr("function_type").getTypeValue().cast<FunctionType>();
+  }
+};
+
+/// func.return: function terminator with optional operands.
+class ReturnOp : public OpView {
+public:
+  static constexpr const char *OpName = "func.return";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static ReturnOp create(OpBuilder &Builder,
+                         const std::vector<Value> &Operands = {});
+};
+
+/// func.call: a direct call to a named function (used after lowering accel
+/// ops to DMA runtime library calls).
+class CallOp : public OpView {
+public:
+  static constexpr const char *OpName = "func.call";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static CallOp create(OpBuilder &Builder, const std::string &Callee,
+                       const std::vector<Value> &Operands,
+                       const std::vector<Type> &ResultTypes = {});
+
+  std::string getCallee() const { return Op->getStringAttr("callee"); }
+};
+
+/// Registers the func dialect ops into \p Context's registry.
+void registerDialect(MLIRContext &Context);
+
+} // namespace func
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_DIALECTS_FUNC_H

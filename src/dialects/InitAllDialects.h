@@ -1,0 +1,37 @@
+//===- InitAllDialects.h - Dialect registration hub -------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// registerAllDialects() populates a context's op registry with every
+/// dialect in this reproduction. Call it once per MLIRContext before
+/// building or verifying IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_DIALECTS_INITALLDIALECTS_H
+#define AXI4MLIR_DIALECTS_INITALLDIALECTS_H
+
+#include "dialects/Accel.h"
+#include "dialects/Arith.h"
+#include "dialects/Func.h"
+#include "dialects/Linalg.h"
+#include "dialects/MemRef.h"
+#include "dialects/SCF.h"
+
+namespace axi4mlir {
+
+inline void registerAllDialects(MLIRContext &Context) {
+  func::registerDialect(Context);
+  arith::registerDialect(Context);
+  scf::registerDialect(Context);
+  memref::registerDialect(Context);
+  linalg::registerDialect(Context);
+  accel::registerDialect(Context);
+}
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_DIALECTS_INITALLDIALECTS_H

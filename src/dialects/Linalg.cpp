@@ -1,0 +1,263 @@
+//===- Linalg.cpp - linalg dialect implementation -------------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialects/Linalg.h"
+
+#include "ir/OpRegistry.h"
+
+using namespace axi4mlir;
+using namespace axi4mlir::linalg;
+
+GenericOp linalg::GenericOp::create(
+    OpBuilder &Builder, const std::vector<Value> &Inputs,
+    const std::vector<Value> &Outputs,
+    const std::vector<AffineMap> &IndexingMaps,
+    const std::vector<std::string> &IteratorTypes,
+    const std::function<void(OpBuilder &, const std::vector<Value> &)>
+        &BodyBuilder) {
+  assert(IndexingMaps.size() == Inputs.size() + Outputs.size() &&
+         "one indexing map per operand");
+
+  std::vector<Value> Operands = Inputs;
+  Operands.insert(Operands.end(), Outputs.begin(), Outputs.end());
+
+  std::vector<Attribute> MapAttrs;
+  MapAttrs.reserve(IndexingMaps.size());
+  for (const AffineMap &Map : IndexingMaps)
+    MapAttrs.push_back(Attribute::getAffineMap(Map));
+  std::vector<Attribute> IterAttrs;
+  IterAttrs.reserve(IteratorTypes.size());
+  for (const std::string &Iterator : IteratorTypes)
+    IterAttrs.push_back(Attribute::getString(Iterator));
+
+  Operation *Op = Builder.create(
+      OpName, Operands, {},
+      {{"indexing_maps", Attribute::getArray(std::move(MapAttrs))},
+       {"iterator_types", Attribute::getArray(std::move(IterAttrs))},
+       {"num_inputs",
+        Attribute::getInteger(static_cast<int64_t>(Inputs.size()))}},
+      /*NumRegions=*/1);
+
+  Block &Body = Op->getRegion(0).emplaceBlock();
+  std::vector<Value> BlockArgs;
+  for (Value Operand : Operands) {
+    MemRefType Ty = Operand.getType().cast<MemRefType>();
+    BlockArgs.push_back(Body.addArgument(Ty.getElementType()));
+  }
+  OpBuilder::InsertPoint Saved = Builder.saveInsertionPoint();
+  Builder.setInsertionPointToEnd(&Body);
+  BodyBuilder(Builder, BlockArgs);
+  Builder.restoreInsertionPoint(Saved);
+  return GenericOp(Op);
+}
+
+AffineMap linalg::GenericOp::getIndexingMap(unsigned Index) const {
+  return Op->getAttr("indexing_maps")
+      .getArrayValue()[Index]
+      .getAffineMapValue();
+}
+
+std::vector<AffineMap> linalg::GenericOp::getIndexingMaps() const {
+  std::vector<AffineMap> Maps;
+  for (const Attribute &A : Op->getAttr("indexing_maps").getArrayValue())
+    Maps.push_back(A.getAffineMapValue());
+  return Maps;
+}
+
+std::vector<std::string> linalg::GenericOp::getIteratorTypes() const {
+  std::vector<std::string> Iterators;
+  for (const Attribute &A : Op->getAttr("iterator_types").getArrayValue())
+    Iterators.push_back(A.getStringValue());
+  return Iterators;
+}
+
+std::vector<int64_t> linalg::GenericOp::getStaticLoopRanges() const {
+  unsigned NumLoops = getNumLoops();
+  std::vector<int64_t> Ranges(NumLoops, -1);
+  for (unsigned OperandIdx = 0, E = Op->getNumOperands(); OperandIdx < E;
+       ++OperandIdx) {
+    AffineMap Map = getIndexingMap(OperandIdx);
+    MemRefType Ty = Op->getOperand(OperandIdx).getType().cast<MemRefType>();
+    for (unsigned R = 0; R < Map.getNumResults(); ++R) {
+      AffineExpr Result = Map.getResult(R);
+      if (Result.isDim())
+        Ranges[Result.getPosition()] = Ty.getDimSize(R);
+    }
+  }
+  for (int64_t Range : Ranges)
+    if (Range < 0)
+      return {};
+  return Ranges;
+}
+
+YieldOp linalg::YieldOp::create(OpBuilder &Builder,
+                                const std::vector<Value> &Values) {
+  return YieldOp(Builder.create(OpName, Values));
+}
+
+MatmulOp linalg::MatmulOp::create(OpBuilder &Builder, Value A, Value B,
+                                  Value C) {
+  return MatmulOp(Builder.create(OpName, {A, B, C}, {},
+                                 {{"num_inputs", Attribute::getInteger(2)}}));
+}
+
+Conv2DNchwFchwOp linalg::Conv2DNchwFchwOp::create(OpBuilder &Builder,
+                                                  Value Input, Value Filter,
+                                                  Value Output,
+                                                  int64_t StrideH,
+                                                  int64_t StrideW) {
+  return Conv2DNchwFchwOp(Builder.create(
+      OpName, {Input, Filter, Output}, {},
+      {{"num_inputs", Attribute::getInteger(2)},
+       {"strides", Attribute::getArray({Attribute::getInteger(StrideH),
+                                        Attribute::getInteger(StrideW)})}}));
+}
+
+int64_t linalg::Conv2DNchwFchwOp::getStrideH() const {
+  return Op->getAttr("strides").getArrayValue()[0].getIntValue();
+}
+
+int64_t linalg::Conv2DNchwFchwOp::getStrideW() const {
+  return Op->getAttr("strides").getArrayValue()[1].getIntValue();
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical traits
+//===----------------------------------------------------------------------===//
+
+std::vector<AffineMap> linalg::getMatmulIndexingMaps() {
+  // Dims: (m, n, k).
+  AffineMap AMap = AffineMap::getSelect({0, 2}, 3); // (m, k)
+  AffineMap BMap = AffineMap::getSelect({2, 1}, 3); // (k, n)
+  AffineMap CMap = AffineMap::getSelect({0, 1}, 3); // (m, n)
+  return {AMap, BMap, CMap};
+}
+
+std::vector<std::string> linalg::getMatmulIteratorTypes() {
+  return {IteratorParallel, IteratorParallel, IteratorReduction};
+}
+
+std::vector<AffineMap> linalg::getConvIndexingMaps(int64_t StrideH,
+                                                   int64_t StrideW) {
+  // Dims: (b, oc, oh, ow, ic, fh, fw).
+  AffineExpr B = AffineExpr::getDim(0);
+  AffineExpr OC = AffineExpr::getDim(1);
+  AffineExpr OH = AffineExpr::getDim(2);
+  AffineExpr OW = AffineExpr::getDim(3);
+  AffineExpr IC = AffineExpr::getDim(4);
+  AffineExpr FH = AffineExpr::getDim(5);
+  AffineExpr FW = AffineExpr::getDim(6);
+  AffineMap IMap =
+      AffineMap::get(7, 0, {B, IC, OH * StrideH + FH, OW * StrideW + FW});
+  AffineMap WMap = AffineMap::get(7, 0, {OC, IC, FH, FW});
+  AffineMap OMap = AffineMap::get(7, 0, {B, OC, OH, OW});
+  return {IMap, WMap, OMap};
+}
+
+std::vector<std::string> linalg::getConvIteratorTypes() {
+  return {IteratorParallel, IteratorParallel, IteratorParallel,
+          IteratorParallel, IteratorReduction, IteratorReduction,
+          IteratorReduction};
+}
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+static LogicalResult verifyGeneric(Operation *Op, std::string &Error) {
+  GenericOp Generic(Op);
+  if (!Op->hasAttr("indexing_maps") || !Op->hasAttr("iterator_types") ||
+      !Op->hasAttr("num_inputs")) {
+    Error = "linalg.generic requires indexing_maps, iterator_types and "
+            "num_inputs";
+    return failure();
+  }
+  unsigned NumOperands = Op->getNumOperands();
+  if (Generic.getNumInputs() > NumOperands) {
+    Error = "linalg.generic num_inputs exceeds operand count";
+    return failure();
+  }
+  if (Op->getAttr("indexing_maps").getArrayValue().size() != NumOperands) {
+    Error = "linalg.generic requires one indexing map per operand";
+    return failure();
+  }
+  unsigned NumLoops = Generic.getNumLoops();
+  for (unsigned I = 0; I < NumOperands; ++I) {
+    if (!Op->getOperand(I).getType().isa<MemRefType>()) {
+      Error = "linalg.generic operands must be memrefs";
+      return failure();
+    }
+    AffineMap Map = Generic.getIndexingMap(I);
+    if (Map.getNumDims() != NumLoops) {
+      Error = "linalg.generic indexing map dim count must equal the number "
+              "of iterator types";
+      return failure();
+    }
+    MemRefType Ty = Op->getOperand(I).getType().cast<MemRefType>();
+    if (Map.getNumResults() != Ty.getRank()) {
+      Error = "linalg.generic indexing map result count must equal operand "
+              "rank";
+      return failure();
+    }
+  }
+  if (Op->getRegion(0).empty() ||
+      Op->getRegion(0).front().getNumArguments() != NumOperands) {
+    Error = "linalg.generic payload must have one scalar argument per "
+            "operand";
+    return failure();
+  }
+  Block &Body = Op->getRegion(0).front();
+  if (Body.empty() || Body.getTerminator()->getName() != "linalg.yield") {
+    Error = "linalg.generic payload must end with linalg.yield";
+    return failure();
+  }
+  if (Body.getTerminator()->getNumOperands() !=
+      NumOperands - Generic.getNumInputs()) {
+    Error = "linalg.yield must yield one value per output";
+    return failure();
+  }
+  return success();
+}
+
+void linalg::registerDialect(MLIRContext &Context) {
+  OpRegistry &Registry = Context.getOpRegistry();
+  Registry.registerOp({GenericOp::OpName, /*NumOperands=*/-1,
+                       /*NumResults=*/0, /*NumRegions=*/1,
+                       /*IsTerminator=*/false, verifyGeneric});
+  Registry.registerOp({YieldOp::OpName, /*NumOperands=*/-1, /*NumResults=*/0,
+                       /*NumRegions=*/0, /*IsTerminator=*/true, nullptr});
+  Registry.registerOp({MatmulOp::OpName, /*NumOperands=*/3, /*NumResults=*/0,
+                       /*NumRegions=*/0, /*IsTerminator=*/false,
+                       [](Operation *Op, std::string &Error) {
+                         for (unsigned I = 0; I < 3; ++I) {
+                           MemRefType Ty = Op->getOperand(I)
+                                               .getType()
+                                               .dyn_cast<MemRefType>();
+                           if (!Ty || Ty.getRank() != 2) {
+                             Error = "linalg.matmul operands must be rank-2 "
+                                     "memrefs";
+                             return failure();
+                           }
+                         }
+                         return success();
+                       }});
+  Registry.registerOp({Conv2DNchwFchwOp::OpName, /*NumOperands=*/3,
+                       /*NumResults=*/0, /*NumRegions=*/0,
+                       /*IsTerminator=*/false,
+                       [](Operation *Op, std::string &Error) {
+                         for (unsigned I = 0; I < 3; ++I) {
+                           MemRefType Ty = Op->getOperand(I)
+                                               .getType()
+                                               .dyn_cast<MemRefType>();
+                           if (!Ty || Ty.getRank() != 4) {
+                             Error = "linalg.conv_2d_nchw_fchw operands "
+                                     "must be rank-4 memrefs";
+                             return failure();
+                           }
+                         }
+                         return success();
+                       }});
+}

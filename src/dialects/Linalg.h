@@ -1,0 +1,139 @@
+//===- Linalg.h - linalg dialect --------------------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `linalg` dialect: linalg.generic (the core structured op the paper's
+/// transformations target), linalg.yield, and the named ops linalg.matmul /
+/// linalg.conv_2d_nchw_fchw that the pipeline converts to generics
+/// (paper Fig. 4 step "Convert named ops to linalg.generic").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_DIALECTS_LINALG_H
+#define AXI4MLIR_DIALECTS_LINALG_H
+
+#include "dialects/OpView.h"
+
+#include <functional>
+
+namespace axi4mlir {
+namespace linalg {
+
+/// Iterator type strings, as in MLIR.
+inline constexpr const char *IteratorParallel = "parallel";
+inline constexpr const char *IteratorReduction = "reduction";
+
+/// linalg.generic: indexing maps + iterator types + scalar payload region.
+class GenericOp : public OpView {
+public:
+  static constexpr const char *OpName = "linalg.generic";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  /// Builds a generic op. \p BodyBuilder is invoked with the payload block's
+  /// scalar arguments (inputs then outputs) and must create the
+  /// linalg.yield. Indexing maps are ordered inputs-then-outputs.
+  static GenericOp
+  create(OpBuilder &Builder, const std::vector<Value> &Inputs,
+         const std::vector<Value> &Outputs,
+         const std::vector<AffineMap> &IndexingMaps,
+         const std::vector<std::string> &IteratorTypes,
+         const std::function<void(OpBuilder &, const std::vector<Value> &)>
+             &BodyBuilder);
+
+  unsigned getNumInputs() const { return Op->getIntAttr("num_inputs"); }
+  unsigned getNumOutputs() const {
+    return Op->getNumOperands() - getNumInputs();
+  }
+  Value getInput(unsigned Index) const { return Op->getOperand(Index); }
+  Value getOutput(unsigned Index) const {
+    return Op->getOperand(getNumInputs() + Index);
+  }
+
+  /// Indexing map for operand \p Index (inputs then outputs).
+  AffineMap getIndexingMap(unsigned Index) const;
+  std::vector<AffineMap> getIndexingMaps() const;
+  std::vector<std::string> getIteratorTypes() const;
+  unsigned getNumLoops() const { return getIteratorTypes().size(); }
+
+  Block &getBody() const { return Op->getRegion(0).front(); }
+
+  /// Computes the static extent of every loop dimension by matching
+  /// standalone dim results in the indexing maps against operand shapes.
+  /// Fails (returns empty) if some dimension never appears standalone.
+  std::vector<int64_t> getStaticLoopRanges() const;
+};
+
+/// linalg.yield: payload terminator carrying the value(s) stored to the
+/// output(s).
+class YieldOp : public OpView {
+public:
+  static constexpr const char *OpName = "linalg.yield";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static YieldOp create(OpBuilder &Builder, const std::vector<Value> &Values);
+};
+
+/// linalg.matmul: named op, C += A * B.
+class MatmulOp : public OpView {
+public:
+  static constexpr const char *OpName = "linalg.matmul";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static MatmulOp create(OpBuilder &Builder, Value A, Value B, Value C);
+
+  Value getA() const { return Op->getOperand(0); }
+  Value getB() const { return Op->getOperand(1); }
+  Value getC() const { return Op->getOperand(2); }
+};
+
+/// linalg.conv_2d_nchw_fchw: named 2-D convolution, NCHW input layout,
+/// FCHW filter layout, with static strides.
+class Conv2DNchwFchwOp : public OpView {
+public:
+  static constexpr const char *OpName = "linalg.conv_2d_nchw_fchw";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static Conv2DNchwFchwOp create(OpBuilder &Builder, Value Input,
+                                 Value Filter, Value Output, int64_t StrideH,
+                                 int64_t StrideW);
+
+  Value getInput() const { return Op->getOperand(0); }
+  Value getFilter() const { return Op->getOperand(1); }
+  Value getOutput() const { return Op->getOperand(2); }
+  int64_t getStrideH() const;
+  int64_t getStrideW() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Canonical traits
+//===----------------------------------------------------------------------===//
+
+/// The canonical matmul indexing maps over dims (m, n, k):
+///   A: (m, k), B: (k, n), C: (m, n)   (paper Fig. 2a).
+std::vector<AffineMap> getMatmulIndexingMaps();
+std::vector<std::string> getMatmulIteratorTypes();
+
+/// The canonical conv_2d_nchw_fchw maps over dims
+/// (b, oc, oh, ow, ic, fh, fw) with strides (sh, sw):
+///   I: (b, ic, oh*sh + fh, ow*sw + fw), W: (oc, ic, fh, fw),
+///   O: (b, oc, oh, ow).
+std::vector<AffineMap> getConvIndexingMaps(int64_t StrideH, int64_t StrideW);
+std::vector<std::string> getConvIteratorTypes();
+
+void registerDialect(MLIRContext &Context);
+
+} // namespace linalg
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_DIALECTS_LINALG_H

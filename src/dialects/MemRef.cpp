@@ -1,0 +1,140 @@
+//===- MemRef.cpp - memref dialect implementation -------------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialects/MemRef.h"
+
+#include "ir/OpRegistry.h"
+
+using namespace axi4mlir;
+using namespace axi4mlir::memref;
+
+AllocOp memref::AllocOp::create(OpBuilder &Builder, MemRefType Ty) {
+  assert(Ty && !Ty.hasExplicitStrides() &&
+         "memref.alloc allocates contiguous row-major buffers");
+  return AllocOp(Builder.create(OpName, {}, {Ty}));
+}
+
+DeallocOp memref::DeallocOp::create(OpBuilder &Builder, Value MemRef) {
+  return DeallocOp(Builder.create(OpName, {MemRef}));
+}
+
+LoadOp memref::LoadOp::create(OpBuilder &Builder, Value MemRef,
+                              const std::vector<Value> &Indices) {
+  MemRefType Ty = MemRef.getType().cast<MemRefType>();
+  assert(Indices.size() == Ty.getRank() && "load index count != rank");
+  std::vector<Value> Operands = {MemRef};
+  Operands.insert(Operands.end(), Indices.begin(), Indices.end());
+  return LoadOp(Builder.create(OpName, Operands, {Ty.getElementType()}));
+}
+
+StoreOp memref::StoreOp::create(OpBuilder &Builder, Value StoredValue,
+                                Value MemRef,
+                                const std::vector<Value> &Indices) {
+  MemRefType Ty = MemRef.getType().cast<MemRefType>();
+  assert(Indices.size() == Ty.getRank() && "store index count != rank");
+  assert(StoredValue.getType() == Ty.getElementType() &&
+         "stored value type != element type");
+  std::vector<Value> Operands = {StoredValue, MemRef};
+  Operands.insert(Operands.end(), Indices.begin(), Indices.end());
+  return StoreOp(Builder.create(OpName, Operands));
+}
+
+SubViewOp memref::SubViewOp::create(OpBuilder &Builder, Value Source,
+                                    const std::vector<Value> &Offsets,
+                                    const std::vector<int64_t> &Sizes) {
+  MemRefType SourceTy = Source.getType().cast<MemRefType>();
+  assert(Offsets.size() == SourceTy.getRank() && "offset count != rank");
+  assert(Sizes.size() == SourceTy.getRank() && "size count != rank");
+
+  MemRefType ResultTy = MemRefType::getStrided(
+      Builder.getContext(), Sizes, SourceTy.getElementType(),
+      SourceTy.getStrides(), DynamicSize);
+
+  std::vector<Value> Operands = {Source};
+  Operands.insert(Operands.end(), Offsets.begin(), Offsets.end());
+  std::vector<Attribute> SizeAttrs;
+  SizeAttrs.reserve(Sizes.size());
+  for (int64_t Size : Sizes)
+    SizeAttrs.push_back(Attribute::getInteger(Size));
+  return SubViewOp(
+      Builder.create(OpName, Operands, {ResultTy},
+                     {{"static_sizes", Attribute::getArray(SizeAttrs)}}));
+}
+
+std::vector<int64_t> memref::SubViewOp::getStaticSizes() const {
+  std::vector<int64_t> Sizes;
+  for (const Attribute &A : Op->getAttr("static_sizes").getArrayValue())
+    Sizes.push_back(A.getIntValue());
+  return Sizes;
+}
+
+void memref::registerDialect(MLIRContext &Context) {
+  OpRegistry &Registry = Context.getOpRegistry();
+  Registry.registerOp({AllocOp::OpName, /*NumOperands=*/0, /*NumResults=*/1,
+                       /*NumRegions=*/0, /*IsTerminator=*/false,
+                       [](Operation *Op, std::string &Error) {
+                         if (!Op->getResult(0).getType().isa<MemRefType>()) {
+                           Error = "memref.alloc result must be a memref";
+                           return failure();
+                         }
+                         return success();
+                       }});
+  Registry.registerOp({DeallocOp::OpName, /*NumOperands=*/1,
+                       /*NumResults=*/0, /*NumRegions=*/0,
+                       /*IsTerminator=*/false, nullptr});
+  Registry.registerOp(
+      {LoadOp::OpName, /*NumOperands=*/-1, /*NumResults=*/1, /*NumRegions=*/0,
+       /*IsTerminator=*/false, [](Operation *Op, std::string &Error) {
+         MemRefType Ty = Op->getOperand(0).getType().dyn_cast<MemRefType>();
+         if (!Ty) {
+           Error = "memref.load first operand must be a memref";
+           return failure();
+         }
+         if (Op->getNumOperands() != 1 + Ty.getRank()) {
+           Error = "memref.load index count must equal rank";
+           return failure();
+         }
+         return success();
+       }});
+  Registry.registerOp(
+      {StoreOp::OpName, /*NumOperands=*/-1, /*NumResults=*/0,
+       /*NumRegions=*/0, /*IsTerminator=*/false,
+       [](Operation *Op, std::string &Error) {
+         if (Op->getNumOperands() < 2) {
+           Error = "memref.store requires a value and a memref";
+           return failure();
+         }
+         MemRefType Ty = Op->getOperand(1).getType().dyn_cast<MemRefType>();
+         if (!Ty) {
+           Error = "memref.store second operand must be a memref";
+           return failure();
+         }
+         if (Op->getNumOperands() != 2 + Ty.getRank()) {
+           Error = "memref.store index count must equal rank";
+           return failure();
+         }
+         return success();
+       }});
+  Registry.registerOp(
+      {SubViewOp::OpName, /*NumOperands=*/-1, /*NumResults=*/1,
+       /*NumRegions=*/0, /*IsTerminator=*/false,
+       [](Operation *Op, std::string &Error) {
+         MemRefType Ty = Op->getOperand(0).getType().dyn_cast<MemRefType>();
+         if (!Ty) {
+           Error = "memref.subview source must be a memref";
+           return failure();
+         }
+         if (Op->getNumOperands() != 1 + Ty.getRank()) {
+           Error = "memref.subview offset count must equal rank";
+           return failure();
+         }
+         if (!Op->hasAttr("static_sizes")) {
+           Error = "memref.subview requires static_sizes";
+           return failure();
+         }
+         return success();
+       }});
+}

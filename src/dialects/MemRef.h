@@ -1,0 +1,110 @@
+//===- MemRef.h - memref dialect --------------------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `memref` dialect: alloc/dealloc, load/store and subview. Subviews
+/// are how the tiling pass names tiles of A/B/C before handing them to
+/// accel.send / accel.recv (paper Fig. 6b L8, L12-13).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_DIALECTS_MEMREF_H
+#define AXI4MLIR_DIALECTS_MEMREF_H
+
+#include "dialects/OpView.h"
+
+namespace axi4mlir {
+namespace memref {
+
+/// memref.alloc: allocates a contiguous row-major buffer.
+class AllocOp : public OpView {
+public:
+  static constexpr const char *OpName = "memref.alloc";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static AllocOp create(OpBuilder &Builder, MemRefType Ty);
+
+  Value getResult() const { return Op->getResult(0); }
+  MemRefType getType() const {
+    return getResult().getType().cast<MemRefType>();
+  }
+};
+
+/// memref.dealloc.
+class DeallocOp : public OpView {
+public:
+  static constexpr const char *OpName = "memref.dealloc";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static DeallocOp create(OpBuilder &Builder, Value MemRef);
+};
+
+/// memref.load %memref[%i, %j, ...].
+class LoadOp : public OpView {
+public:
+  static constexpr const char *OpName = "memref.load";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static LoadOp create(OpBuilder &Builder, Value MemRef,
+                       const std::vector<Value> &Indices);
+
+  Value getMemRef() const { return Op->getOperand(0); }
+  Value getResult() const { return Op->getResult(0); }
+};
+
+/// memref.store %value, %memref[%i, %j, ...].
+class StoreOp : public OpView {
+public:
+  static constexpr const char *OpName = "memref.store";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static StoreOp create(OpBuilder &Builder, Value StoredValue, Value MemRef,
+                        const std::vector<Value> &Indices);
+
+  Value getStoredValue() const { return Op->getOperand(0); }
+  Value getMemRef() const { return Op->getOperand(1); }
+};
+
+/// memref.subview %src[%off0, ...][size0, ...][1, ...]: a rank-preserving
+/// tile view. Offsets are dynamic (loop IVs); sizes are static attributes;
+/// relative strides are always 1 (tiles are dense selections), so the
+/// result strides equal the source strides and the offset is dynamic.
+class SubViewOp : public OpView {
+public:
+  static constexpr const char *OpName = "memref.subview";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static SubViewOp create(OpBuilder &Builder, Value Source,
+                          const std::vector<Value> &Offsets,
+                          const std::vector<int64_t> &Sizes);
+
+  Value getSource() const { return Op->getOperand(0); }
+  std::vector<Value> getOffsets() const {
+    return {Op->getOperands().begin() + 1, Op->getOperands().end()};
+  }
+  std::vector<int64_t> getStaticSizes() const;
+  Value getResult() const { return Op->getResult(0); }
+  MemRefType getType() const {
+    return getResult().getType().cast<MemRefType>();
+  }
+};
+
+void registerDialect(MLIRContext &Context);
+
+} // namespace memref
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_DIALECTS_MEMREF_H

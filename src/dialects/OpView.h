@@ -1,0 +1,58 @@
+//===- OpView.h - Typed wrappers over generic operations --------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OpView is the base of all dialect op wrapper classes, following MLIR's
+/// Op<...> pattern: a non-owning typed view over a generic Operation* that
+/// adds named accessors. Views are cheap to copy and convert to bool
+/// (null/kind-mismatch -> false).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_DIALECTS_OPVIEW_H
+#define AXI4MLIR_DIALECTS_OPVIEW_H
+
+#include "ir/Builders.h"
+#include "ir/Operation.h"
+
+namespace axi4mlir {
+
+/// Base class for typed operation views.
+class OpView {
+public:
+  OpView() = default;
+  explicit OpView(Operation *Op) : Op(Op) {}
+
+  Operation *getOperation() const { return Op; }
+  Operation *operator->() const { return Op; }
+  explicit operator bool() const { return Op != nullptr; }
+
+protected:
+  Operation *Op = nullptr;
+};
+
+/// Returns a typed view for \p Op if it has the right op name, otherwise a
+/// null view. The view class must provide `classof(const Operation *)`.
+template <typename OpT>
+OpT dyn_cast_op(Operation *Op) {
+  return Op && OpT::classof(Op) ? OpT(Op) : OpT();
+}
+
+/// Returns a typed view, asserting the op kind matches.
+template <typename OpT>
+OpT cast_op(Operation *Op) {
+  assert(Op && OpT::classof(Op) && "cast_op to incompatible operation");
+  return OpT(Op);
+}
+
+template <typename OpT>
+bool isa_op(const Operation *Op) {
+  return Op && OpT::classof(Op);
+}
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_DIALECTS_OPVIEW_H

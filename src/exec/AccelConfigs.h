@@ -1,0 +1,158 @@
+//===- AccelConfigs.h - Configuration files for the Table I accels -*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the JSON configuration files (paper Fig. 5) describing the
+/// simulated accelerators: MatMul v1..v4 (Table I) and the Conv2D engine
+/// (Fig. 15a). These strings go through the real parser
+/// (parser::parseSystemConfig), exactly as a user's config file would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_EXEC_ACCELCONFIGS_H
+#define AXI4MLIR_EXEC_ACCELCONFIGS_H
+
+#include "parser/ConfigParser.h"
+#include "sim/MatMulAccelerator.h"
+
+#include <cassert>
+#include <sstream>
+#include <string>
+
+namespace axi4mlir {
+namespace exec {
+
+/// Builds the configuration JSON for a MatMul accelerator.
+/// \p Flow is one of "Ns", "As", "Bs", "Cs" (availability depends on the
+/// version, Table I). \p TileM/N/K override the square size for v4.
+inline std::string
+makeMatMulConfigJson(sim::MatMulAccelerator::Version Version, int64_t Size,
+                     const std::string &Flow, int64_t TileM = 0,
+                     int64_t TileN = 0, int64_t TileK = 0,
+                     const std::string &DataType = "int32") {
+  using V = sim::MatMulAccelerator::Version;
+  int64_t TM = TileM ? TileM : Size;
+  int64_t TN = TileN ? TileN : Size;
+  int64_t TK = TileK ? TileK : Size;
+
+  std::ostringstream OS;
+  OS << "{ \"cpu\": { \"cache-levels\": [32K, 512K],"
+     << " \"cache-types\": [data, shared] },\n";
+  OS << "  \"accelerators\": [ {\n";
+  OS << "    \"name\": \"matmul_v" << (Version == V::V1   ? 1
+                                       : Version == V::V2 ? 2
+                                       : Version == V::V3 ? 3
+                                                          : 4)
+     << "_" << Size << "\", \"version\": 1.0,\n";
+  OS << "    \"description\": \"Table I tile MatMul engine\",\n";
+  OS << "    \"kernel\": \"linalg.matmul\", \"data_type\": \"" << DataType
+     << "\",\n";
+  OS << "    \"dma_config\": { \"id\": 0, \"inputAddress\": 0x42,"
+     << " \"inputBufferSize\": 0x40000, \"outputAddress\": 0x40042,"
+     << " \"outputBufferSize\": 0x40000 },\n";
+  OS << "    \"accel_size\": [" << TM << ", " << TN << ", " << TK << "],\n";
+  OS << "    \"dims\": [m, n, k],\n";
+  OS << "    \"data\": { \"A\": [m, k], \"B\": [k, n], \"C\": [m, n] },\n";
+
+  // Micro-ISA per version (Table I "Opcode(s)" column).
+  OS << "    \"opcode_map\": \"opcode_map< ";
+  switch (Version) {
+  case V::V1:
+    OS << "sAsBcCrC = [send_literal(0x21), send(0), send(1), recv(2)], "
+       << "reset = [send_literal(0xFF)]";
+    break;
+  case V::V2:
+    OS << "sA = [send_literal(0x22), send(0)], "
+       << "sB = [send_literal(0x23), send(1)], "
+       << "cCrC = [send_literal(0x27), recv(2)], "
+       << "reset = [send_literal(0xFF)]";
+    break;
+  case V::V3:
+  case V::V4:
+    OS << "sA = [send_literal(0x22), send(0)], "
+       << "sB = [send_literal(0x23), send(1)], "
+       << "cC = [send_literal(0xF0)], "
+       << "rC = [send_literal(0x24), recv(2)], "
+       << "reset = [send_literal(0xFF)]";
+    if (Version == V::V4)
+      OS << ", cfg = [send_literal(0x10), send_dim(0, 0), send_dim(0, 1), "
+         << "send_dim(1, 1)]";
+    break;
+  }
+  OS << " >\",\n";
+
+  // Legal flows per version.
+  OS << "    \"opcode_flow_map\": {\n";
+  if (Version == V::V1) {
+    OS << "      \"Ns\": \"(sAsBcCrC)\"\n";
+  } else if (Version == V::V2) {
+    OS << "      \"Ns\": \"(sA sB cCrC)\",\n";
+    OS << "      \"As\": \"(sA (sB cCrC))\",\n";
+    OS << "      \"Bs\": \"(sB (sA cCrC))\"\n";
+  } else {
+    OS << "      \"Ns\": \"(sA sB cC rC)\",\n";
+    OS << "      \"As\": \"(sA (sB cC rC))\",\n";
+    OS << "      \"Bs\": \"(sB (sA cC rC))\",\n";
+    OS << "      \"Cs\": \"((sA sB cC) rC)\"\n";
+  }
+  OS << "    },\n";
+  OS << "    \"selected_flow\": \"" << Flow << "\",\n";
+  OS << "    \"init_opcodes\": \"("
+     << (Version == V::V4 ? "reset cfg" : "reset") << ")\"\n";
+  OS << "  } ] }\n";
+  return OS.str();
+}
+
+/// Builds the configuration JSON for the Conv2D accelerator (Fig. 15a):
+/// filter+output stationary, runtime-configurable iC and fH/fW.
+/// accel_size -1 entries mean "full extent handled inside the
+/// accelerator"; 0 entries mean per-element host loops.
+inline std::string makeConvConfigJson(const std::string &DataType = "int32") {
+  std::ostringstream OS;
+  OS << "{ \"cpu\": { \"cache-levels\": [32K, 512K],"
+     << " \"cache-types\": [data, shared] },\n";
+  OS << "  \"accelerators\": [ {\n";
+  OS << "    \"name\": \"conv2d_os\", \"version\": 1.0,\n";
+  OS << "    \"description\": \"output+filter stationary Conv2D\",\n";
+  OS << "    \"kernel\": \"linalg.conv_2d_nchw_fchw\", \"data_type\": \""
+     << DataType << "\",\n";
+  OS << "    \"dma_config\": { \"id\": 0, \"inputAddress\": 0x42,"
+     << " \"inputBufferSize\": 0x80000, \"outputAddress\": 0x80042,"
+     << " \"outputBufferSize\": 0x80000 },\n";
+  // Dims (b, oc, oh, ow, ic, fh, fw): host loops over b/oc/oh/ow
+  // (per-element), accelerator holds ic/fh/fw in full.
+  OS << "    \"accel_size\": [0, 1, 0, 0, -1, -1, -1],\n";
+  OS << "    \"dims\": [b, oc, oh, ow, ic, fh, fw],\n";
+  OS << "    \"data\": { \"I\": [b, ic, h, w], \"W\": [oc, ic, fh, fw],"
+     << " \"O\": [b, oc, oh, ow] },\n";
+  OS << "    \"opcode_map\": \"opcode_map< "
+     << "sIcO = [send_literal(70), send(0)], "
+     << "sF = [send_literal(1), send(1)], "
+     << "rO = [send_literal(8), recv(2)], "
+     << "rst = [send_literal(32), send_dim(1, 3), send_literal(16), "
+     << "send_dim(0, 1)] >\",\n";
+  OS << "    \"opcode_flow_map\": { \"Os\": \"(sF (sIcO) rO)\" },\n";
+  OS << "    \"selected_flow\": \"Os\",\n";
+  OS << "    \"init_opcodes\": \"(rst)\"\n";
+  OS << "  } ] }\n";
+  return OS.str();
+}
+
+/// Parses one of the above configs into an AcceleratorDesc (asserts
+/// success: these are library-internal strings covered by tests).
+inline parser::AcceleratorDesc
+parseSingleAccelerator(const std::string &ConfigJson) {
+  std::string Error;
+  auto Config = parser::parseSystemConfig(ConfigJson, &Error);
+  assert(succeeded(Config) && "internal accelerator config must parse");
+  assert(!Config->Accelerators.empty());
+  return Config->Accelerators.front();
+}
+
+} // namespace exec
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_EXEC_ACCELCONFIGS_H

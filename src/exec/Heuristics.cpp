@@ -1,0 +1,98 @@
+//===- Heuristics.cpp - Tiling/dataflow selection implementation ----------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Heuristics.h"
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+using namespace axi4mlir;
+using namespace axi4mlir::exec;
+
+double exec::estimateMovedElements(const std::string &Flow, int64_t M,
+                                   int64_t N, int64_t K, int64_t TileM,
+                                   int64_t TileN, int64_t TileK) {
+  double DM = static_cast<double>(M), DN = static_cast<double>(N),
+         DK = static_cast<double>(K);
+  double StepsM = DM / static_cast<double>(TileM);
+  double StepsN = DN / static_cast<double>(TileN);
+  double StepsK = DK / static_cast<double>(TileK);
+  double AAll = DM * DK, BAll = DK * DN, CAll = DM * DN;
+
+  if (Flow == "As") // A sent once; B per (m); C per (k).
+    return AAll + BAll * StepsM + CAll * StepsK;
+  if (Flow == "Bs") // B sent once; A per (n); C per (k).
+    return BAll + AAll * StepsN + CAll * StepsK;
+  if (Flow == "Cs") // C received once; A per (n); B per (m).
+    return CAll + AAll * StepsN + BAll * StepsM;
+  // Ns: everything moves in the innermost loop.
+  return AAll * StepsN + BAll * StepsM + CAll * StepsK;
+}
+
+FlowTilingChoice exec::chooseSquareTile(int64_t M, int64_t N, int64_t K,
+                                        const std::string &Flow,
+                                        int64_t CapacityWords) {
+  FlowTilingChoice Choice;
+  Choice.Flow = Flow;
+  int64_t Limit = std::min(std::min(M, N), K);
+  for (int64_t T = Limit; T >= 1; --T) {
+    if (M % T || N % T || K % T || T * T > CapacityWords)
+      continue;
+    Choice.TileM = Choice.TileN = Choice.TileK = T;
+    Choice.MovedElements = estimateMovedElements(Flow, M, N, K, T, T, T);
+    return Choice;
+  }
+  Choice.TileM = Choice.TileN = Choice.TileK = 1;
+  Choice.MovedElements = estimateMovedElements(Flow, M, N, K, 1, 1, 1);
+  return Choice;
+}
+
+static std::vector<int64_t> tileCandidates(int64_t Extent,
+                                           int64_t TileQuantum) {
+  std::vector<int64_t> Candidates;
+  for (int64_t T = TileQuantum; T <= Extent; T += TileQuantum)
+    if (Extent % T == 0)
+      Candidates.push_back(T);
+  if (Candidates.empty())
+    Candidates.push_back(Extent); // Extent smaller than the quantum.
+  return Candidates;
+}
+
+FlowTilingChoice exec::chooseBestFlexible(int64_t M, int64_t N, int64_t K,
+                                          int64_t CapacityWords,
+                                          int64_t TileQuantum) {
+  FlowTilingChoice Best;
+  Best.MovedElements = std::numeric_limits<double>::max();
+  const char *Flows[] = {"Ns", "As", "Bs", "Cs"};
+  for (int64_t TM : tileCandidates(M, TileQuantum)) {
+    for (int64_t TN : tileCandidates(N, TileQuantum)) {
+      for (int64_t TK : tileCandidates(K, TileQuantum)) {
+        if (TM * TK > CapacityWords || TK * TN > CapacityWords ||
+            TM * TN > CapacityWords)
+          continue;
+        for (const char *Flow : Flows) {
+          double Moved = estimateMovedElements(Flow, M, N, K, TM, TN, TK);
+          // Prefer strictly fewer moves; tie-break on larger tiles (fewer
+          // transfer calls).
+          bool Better =
+              Moved < Best.MovedElements ||
+              (Moved == Best.MovedElements &&
+               TM * TN * TK > Best.TileM * Best.TileN * Best.TileK);
+          if (Better) {
+            Best.Flow = Flow;
+            Best.TileM = TM;
+            Best.TileN = TN;
+            Best.TileK = TK;
+            Best.MovedElements = Moved;
+          }
+        }
+      }
+    }
+  }
+  assert(Best.TileM && "no feasible tiling found");
+  return Best;
+}

@@ -1,0 +1,55 @@
+//===- Heuristics.h - Tiling/dataflow selection heuristics ------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tiling/dataflow selection heuristics of paper Sec. IV-C (Fig. 14):
+/// *-squareTile picks the largest square tile fitting the accelerator's
+/// buffers for a fixed stationary flow; "Best" searches all flows and
+/// rectangular tile shapes (v4's flex size) minimizing total host<->
+/// accelerator data movement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_EXEC_HEURISTICS_H
+#define AXI4MLIR_EXEC_HEURISTICS_H
+
+#include <cstdint>
+#include <string>
+
+namespace axi4mlir {
+namespace exec {
+
+/// A selected (flow, tile) configuration plus its movement estimate.
+struct FlowTilingChoice {
+  std::string Flow = "Ns";
+  int64_t TileM = 0, TileN = 0, TileK = 0;
+  /// Estimated elements moved host<->accelerator over the whole problem.
+  double MovedElements = 0;
+};
+
+/// Estimated elements transferred (in + out) for a MatMul of size M,N,K
+/// tiled (TM,TN,TK) under the given stationary flow.
+double estimateMovedElements(const std::string &Flow, int64_t M, int64_t N,
+                             int64_t K, int64_t TileM, int64_t TileN,
+                             int64_t TileK);
+
+/// Largest square tile T dividing M, N and K whose per-operand footprint
+/// T*T fits in \p CapacityWords, with the given flow.
+FlowTilingChoice chooseSquareTile(int64_t M, int64_t N, int64_t K,
+                                  const std::string &Flow,
+                                  int64_t CapacityWords);
+
+/// Searches all flows (Ns/As/Bs/Cs) and rectangular tiles (multiples of
+/// \p TileQuantum dividing each dimension, footprints within
+/// \p CapacityWords) for the minimum-movement configuration.
+FlowTilingChoice chooseBestFlexible(int64_t M, int64_t N, int64_t K,
+                                    int64_t CapacityWords,
+                                    int64_t TileQuantum = 16);
+
+} // namespace exec
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_EXEC_HEURISTICS_H

@@ -1,0 +1,101 @@
+//===- Interpreter.h - Host-code IR interpreter -----------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes lowered host code (scf/arith/memref + runtime calls) against
+/// the simulated SoC, charging the cost model for every host action. It
+/// stands in for running the cross-compiled binary on the PYNQ-Z2: the
+/// perf counters it produces correspond to what the paper measures with
+/// perf (Sec. IV).
+///
+/// Three abstraction levels are executable, enabling lowering ablations:
+///   * linalg.generic directly (the mlir_CPU baseline),
+///   * accel-dialect ops (each transaction on its own),
+///   * axirt.* runtime calls (batched transfers; the fully lowered form).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_EXEC_INTERPRETER_H
+#define AXI4MLIR_EXEC_INTERPRETER_H
+
+#include "dialects/Func.h"
+#include "runtime/DmaRuntime.h"
+#include "support/LogicalResult.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace axi4mlir {
+namespace exec {
+
+/// Interprets one func.func against a simulated system.
+class Interpreter {
+public:
+  /// \p Runtime may be null for CPU-only functions (no accel/axirt ops).
+  Interpreter(sim::SoC &Soc, runtime::DmaRuntime *Runtime)
+      : Soc(Soc), Runtime(Runtime) {}
+
+  /// Runs \p Func with memref arguments bound to \p Arguments.
+  LogicalResult run(func::FuncOp Func,
+                    const std::vector<runtime::MemRefDesc> &Arguments,
+                    std::string &Error);
+
+private:
+  /// A dynamic value: index/integer, float, or memref.
+  struct RuntimeValue {
+    enum class Kind { Int, Float, MemRef } Tag = Kind::Int;
+    int64_t IntVal = 0;
+    double FloatVal = 0;
+    runtime::MemRefDesc MemRef;
+
+    static RuntimeValue fromInt(int64_t V) {
+      RuntimeValue Value;
+      Value.Tag = Kind::Int;
+      Value.IntVal = V;
+      return Value;
+    }
+    static RuntimeValue fromFloat(double V) {
+      RuntimeValue Value;
+      Value.Tag = Kind::Float;
+      Value.FloatVal = V;
+      return Value;
+    }
+    static RuntimeValue fromMemRef(runtime::MemRefDesc Desc) {
+      RuntimeValue Value;
+      Value.Tag = Kind::MemRef;
+      Value.MemRef = std::move(Desc);
+      return Value;
+    }
+  };
+
+  LogicalResult executeBlock(Block &TheBlock);
+  LogicalResult executeOp(Operation *Op);
+  LogicalResult executeLinalgGeneric(Operation *Op);
+  LogicalResult executeRuntimeCall(Operation *Op);
+  LogicalResult executeAccelOp(Operation *Op);
+
+  RuntimeValue &value(Value V) { return Env[V.getImpl()]; }
+  int64_t intValue(Value V) { return value(V).IntVal; }
+  const runtime::MemRefDesc &memrefValue(Value V) {
+    return value(V).MemRef;
+  }
+  LogicalResult fail(const std::string &Message) {
+    if (ErrorMessage.empty())
+      ErrorMessage = Message;
+    return failure();
+  }
+
+  sim::SoC &Soc;
+  runtime::DmaRuntime *Runtime;
+  std::map<detail::ValueImpl *, RuntimeValue> Env;
+  std::string ErrorMessage;
+};
+
+} // namespace exec
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_EXEC_INTERPRETER_H

@@ -1,0 +1,206 @@
+//===- AccelTraits.h - Accelerator trait data structures --------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain data structures behind the new AXI4MLIR trait attributes
+/// (paper Sec. III-C): `opcode_map` entries/actions (Fig. 7 grammar),
+/// `opcode_flow` trees (Fig. 8 grammar) and `dma_init_config`.
+///
+/// They live under ir/ because the core Attribute class carries them; the
+/// textual grammars are parsed in parser/OpcodeParser.{h,cpp}. This mirrors
+/// how upstream MLIR builds dialect attributes into the core context via
+/// registration, collapsed here for simplicity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_IR_ACCELTRAITS_H
+#define AXI4MLIR_IR_ACCELTRAITS_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace axi4mlir {
+namespace accel {
+
+/// One action inside an opcode list (paper Fig. 7, `opcode_expr`).
+struct OpcodeAction {
+  enum class Kind {
+    Send,        ///< send(argIdx): stream a tile of operand argIdx.
+    SendLiteral, ///< send_literal(imm): stream a 32-bit literal (the opcode).
+    SendDim,     ///< send_dim(argIdx, dim): stream a size of operand argIdx.
+    SendIdx,     ///< send_idx(dim): stream the current loop index of `dim`.
+    Recv         ///< recv(argIdx): read back a tile of operand argIdx.
+  };
+
+  Kind ActionKind = Kind::SendLiteral;
+  /// Operand index for Send/SendDim/Recv (0 = A, 1 = B, 2 = C in matmul).
+  int64_t ArgIndex = -1;
+  /// Immediate value for SendLiteral.
+  int64_t Literal = 0;
+  /// Dimension index for SendDim/SendIdx.
+  int64_t DimIndex = -1;
+
+  static OpcodeAction send(int64_t ArgIndex) {
+    OpcodeAction Action;
+    Action.ActionKind = Kind::Send;
+    Action.ArgIndex = ArgIndex;
+    return Action;
+  }
+  static OpcodeAction sendLiteral(int64_t Literal) {
+    OpcodeAction Action;
+    Action.ActionKind = Kind::SendLiteral;
+    Action.Literal = Literal;
+    return Action;
+  }
+  static OpcodeAction sendDim(int64_t ArgIndex, int64_t DimIndex) {
+    OpcodeAction Action;
+    Action.ActionKind = Kind::SendDim;
+    Action.ArgIndex = ArgIndex;
+    Action.DimIndex = DimIndex;
+    return Action;
+  }
+  static OpcodeAction sendIdx(int64_t DimIndex) {
+    OpcodeAction Action;
+    Action.ActionKind = Kind::SendIdx;
+    Action.DimIndex = DimIndex;
+    return Action;
+  }
+  static OpcodeAction recv(int64_t ArgIndex) {
+    OpcodeAction Action;
+    Action.ActionKind = Kind::Recv;
+    Action.ArgIndex = ArgIndex;
+    return Action;
+  }
+
+  bool operator==(const OpcodeAction &Other) const {
+    return ActionKind == Other.ActionKind && ArgIndex == Other.ArgIndex &&
+           Literal == Other.Literal && DimIndex == Other.DimIndex;
+  }
+};
+
+/// A named opcode: identifier plus its ordered action list (Fig. 7,
+/// `opcode_entry`). E.g. `sA = [send_literal(0x22), send(0)]`.
+struct OpcodeEntry {
+  std::string Name;
+  std::vector<OpcodeAction> Actions;
+
+  bool operator==(const OpcodeEntry &Other) const {
+    return Name == Other.Name && Actions == Other.Actions;
+  }
+};
+
+/// The full opcode dictionary (Fig. 7, `opcode_dict`).
+struct OpcodeMapData {
+  std::vector<OpcodeEntry> Entries;
+
+  const OpcodeEntry *lookup(const std::string &Name) const {
+    for (const OpcodeEntry &Entry : Entries)
+      if (Entry.Name == Name)
+        return &Entry;
+    return nullptr;
+  }
+
+  bool operator==(const OpcodeMapData &Other) const {
+    return Entries == Other.Entries;
+  }
+};
+
+/// A node of an opcode_flow tree (Fig. 8). Each scope holds an ordered list
+/// of items; an item is either an opcode token or a nested scope. Nested
+/// scopes are proxies for deeper loop nests (paper Sec. III-C,
+/// "the set of parentheses is understood as a proxy to specify multiple
+/// scopes for sequential or nested for loops").
+struct FlowItem;
+
+struct FlowScope {
+  std::vector<FlowItem> Items;
+
+  bool operator==(const FlowScope &Other) const;
+
+  /// Depth of the deepest nested scope (a flat flow has depth 1).
+  unsigned depth() const;
+};
+
+struct FlowItem {
+  /// Non-empty for a token item.
+  std::string Token;
+  /// Non-null for a nested-scope item.
+  std::shared_ptr<FlowScope> Scope;
+
+  bool isToken() const { return !Token.empty(); }
+  bool isScope() const { return Scope != nullptr; }
+
+  bool operator==(const FlowItem &Other) const {
+    if (Token != Other.Token)
+      return false;
+    if ((Scope == nullptr) != (Other.Scope == nullptr))
+      return false;
+    return !Scope || *Scope == *Other.Scope;
+  }
+};
+
+inline bool FlowScope::operator==(const FlowScope &Other) const {
+  return Items == Other.Items;
+}
+
+inline unsigned FlowScope::depth() const {
+  unsigned MaxChild = 0;
+  for (const FlowItem &Item : Items)
+    if (Item.isScope())
+      MaxChild = std::max(MaxChild, Item.Scope->depth());
+  return 1 + MaxChild;
+}
+
+/// The opcode_flow attribute payload: the root scope of the flow tree.
+struct OpcodeFlowData {
+  FlowScope Root;
+
+  bool operator==(const OpcodeFlowData &Other) const {
+    return Root == Other.Root;
+  }
+
+  /// All token names in pre-order, for validation against the opcode map.
+  std::vector<std::string> allTokens() const {
+    std::vector<std::string> Tokens;
+    collectTokens(Root, Tokens);
+    return Tokens;
+  }
+
+private:
+  static void collectTokens(const FlowScope &Scope,
+                            std::vector<std::string> &Tokens) {
+    for (const FlowItem &Item : Scope.Items) {
+      if (Item.isToken())
+        Tokens.push_back(Item.Token);
+      else if (Item.Scope)
+        collectTokens(*Item.Scope, Tokens);
+    }
+  }
+};
+
+/// The dma_init_config trait (paper Fig. 6a L2-L4).
+struct DmaInitConfig {
+  int64_t DmaId = 0;
+  int64_t InputAddress = 0;
+  int64_t InputBufferSize = 0;
+  int64_t OutputAddress = 0;
+  int64_t OutputBufferSize = 0;
+
+  bool operator==(const DmaInitConfig &Other) const {
+    return DmaId == Other.DmaId && InputAddress == Other.InputAddress &&
+           InputBufferSize == Other.InputBufferSize &&
+           OutputAddress == Other.OutputAddress &&
+           OutputBufferSize == Other.OutputBufferSize;
+  }
+};
+
+} // namespace accel
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_IR_ACCELTRAITS_H

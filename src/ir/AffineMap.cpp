@@ -1,0 +1,180 @@
+//===- AffineMap.cpp - Multi-result affine map implementation -------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AffineMap.h"
+
+#include "support/STLExtras.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace axi4mlir;
+
+namespace axi4mlir {
+namespace detail {
+struct AffineMapStorage {
+  unsigned NumDims = 0;
+  unsigned NumSymbols = 0;
+  std::vector<AffineExpr> Results;
+};
+} // namespace detail
+} // namespace axi4mlir
+
+AffineMap AffineMap::get(unsigned NumDims, unsigned NumSymbols,
+                         std::vector<AffineExpr> Results) {
+  auto Storage = std::make_shared<detail::AffineMapStorage>();
+  Storage->NumDims = NumDims;
+  Storage->NumSymbols = NumSymbols;
+  Storage->Results = std::move(Results);
+  return AffineMap(std::move(Storage));
+}
+
+AffineMap AffineMap::getMultiDimIdentity(unsigned NumDims) {
+  std::vector<AffineExpr> Results;
+  Results.reserve(NumDims);
+  for (unsigned I = 0; I < NumDims; ++I)
+    Results.push_back(AffineExpr::getDim(I));
+  return get(NumDims, 0, std::move(Results));
+}
+
+AffineMap AffineMap::getPermutation(const std::vector<unsigned> &Permutation) {
+  std::vector<AffineExpr> Results;
+  Results.reserve(Permutation.size());
+  for (unsigned Position : Permutation) {
+    assert(Position < Permutation.size() && "invalid permutation entry");
+    Results.push_back(AffineExpr::getDim(Position));
+  }
+  return get(Permutation.size(), 0, std::move(Results));
+}
+
+AffineMap AffineMap::getConstant(unsigned NumDims,
+                                 const std::vector<int64_t> &Values) {
+  std::vector<AffineExpr> Results;
+  Results.reserve(Values.size());
+  for (int64_t Value : Values)
+    Results.push_back(AffineExpr::getConstant(Value));
+  return get(NumDims, 0, std::move(Results));
+}
+
+AffineMap AffineMap::getSelect(const std::vector<unsigned> &Positions,
+                               unsigned NumDims) {
+  std::vector<AffineExpr> Results;
+  Results.reserve(Positions.size());
+  for (unsigned Position : Positions) {
+    assert(Position < NumDims && "selected position out of range");
+    Results.push_back(AffineExpr::getDim(Position));
+  }
+  return get(NumDims, 0, std::move(Results));
+}
+
+bool AffineMap::operator==(const AffineMap &Other) const {
+  if (Impl == Other.Impl)
+    return true;
+  if (!Impl || !Other.Impl)
+    return false;
+  if (Impl->NumDims != Other.Impl->NumDims ||
+      Impl->NumSymbols != Other.Impl->NumSymbols ||
+      Impl->Results.size() != Other.Impl->Results.size())
+    return false;
+  for (size_t I = 0, E = Impl->Results.size(); I < E; ++I)
+    if (Impl->Results[I] != Other.Impl->Results[I])
+      return false;
+  return true;
+}
+
+unsigned AffineMap::getNumDims() const {
+  assert(Impl);
+  return Impl->NumDims;
+}
+
+unsigned AffineMap::getNumSymbols() const {
+  assert(Impl);
+  return Impl->NumSymbols;
+}
+
+unsigned AffineMap::getNumResults() const {
+  assert(Impl);
+  return Impl->Results.size();
+}
+
+AffineExpr AffineMap::getResult(unsigned Index) const {
+  assert(Impl && Index < Impl->Results.size());
+  return Impl->Results[Index];
+}
+
+const std::vector<AffineExpr> &AffineMap::getResults() const {
+  assert(Impl);
+  return Impl->Results;
+}
+
+bool AffineMap::isPermutation() const {
+  if (!isProjectedPermutation() || getNumResults() != getNumDims())
+    return false;
+  std::vector<bool> Seen(getNumDims(), false);
+  for (const AffineExpr &Result : Impl->Results) {
+    unsigned Position = Result.getPosition();
+    if (Seen[Position])
+      return false;
+    Seen[Position] = true;
+  }
+  return true;
+}
+
+bool AffineMap::isProjectedPermutation() const {
+  assert(Impl);
+  for (const AffineExpr &Result : Impl->Results)
+    if (!Result.isDim())
+      return false;
+  return true;
+}
+
+std::vector<int64_t> AffineMap::eval(const std::vector<int64_t> &Dims,
+                                     const std::vector<int64_t> &Symbols) const {
+  assert(Impl);
+  assert(Dims.size() >= Impl->NumDims && "not enough dimension values");
+  std::vector<int64_t> Values;
+  Values.reserve(Impl->Results.size());
+  for (const AffineExpr &Result : Impl->Results)
+    Values.push_back(Result.eval(Dims, Symbols));
+  return Values;
+}
+
+std::set<unsigned> AffineMap::getResultDimPositions(unsigned Index) const {
+  std::set<unsigned> Positions;
+  getResult(Index).collectDimPositions(Positions);
+  return Positions;
+}
+
+std::set<unsigned> AffineMap::getAllDimPositions() const {
+  std::set<unsigned> Positions;
+  for (const AffineExpr &Result : Impl->Results)
+    Result.collectDimPositions(Positions);
+  return Positions;
+}
+
+void AffineMap::print(std::ostream &OS) const {
+  if (!Impl) {
+    OS << "<<null map>>";
+    return;
+  }
+  OS << "(";
+  for (unsigned I = 0; I < Impl->NumDims; ++I) {
+    if (I)
+      OS << ", ";
+    OS << "d" << I;
+  }
+  OS << ") -> (";
+  interleave(
+      Impl->Results, [&](const AffineExpr &Expr) { Expr.print(OS); },
+      [&] { OS << ", "; });
+  OS << ")";
+}
+
+std::string AffineMap::str() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}

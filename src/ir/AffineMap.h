@@ -1,0 +1,93 @@
+//===- AffineMap.h - Multi-result affine maps -------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AffineMap mirrors mlir::AffineMap: a list of affine expressions over a
+/// fixed number of dimensions/symbols. Used for `linalg.generic`
+/// indexing_maps, the `permutation_map` trait (loop-order control for
+/// stationary dataflows) and the `accel_dim` trait (accelerator tile sizes,
+/// expressed as a constant map as in paper Fig. 6a L9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_IR_AFFINEMAP_H
+#define AXI4MLIR_IR_AFFINEMAP_H
+
+#include "ir/AffineExpr.h"
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace axi4mlir {
+
+namespace detail {
+struct AffineMapStorage;
+} // namespace detail
+
+/// A value-semantic handle to an immutable affine map
+/// `(d0, ..., d{n-1})[s0, ...] -> (expr0, ..., expr{m-1})`.
+class AffineMap {
+public:
+  AffineMap() = default;
+
+  static AffineMap get(unsigned NumDims, unsigned NumSymbols,
+                       std::vector<AffineExpr> Results);
+  /// The identity map (d0, ..., d{n-1}) -> (d0, ..., d{n-1}).
+  static AffineMap getMultiDimIdentity(unsigned NumDims);
+  /// A permutation map, e.g. {0,2,1} gives (d0,d1,d2) -> (d0,d2,d1).
+  static AffineMap getPermutation(const std::vector<unsigned> &Permutation);
+  /// A constant map (d0,...,d{n-1}) -> (c0,...,c{m-1}) as used by accel_dim.
+  static AffineMap getConstant(unsigned NumDims,
+                               const std::vector<int64_t> &Values);
+  /// A projection map selecting the given dim positions, e.g. for matmul's
+  /// A operand: select({0,2}, 3) = (m,n,k) -> (m,k).
+  static AffineMap getSelect(const std::vector<unsigned> &Positions,
+                             unsigned NumDims);
+
+  explicit operator bool() const { return Impl != nullptr; }
+  bool operator==(const AffineMap &Other) const;
+  bool operator!=(const AffineMap &Other) const { return !(*this == Other); }
+
+  unsigned getNumDims() const;
+  unsigned getNumSymbols() const;
+  unsigned getNumResults() const;
+  AffineExpr getResult(unsigned Index) const;
+  const std::vector<AffineExpr> &getResults() const;
+
+  /// True if the map is a (full) permutation of its dimensions.
+  bool isPermutation() const;
+  /// True if every result is a plain dimension (projection, no arithmetic).
+  bool isProjectedPermutation() const;
+
+  /// Evaluates all results for the given dim/symbol values.
+  std::vector<int64_t> eval(const std::vector<int64_t> &Dims,
+                            const std::vector<int64_t> &Symbols = {}) const;
+
+  /// Set of dimension positions referenced by result \p Index.
+  std::set<unsigned> getResultDimPositions(unsigned Index) const;
+  /// Set of dimension positions referenced by any result.
+  std::set<unsigned> getAllDimPositions() const;
+
+  void print(std::ostream &OS) const;
+  std::string str() const;
+
+private:
+  explicit AffineMap(std::shared_ptr<const detail::AffineMapStorage> Impl)
+      : Impl(std::move(Impl)) {}
+
+  std::shared_ptr<const detail::AffineMapStorage> Impl;
+};
+
+inline std::ostream &operator<<(std::ostream &OS, const AffineMap &Map) {
+  Map.print(OS);
+  return OS;
+}
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_IR_AFFINEMAP_H

@@ -1,0 +1,137 @@
+//===- AsmPrinter.cpp - Textual IR printing -------------------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints operations in an MLIR-like generic textual form:
+///
+///   %2 = scf.for(%c0, %c60, %c4) ({
+///   ^bb(%arg0: index):
+///     ...
+///   }) {attr = ...} : (index, index, index) -> ()
+///
+/// The printer is used for debugging, golden substring tests and the
+/// examples' console output; there is no round-trip parser for full IR
+/// (IR is constructed programmatically, as in the paper's pipeline).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Operation.h"
+
+#include <map>
+#include <ostream>
+
+using namespace axi4mlir;
+
+namespace {
+
+/// Assigns stable SSA names while printing a top-level operation.
+class PrintState {
+public:
+  std::string nameFor(Value V) {
+    auto It = Names.find(V.getImpl());
+    if (It != Names.end())
+      return It->second;
+    std::string Name = V.isBlockArgument()
+                           ? "%arg" + std::to_string(NextArgId++)
+                           : "%" + std::to_string(NextValueId++);
+    Names[V.getImpl()] = Name;
+    return Name;
+  }
+
+  void printOperation(std::ostream &OS, const Operation *Op,
+                      unsigned IndentLevel) {
+    indent(OS, IndentLevel);
+    // Results.
+    if (Op->getNumResults() > 0) {
+      for (unsigned I = 0, E = Op->getNumResults(); I < E; ++I) {
+        if (I)
+          OS << ", ";
+        OS << nameFor(Op->getResult(I));
+      }
+      OS << " = ";
+    }
+    OS << Op->getName();
+    // Operands.
+    OS << "(";
+    for (unsigned I = 0, E = Op->getNumOperands(); I < E; ++I) {
+      if (I)
+        OS << ", ";
+      OS << nameFor(Op->getOperand(I));
+    }
+    OS << ")";
+    // Regions.
+    if (Op->getNumRegions() > 0) {
+      OS << " (";
+      for (unsigned R = 0, E = Op->getNumRegions(); R < E; ++R) {
+        if (R)
+          OS << ", ";
+        OS << "{\n";
+        const Region &TheRegion = const_cast<Operation *>(Op)->getRegion(R);
+        for (const auto &TheBlock :
+             const_cast<Region &>(TheRegion).getBlocks()) {
+          indent(OS, IndentLevel);
+          OS << "^bb(";
+          for (unsigned A = 0, AE = TheBlock->getNumArguments(); A < AE;
+               ++A) {
+            if (A)
+              OS << ", ";
+            OS << nameFor(TheBlock->getArgument(A)) << ": "
+               << TheBlock->getArgument(A).getType();
+          }
+          OS << "):\n";
+          for (const Operation *Nested : TheBlock->getOperations())
+            printOperation(OS, Nested, IndentLevel + 1);
+        }
+        indent(OS, IndentLevel);
+        OS << "}";
+      }
+      OS << ")";
+    }
+    // Attributes.
+    if (!Op->getAttrs().empty()) {
+      OS << " {";
+      bool First = true;
+      for (const NamedAttribute &Entry : Op->getAttrs()) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        OS << Entry.first << " = " << Entry.second;
+      }
+      OS << "}";
+    }
+    // Type signature.
+    OS << " : (";
+    for (unsigned I = 0, E = Op->getNumOperands(); I < E; ++I) {
+      if (I)
+        OS << ", ";
+      OS << Op->getOperand(I).getType();
+    }
+    OS << ") -> (";
+    for (unsigned I = 0, E = Op->getNumResults(); I < E; ++I) {
+      if (I)
+        OS << ", ";
+      OS << Op->getResult(I).getType();
+    }
+    OS << ")\n";
+  }
+
+private:
+  static void indent(std::ostream &OS, unsigned Level) {
+    for (unsigned I = 0; I < Level; ++I)
+      OS << "  ";
+  }
+
+  std::map<detail::ValueImpl *, std::string> Names;
+  unsigned NextValueId = 0;
+  unsigned NextArgId = 0;
+};
+
+} // namespace
+
+void Operation::print(std::ostream &OS) const {
+  PrintState State;
+  State.printOperation(OS, this, 0);
+}

@@ -1,0 +1,328 @@
+//===- Attributes.cpp - IR attribute implementation -----------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Attributes.h"
+
+#include "support/STLExtras.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace axi4mlir;
+
+namespace axi4mlir {
+namespace detail {
+struct AttributeStorage {
+  Attribute::Kind Kind = Attribute::Kind::Unit;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  std::string StringValue;
+  std::vector<Attribute> ArrayValue;
+  std::vector<std::pair<std::string, Attribute>> DictValue;
+  Type TypeValue;
+  AffineMap MapValue;
+  accel::OpcodeMapData OpcodeMap;
+  accel::OpcodeFlowData OpcodeFlow;
+  accel::DmaInitConfig DmaConfig;
+};
+} // namespace detail
+} // namespace axi4mlir
+
+static std::shared_ptr<detail::AttributeStorage>
+makeStorage(Attribute::Kind K) {
+  auto Storage = std::make_shared<detail::AttributeStorage>();
+  Storage->Kind = K;
+  return Storage;
+}
+
+Attribute Attribute::getUnit() {
+  return Attribute(makeStorage(Kind::Unit));
+}
+
+Attribute Attribute::getInteger(int64_t Value, Type Ty) {
+  auto Storage = makeStorage(Kind::Integer);
+  Storage->IntValue = Value;
+  Storage->TypeValue = Ty;
+  return Attribute(std::move(Storage));
+}
+
+Attribute Attribute::getBool(bool Value) {
+  return getInteger(Value ? 1 : 0);
+}
+
+Attribute Attribute::getFloat(double Value) {
+  auto Storage = makeStorage(Kind::Float);
+  Storage->FloatValue = Value;
+  return Attribute(std::move(Storage));
+}
+
+Attribute Attribute::getString(std::string Value) {
+  auto Storage = makeStorage(Kind::String);
+  Storage->StringValue = std::move(Value);
+  return Attribute(std::move(Storage));
+}
+
+Attribute Attribute::getArray(std::vector<Attribute> Elements) {
+  auto Storage = makeStorage(Kind::Array);
+  Storage->ArrayValue = std::move(Elements);
+  return Attribute(std::move(Storage));
+}
+
+Attribute Attribute::getDictionary(
+    std::vector<std::pair<std::string, Attribute>> Entries) {
+  auto Storage = makeStorage(Kind::Dictionary);
+  Storage->DictValue = std::move(Entries);
+  return Attribute(std::move(Storage));
+}
+
+Attribute Attribute::getType(Type Ty) {
+  auto Storage = makeStorage(Kind::Type);
+  Storage->TypeValue = Ty;
+  return Attribute(std::move(Storage));
+}
+
+Attribute Attribute::getAffineMap(AffineMap Map) {
+  auto Storage = makeStorage(Kind::AffineMap);
+  Storage->MapValue = Map;
+  return Attribute(std::move(Storage));
+}
+
+Attribute Attribute::getOpcodeMap(accel::OpcodeMapData Map) {
+  auto Storage = makeStorage(Kind::OpcodeMap);
+  Storage->OpcodeMap = std::move(Map);
+  return Attribute(std::move(Storage));
+}
+
+Attribute Attribute::getOpcodeFlow(accel::OpcodeFlowData Flow) {
+  auto Storage = makeStorage(Kind::OpcodeFlow);
+  Storage->OpcodeFlow = std::move(Flow);
+  return Attribute(std::move(Storage));
+}
+
+Attribute Attribute::getDmaConfig(accel::DmaInitConfig Config) {
+  auto Storage = makeStorage(Kind::DmaConfig);
+  Storage->DmaConfig = Config;
+  return Attribute(std::move(Storage));
+}
+
+Attribute::Kind Attribute::getKind() const {
+  assert(Impl && "querying a null Attribute");
+  return Impl->Kind;
+}
+
+bool Attribute::operator==(const Attribute &Other) const {
+  if (Impl == Other.Impl)
+    return true;
+  if (!Impl || !Other.Impl)
+    return false;
+  if (Impl->Kind != Other.Impl->Kind)
+    return false;
+  switch (Impl->Kind) {
+  case Kind::Unit:
+    return true;
+  case Kind::Integer:
+    return Impl->IntValue == Other.Impl->IntValue;
+  case Kind::Float:
+    return Impl->FloatValue == Other.Impl->FloatValue;
+  case Kind::String:
+    return Impl->StringValue == Other.Impl->StringValue;
+  case Kind::Array:
+    return Impl->ArrayValue == Other.Impl->ArrayValue;
+  case Kind::Dictionary:
+    return Impl->DictValue == Other.Impl->DictValue;
+  case Kind::Type:
+    return Impl->TypeValue == Other.Impl->TypeValue;
+  case Kind::AffineMap:
+    return Impl->MapValue == Other.Impl->MapValue;
+  case Kind::OpcodeMap:
+    return Impl->OpcodeMap == Other.Impl->OpcodeMap;
+  case Kind::OpcodeFlow:
+    return Impl->OpcodeFlow == Other.Impl->OpcodeFlow;
+  case Kind::DmaConfig:
+    return Impl->DmaConfig == Other.Impl->DmaConfig;
+  }
+  return false;
+}
+
+int64_t Attribute::getIntValue() const {
+  assert(getKind() == Kind::Integer);
+  return Impl->IntValue;
+}
+
+double Attribute::getFloatValue() const {
+  assert(getKind() == Kind::Float);
+  return Impl->FloatValue;
+}
+
+const std::string &Attribute::getStringValue() const {
+  assert(getKind() == Kind::String);
+  return Impl->StringValue;
+}
+
+const std::vector<Attribute> &Attribute::getArrayValue() const {
+  assert(getKind() == Kind::Array);
+  return Impl->ArrayValue;
+}
+
+const std::vector<std::pair<std::string, Attribute>> &
+Attribute::getDictionaryValue() const {
+  assert(getKind() == Kind::Dictionary);
+  return Impl->DictValue;
+}
+
+Attribute Attribute::getDictionaryEntry(const std::string &Name) const {
+  for (const auto &[Key, Value] : getDictionaryValue())
+    if (Key == Name)
+      return Value;
+  return Attribute();
+}
+
+Type Attribute::getTypeValue() const {
+  assert(getKind() == Kind::Type || getKind() == Kind::Integer);
+  return Impl->TypeValue;
+}
+
+AffineMap Attribute::getAffineMapValue() const {
+  assert(getKind() == Kind::AffineMap);
+  return Impl->MapValue;
+}
+
+const accel::OpcodeMapData &Attribute::getOpcodeMapValue() const {
+  assert(getKind() == Kind::OpcodeMap);
+  return Impl->OpcodeMap;
+}
+
+const accel::OpcodeFlowData &Attribute::getOpcodeFlowValue() const {
+  assert(getKind() == Kind::OpcodeFlow);
+  return Impl->OpcodeFlow;
+}
+
+const accel::DmaInitConfig &Attribute::getDmaConfigValue() const {
+  assert(getKind() == Kind::DmaConfig);
+  return Impl->DmaConfig;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+static void printAction(std::ostream &OS, const accel::OpcodeAction &Action) {
+  using AK = accel::OpcodeAction::Kind;
+  switch (Action.ActionKind) {
+  case AK::Send:
+    OS << "send(" << Action.ArgIndex << ")";
+    return;
+  case AK::SendLiteral:
+    OS << "send_literal(" << Action.Literal << ")";
+    return;
+  case AK::SendDim:
+    OS << "send_dim(" << Action.ArgIndex << ", " << Action.DimIndex << ")";
+    return;
+  case AK::SendIdx:
+    OS << "send_idx(" << Action.DimIndex << ")";
+    return;
+  case AK::Recv:
+    OS << "recv(" << Action.ArgIndex << ")";
+    return;
+  }
+}
+
+static void printFlowScope(std::ostream &OS, const accel::FlowScope &Scope) {
+  OS << "(";
+  bool First = true;
+  for (const accel::FlowItem &Item : Scope.Items) {
+    if (!First)
+      OS << " ";
+    First = false;
+    if (Item.isToken())
+      OS << Item.Token;
+    else
+      printFlowScope(OS, *Item.Scope);
+  }
+  OS << ")";
+}
+
+void Attribute::print(std::ostream &OS) const {
+  if (!Impl) {
+    OS << "<<null attr>>";
+    return;
+  }
+  switch (Impl->Kind) {
+  case Kind::Unit:
+    OS << "unit";
+    return;
+  case Kind::Integer:
+    OS << Impl->IntValue;
+    if (Impl->TypeValue)
+      OS << " : " << Impl->TypeValue;
+    return;
+  case Kind::Float:
+    OS << Impl->FloatValue;
+    return;
+  case Kind::String:
+    OS << '"' << Impl->StringValue << '"';
+    return;
+  case Kind::Array:
+    OS << "[";
+    interleave(
+        Impl->ArrayValue, [&](const Attribute &A) { A.print(OS); },
+        [&] { OS << ", "; });
+    OS << "]";
+    return;
+  case Kind::Dictionary:
+    OS << "{";
+    interleave(
+        Impl->DictValue,
+        [&](const std::pair<std::string, Attribute> &Entry) {
+          OS << Entry.first << " = ";
+          Entry.second.print(OS);
+        },
+        [&] { OS << ", "; });
+    OS << "}";
+    return;
+  case Kind::Type:
+    OS << Impl->TypeValue;
+    return;
+  case Kind::AffineMap:
+    OS << "affine_map<" << Impl->MapValue << ">";
+    return;
+  case Kind::OpcodeMap: {
+    OS << "opcode_map<";
+    interleave(
+        Impl->OpcodeMap.Entries,
+        [&](const accel::OpcodeEntry &Entry) {
+          OS << Entry.Name << " = [";
+          interleave(
+              Entry.Actions,
+              [&](const accel::OpcodeAction &A) { printAction(OS, A); },
+              [&] { OS << ", "; });
+          OS << "]";
+        },
+        [&] { OS << ", "; });
+    OS << ">";
+    return;
+  }
+  case Kind::OpcodeFlow:
+    OS << "opcode_flow<";
+    printFlowScope(OS, Impl->OpcodeFlow.Root);
+    OS << ">";
+    return;
+  case Kind::DmaConfig: {
+    const accel::DmaInitConfig &C = Impl->DmaConfig;
+    OS << "dma_config<id = " << C.DmaId << ", in = 0x" << std::hex
+       << C.InputAddress << "/" << std::dec << C.InputBufferSize
+       << ", out = 0x" << std::hex << C.OutputAddress << "/" << std::dec
+       << C.OutputBufferSize << ">";
+    return;
+  }
+  }
+}
+
+std::string Attribute::str() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}

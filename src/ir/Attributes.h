@@ -1,0 +1,114 @@
+//===- Attributes.h - IR attribute system -----------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Attribute models MLIR attributes: immutable constant metadata attached to
+/// operations. Beyond the builtin kinds (integer, float, string, array,
+/// dictionary, type, affine-map, unit) this reproduction adds the three
+/// AXI4MLIR attribute kinds the paper introduces (Sec. III-C):
+/// `opcode_map`, `opcode_flow` and `dma_init_config`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_IR_ATTRIBUTES_H
+#define AXI4MLIR_IR_ATTRIBUTES_H
+
+#include "ir/AccelTraits.h"
+#include "ir/AffineMap.h"
+#include "ir/Types.h"
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace axi4mlir {
+
+namespace detail {
+struct AttributeStorage;
+} // namespace detail
+
+/// Value-semantic handle to an immutable attribute.
+class Attribute {
+public:
+  enum class Kind {
+    Unit,
+    Integer,
+    Float,
+    String,
+    Array,
+    Dictionary,
+    Type,
+    AffineMap,
+    OpcodeMap,
+    OpcodeFlow,
+    DmaConfig
+  };
+
+  Attribute() = default;
+
+  static Attribute getUnit();
+  static Attribute getInteger(int64_t Value, Type Ty = Type());
+  static Attribute getBool(bool Value);
+  static Attribute getFloat(double Value);
+  static Attribute getString(std::string Value);
+  static Attribute getArray(std::vector<Attribute> Elements);
+  static Attribute
+  getDictionary(std::vector<std::pair<std::string, Attribute>> Entries);
+  static Attribute getType(Type Ty);
+  static Attribute getAffineMap(AffineMap Map);
+  static Attribute getOpcodeMap(accel::OpcodeMapData Map);
+  static Attribute getOpcodeFlow(accel::OpcodeFlowData Flow);
+  static Attribute getDmaConfig(accel::DmaInitConfig Config);
+
+  Kind getKind() const;
+  explicit operator bool() const { return Impl != nullptr; }
+  bool operator==(const Attribute &Other) const;
+  bool operator!=(const Attribute &Other) const { return !(*this == Other); }
+
+  bool isUnit() const { return *this && getKind() == Kind::Unit; }
+  bool isInteger() const { return *this && getKind() == Kind::Integer; }
+  bool isString() const { return *this && getKind() == Kind::String; }
+  bool isArray() const { return *this && getKind() == Kind::Array; }
+  bool isAffineMap() const { return *this && getKind() == Kind::AffineMap; }
+
+  int64_t getIntValue() const;
+  double getFloatValue() const;
+  const std::string &getStringValue() const;
+  const std::vector<Attribute> &getArrayValue() const;
+  const std::vector<std::pair<std::string, Attribute>> &
+  getDictionaryValue() const;
+  /// Dictionary lookup; returns a null attribute when missing.
+  Attribute getDictionaryEntry(const std::string &Name) const;
+  Type getTypeValue() const;
+  AffineMap getAffineMapValue() const;
+  const accel::OpcodeMapData &getOpcodeMapValue() const;
+  const accel::OpcodeFlowData &getOpcodeFlowValue() const;
+  const accel::DmaInitConfig &getDmaConfigValue() const;
+
+  void print(std::ostream &OS) const;
+  std::string str() const;
+
+private:
+  explicit Attribute(std::shared_ptr<const detail::AttributeStorage> Impl)
+      : Impl(std::move(Impl)) {}
+
+  std::shared_ptr<const detail::AttributeStorage> Impl;
+};
+
+/// A named attribute, as stored on operations (ordered).
+using NamedAttribute = std::pair<std::string, Attribute>;
+
+inline std::ostream &operator<<(std::ostream &OS, const Attribute &Attr) {
+  Attr.print(OS);
+  return OS;
+}
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_IR_ATTRIBUTES_H

@@ -1,0 +1,44 @@
+//===- Builders.cpp - IR construction helper implementation ---------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builders.h"
+
+#include <cassert>
+
+using namespace axi4mlir;
+
+void OpBuilder::setInsertionPoint(Operation *Op) {
+  assert(Op->getBlock() && "op must be in a block");
+  Insert.TheBlock = Op->getBlock();
+  for (auto It = Insert.TheBlock->getOperations().begin(),
+            E = Insert.TheBlock->getOperations().end();
+       It != E; ++It) {
+    if (*It == Op) {
+      Insert.Position = It;
+      return;
+    }
+  }
+  assert(false && "op not found in its own block");
+}
+
+void OpBuilder::setInsertionPointAfter(Operation *Op) {
+  setInsertionPoint(Op);
+  ++Insert.Position;
+}
+
+Operation *OpBuilder::create(const std::string &Name,
+                             std::vector<Value> Operands,
+                             std::vector<Type> ResultTypes,
+                             std::vector<NamedAttribute> Attributes,
+                             unsigned NumRegions) {
+  Operation *Op =
+      Operation::create(Context, Name, std::move(Operands),
+                        std::move(ResultTypes), std::move(Attributes),
+                        NumRegions);
+  if (Insert.TheBlock)
+    Insert.Position = std::next(Insert.TheBlock->insert(Insert.Position, Op));
+  return Op;
+}

@@ -1,0 +1,82 @@
+//===- Builders.h - IR construction helpers ---------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OpBuilder mirrors mlir::OpBuilder: an insertion point into a block plus
+/// convenience type/attribute factories. All dialect op-creation helpers
+/// take an OpBuilder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_IR_BUILDERS_H
+#define AXI4MLIR_IR_BUILDERS_H
+
+#include "ir/MLIRContext.h"
+#include "ir/Operation.h"
+
+namespace axi4mlir {
+
+/// Builds operations at a given insertion point.
+class OpBuilder {
+public:
+  explicit OpBuilder(MLIRContext *Context) : Context(Context) {}
+
+  MLIRContext *getContext() const { return Context; }
+
+  //===--------------------------------------------------------------------===//
+  // Insertion point management
+  //===--------------------------------------------------------------------===//
+
+  struct InsertPoint {
+    Block *TheBlock = nullptr;
+    Block::OpListType::iterator Position;
+  };
+
+  void setInsertionPointToEnd(Block *TheBlock) {
+    Insert.TheBlock = TheBlock;
+    Insert.Position = TheBlock->getOperations().end();
+  }
+  void setInsertionPointToStart(Block *TheBlock) {
+    Insert.TheBlock = TheBlock;
+    Insert.Position = TheBlock->getOperations().begin();
+  }
+  /// Inserts new ops immediately before \p Op.
+  void setInsertionPoint(Operation *Op);
+  /// Inserts new ops immediately after \p Op.
+  void setInsertionPointAfter(Operation *Op);
+
+  Block *getInsertionBlock() const { return Insert.TheBlock; }
+  InsertPoint saveInsertionPoint() const { return Insert; }
+  void restoreInsertionPoint(InsertPoint Point) { Insert = Point; }
+
+  //===--------------------------------------------------------------------===//
+  // Operation creation
+  //===--------------------------------------------------------------------===//
+
+  /// Creates an op and inserts it at the current insertion point (if set).
+  Operation *create(const std::string &Name, std::vector<Value> Operands = {},
+                    std::vector<Type> ResultTypes = {},
+                    std::vector<NamedAttribute> Attributes = {},
+                    unsigned NumRegions = 0);
+
+  //===--------------------------------------------------------------------===//
+  // Common type shortcuts
+  //===--------------------------------------------------------------------===//
+
+  Type getIndexType() { return Type::getIndex(Context); }
+  Type getI32Type() { return Type::getI32(Context); }
+  Type getI64Type() { return Type::getI64(Context); }
+  Type getF32Type() { return Type::getF32(Context); }
+  Type getF64Type() { return Type::getF64(Context); }
+
+private:
+  MLIRContext *Context;
+  InsertPoint Insert;
+};
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_IR_BUILDERS_H

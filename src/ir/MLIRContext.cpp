@@ -1,0 +1,15 @@
+//===- MLIRContext.cpp - IR context implementation ------------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/MLIRContext.h"
+
+#include "ir/OpRegistry.h"
+
+using namespace axi4mlir;
+
+MLIRContext::MLIRContext() : Registry(std::make_unique<OpRegistry>()) {}
+
+MLIRContext::~MLIRContext() = default;

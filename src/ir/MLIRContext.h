@@ -1,0 +1,49 @@
+//===- MLIRContext.h - IR context -------------------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MLIRContext owns per-context state: the cache of scalar type instances
+/// and the operation registry (op definitions + verifiers) that dialects
+/// populate via registerAllDialects().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_IR_MLIRCONTEXT_H
+#define AXI4MLIR_IR_MLIRCONTEXT_H
+
+#include "ir/Types.h"
+
+#include <memory>
+#include <vector>
+
+namespace axi4mlir {
+
+class OpRegistry;
+
+/// The root object tying together type caching and op registration. Create
+/// one per compilation; pass it to builders and passes.
+class MLIRContext {
+public:
+  MLIRContext();
+  ~MLIRContext();
+  MLIRContext(const MLIRContext &) = delete;
+  MLIRContext &operator=(const MLIRContext &) = delete;
+
+  /// Returns the per-context singleton instance of a scalar type kind.
+  Type getCachedScalarType(Type::Kind K);
+
+  /// The operation registry used by the verifier and the builders.
+  OpRegistry &getOpRegistry() { return *Registry; }
+  const OpRegistry &getOpRegistry() const { return *Registry; }
+
+private:
+  std::vector<Type> ScalarTypes;
+  std::unique_ptr<OpRegistry> Registry;
+};
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_IR_MLIRCONTEXT_H

@@ -1,0 +1,65 @@
+//===- OpRegistry.h - Operation registry and definitions --------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OpDefinition describes the static contract of an operation (operand /
+/// result / region counts and a custom verifier). The OpRegistry maps op
+/// names ("scf.for", "accel.send", ...) to their definitions; dialects
+/// register themselves into a context's registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_IR_OPREGISTRY_H
+#define AXI4MLIR_IR_OPREGISTRY_H
+
+#include "support/LogicalResult.h"
+
+#include <functional>
+#include <map>
+#include <string>
+
+namespace axi4mlir {
+
+class Operation;
+
+/// Static description of an operation kind.
+struct OpDefinition {
+  std::string Name;
+  /// Expected operand count, or -1 for variadic.
+  int NumOperands = -1;
+  /// Expected result count, or -1 for variadic.
+  int NumResults = -1;
+  /// Expected region count.
+  int NumRegions = 0;
+  /// True for ops that terminate a block (scf.yield, func.return, ...).
+  bool IsTerminator = false;
+  /// Optional structural verifier; fills \p Error on failure.
+  std::function<LogicalResult(Operation *, std::string &Error)> Verify;
+};
+
+/// Name -> definition table. One per MLIRContext.
+class OpRegistry {
+public:
+  /// Registers (or overwrites) an op definition.
+  void registerOp(OpDefinition Definition) {
+    Definitions[Definition.Name] = std::move(Definition);
+  }
+
+  /// Returns the definition for \p Name, or nullptr if unregistered.
+  const OpDefinition *lookup(const std::string &Name) const {
+    auto It = Definitions.find(Name);
+    return It == Definitions.end() ? nullptr : &It->second;
+  }
+
+  bool empty() const { return Definitions.empty(); }
+
+private:
+  std::map<std::string, OpDefinition> Definitions;
+};
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_IR_OPREGISTRY_H

@@ -1,0 +1,184 @@
+//===- Operation.cpp - Operation/Block/Region implementation --------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Operation.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+using namespace axi4mlir;
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+Block &Region::emplaceBlock() {
+  Blocks.push_back(std::make_unique<Block>(this));
+  return *Blocks.back();
+}
+
+//===----------------------------------------------------------------------===//
+// Block
+//===----------------------------------------------------------------------===//
+
+Block::~Block() {
+  // Destroy operations front-to-back; each Operation recursively destroys
+  // its regions (and thus nested blocks/ops).
+  for (Operation *Op : Operations)
+    Op->destroy();
+  Operations.clear();
+}
+
+Operation *Block::getParentOp() const {
+  return Parent ? Parent->getParentOp() : nullptr;
+}
+
+Value Block::addArgument(Type Ty) {
+  auto Impl = std::make_unique<detail::ValueImpl>();
+  Impl->Ty = Ty;
+  Impl->OwnerBlock = this;
+  Impl->Index = Arguments.size();
+  Arguments.push_back(std::move(Impl));
+  return Value(Arguments.back().get());
+}
+
+Value Block::getArgument(unsigned Index) const {
+  assert(Index < Arguments.size() && "block argument index out of range");
+  return Value(Arguments[Index].get());
+}
+
+void Block::push_back(Operation *Op) {
+  assert(!Op->getBlock() && "operation already inserted in a block");
+  Op->ParentBlock = this;
+  Op->PositionInBlock = Operations.insert(Operations.end(), Op);
+}
+
+Block::OpListType::iterator Block::insert(OpListType::iterator Position,
+                                          Operation *Op) {
+  assert(!Op->getBlock() && "operation already inserted in a block");
+  Op->ParentBlock = this;
+  Op->PositionInBlock = Operations.insert(Position, Op);
+  return Op->PositionInBlock;
+}
+
+void Block::remove(Operation *Op) {
+  assert(Op->getBlock() == this && "operation not in this block");
+  Operations.erase(Op->PositionInBlock);
+  Op->ParentBlock = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Operation
+//===----------------------------------------------------------------------===//
+
+Operation *Operation::create(MLIRContext *Context, std::string Name,
+                             std::vector<Value> Operands,
+                             std::vector<Type> ResultTypes,
+                             std::vector<NamedAttribute> Attributes,
+                             unsigned NumRegions) {
+  auto *Op = new Operation(Context, std::move(Name));
+  Op->Operands = std::move(Operands);
+  Op->Results.reserve(ResultTypes.size());
+  for (unsigned I = 0, E = ResultTypes.size(); I < E; ++I) {
+    auto Impl = std::make_unique<detail::ValueImpl>();
+    Impl->Ty = ResultTypes[I];
+    Impl->DefiningOp = Op;
+    Impl->Index = I;
+    Op->Results.push_back(std::move(Impl));
+  }
+  Op->Attributes = std::move(Attributes);
+  Op->Regions.reserve(NumRegions);
+  for (unsigned I = 0; I < NumRegions; ++I)
+    Op->Regions.push_back(std::make_unique<Region>(Op));
+  return Op;
+}
+
+void Operation::destroy() {
+  assert(!ParentBlock && "destroying an operation still owned by a block");
+  Regions.clear(); // Destroys nested blocks, which destroy nested ops.
+  delete this;
+}
+
+Attribute Operation::getAttr(const std::string &AttrName) const {
+  for (const NamedAttribute &Entry : Attributes)
+    if (Entry.first == AttrName)
+      return Entry.second;
+  return Attribute();
+}
+
+void Operation::setAttr(const std::string &AttrName, Attribute Attr) {
+  for (NamedAttribute &Entry : Attributes) {
+    if (Entry.first == AttrName) {
+      Entry.second = Attr;
+      return;
+    }
+  }
+  Attributes.emplace_back(AttrName, Attr);
+}
+
+void Operation::removeAttr(const std::string &AttrName) {
+  for (auto It = Attributes.begin(); It != Attributes.end(); ++It) {
+    if (It->first == AttrName) {
+      Attributes.erase(It);
+      return;
+    }
+  }
+}
+
+Operation *Operation::getParentOp() const {
+  return ParentBlock ? ParentBlock->getParentOp() : nullptr;
+}
+
+void Operation::erase() {
+  removeFromParent();
+  destroy();
+}
+
+void Operation::removeFromParent() {
+  assert(ParentBlock && "operation has no parent block");
+  ParentBlock->remove(this);
+}
+
+void Operation::moveBefore(Operation *Other) {
+  assert(Other->ParentBlock && "destination op is not in a block");
+  if (ParentBlock)
+    removeFromParent();
+  Other->ParentBlock->insert(Other->PositionInBlock, this);
+}
+
+void Operation::walk(const std::function<void(Operation *)> &Callback) {
+  Callback(this);
+  for (auto &R : Regions) {
+    for (auto &B : R->getBlocks()) {
+      // Copy the list to tolerate erasure during the walk.
+      std::vector<Operation *> Ops(B->getOperations().begin(),
+                                   B->getOperations().end());
+      for (Operation *Op : Ops)
+        Op->walk(Callback);
+    }
+  }
+}
+
+void Operation::replaceUsesOfWith(Value From, Value To) {
+  walk([&](Operation *Op) {
+    for (Value &Operand : Op->Operands)
+      if (Operand == From)
+        Operand = To;
+  });
+}
+
+std::string Operation::str() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}
+
+void Operation::dump() const {
+  std::string Text = str();
+  Text.push_back('\n');
+  std::fputs(Text.c_str(), stderr);
+}

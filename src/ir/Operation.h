@@ -1,0 +1,269 @@
+//===- Operation.h - Operations, blocks and regions -------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutually recursive core IR structures, mirroring MLIR:
+///   * Operation — a generic instruction with operands, results, attributes
+///     and regions ("linalg.generic", "scf.for", "accel.send", ...).
+///   * Block — an ordered list of operations plus block arguments.
+///   * Region — an ordered list of blocks owned by an operation.
+///
+/// Ops are generic (no per-op subclasses); dialects provide lightweight
+/// OpView wrappers (see dialects/) with typed accessors, following MLIR's
+/// Op<...> pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_IR_OPERATION_H
+#define AXI4MLIR_IR_OPERATION_H
+
+#include "ir/Attributes.h"
+#include "ir/Value.h"
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace axi4mlir {
+
+class Block;
+class MLIRContext;
+class Operation;
+class Region;
+
+/// A region: a list of blocks owned by an operation.
+class Region {
+public:
+  explicit Region(Operation *Parent) : Parent(Parent) {}
+  Region(const Region &) = delete;
+
+  Operation *getParentOp() const { return Parent; }
+
+  bool empty() const { return Blocks.empty(); }
+  Block &front() { return *Blocks.front(); }
+  const Block &front() const { return *Blocks.front(); }
+  size_t getNumBlocks() const { return Blocks.size(); }
+  Block &getBlock(size_t Index) { return *Blocks[Index]; }
+
+  /// Appends a fresh empty block and returns it.
+  Block &emplaceBlock();
+
+  std::vector<std::unique_ptr<Block>> &getBlocks() { return Blocks; }
+
+private:
+  Operation *Parent;
+  std::vector<std::unique_ptr<Block>> Blocks;
+};
+
+/// A basic block: arguments plus an ordered operation list. Owns its
+/// operations.
+class Block {
+public:
+  using OpListType = std::list<Operation *>;
+
+  explicit Block(Region *Parent) : Parent(Parent) {}
+  Block(const Block &) = delete;
+  ~Block();
+
+  Region *getParent() const { return Parent; }
+  Operation *getParentOp() const;
+
+  //===--------------------------------------------------------------------===//
+  // Arguments
+  //===--------------------------------------------------------------------===//
+
+  Value addArgument(Type Ty);
+  Value getArgument(unsigned Index) const;
+  unsigned getNumArguments() const { return Arguments.size(); }
+
+  //===--------------------------------------------------------------------===//
+  // Operation list
+  //===--------------------------------------------------------------------===//
+
+  OpListType &getOperations() { return Operations; }
+  const OpListType &getOperations() const { return Operations; }
+  bool empty() const { return Operations.empty(); }
+  Operation *front() { return Operations.front(); }
+  Operation *back() { return Operations.back(); }
+
+  /// Appends \p Op (taking ownership) and records its position.
+  void push_back(Operation *Op);
+  /// Inserts \p Op before \p Position (taking ownership).
+  OpListType::iterator insert(OpListType::iterator Position, Operation *Op);
+  /// Unlinks \p Op without destroying it. Caller takes ownership.
+  void remove(Operation *Op);
+
+  /// The last operation, expected to be a terminator.
+  Operation *getTerminator() { return Operations.back(); }
+
+private:
+  Region *Parent;
+  std::vector<std::unique_ptr<detail::ValueImpl>> Arguments;
+  OpListType Operations;
+};
+
+/// A generic operation. Create with Operation::create or (preferably) via
+/// OpBuilder; destroy by erasing from the parent block or via destroy().
+class Operation {
+public:
+  /// Creates a detached operation.
+  static Operation *create(MLIRContext *Context, std::string Name,
+                           std::vector<Value> Operands,
+                           std::vector<Type> ResultTypes,
+                           std::vector<NamedAttribute> Attributes = {},
+                           unsigned NumRegions = 0);
+
+  /// Destroys this (detached) operation and everything it owns.
+  void destroy();
+
+  MLIRContext *getContext() const { return Context; }
+  const std::string &getName() const { return Name; }
+
+  //===--------------------------------------------------------------------===//
+  // Operands and results
+  //===--------------------------------------------------------------------===//
+
+  unsigned getNumOperands() const { return Operands.size(); }
+  Value getOperand(unsigned Index) const { return Operands[Index]; }
+  void setOperand(unsigned Index, Value V) { Operands[Index] = V; }
+  std::vector<Value> &getOperands() { return Operands; }
+  const std::vector<Value> &getOperands() const { return Operands; }
+
+  unsigned getNumResults() const { return Results.size(); }
+  Value getResult(unsigned Index) const {
+    return Value(Results[Index].get());
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Attributes
+  //===--------------------------------------------------------------------===//
+
+  Attribute getAttr(const std::string &AttrName) const;
+  bool hasAttr(const std::string &AttrName) const {
+    return static_cast<bool>(getAttr(AttrName));
+  }
+  void setAttr(const std::string &AttrName, Attribute Attr);
+  void removeAttr(const std::string &AttrName);
+  const std::vector<NamedAttribute> &getAttrs() const { return Attributes; }
+
+  /// Typed attribute convenience accessors (assert on kind mismatch).
+  int64_t getIntAttr(const std::string &AttrName) const {
+    return getAttr(AttrName).getIntValue();
+  }
+  std::string getStringAttr(const std::string &AttrName) const {
+    return getAttr(AttrName).getStringValue();
+  }
+  AffineMap getAffineMapAttr(const std::string &AttrName) const {
+    return getAttr(AttrName).getAffineMapValue();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Regions and position
+  //===--------------------------------------------------------------------===//
+
+  unsigned getNumRegions() const { return Regions.size(); }
+  Region &getRegion(unsigned Index) { return *Regions[Index]; }
+
+  Block *getBlock() const { return ParentBlock; }
+  /// The operation owning the block containing this op, or nullptr.
+  Operation *getParentOp() const;
+
+  /// Removes this op from its block and destroys it.
+  void erase();
+  /// Unlinks this op from its block (ownership moves to the caller).
+  void removeFromParent();
+  /// Moves this op immediately before \p Other (same or different block).
+  void moveBefore(Operation *Other);
+
+  //===--------------------------------------------------------------------===//
+  // Walking and use replacement
+  //===--------------------------------------------------------------------===//
+
+  /// Pre-order walk over this op and all nested ops.
+  void walk(const std::function<void(Operation *)> &Callback);
+
+  /// Replaces every use of \p From with \p To inside this op's regions
+  /// (including nested regions) and in this op's own operands.
+  void replaceUsesOfWith(Value From, Value To);
+
+  //===--------------------------------------------------------------------===//
+  // Printing
+  //===--------------------------------------------------------------------===//
+
+  void print(std::ostream &OS) const;
+  std::string str() const;
+  void dump() const;
+
+private:
+  Operation(MLIRContext *Context, std::string Name)
+      : Context(Context), Name(std::move(Name)) {}
+  ~Operation() = default;
+
+  MLIRContext *Context;
+  std::string Name;
+  std::vector<Value> Operands;
+  std::vector<std::unique_ptr<detail::ValueImpl>> Results;
+  std::vector<NamedAttribute> Attributes;
+  std::vector<std::unique_ptr<Region>> Regions;
+
+  Block *ParentBlock = nullptr;
+  Block::OpListType::iterator PositionInBlock;
+
+  friend class Block;
+};
+
+/// RAII owner for a detached top-level operation (e.g. a func.func built by
+/// a test or a pipeline). Destroys the op when it goes out of scope.
+class OwningOpRef {
+public:
+  OwningOpRef() = default;
+  explicit OwningOpRef(Operation *Op) : Op(Op) {}
+  OwningOpRef(OwningOpRef &&Other) noexcept : Op(Other.Op) {
+    Other.Op = nullptr;
+  }
+  OwningOpRef &operator=(OwningOpRef &&Other) noexcept {
+    if (this != &Other) {
+      reset();
+      Op = Other.Op;
+      Other.Op = nullptr;
+    }
+    return *this;
+  }
+  OwningOpRef(const OwningOpRef &) = delete;
+  OwningOpRef &operator=(const OwningOpRef &) = delete;
+  ~OwningOpRef() { reset(); }
+
+  Operation *get() const { return Op; }
+  Operation *operator->() const { return Op; }
+  Operation &operator*() const { return *Op; }
+  explicit operator bool() const { return Op != nullptr; }
+
+  Operation *release() {
+    Operation *Result = Op;
+    Op = nullptr;
+    return Result;
+  }
+  void reset() {
+    if (Op)
+      Op->destroy();
+    Op = nullptr;
+  }
+
+private:
+  Operation *Op = nullptr;
+};
+
+inline std::ostream &operator<<(std::ostream &OS, const Operation &Op) {
+  Op.print(OS);
+  return OS;
+}
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_IR_OPERATION_H

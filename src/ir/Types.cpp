@@ -1,0 +1,281 @@
+//===- Types.cpp - IR type system implementation --------------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Types.h"
+
+#include "ir/MLIRContext.h"
+#include "support/STLExtras.h"
+
+#include <sstream>
+
+using namespace axi4mlir;
+
+namespace axi4mlir {
+namespace detail {
+struct TypeStorage {
+  Type::Kind Kind = Type::Kind::None;
+  // MemRef payload.
+  std::vector<int64_t> Shape;
+  Type ElementType;
+  bool HasExplicitStrides = false;
+  std::vector<int64_t> Strides;
+  int64_t Offset = 0;
+  // Function payload.
+  std::vector<Type> Inputs;
+  std::vector<Type> Results;
+};
+} // namespace detail
+} // namespace axi4mlir
+
+static Type makeScalar(MLIRContext *Context, Type::Kind K) {
+  return Context->getCachedScalarType(K);
+}
+
+Type Type::getNone(MLIRContext *C) { return makeScalar(C, Kind::None); }
+Type Type::getIndex(MLIRContext *C) { return makeScalar(C, Kind::Index); }
+Type Type::getI1(MLIRContext *C) { return makeScalar(C, Kind::I1); }
+Type Type::getI8(MLIRContext *C) { return makeScalar(C, Kind::I8); }
+Type Type::getI16(MLIRContext *C) { return makeScalar(C, Kind::I16); }
+Type Type::getI32(MLIRContext *C) { return makeScalar(C, Kind::I32); }
+Type Type::getI64(MLIRContext *C) { return makeScalar(C, Kind::I64); }
+Type Type::getF32(MLIRContext *C) { return makeScalar(C, Kind::F32); }
+Type Type::getF64(MLIRContext *C) { return makeScalar(C, Kind::F64); }
+
+Type MLIRContext::getCachedScalarType(Type::Kind K) {
+  auto Index = static_cast<size_t>(K);
+  if (Index >= ScalarTypes.size())
+    ScalarTypes.resize(Index + 1);
+  if (!ScalarTypes[Index]) {
+    auto Storage = std::make_shared<detail::TypeStorage>();
+    Storage->Kind = K;
+    ScalarTypes[Index] = Type(std::move(Storage));
+  }
+  return ScalarTypes[Index];
+}
+
+Type::Kind Type::getKind() const {
+  assert(Impl && "querying a null Type");
+  return Impl->Kind;
+}
+
+bool Type::operator==(const Type &Other) const {
+  if (Impl == Other.Impl)
+    return true;
+  if (!Impl || !Other.Impl)
+    return false;
+  if (Impl->Kind != Other.Impl->Kind)
+    return false;
+  switch (Impl->Kind) {
+  case Kind::MemRef:
+    return Impl->Shape == Other.Impl->Shape &&
+           Impl->ElementType == Other.Impl->ElementType &&
+           Impl->HasExplicitStrides == Other.Impl->HasExplicitStrides &&
+           Impl->Strides == Other.Impl->Strides &&
+           Impl->Offset == Other.Impl->Offset;
+  case Kind::Function:
+    return Impl->Inputs == Other.Impl->Inputs &&
+           Impl->Results == Other.Impl->Results;
+  default:
+    return true; // Scalar kinds compare by kind only.
+  }
+}
+
+unsigned Type::getByteWidth() const {
+  switch (getKind()) {
+  case Kind::I1:
+  case Kind::I8:
+    return 1;
+  case Kind::I16:
+    return 2;
+  case Kind::I32:
+  case Kind::F32:
+  case Kind::Index: // 32-bit ARM host model.
+    return 4;
+  case Kind::I64:
+  case Kind::F64:
+    return 8;
+  default:
+    assert(false && "byte width queried on a non-scalar type");
+    return 0;
+  }
+}
+
+void Type::print(std::ostream &OS) const {
+  if (!Impl) {
+    OS << "<<null type>>";
+    return;
+  }
+  switch (Impl->Kind) {
+  case Kind::None:
+    OS << "none";
+    return;
+  case Kind::Index:
+    OS << "index";
+    return;
+  case Kind::I1:
+    OS << "i1";
+    return;
+  case Kind::I8:
+    OS << "i8";
+    return;
+  case Kind::I16:
+    OS << "i16";
+    return;
+  case Kind::I32:
+    OS << "i32";
+    return;
+  case Kind::I64:
+    OS << "i64";
+    return;
+  case Kind::F32:
+    OS << "f32";
+    return;
+  case Kind::F64:
+    OS << "f64";
+    return;
+  case Kind::MemRef: {
+    OS << "memref<";
+    for (int64_t Dim : Impl->Shape) {
+      if (isDynamic(Dim))
+        OS << "?";
+      else
+        OS << Dim;
+      OS << "x";
+    }
+    Impl->ElementType.print(OS);
+    if (Impl->HasExplicitStrides) {
+      OS << ", strided<[" << join(Impl->Strides, ", ") << "], offset: ";
+      if (isDynamic(Impl->Offset))
+        OS << "?";
+      else
+        OS << Impl->Offset;
+      OS << ">";
+    }
+    OS << ">";
+    return;
+  }
+  case Kind::Function: {
+    OS << "(";
+    interleave(
+        Impl->Inputs, [&](const Type &T) { T.print(OS); },
+        [&] { OS << ", "; });
+    OS << ") -> (";
+    interleave(
+        Impl->Results, [&](const Type &T) { T.print(OS); },
+        [&] { OS << ", "; });
+    OS << ")";
+    return;
+  }
+  }
+}
+
+std::string Type::str() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// MemRefType
+//===----------------------------------------------------------------------===//
+
+MemRefType MemRefType::get(MLIRContext *, std::vector<int64_t> Shape,
+                           Type ElementType) {
+  assert(ElementType && !ElementType.isa<MemRefType>() &&
+         "memref of memref is not supported");
+  auto Storage = std::make_shared<detail::TypeStorage>();
+  Storage->Kind = Kind::MemRef;
+  Storage->Shape = std::move(Shape);
+  Storage->ElementType = ElementType;
+  return MemRefType(std::move(Storage));
+}
+
+MemRefType MemRefType::getStrided(MLIRContext *, std::vector<int64_t> Shape,
+                                  Type ElementType,
+                                  std::vector<int64_t> Strides,
+                                  int64_t Offset) {
+  assert(Strides.size() == Shape.size() &&
+         "stride count must match memref rank");
+  auto Storage = std::make_shared<detail::TypeStorage>();
+  Storage->Kind = Kind::MemRef;
+  Storage->Shape = std::move(Shape);
+  Storage->ElementType = ElementType;
+  Storage->HasExplicitStrides = true;
+  Storage->Strides = std::move(Strides);
+  Storage->Offset = Offset;
+  return MemRefType(std::move(Storage));
+}
+
+unsigned MemRefType::getRank() const { return Impl->Shape.size(); }
+
+const std::vector<int64_t> &MemRefType::getShape() const {
+  return Impl->Shape;
+}
+
+Type MemRefType::getElementType() const { return Impl->ElementType; }
+
+int64_t MemRefType::getDimSize(unsigned Index) const {
+  assert(Index < Impl->Shape.size() && "dim index out of range");
+  return Impl->Shape[Index];
+}
+
+int64_t MemRefType::getNumElements() const { return product(Impl->Shape); }
+
+bool MemRefType::hasExplicitStrides() const {
+  return Impl->HasExplicitStrides;
+}
+
+std::vector<int64_t> MemRefType::getStrides() const {
+  if (Impl->HasExplicitStrides)
+    return Impl->Strides;
+  // Row-major contiguous strides.
+  std::vector<int64_t> Strides(Impl->Shape.size(), 1);
+  for (int I = static_cast<int>(Impl->Shape.size()) - 2; I >= 0; --I)
+    Strides[I] = Strides[I + 1] * Impl->Shape[I + 1];
+  return Strides;
+}
+
+int64_t MemRefType::getOffset() const {
+  return Impl->HasExplicitStrides ? Impl->Offset : 0;
+}
+
+bool MemRefType::isInnermostContiguous() const {
+  if (getRank() == 0)
+    return true;
+  return getStrides().back() == 1;
+}
+
+bool MemRefType::isContiguousRowMajor() const {
+  if (!Impl->HasExplicitStrides)
+    return true;
+  if (Impl->Offset != 0)
+    return false;
+  std::vector<int64_t> RowMajor(Impl->Shape.size(), 1);
+  for (int I = static_cast<int>(Impl->Shape.size()) - 2; I >= 0; --I)
+    RowMajor[I] = RowMajor[I + 1] * Impl->Shape[I + 1];
+  return Impl->Strides == RowMajor;
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionType
+//===----------------------------------------------------------------------===//
+
+FunctionType FunctionType::get(MLIRContext *, std::vector<Type> Inputs,
+                               std::vector<Type> Results) {
+  auto Storage = std::make_shared<detail::TypeStorage>();
+  Storage->Kind = Kind::Function;
+  Storage->Inputs = std::move(Inputs);
+  Storage->Results = std::move(Results);
+  return FunctionType(std::move(Storage));
+}
+
+const std::vector<Type> &FunctionType::getInputs() const {
+  return Impl->Inputs;
+}
+
+const std::vector<Type> &FunctionType::getResults() const {
+  return Impl->Results;
+}

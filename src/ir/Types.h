@@ -1,0 +1,181 @@
+//===- Types.h - IR type system ---------------------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR type system: scalar types (index, iN, fN) and MemRefType — the
+/// N-dimensional strided memory reference central to the paper (Sec. II-A1,
+/// Fig. 3 shows its runtime struct). MemRefType carries shape, element type,
+/// optional explicit strides and a static-or-dynamic offset, which is what
+/// `memref.subview` produces and what the DMA staging copies consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_IR_TYPES_H
+#define AXI4MLIR_IR_TYPES_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace axi4mlir {
+
+class MLIRContext;
+
+namespace detail {
+struct TypeStorage;
+} // namespace detail
+
+/// Value-semantic handle to an immutable type. Compare structurally with
+/// operator==; downcast with Type::isa<T>() / cast<T>() / dyn_cast<T>().
+class Type {
+public:
+  enum class Kind {
+    None,
+    Index,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    F32,
+    F64,
+    MemRef,
+    Function
+  };
+
+  Type() = default;
+
+  static Type getNone(MLIRContext *Context);
+  static Type getIndex(MLIRContext *Context);
+  static Type getI1(MLIRContext *Context);
+  static Type getI8(MLIRContext *Context);
+  static Type getI16(MLIRContext *Context);
+  static Type getI32(MLIRContext *Context);
+  static Type getI64(MLIRContext *Context);
+  static Type getF32(MLIRContext *Context);
+  static Type getF64(MLIRContext *Context);
+
+  Kind getKind() const;
+  explicit operator bool() const { return Impl != nullptr; }
+  bool operator==(const Type &Other) const;
+  bool operator!=(const Type &Other) const { return !(*this == Other); }
+
+  bool isIndex() const { return getKind() == Kind::Index; }
+  bool isInteger() const {
+    Kind K = getKind();
+    return K == Kind::I1 || K == Kind::I8 || K == Kind::I16 ||
+           K == Kind::I32 || K == Kind::I64;
+  }
+  bool isFloat() const {
+    Kind K = getKind();
+    return K == Kind::F32 || K == Kind::F64;
+  }
+  bool isIntOrIndex() const { return isInteger() || isIndex(); }
+
+  /// Storage width of a scalar value of this type, in bytes. Index is
+  /// modeled as 4 bytes (32-bit ARM host, as on the PYNQ-Z2).
+  unsigned getByteWidth() const;
+
+  /// MLIR-style casting interface for type value classes.
+  template <typename T>
+  bool isa() const {
+    return *this && T::kindof(getKind());
+  }
+  template <typename T>
+  T cast() const {
+    assert(isa<T>() && "Type::cast to incompatible kind");
+    return T(Impl);
+  }
+  template <typename T>
+  T dyn_cast() const {
+    return isa<T>() ? T(Impl) : T();
+  }
+
+  void print(std::ostream &OS) const;
+  std::string str() const;
+
+protected:
+  explicit Type(std::shared_ptr<const detail::TypeStorage> Impl)
+      : Impl(std::move(Impl)) {}
+
+  std::shared_ptr<const detail::TypeStorage> Impl;
+  friend class MLIRContext;
+};
+
+/// Sentinel for a dynamic dimension size / offset, as in MLIR.
+inline constexpr int64_t DynamicSize = -9223372036854775807LL;
+inline bool isDynamic(int64_t Value) { return Value == DynamicSize; }
+
+/// An N-dimensional strided buffer reference type.
+class MemRefType : public Type {
+public:
+  MemRefType() = default;
+
+  /// Contiguous row-major memref of the given shape.
+  static MemRefType get(MLIRContext *Context, std::vector<int64_t> Shape,
+                        Type ElementType);
+  /// Strided memref, e.g. the result of memref.subview. \p Offset may be
+  /// DynamicSize when only known at runtime.
+  static MemRefType getStrided(MLIRContext *Context,
+                               std::vector<int64_t> Shape, Type ElementType,
+                               std::vector<int64_t> Strides, int64_t Offset);
+
+  static bool kindof(Kind K) { return K == Kind::MemRef; }
+
+  unsigned getRank() const;
+  const std::vector<int64_t> &getShape() const;
+  Type getElementType() const;
+  int64_t getDimSize(unsigned Index) const;
+  int64_t getNumElements() const;
+
+  /// True if explicit (possibly non-contiguous) strides were attached.
+  bool hasExplicitStrides() const;
+  /// Strides in elements; computed row-major when not explicit.
+  std::vector<int64_t> getStrides() const;
+  /// Static offset in elements (DynamicSize if runtime-dependent).
+  int64_t getOffset() const;
+
+  /// True if the innermost stride is 1, i.e. rows are contiguous — the
+  /// precondition for the memcpy copy-specialization (paper Sec. IV-B).
+  bool isInnermostContiguous() const;
+  /// True if the whole buffer is contiguous row-major with offset 0.
+  bool isContiguousRowMajor() const;
+
+private:
+  explicit MemRefType(std::shared_ptr<const detail::TypeStorage> Impl)
+      : Type(std::move(Impl)) {}
+  friend class Type;
+};
+
+/// A function type, used by func.func's `function_type` attribute.
+class FunctionType : public Type {
+public:
+  FunctionType() = default;
+
+  static FunctionType get(MLIRContext *Context, std::vector<Type> Inputs,
+                          std::vector<Type> Results);
+  static bool kindof(Kind K) { return K == Kind::Function; }
+
+  const std::vector<Type> &getInputs() const;
+  const std::vector<Type> &getResults() const;
+
+private:
+  explicit FunctionType(std::shared_ptr<const detail::TypeStorage> Impl)
+      : Type(std::move(Impl)) {}
+  friend class Type;
+};
+
+inline std::ostream &operator<<(std::ostream &OS, const Type &Ty) {
+  Ty.print(OS);
+  return OS;
+}
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_IR_TYPES_H

@@ -1,0 +1,67 @@
+//===- Value.h - SSA value handles ------------------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is a handle to an SSA value: either an operation result or a block
+/// argument (e.g. an scf.for induction variable). Storage is owned by the
+/// defining Operation or Block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_IR_VALUE_H
+#define AXI4MLIR_IR_VALUE_H
+
+#include "ir/Types.h"
+
+#include <cstdint>
+
+namespace axi4mlir {
+
+class Operation;
+class Block;
+
+namespace detail {
+/// Backing storage for one SSA value.
+struct ValueImpl {
+  Type Ty;
+  /// Non-null for op results.
+  Operation *DefiningOp = nullptr;
+  /// Non-null for block arguments.
+  Block *OwnerBlock = nullptr;
+  /// Result index or argument index.
+  unsigned Index = 0;
+};
+} // namespace detail
+
+/// A lightweight, copyable SSA value handle. Identity compares the
+/// underlying storage pointer.
+class Value {
+public:
+  Value() = default;
+  explicit Value(detail::ValueImpl *Impl) : Impl(Impl) {}
+
+  explicit operator bool() const { return Impl != nullptr; }
+  bool operator==(const Value &Other) const { return Impl == Other.Impl; }
+  bool operator!=(const Value &Other) const { return Impl != Other.Impl; }
+  bool operator<(const Value &Other) const { return Impl < Other.Impl; }
+
+  Type getType() const { return Impl->Ty; }
+
+  /// The operation defining this value, or nullptr for block arguments.
+  Operation *getDefiningOp() const { return Impl ? Impl->DefiningOp : nullptr; }
+  bool isBlockArgument() const { return Impl && Impl->OwnerBlock != nullptr; }
+  Block *getOwnerBlock() const { return Impl ? Impl->OwnerBlock : nullptr; }
+  unsigned getIndex() const { return Impl->Index; }
+
+  detail::ValueImpl *getImpl() const { return Impl; }
+
+private:
+  detail::ValueImpl *Impl = nullptr;
+};
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_IR_VALUE_H

@@ -1,0 +1,63 @@
+//===- Verifier.cpp - IR structural verifier implementation ---------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/MLIRContext.h"
+#include "ir/OpRegistry.h"
+#include "ir/Operation.h"
+
+using namespace axi4mlir;
+
+static LogicalResult verifyOne(Operation *Op, std::string &Error) {
+  const OpRegistry &Registry = Op->getContext()->getOpRegistry();
+  const OpDefinition *Definition = Registry.lookup(Op->getName());
+  if (!Definition) {
+    Error = "unregistered operation '" + Op->getName() + "'";
+    return failure();
+  }
+  if (Definition->NumOperands >= 0 &&
+      Op->getNumOperands() != static_cast<unsigned>(Definition->NumOperands)) {
+    Error = "op '" + Op->getName() + "' expects " +
+            std::to_string(Definition->NumOperands) + " operands, got " +
+            std::to_string(Op->getNumOperands());
+    return failure();
+  }
+  if (Definition->NumResults >= 0 &&
+      Op->getNumResults() != static_cast<unsigned>(Definition->NumResults)) {
+    Error = "op '" + Op->getName() + "' expects " +
+            std::to_string(Definition->NumResults) + " results, got " +
+            std::to_string(Op->getNumResults());
+    return failure();
+  }
+  if (Op->getNumRegions() != static_cast<unsigned>(Definition->NumRegions)) {
+    Error = "op '" + Op->getName() + "' expects " +
+            std::to_string(Definition->NumRegions) + " regions, got " +
+            std::to_string(Op->getNumRegions());
+    return failure();
+  }
+  for (unsigned I = 0, E = Op->getNumOperands(); I < E; ++I) {
+    if (!Op->getOperand(I)) {
+      Error = "op '" + Op->getName() + "' has a null operand #" +
+              std::to_string(I);
+      return failure();
+    }
+  }
+  if (Definition->Verify)
+    return Definition->Verify(Op, Error);
+  return success();
+}
+
+LogicalResult axi4mlir::verify(Operation *Root, std::string &Error) {
+  bool Failed = false;
+  Root->walk([&](Operation *Op) {
+    if (Failed)
+      return;
+    if (failed(verifyOne(Op, Error)))
+      Failed = true;
+  });
+  return failure(Failed);
+}

@@ -1,0 +1,31 @@
+//===- Verifier.h - IR structural verifier ----------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// verify() walks an operation tree checking registry contracts (operand /
+/// result / region counts), per-op custom verifiers, and basic SSA sanity
+/// (operands must be non-null). Returns the first error through \p Error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_IR_VERIFIER_H
+#define AXI4MLIR_IR_VERIFIER_H
+
+#include "support/LogicalResult.h"
+
+#include <string>
+
+namespace axi4mlir {
+
+class Operation;
+
+/// Verifies \p Root and all nested operations. On failure fills \p Error
+/// with a description naming the offending op.
+LogicalResult verify(Operation *Root, std::string &Error);
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_IR_VERIFIER_H

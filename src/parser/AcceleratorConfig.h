@@ -1,0 +1,110 @@
+//===- AcceleratorConfig.h - Parsed configuration data ----------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-memory representation of the accelerator + host CPU configuration
+/// file (paper Fig. 5). This is what the "Parse accelerator and host CPU
+/// description" stage (Fig. 4, step 2) produces and what the
+/// match-and-annotate transformation consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_PARSER_ACCELERATORCONFIG_H
+#define AXI4MLIR_PARSER_ACCELERATORCONFIG_H
+
+#include "ir/AccelTraits.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace axi4mlir {
+namespace parser {
+
+/// Host CPU description: cache sizes in bytes, innermost first
+/// (paper Fig. 5 L1-L2).
+struct CpuInfo {
+  std::vector<int64_t> CacheLevelBytes = {32 * 1024, 512 * 1024};
+  std::vector<std::string> CacheTypes = {"data", "shared"};
+
+  /// Size of the last-level cache, used by the CPU tiling heuristic.
+  int64_t lastLevelCacheBytes() const {
+    return CacheLevelBytes.empty() ? 512 * 1024 : CacheLevelBytes.back();
+  }
+};
+
+/// One accelerator description from the configuration file.
+struct AcceleratorDesc {
+  std::string Name;
+  std::string Version;
+  std::string Description;
+
+  accel::DmaInitConfig DmaConfig;
+
+  /// The linalg named op this accelerator implements
+  /// (e.g. "linalg.matmul", "linalg.conv_2d_nchw_fchw").
+  std::string Kernel;
+
+  /// Accelerator tile size per kernel dimension (paper `accel_size`).
+  /// Zero entries mean "dimension not tiled by the accelerator" (the conv
+  /// accelerator uses 0 for B/H/W, Fig. 15a).
+  std::vector<int64_t> AccelSize;
+
+  /// Element data type name ("int32", "f32", ...).
+  std::string DataType = "f32";
+
+  /// Kernel dimension names, e.g. ["m", "n", "k"].
+  std::vector<std::string> Dims;
+
+  /// Operand name -> dimension names, e.g. "A" -> ["m", "k"].
+  std::vector<std::pair<std::string, std::vector<std::string>>> Data;
+
+  /// The accelerator micro-ISA.
+  accel::OpcodeMapData OpcodeMap;
+
+  /// Flow id -> flow tree, plus the user-selected flow id.
+  std::vector<std::pair<std::string, accel::OpcodeFlowData>> FlowMap;
+  std::string SelectedFlow;
+
+  /// Opcodes sent once per kernel launch (may be empty).
+  std::optional<accel::OpcodeFlowData> InitOpcodes;
+
+  /// Optional explicit loop permutation (indices into Dims). When absent,
+  /// the annotate pass derives one from the selected flow (stationary
+  /// operands' dimensions become outer loops).
+  std::optional<std::vector<unsigned>> Permutation;
+
+  const accel::OpcodeFlowData *lookupFlow(const std::string &FlowId) const {
+    for (const auto &[Id, Flow] : FlowMap)
+      if (Id == FlowId)
+        return &Flow;
+    return nullptr;
+  }
+
+  const accel::OpcodeFlowData *selectedFlow() const {
+    return lookupFlow(SelectedFlow);
+  }
+};
+
+/// The full parsed configuration file.
+struct SystemConfig {
+  CpuInfo Cpu;
+  std::vector<AcceleratorDesc> Accelerators;
+
+  const AcceleratorDesc *findByKernel(const std::string &Kernel) const {
+    for (const AcceleratorDesc &Accel : Accelerators)
+      if (Accel.Kernel == Kernel)
+        return &Accel;
+    return nullptr;
+  }
+};
+
+} // namespace parser
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_PARSER_ACCELERATORCONFIG_H

@@ -1,0 +1,258 @@
+//===- ConfigParser.cpp - Configuration file parser implementation --------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/ConfigParser.h"
+
+#include "parser/OpcodeParser.h"
+#include "support/JSON.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace axi4mlir;
+using namespace axi4mlir::parser;
+
+static LogicalResult fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return failure();
+}
+
+static LogicalResult parseCpu(const json::Value &Root, CpuInfo &Cpu,
+                              std::string *Error) {
+  const json::Value *CpuValue = Root.get("cpu");
+  if (!CpuValue)
+    return success(); // CPU section is optional; defaults model the A9.
+  if (!CpuValue->isObject())
+    return fail(Error, "'cpu' must be an object");
+  if (const json::Value *Levels = CpuValue->get("cache-levels")) {
+    if (!Levels->isArray())
+      return fail(Error, "'cpu.cache-levels' must be an array");
+    Cpu.CacheLevelBytes.clear();
+    for (const json::Value &Level : Levels->array()) {
+      if (!Level.isInt())
+        return fail(Error, "'cpu.cache-levels' entries must be sizes");
+      Cpu.CacheLevelBytes.push_back(Level.asInt());
+    }
+  }
+  if (const json::Value *Types = CpuValue->get("cache-types")) {
+    if (!Types->isArray())
+      return fail(Error, "'cpu.cache-types' must be an array");
+    Cpu.CacheTypes.clear();
+    for (const json::Value &TypeName : Types->array())
+      Cpu.CacheTypes.push_back(TypeName.asString());
+  }
+  return success();
+}
+
+static LogicalResult parseDmaConfig(const json::Value &AccelValue,
+                                    accel::DmaInitConfig &Config,
+                                    std::string *Error) {
+  const json::Value *Dma = AccelValue.get("dma_config");
+  if (!Dma)
+    return success(); // Optional; defaults are fine for simulation.
+  if (!Dma->isObject())
+    return fail(Error, "'dma_config' must be an object");
+  Config.DmaId = Dma->getInt("id", Config.DmaId);
+  Config.InputAddress = Dma->getInt("inputAddress", Config.InputAddress);
+  Config.InputBufferSize =
+      Dma->getInt("inputBufferSize", Config.InputBufferSize);
+  Config.OutputAddress = Dma->getInt("outputAddress", Config.OutputAddress);
+  Config.OutputBufferSize =
+      Dma->getInt("outputBufferSize", Config.OutputBufferSize);
+  return success();
+}
+
+static LogicalResult parseAccelerator(const json::Value &AccelValue,
+                                      AcceleratorDesc &Accel,
+                                      std::string *Error) {
+  if (!AccelValue.isObject())
+    return fail(Error, "accelerator entries must be objects");
+
+  Accel.Name = AccelValue.getString("name", "unnamed");
+  if (const json::Value *Version = AccelValue.get("version")) {
+    if (Version->isString())
+      Accel.Version = Version->asString();
+    else if (Version->isDouble() || Version->isInt()) {
+      std::ostringstream OS;
+      OS << Version->asDouble();
+      Accel.Version = OS.str();
+    }
+  }
+  Accel.Description = AccelValue.getString("description");
+  Accel.Kernel = AccelValue.getString("kernel");
+  if (Accel.Kernel.empty())
+    return fail(Error, "accelerator '" + Accel.Name + "' needs a 'kernel'");
+  Accel.DataType = AccelValue.getString("data_type", "f32");
+
+  if (failed(parseDmaConfig(AccelValue, Accel.DmaConfig, Error)))
+    return failure();
+  // Default staging buffer sizes if the config omitted them.
+  if (Accel.DmaConfig.InputBufferSize == 0)
+    Accel.DmaConfig.InputBufferSize = 0xFF00;
+  if (Accel.DmaConfig.OutputBufferSize == 0)
+    Accel.DmaConfig.OutputBufferSize = 0xFF00;
+  if (Accel.DmaConfig.OutputAddress == 0)
+    Accel.DmaConfig.OutputAddress =
+        Accel.DmaConfig.InputAddress + Accel.DmaConfig.InputBufferSize + 0x42;
+
+  const json::Value *Size = AccelValue.get("accel_size");
+  if (!Size)
+    return fail(Error,
+                "accelerator '" + Accel.Name + "' needs 'accel_size'");
+  if (Size->isInt()) {
+    Accel.AccelSize.assign(3, Size->asInt());
+  } else if (Size->isArray()) {
+    for (const json::Value &Dim : Size->array()) {
+      if (!Dim.isInt())
+        return fail(Error, "'accel_size' entries must be integers");
+      Accel.AccelSize.push_back(Dim.asInt());
+    }
+  } else {
+    return fail(Error, "'accel_size' must be an integer or array");
+  }
+
+  if (const json::Value *Dims = AccelValue.get("dims")) {
+    if (!Dims->isArray())
+      return fail(Error, "'dims' must be an array of dimension names");
+    for (const json::Value &Dim : Dims->array())
+      Accel.Dims.push_back(Dim.asString());
+  }
+  if (!Accel.Dims.empty() && Accel.Dims.size() != Accel.AccelSize.size())
+    return fail(Error, "'dims' and 'accel_size' length mismatch");
+
+  if (const json::Value *Data = AccelValue.get("data")) {
+    if (!Data->isObject())
+      return fail(Error, "'data' must be an object");
+    for (const auto &[OperandName, DimList] : Data->members()) {
+      std::vector<std::string> DimNames;
+      if (!DimList.isArray())
+        return fail(Error, "'data' entries must be dimension arrays");
+      for (const json::Value &Dim : DimList.array())
+        DimNames.push_back(Dim.asString());
+      Accel.Data.emplace_back(OperandName, std::move(DimNames));
+    }
+  }
+
+  // opcode_map.
+  std::string MapText = AccelValue.getString("opcode_map");
+  if (MapText.empty())
+    return fail(Error,
+                "accelerator '" + Accel.Name + "' needs an 'opcode_map'");
+  std::string ParseError;
+  auto Map = parseOpcodeMap(MapText, &ParseError,
+                            Accel.Dims.empty() ? nullptr : &Accel.Dims);
+  if (failed(Map))
+    return fail(Error, "in opcode_map of '" + Accel.Name + "': " + ParseError);
+  Accel.OpcodeMap = std::move(*Map);
+
+  // opcode_flow_map + selected_flow.
+  const json::Value *FlowMap = AccelValue.get("opcode_flow_map");
+  if (!FlowMap || !FlowMap->isObject())
+    return fail(Error, "accelerator '" + Accel.Name +
+                           "' needs an 'opcode_flow_map' object");
+  for (const auto &[FlowId, FlowText] : FlowMap->members()) {
+    if (!FlowText.isString())
+      return fail(Error, "flow '" + FlowId + "' must be a string");
+    auto Flow = parseOpcodeFlow(FlowText.asString(), &ParseError);
+    if (failed(Flow))
+      return fail(Error, "in flow '" + FlowId + "': " + ParseError);
+    if (failed(validateFlowAgainstMap(*Flow, Accel.OpcodeMap, &ParseError)))
+      return fail(Error, "in flow '" + FlowId + "': " + ParseError);
+    Accel.FlowMap.emplace_back(FlowId, std::move(*Flow));
+  }
+  Accel.SelectedFlow = AccelValue.getString("selected_flow");
+  if (Accel.SelectedFlow.empty() && !Accel.FlowMap.empty())
+    Accel.SelectedFlow = Accel.FlowMap.front().first;
+  if (!Accel.lookupFlow(Accel.SelectedFlow))
+    return fail(Error, "selected_flow '" + Accel.SelectedFlow +
+                           "' is not defined in opcode_flow_map");
+
+  // init_opcodes (optional).
+  std::string InitText = AccelValue.getString("init_opcodes");
+  if (!InitText.empty()) {
+    auto Init = parseOpcodeFlow(InitText, &ParseError);
+    if (failed(Init))
+      return fail(Error,
+                  "in init_opcodes of '" + Accel.Name + "': " + ParseError);
+    if (failed(validateFlowAgainstMap(*Init, Accel.OpcodeMap, &ParseError)))
+      return fail(Error,
+                  "in init_opcodes of '" + Accel.Name + "': " + ParseError);
+    Accel.InitOpcodes = std::move(*Init);
+  }
+
+  // Optional explicit permutation.
+  if (const json::Value *Perm = AccelValue.get("permutation")) {
+    if (!Perm->isArray())
+      return fail(Error, "'permutation' must be an array");
+    std::vector<unsigned> Permutation;
+    for (const json::Value &Entry : Perm->array()) {
+      if (Entry.isInt()) {
+        Permutation.push_back(static_cast<unsigned>(Entry.asInt()));
+        continue;
+      }
+      // Dimension name.
+      bool Found = false;
+      for (size_t I = 0; I < Accel.Dims.size(); ++I) {
+        if (Accel.Dims[I] == Entry.asString()) {
+          Permutation.push_back(static_cast<unsigned>(I));
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        return fail(Error, "unknown dimension '" + Entry.asString() +
+                               "' in 'permutation'");
+    }
+    Accel.Permutation = std::move(Permutation);
+  }
+
+  return success();
+}
+
+FailureOr<SystemConfig> parser::parseSystemConfig(const std::string &Text,
+                                                  std::string *Error) {
+  std::string JsonError;
+  auto Root = json::parse(Text, &JsonError);
+  if (failed(Root))
+    return (void)fail(Error, "configuration is not valid JSON: " + JsonError),
+           failure();
+  if (!Root->isObject())
+    return (void)fail(Error, "configuration root must be an object"),
+           failure();
+
+  SystemConfig Config;
+  if (failed(parseCpu(*Root, Config.Cpu, Error)))
+    return failure();
+
+  const json::Value *Accels = Root->get("accelerators");
+  if (!Accels || !Accels->isArray())
+    return (void)fail(Error, "configuration needs an 'accelerators' array"),
+           failure();
+  for (const json::Value &AccelValue : Accels->array()) {
+    AcceleratorDesc Accel;
+    if (failed(parseAccelerator(AccelValue, Accel, Error)))
+      return failure();
+    Config.Accelerators.push_back(std::move(Accel));
+  }
+  if (Config.Accelerators.empty())
+    return (void)fail(Error, "configuration defines no accelerators"),
+           failure();
+  return Config;
+}
+
+FailureOr<SystemConfig> parser::parseSystemConfigFile(const std::string &Path,
+                                                      std::string *Error) {
+  std::ifstream Input(Path);
+  if (!Input) {
+    if (Error)
+      *Error = "cannot open configuration file '" + Path + "'";
+    return failure();
+  }
+  std::ostringstream Contents;
+  Contents << Input.rdbuf();
+  return parseSystemConfig(Contents.str(), Error);
+}

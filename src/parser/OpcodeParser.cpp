@@ -1,0 +1,360 @@
+//===- OpcodeParser.cpp - opcode_map / opcode_flow parser impl ------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/OpcodeParser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace axi4mlir;
+using namespace axi4mlir::accel;
+using namespace axi4mlir::parser;
+
+namespace {
+
+/// Shared character-level cursor for the two small grammars.
+class Cursor {
+public:
+  explicit Cursor(const std::string &Text) : Text(Text) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+  char peek() {
+    skipSpace();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+
+  bool consumeIf(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool consumeKeyword(const std::string &Keyword) {
+    skipSpace();
+    if (Text.compare(Pos, Keyword.size(), Keyword) != 0)
+      return false;
+    size_t After = Pos + Keyword.size();
+    if (After < Text.size() &&
+        (std::isalnum(static_cast<unsigned char>(Text[After])) ||
+         Text[After] == '_'))
+      return false;
+    Pos = After;
+    return true;
+  }
+
+  std::string readIdentifier() {
+    skipSpace();
+    std::string Result;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isalnum(static_cast<unsigned char>(C)) || C == '_') {
+        Result.push_back(C);
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    return Result;
+  }
+
+  /// Reads a decimal or 0x-hex integer; returns failure if none present.
+  FailureOr<int64_t> readInteger() {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    bool IsHex = false;
+    if (Pos + 1 < Text.size() && Text[Pos] == '0' &&
+        (Text[Pos + 1] == 'x' || Text[Pos + 1] == 'X')) {
+      Pos += 2;
+      IsHex = true;
+    }
+    size_t DigitsStart = Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            (IsHex && std::isxdigit(static_cast<unsigned char>(Text[Pos])))))
+      ++Pos;
+    if (Pos == DigitsStart) {
+      Pos = Start;
+      return failure();
+    }
+    return std::strtoll(Text.substr(Start, Pos - Start).c_str(), nullptr,
+                        IsHex ? 16 : 10);
+  }
+
+  size_t position() const { return Pos; }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+std::string describe(const std::string &Message, const Cursor &C) {
+  return Message + " (at offset " + std::to_string(C.position()) + ")";
+}
+
+/// Resolves a bare id that should be an integer (or a named dimension).
+FailureOr<int64_t> resolveIndex(Cursor &C,
+                                const std::vector<std::string> *DimNames,
+                                std::string *Error, const char *What) {
+  if (auto IntValue = C.readInteger(); succeeded(IntValue))
+    return *IntValue;
+  std::string Ident = C.readIdentifier();
+  if (!Ident.empty() && DimNames) {
+    for (size_t I = 0; I < DimNames->size(); ++I)
+      if ((*DimNames)[I] == Ident)
+        return static_cast<int64_t>(I);
+  }
+  if (Error)
+    *Error = describe(std::string("expected integer or dimension name for ") +
+                          What + (Ident.empty() ? "" : " ('" + Ident + "')"),
+                      C);
+  return failure();
+}
+
+FailureOr<OpcodeAction> parseAction(Cursor &C,
+                                    const std::vector<std::string> *DimNames,
+                                    std::string *Error) {
+  std::string Keyword = C.readIdentifier();
+  auto fail = [&](const std::string &Message) -> FailureOr<OpcodeAction> {
+    if (Error && Error->empty())
+      *Error = describe(Message, C);
+    return failure();
+  };
+
+  if (Keyword.empty())
+    return fail("expected an opcode action keyword");
+  if (!C.consumeIf('('))
+    return fail("expected '(' after '" + Keyword + "'");
+
+  OpcodeAction Action;
+  if (Keyword == "send") {
+    auto Arg = resolveIndex(C, DimNames, Error, "send argument");
+    if (failed(Arg))
+      return failure();
+    Action = OpcodeAction::send(*Arg);
+  } else if (Keyword == "send_literal") {
+    auto Literal = C.readInteger();
+    if (failed(Literal))
+      return fail("expected integer literal in send_literal");
+    Action = OpcodeAction::sendLiteral(*Literal);
+  } else if (Keyword == "send_dim") {
+    auto First = resolveIndex(C, DimNames, Error, "send_dim argument");
+    if (failed(First))
+      return failure();
+    if (C.consumeIf(',')) {
+      auto Second = resolveIndex(C, DimNames, Error, "send_dim dimension");
+      if (failed(Second))
+        return failure();
+      Action = OpcodeAction::sendDim(*First, *Second);
+    } else {
+      // Single-argument form: dimension of the op's iteration space;
+      // argument index unspecified (-1).
+      Action = OpcodeAction::sendDim(/*ArgIndex=*/-1, *First);
+    }
+  } else if (Keyword == "send_idx") {
+    auto Dim = resolveIndex(C, DimNames, Error, "send_idx dimension");
+    if (failed(Dim))
+      return failure();
+    Action = OpcodeAction::sendIdx(*Dim);
+  } else if (Keyword == "recv") {
+    auto Arg = resolveIndex(C, DimNames, Error, "recv argument");
+    if (failed(Arg))
+      return failure();
+    Action = OpcodeAction::recv(*Arg);
+  } else {
+    return fail("unknown opcode action '" + Keyword + "'");
+  }
+
+  if (!C.consumeIf(')'))
+    return fail("expected ')' closing '" + Keyword + "'");
+  return Action;
+}
+
+FailureOr<FlowScope> parseScope(Cursor &C, std::string *Error);
+
+FailureOr<FlowItem> parseFlowItem(Cursor &C, std::string *Error) {
+  if (C.peek() == '(') {
+    auto Nested = parseScope(C, Error);
+    if (failed(Nested))
+      return failure();
+    FlowItem Item;
+    Item.Scope = std::make_shared<FlowScope>(std::move(*Nested));
+    return Item;
+  }
+  std::string Token = C.readIdentifier();
+  if (Token.empty()) {
+    if (Error && Error->empty())
+      *Error = describe("expected opcode token or '('", C);
+    return failure();
+  }
+  FlowItem Item;
+  Item.Token = Token;
+  return Item;
+}
+
+FailureOr<FlowScope> parseScope(Cursor &C, std::string *Error) {
+  if (!C.consumeIf('(')) {
+    if (Error && Error->empty())
+      *Error = describe("expected '('", C);
+    return failure();
+  }
+  FlowScope Scope;
+  while (!C.atEnd() && C.peek() != ')') {
+    auto Item = parseFlowItem(C, Error);
+    if (failed(Item))
+      return failure();
+    Scope.Items.push_back(std::move(*Item));
+  }
+  if (!C.consumeIf(')')) {
+    if (Error && Error->empty())
+      *Error = describe("expected ')'", C);
+    return failure();
+  }
+  return Scope;
+}
+
+} // namespace
+
+FailureOr<OpcodeMapData>
+parser::parseOpcodeMap(const std::string &Text, std::string *Error,
+                       const std::vector<std::string> *DimNames) {
+  Cursor C(Text);
+  // Optional `opcode_map <` wrapper.
+  bool HasKeyword = C.consumeKeyword("opcode_map");
+  bool HasAngle = C.consumeIf('<');
+  (void)HasKeyword;
+
+  OpcodeMapData Map;
+  while (true) {
+    std::string Name;
+    if (C.consumeIf('"')) {
+      // string_literal key (no escapes; identifiers in practice).
+      Name = C.readIdentifier();
+      if (!C.consumeIf('"')) {
+        if (Error)
+          *Error = describe("expected closing '\"' after opcode name", C);
+        return failure();
+      }
+    } else {
+      Name = C.readIdentifier();
+    }
+    if (Name.empty()) {
+      if (Error)
+        *Error = describe("expected opcode entry name", C);
+      return failure();
+    }
+    if (Map.lookup(Name)) {
+      if (Error)
+        *Error = "duplicate opcode entry '" + Name + "'";
+      return failure();
+    }
+    if (!C.consumeIf('=')) {
+      if (Error)
+        *Error = describe("expected '=' after opcode name '" + Name + "'", C);
+      return failure();
+    }
+    if (!C.consumeIf('[')) {
+      if (Error)
+        *Error = describe("expected '[' starting the opcode list", C);
+      return failure();
+    }
+    OpcodeEntry Entry;
+    Entry.Name = Name;
+    while (true) {
+      auto Action = parseAction(C, DimNames, Error);
+      if (failed(Action))
+        return failure();
+      Entry.Actions.push_back(*Action);
+      if (C.consumeIf(','))
+        continue;
+      break;
+    }
+    if (!C.consumeIf(']')) {
+      if (Error)
+        *Error = describe("expected ']' closing the opcode list", C);
+      return failure();
+    }
+    Map.Entries.push_back(std::move(Entry));
+    if (C.consumeIf(','))
+      continue;
+    break;
+  }
+
+  if (HasAngle && !C.consumeIf('>')) {
+    if (Error)
+      *Error = describe("expected '>' closing opcode_map", C);
+    return failure();
+  }
+  if (!C.atEnd()) {
+    if (Error)
+      *Error = describe("unexpected trailing characters in opcode_map", C);
+    return failure();
+  }
+  if (Map.Entries.empty()) {
+    if (Error)
+      *Error = "opcode_map must define at least one opcode";
+    return failure();
+  }
+  return Map;
+}
+
+FailureOr<OpcodeFlowData> parser::parseOpcodeFlow(const std::string &Text,
+                                                  std::string *Error) {
+  Cursor C(Text);
+  bool HasKeyword = C.consumeKeyword("opcode_flow");
+  if (!HasKeyword)
+    (void)C.consumeKeyword("init_opcodes");
+  bool HasAngle = C.consumeIf('<');
+
+  auto Root = parseScope(C, Error);
+  if (failed(Root))
+    return failure();
+
+  if (HasAngle && !C.consumeIf('>')) {
+    if (Error)
+      *Error = describe("expected '>' closing opcode_flow", C);
+    return failure();
+  }
+  if (!C.atEnd()) {
+    if (Error)
+      *Error = describe("unexpected trailing characters in opcode_flow", C);
+    return failure();
+  }
+  OpcodeFlowData Flow;
+  Flow.Root = std::move(*Root);
+  if (Flow.allTokens().empty()) {
+    if (Error)
+      *Error = "opcode_flow must contain at least one opcode token";
+    return failure();
+  }
+  return Flow;
+}
+
+LogicalResult
+parser::validateFlowAgainstMap(const OpcodeFlowData &Flow,
+                               const OpcodeMapData &Map, std::string *Error) {
+  for (const std::string &Token : Flow.allTokens()) {
+    if (!Map.lookup(Token)) {
+      if (Error)
+        *Error = "opcode_flow references '" + Token +
+                 "', which is not defined in the opcode_map";
+      return failure();
+    }
+  }
+  return success();
+}

@@ -1,0 +1,60 @@
+//===- OpcodeParser.h - opcode_map / opcode_flow parsers --------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parsers for the two textual grammars AXI4MLIR introduces:
+///
+/// opcode_map (paper Fig. 7):
+///   opcode_dict  ::= `opcode_map` `<` opcode_entry (`,` opcode_entry)* `>`
+///   opcode_entry ::= (bare_id | string_literal) `=` opcode_list
+///   opcode_list  ::= `[` opcode_expr (`,` opcode_expr)* `]`
+///   opcode_expr  ::= `send` `(` bare_id `)`
+///                  | `send_literal` `(` integer_literal `)`
+///                  | `send_dim` `(` bare_id (`,` bare_id)? `)`
+///                  | `send_idx` `(` bare_id `)`
+///                  | `recv` `(` bare_id `)`
+///
+/// opcode_flow (paper Fig. 8):
+///   opcode_flow_entry ::= `opcode_flow` `<` flow_expr `>`
+///   flow_expr         ::= `(` flow_expr `)` | bare_id (` ` bare_id)*
+///
+/// The leading `opcode_map` / `opcode_flow` keywords and angle brackets are
+/// optional so config files can embed just the body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_PARSER_OPCODEPARSER_H
+#define AXI4MLIR_PARSER_OPCODEPARSER_H
+
+#include "ir/AccelTraits.h"
+#include "support/LogicalResult.h"
+
+#include <string>
+
+namespace axi4mlir {
+namespace parser {
+
+/// Parses an opcode_map string. On failure fills \p Error. \p DimNames,
+/// when provided (from the config file's "dims" entry, e.g. ["m","n","k"]),
+/// lets send_dim/send_idx reference dimensions by name instead of index.
+FailureOr<accel::OpcodeMapData>
+parseOpcodeMap(const std::string &Text, std::string *Error = nullptr,
+               const std::vector<std::string> *DimNames = nullptr);
+
+/// Parses an opcode_flow string (also used for init_opcodes). On failure
+/// fills \p Error.
+FailureOr<accel::OpcodeFlowData>
+parseOpcodeFlow(const std::string &Text, std::string *Error = nullptr);
+
+/// Validates that every token in \p Flow is defined in \p Map.
+LogicalResult validateFlowAgainstMap(const accel::OpcodeFlowData &Flow,
+                                     const accel::OpcodeMapData &Map,
+                                     std::string *Error = nullptr);
+
+} // namespace parser
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_PARSER_OPCODEPARSER_H

@@ -1,0 +1,118 @@
+//===- AcceleratorModel.h - Accelerator behavioural models ------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The behavioural contract of the simulated AXI-Stream accelerators: a
+/// word-level micro-ISA state machine fed by the DMA engine. This replaces
+/// the paper's SECDA-TFLite-derived HLS accelerators on the PYNQ-Z2 fabric
+/// (Table I) while preserving their externally visible behaviour: opcodes,
+/// stream ordering, stationarity/reuse, buffer capacities and Table I
+/// throughput.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SIM_ACCELERATORMODEL_H
+#define AXI4MLIR_SIM_ACCELERATORMODEL_H
+
+#include "sim/CostModel.h"
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace axi4mlir {
+namespace sim {
+
+/// Element interpretation of the 32-bit stream words.
+enum class ElemKind { I32, F32 };
+
+/// Opcode literals of the micro-ISAs (the values the host streams ahead of
+/// data bursts; matmul values follow paper Fig. 6a, conv values Fig. 15a).
+namespace opcodes {
+// MatMul family (v1..v4).
+inline constexpr uint32_t MM_RESET = 0xFF;     ///< clear all buffers
+inline constexpr uint32_t MM_SASBCCRC = 0x21;  ///< v1: A,B in; C out
+inline constexpr uint32_t MM_SA = 0x22;        ///< load A tile
+inline constexpr uint32_t MM_SB = 0x23;        ///< load B tile
+inline constexpr uint32_t MM_RC = 0x24;        ///< emit C tile, clear C
+inline constexpr uint32_t MM_SB_CC_RC = 0x25;  ///< B in; compute; C out
+inline constexpr uint32_t MM_SA_CC_RC = 0x26;  ///< A in; compute; C out
+inline constexpr uint32_t MM_CC_RC = 0x27;     ///< v2: compute; C out
+inline constexpr uint32_t MM_CC = 0xF0;        ///< compute, accumulate C
+inline constexpr uint32_t MM_CFG = 0x10;       ///< v4: set tM,tK,tN
+// Conv family (paper Fig. 15a).
+inline constexpr uint32_t CONV_SF = 1;      ///< load filter slice
+inline constexpr uint32_t CONV_RO = 8;      ///< emit output slice
+inline constexpr uint32_t CONV_SET_IC = 16; ///< next word: iC
+inline constexpr uint32_t CONV_SET_FS = 32; ///< next word: fH (== fW)
+inline constexpr uint32_t CONV_SICO = 70;   ///< input window in; compute
+} // namespace opcodes
+
+/// Base class of all accelerator behavioural models. The DMA engine feeds
+/// consumeWord() with each streamed word and collects results from the
+/// output FIFO. Compute time is accumulated in fabric cycles and harvested
+/// by the DMA engine via takeComputeCycles().
+class AcceleratorModel {
+public:
+  virtual ~AcceleratorModel();
+
+  /// Consumes one input-stream word (opcode or data).
+  virtual void consumeWord(uint32_t Word) = 0;
+
+  /// Human-readable model name for diagnostics ("matmul_v3_16", ...).
+  virtual std::string getName() const = 0;
+
+  /// Full reset (also clears the error flag and output FIFO).
+  virtual void reset();
+
+  /// Pops up to \p MaxWords words from the output FIFO.
+  std::vector<uint32_t> drainOutput(size_t MaxWords);
+  size_t outputAvailable() const { return OutputFifo.size(); }
+
+  /// Compute cycles accumulated since the last call.
+  double takeComputeCycles() {
+    double Cycles = PendingComputeCycles;
+    PendingComputeCycles = 0;
+    return Cycles;
+  }
+
+  /// True after a protocol error (unknown opcode, buffer overflow). Tests
+  /// assert this stays false.
+  bool hadError() const { return ErrorFlag; }
+  const std::string &errorMessage() const { return ErrorText; }
+
+protected:
+  void pushOutput(uint32_t Word) { OutputFifo.push_back(Word); }
+  void chargeCompute(double Cycles) { PendingComputeCycles += Cycles; }
+  void signalError(const std::string &Message) {
+    ErrorFlag = true;
+    if (ErrorText.empty())
+      ErrorText = Message;
+  }
+
+  std::deque<uint32_t> OutputFifo;
+  double PendingComputeCycles = 0;
+  bool ErrorFlag = false;
+  std::string ErrorText;
+};
+
+/// Bit-level conversions between stream words and element values.
+inline float wordToFloat(uint32_t Word) {
+  float Result;
+  __builtin_memcpy(&Result, &Word, sizeof(Result));
+  return Result;
+}
+inline uint32_t floatToWord(float Value) {
+  uint32_t Result;
+  __builtin_memcpy(&Result, &Value, sizeof(Result));
+  return Result;
+}
+
+} // namespace sim
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SIM_ACCELERATORMODEL_H

@@ -1,0 +1,91 @@
+//===- CacheSim.cpp - Cache simulator implementation ----------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CacheSim.h"
+
+#include <cassert>
+
+using namespace axi4mlir;
+using namespace axi4mlir::sim;
+
+CacheLevel::CacheLevel(int64_t SizeBytes, int64_t Associativity,
+                       int64_t LineBytes)
+    : LineBytes(LineBytes), Ways(Associativity) {
+  assert(SizeBytes > 0 && Associativity > 0 && LineBytes > 0);
+  NumSets = static_cast<uint64_t>(SizeBytes / (Associativity * LineBytes));
+  assert(NumSets > 0 && "cache too small for its associativity");
+  Tags.assign(NumSets * Ways, 0);
+}
+
+bool CacheLevel::access(uint64_t Address) {
+  uint64_t Line = Address / LineBytes;
+  uint64_t Set = Line % NumSets;
+  uint64_t Tag = Line / NumSets + 1; // +1 so 0 stays "invalid".
+  uint64_t *SetTags = &Tags[Set * Ways];
+
+  for (int64_t Way = 0; Way < Ways; ++Way) {
+    if (SetTags[Way] != Tag)
+      continue;
+    // Hit: move to MRU position.
+    for (int64_t I = Way; I > 0; --I)
+      SetTags[I] = SetTags[I - 1];
+    SetTags[0] = Tag;
+    return true;
+  }
+  // Miss: evict LRU (last way), install as MRU.
+  for (int64_t I = Ways - 1; I > 0; --I)
+    SetTags[I] = SetTags[I - 1];
+  SetTags[0] = Tag;
+  return false;
+}
+
+void CacheLevel::reset() { Tags.assign(Tags.size(), 0); }
+
+CacheSim::CacheSim(const SoCParams &Params)
+    : Params(Params),
+      L1(Params.L1SizeBytes, Params.L1Associativity, Params.CacheLineBytes),
+      L2(Params.L2SizeBytes, Params.L2Associativity, Params.CacheLineBytes) {}
+
+uint64_t CacheSim::accessLine(uint64_t LineAddress) {
+  ++References;
+  if (L1.access(LineAddress))
+    return 0;
+  ++L1Misses;
+  if (L2.access(LineAddress))
+    return Params.L1MissPenaltyCycles;
+  ++L2Misses;
+  return Params.L1MissPenaltyCycles + Params.L2MissPenaltyCycles;
+}
+
+uint64_t CacheSim::access(uint64_t Address, unsigned Bytes) {
+  uint64_t Penalty = accessLine(Address);
+  // A straddling scalar access touches the second line too.
+  uint64_t FirstLine = Address / Params.CacheLineBytes;
+  uint64_t LastLine = (Address + (Bytes ? Bytes - 1 : 0)) /
+                      static_cast<uint64_t>(Params.CacheLineBytes);
+  if (LastLine != FirstLine)
+    Penalty += accessLine(LastLine * Params.CacheLineBytes);
+  return Penalty;
+}
+
+uint64_t CacheSim::accessRange(uint64_t Address, uint64_t Bytes) {
+  if (Bytes == 0)
+    return 0;
+  uint64_t Penalty = 0;
+  uint64_t Line = Address / Params.CacheLineBytes;
+  uint64_t LastLine = (Address + Bytes - 1) / Params.CacheLineBytes;
+  for (; Line <= LastLine; ++Line)
+    Penalty += accessLine(Line * Params.CacheLineBytes);
+  return Penalty;
+}
+
+void CacheSim::reset() {
+  L1.reset();
+  L2.reset();
+  References = 0;
+  L1Misses = 0;
+  L2Misses = 0;
+}

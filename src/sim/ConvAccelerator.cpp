@@ -1,0 +1,124 @@
+//===- ConvAccelerator.cpp - Conv2D accelerator implementation ------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ConvAccelerator.h"
+
+#include <cassert>
+
+using namespace axi4mlir;
+using namespace axi4mlir::sim;
+using namespace axi4mlir::sim::opcodes;
+
+ConvAccelerator::ConvAccelerator(ElemKind Kind, const SoCParams &Params,
+                                 int64_t MaxWindowWords)
+    : Kind(Kind), Params(Params), MaxWindowWords(MaxWindowWords) {
+  reset();
+}
+
+void ConvAccelerator::reset() {
+  AcceleratorModel::reset();
+  InputChannels = 1;
+  FilterSize = 1;
+  Filter.clear();
+  OutputAcc.clear();
+  St = State::Idle;
+  Burst.clear();
+  BurstExpected = 0;
+  WindowsComputed = 0;
+}
+
+void ConvAccelerator::consumeWord(uint32_t Word) {
+  if (ErrorFlag)
+    return;
+  switch (St) {
+  case State::Idle:
+    startOpcode(Word);
+    return;
+  case State::ReadFilterSize:
+    FilterSize = static_cast<int32_t>(Word);
+    if (FilterSize <= 0 || windowWords() > MaxWindowWords)
+      signalError("conv2d: filter size exceeds accelerator window buffer");
+    St = State::Idle;
+    return;
+  case State::ReadInputChannels:
+    InputChannels = static_cast<int32_t>(Word);
+    if (InputChannels <= 0 || windowWords() > MaxWindowWords)
+      signalError("conv2d: iC exceeds accelerator window buffer");
+    St = State::Idle;
+    return;
+  case State::ReadFilter:
+  case State::ReadWindow:
+    Burst.push_back(Word);
+    if (Burst.size() == BurstExpected)
+      finishBurst();
+    return;
+  }
+}
+
+void ConvAccelerator::startOpcode(uint32_t Opcode) {
+  Burst.clear();
+  switch (Opcode) {
+  case CONV_SET_FS:
+    St = State::ReadFilterSize;
+    return;
+  case CONV_SET_IC:
+    St = State::ReadInputChannels;
+    return;
+  case CONV_SF:
+    St = State::ReadFilter;
+    BurstExpected = static_cast<size_t>(windowWords());
+    // Loading a new filter starts a new output slice.
+    OutputAcc.clear();
+    return;
+  case CONV_SICO:
+    St = State::ReadWindow;
+    BurstExpected = static_cast<size_t>(windowWords());
+    return;
+  case CONV_RO: {
+    for (double Value : OutputAcc) {
+      if (Kind == ElemKind::F32)
+        pushOutput(floatToWord(static_cast<float>(Value)));
+      else
+        pushOutput(static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int64_t>(Value))));
+    }
+    OutputAcc.clear();
+    St = State::Idle;
+    return;
+  }
+  default:
+    signalError("conv2d: unsupported opcode " + std::to_string(Opcode));
+    return;
+  }
+}
+
+void ConvAccelerator::finishBurst() {
+  if (St == State::ReadFilter) {
+    Filter = Burst;
+  } else {
+    assert(St == State::ReadWindow && "unexpected burst state");
+    if (Filter.size() != Burst.size()) {
+      signalError("conv2d: window size does not match loaded filter");
+    } else {
+      // Inner product of the window against the filter -> one output value.
+      double Sum = 0;
+      for (size_t I = 0, E = Burst.size(); I < E; ++I) {
+        if (Kind == ElemKind::F32)
+          Sum += static_cast<double>(wordToFloat(Burst[I])) *
+                 static_cast<double>(wordToFloat(Filter[I]));
+        else
+          Sum += static_cast<double>(static_cast<int32_t>(Burst[I])) *
+                 static_cast<double>(static_cast<int32_t>(Filter[I]));
+      }
+      OutputAcc.push_back(Sum);
+      chargeCompute(2.0 * static_cast<double>(windowWords()) /
+                    convOpsPerCycle());
+      ++WindowsComputed;
+    }
+  }
+  Burst.clear();
+  St = State::Idle;
+}

@@ -1,0 +1,71 @@
+//===- ConvAccelerator.h - Conv2D accelerator (Sec. IV-D) -------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Behavioural model of the paper's convolution accelerator (Fig. 15):
+/// filter + output stationary, computing one output slice (all elements of
+/// one output channel) per iteration. Runtime-configurable input-channel
+/// count and square filter size via the `rst` opcode sequence:
+///
+///   SET_FS, fH, SET_IC, iC        (configuration)
+///   SF, <iC*fH*fW filter words>   (load the filter of one output channel)
+///   SICO, <iC*fH*fW input words>  (one window -> one output value)
+///   RO                            (emit all accumulated output values)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SIM_CONVACCELERATOR_H
+#define AXI4MLIR_SIM_CONVACCELERATOR_H
+
+#include "sim/AcceleratorModel.h"
+
+namespace axi4mlir {
+namespace sim {
+
+/// Behavioural model of the Conv2D accelerator.
+class ConvAccelerator : public AcceleratorModel {
+public:
+  ConvAccelerator(ElemKind Kind, const SoCParams &Params,
+                  int64_t MaxWindowWords = 256 * 7 * 7);
+
+  void consumeWord(uint32_t Word) override;
+  std::string getName() const override { return "conv2d"; }
+  void reset() override;
+
+  int64_t getInputChannels() const { return InputChannels; }
+  int64_t getFilterSize() const { return FilterSize; }
+  uint64_t getWindowsComputed() const { return WindowsComputed; }
+
+private:
+  void startOpcode(uint32_t Opcode);
+  void finishBurst();
+  int64_t windowWords() const {
+    return InputChannels * FilterSize * FilterSize;
+  }
+
+  ElemKind Kind;
+  SoCParams Params;
+  int64_t MaxWindowWords;
+
+  int64_t InputChannels = 1;
+  int64_t FilterSize = 1;
+
+  std::vector<uint32_t> Filter;
+  std::vector<double> OutputAcc; // output slice values, in emission order
+
+  enum class State { Idle, ReadFilterSize, ReadInputChannels, ReadFilter,
+                     ReadWindow };
+  State St = State::Idle;
+  std::vector<uint32_t> Burst;
+  size_t BurstExpected = 0;
+
+  uint64_t WindowsComputed = 0;
+};
+
+} // namespace sim
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SIM_CONVACCELERATOR_H

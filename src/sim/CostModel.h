@@ -1,0 +1,110 @@
+//===- CostModel.h - SoC timing/cost parameters -----------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Calibration constants for the simulated SoC, standing in for the paper's
+/// PYNQ-Z2 testbed (Zynq-7000: dual Cortex-A9 @650 MHz host, FPGA fabric
+/// @200 MHz, 32-bit AXI-Stream). The absolute numbers are approximations;
+/// what matters for reproducing the paper's figures is the *relative* cost
+/// structure: per-element vs vectorized copies, cache-miss penalties,
+/// per-transfer DMA driver overhead, and fabric streaming/compute rates.
+/// See DESIGN.md Sec. 5.4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SIM_COSTMODEL_H
+#define AXI4MLIR_SIM_COSTMODEL_H
+
+#include <cstdint>
+
+namespace axi4mlir {
+namespace sim {
+
+/// All tunable parameters of the system model.
+struct SoCParams {
+  //===------------------------------------------------------------------===//
+  // Clocks
+  //===------------------------------------------------------------------===//
+
+  /// ARM Cortex-A9 host clock (PYNQ-Z2: 650 MHz).
+  double HostClockHz = 650e6;
+  /// FPGA fabric clock (accelerators synthesized at 200 MHz, Table I).
+  double FabricClockHz = 200e6;
+
+  //===------------------------------------------------------------------===//
+  // Host core
+  //===------------------------------------------------------------------===//
+
+  /// Base cycles per (non-memory) instruction.
+  double CyclesPerInstruction = 1.0;
+  /// Extra cycles on an L1 miss that hits L2.
+  uint64_t L1MissPenaltyCycles = 8;
+  /// Extra cycles on an L2 miss (DRAM access).
+  uint64_t L2MissPenaltyCycles = 60;
+
+  /// Instruction overhead charged per scalar load/store beyond the memory
+  /// access itself (address arithmetic).
+  uint64_t ScalarAccessExtraInstructions = 1;
+  /// Loop iteration overhead: induction increment + compare (+ branch is
+  /// counted separately as a branch instruction).
+  uint64_t LoopIterationInstructions = 2;
+  /// Fixed overhead of a memcpy call (call + setup + tail handling).
+  uint64_t MemcpySetupInstructions = 12;
+  /// Bytes moved per vectorized memcpy instruction (NEON 128-bit).
+  uint64_t MemcpyBytesPerInstruction = 16;
+
+  //===------------------------------------------------------------------===//
+  // Caches (paper Fig. 5: [32K, 512K], data + shared)
+  //===------------------------------------------------------------------===//
+
+  int64_t L1SizeBytes = 32 * 1024;
+  int64_t L1Associativity = 4;
+  int64_t L2SizeBytes = 512 * 1024;
+  int64_t L2Associativity = 8;
+  int64_t CacheLineBytes = 64;
+
+  //===------------------------------------------------------------------===//
+  // DMA / AXI
+  //===------------------------------------------------------------------===//
+
+  /// One-time host cost of dma_init: mmap of the DMA regions + engine
+  /// configuration (driver syscalls dominate; calibrated so accelerator
+  /// offload only pays off for problems with dims >= 64, paper Fig. 10).
+  uint64_t DmaInitHostCycles = 450000;
+  /// Host cycles to program a DMA descriptor (dma_start_send/recv).
+  uint64_t DmaStartHostCycles = 600;
+  /// Host cycles spent in dma_wait_*_completion (polling the status reg).
+  uint64_t DmaWaitHostCycles = 400;
+  /// Fabric-side latency per DMA transfer before data starts streaming.
+  uint64_t DmaTransferLatencyFabricCycles = 30;
+  /// Stream width: one 32-bit word per fabric cycle.
+  uint64_t BytesPerFabricCycle = 4;
+
+  /// Converts accumulated cost into milliseconds of task-clock. Host and
+  /// fabric time are serialized, matching the blocking driver the paper
+  /// generates (send -> wait -> compute -> recv -> wait).
+  double taskClockMs(double HostCycles, double FabricCycles) const {
+    return (HostCycles / HostClockHz + FabricCycles / FabricClockHz) * 1e3;
+  }
+};
+
+/// MatMul accelerator arithmetic throughput from Table I (OPs/cycle; one
+/// MAC = 2 OPs). Sizes 4/8/16 -> 10/60/112.
+inline double matmulOpsPerCycle(int64_t AccelSize) {
+  if (AccelSize <= 4)
+    return 10.0;
+  if (AccelSize <= 8)
+    return 60.0;
+  return 112.0;
+}
+
+/// Conv accelerator throughput (OPs/cycle), sized like the v3_8 engines.
+inline double convOpsPerCycle() { return 64.0; }
+
+} // namespace sim
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SIM_COSTMODEL_H

@@ -1,0 +1,81 @@
+//===- DmaEngine.cpp - AXI DMA engine model implementation ----------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/DmaEngine.h"
+
+#include <cassert>
+
+using namespace axi4mlir;
+using namespace axi4mlir::sim;
+
+void DmaEngine::init(const accel::DmaInitConfig &Config) {
+  // Buffer sizes are given in bytes in the config (paper Fig. 6a:
+  // inputBufferSize = 0xFF00).
+  size_t InputWords = static_cast<size_t>(Config.InputBufferSize) / 4;
+  size_t OutputWords = static_cast<size_t>(Config.OutputBufferSize) / 4;
+  InputRegion.assign(std::max<size_t>(InputWords, 1), 0);
+  OutputRegion.assign(std::max<size_t>(OutputWords, 1), 0);
+  Initialized = true;
+  if (Perf)
+    Perf->onHostCycles(Perf->params().DmaInitHostCycles);
+}
+
+void DmaEngine::startSend(size_t Words, size_t OffsetWords) {
+  assert(Initialized && "DMA used before dma_init");
+  if (OffsetWords + Words > InputRegion.size()) {
+    signalError("dma: send burst exceeds the input staging region");
+    return;
+  }
+  if (Perf) {
+    Perf->onHostCycles(Perf->params().DmaStartHostCycles);
+    Perf->onDmaTransfer(Words * 4);
+    Perf->onFabricCycles(
+        static_cast<double>(Perf->params().DmaTransferLatencyFabricCycles) +
+        static_cast<double>(Words * 4) /
+            static_cast<double>(Perf->params().BytesPerFabricCycle));
+  }
+  for (size_t I = 0; I < Words; ++I)
+    Accel->consumeWord(InputRegion[OffsetWords + I]);
+  // The blocking driver waits for the accelerator to absorb the burst, so
+  // compute triggered by this burst lands on the same timeline.
+  if (Perf)
+    Perf->onFabricCycles(Accel->takeComputeCycles());
+}
+
+void DmaEngine::waitSendCompletion() {
+  if (Perf)
+    Perf->onHostCycles(Perf->params().DmaWaitHostCycles);
+}
+
+void DmaEngine::startRecv(size_t Words, size_t OffsetWords) {
+  assert(Initialized && "DMA used before dma_init");
+  if (OffsetWords + Words > OutputRegion.size()) {
+    signalError("dma: recv burst exceeds the output staging region");
+    return;
+  }
+  if (Perf) {
+    Perf->onHostCycles(Perf->params().DmaStartHostCycles);
+    Perf->onDmaTransfer(Words * 4);
+    // Any compute still pending (e.g. triggered by a compute-only opcode).
+    Perf->onFabricCycles(Accel->takeComputeCycles());
+    Perf->onFabricCycles(
+        static_cast<double>(Perf->params().DmaTransferLatencyFabricCycles) +
+        static_cast<double>(Words * 4) /
+            static_cast<double>(Perf->params().BytesPerFabricCycle));
+  }
+  if (Accel->outputAvailable() < Words) {
+    signalError("dma: accelerator produced fewer words than requested");
+    return;
+  }
+  std::vector<uint32_t> Data = Accel->drainOutput(Words);
+  for (size_t I = 0; I < Words; ++I)
+    OutputRegion[OffsetWords + I] = Data[I];
+}
+
+void DmaEngine::waitRecvCompletion() {
+  if (Perf)
+    Perf->onHostCycles(Perf->params().DmaWaitHostCycles);
+}

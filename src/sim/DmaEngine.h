@@ -1,0 +1,87 @@
+//===- DmaEngine.h - AXI DMA engine model -----------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models the Zynq AXI DMA engine and its memory-mapped staging regions
+/// (paper Fig. 1 and Sec. III-A). The host stages data into the input
+/// region (via the runtime's copy_to_dma_region), then dma_start_send
+/// streams a burst to the accelerator over AXI-Stream; results come back
+/// through the output region. Timing: per-transfer host driver overhead
+/// plus fabric streaming cycles plus accelerator compute cycles, all
+/// serialized (blocking driver).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SIM_DMAENGINE_H
+#define AXI4MLIR_SIM_DMAENGINE_H
+
+#include "ir/AccelTraits.h"
+#include "sim/AcceleratorModel.h"
+#include "sim/PerfModel.h"
+
+#include <memory>
+#include <vector>
+
+namespace axi4mlir {
+namespace sim {
+
+/// One DMA engine bound to one accelerator and one perf model.
+class DmaEngine {
+public:
+  DmaEngine(HostPerfModel *Perf, AcceleratorModel *Accel)
+      : Perf(Perf), Accel(Accel) {}
+
+  /// Maps the staging regions and configures the engine (one-time cost).
+  void init(const accel::DmaInitConfig &Config);
+  bool isInitialized() const { return Initialized; }
+
+  /// Host-visible staging buffers (word-addressed).
+  uint32_t *inputRegion() { return InputRegion.data(); }
+  size_t inputRegionWords() const { return InputRegion.size(); }
+  uint32_t *outputRegion() { return OutputRegion.data(); }
+  size_t outputRegionWords() const { return OutputRegion.size(); }
+
+  /// Streams \p Words words starting at \p OffsetWords of the input region
+  /// to the accelerator.
+  void startSend(size_t Words, size_t OffsetWords);
+  void waitSendCompletion();
+
+  /// Collects \p Words words from the accelerator into the output region
+  /// at \p OffsetWords. Blocks (functionally) until available.
+  void startRecv(size_t Words, size_t OffsetWords);
+  void waitRecvCompletion();
+
+  /// True after a protocol error (region overflow, missing output data, or
+  /// an accelerator-side error).
+  bool hadError() const { return ErrorFlag || (Accel && Accel->hadError()); }
+  const std::string &errorMessage() const {
+    if (!ErrorText.empty() || !Accel)
+      return ErrorText;
+    return Accel->errorMessage();
+  }
+
+  AcceleratorModel *accelerator() { return Accel; }
+
+private:
+  void signalError(const std::string &Message) {
+    ErrorFlag = true;
+    if (ErrorText.empty())
+      ErrorText = Message;
+  }
+
+  HostPerfModel *Perf;
+  AcceleratorModel *Accel;
+  std::vector<uint32_t> InputRegion;
+  std::vector<uint32_t> OutputRegion;
+  bool Initialized = false;
+  bool ErrorFlag = false;
+  std::string ErrorText;
+};
+
+} // namespace sim
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SIM_DMAENGINE_H

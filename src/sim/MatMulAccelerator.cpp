@@ -1,0 +1,265 @@
+//===- MatMulAccelerator.cpp - Tile MatMul engine implementation ----------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MatMulAccelerator.h"
+
+#include <cassert>
+
+using namespace axi4mlir;
+using namespace axi4mlir::sim;
+using namespace axi4mlir::sim::opcodes;
+
+AcceleratorModel::~AcceleratorModel() = default;
+
+void AcceleratorModel::reset() {
+  OutputFifo.clear();
+  PendingComputeCycles = 0;
+  ErrorFlag = false;
+  ErrorText.clear();
+}
+
+std::vector<uint32_t> AcceleratorModel::drainOutput(size_t MaxWords) {
+  std::vector<uint32_t> Result;
+  size_t Count = std::min(MaxWords, OutputFifo.size());
+  Result.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    Result.push_back(OutputFifo.front());
+    OutputFifo.pop_front();
+  }
+  return Result;
+}
+
+MatMulAccelerator::MatMulAccelerator(Version Ver, int64_t Size, ElemKind Kind,
+                                     const SoCParams &Params)
+    : Ver(Ver), BaseSize(Size), Kind(Kind), Params(Params), TileM(Size),
+      TileN(Size), TileK(Size) {
+  // v4's internal memories allow rectangular tiles up to 128x the default
+  // square-tile footprint per operand (a v4_16 fits e.g. 32x16x64,
+  // paper Sec. IV-B "flex size").
+  BufferCapacityWords =
+      Ver == Version::V4 ? Size * Size * 16 : Size * Size;
+  reset();
+}
+
+std::string MatMulAccelerator::getName() const {
+  std::string Name = "matmul_v";
+  switch (Ver) {
+  case Version::V1:
+    Name += "1";
+    break;
+  case Version::V2:
+    Name += "2";
+    break;
+  case Version::V3:
+    Name += "3";
+    break;
+  case Version::V4:
+    Name += "4";
+    break;
+  }
+  return Name + "_" + std::to_string(BaseSize);
+}
+
+void MatMulAccelerator::reset() {
+  AcceleratorModel::reset();
+  TileM = TileN = TileK = BaseSize;
+  BufA.assign(static_cast<size_t>(TileM * TileK), 0);
+  BufB.assign(static_cast<size_t>(TileK * TileN), 0);
+  AccC.assign(static_cast<size_t>(TileM * TileN), 0.0);
+  St = State::Idle;
+  Burst.clear();
+  BurstExpected = 0;
+  TilesComputed = 0;
+}
+
+bool MatMulAccelerator::supportsOpcode(uint32_t Opcode) const {
+  switch (Opcode) {
+  case MM_RESET:
+    return true;
+  case MM_SASBCCRC:
+    return Ver == Version::V1;
+  case MM_SA:
+  case MM_SB:
+    return Ver != Version::V1;
+  case MM_CC_RC:
+  case MM_SB_CC_RC:
+  case MM_SA_CC_RC:
+    return Ver == Version::V2 || Ver == Version::V3 || Ver == Version::V4;
+  case MM_CC:
+  case MM_RC:
+    return Ver == Version::V3 || Ver == Version::V4;
+  case MM_CFG:
+    return Ver == Version::V4;
+  default:
+    return false;
+  }
+}
+
+void MatMulAccelerator::consumeWord(uint32_t Word) {
+  if (ErrorFlag)
+    return;
+  switch (St) {
+  case State::Idle:
+    startOpcode(Word);
+    return;
+  case State::ReadCfg:
+  case State::ReadA:
+  case State::ReadB:
+  case State::ReadAThenB:
+    Burst.push_back(Word);
+    if (Burst.size() == BurstExpected)
+      finishBurst();
+    return;
+  }
+}
+
+void MatMulAccelerator::startOpcode(uint32_t Opcode) {
+  if (!supportsOpcode(Opcode)) {
+    signalError(getName() + ": unsupported opcode 0x" +
+                std::to_string(Opcode));
+    return;
+  }
+  CurrentOpcode = Opcode;
+  Burst.clear();
+  switch (Opcode) {
+  case MM_RESET: {
+    // Clear data but keep the error state machinery.
+    int64_t M = TileM, N = TileN, K = TileK;
+    (void)M;
+    (void)N;
+    (void)K;
+    BufA.assign(BufA.size(), 0);
+    BufB.assign(BufB.size(), 0);
+    AccC.assign(AccC.size(), 0.0);
+    St = State::Idle;
+    return;
+  }
+  case MM_CFG:
+    St = State::ReadCfg;
+    BurstExpected = 3; // tM, tK, tN.
+    return;
+  case MM_SA:
+  case MM_SA_CC_RC:
+    St = State::ReadA;
+    BurstExpected = static_cast<size_t>(TileM * TileK);
+    return;
+  case MM_SB:
+  case MM_SB_CC_RC:
+    St = State::ReadB;
+    BurstExpected = static_cast<size_t>(TileK * TileN);
+    return;
+  case MM_SASBCCRC:
+    St = State::ReadAThenB;
+    BurstExpected = static_cast<size_t>(TileM * TileK + TileK * TileN);
+    return;
+  case MM_CC:
+    compute();
+    St = State::Idle;
+    return;
+  case MM_CC_RC:
+    compute();
+    emitC();
+    St = State::Idle;
+    return;
+  case MM_RC:
+    emitC();
+    St = State::Idle;
+    return;
+  default:
+    signalError(getName() + ": unhandled opcode");
+    return;
+  }
+}
+
+void MatMulAccelerator::finishBurst() {
+  switch (St) {
+  case State::ReadCfg: {
+    int64_t NewM = static_cast<int32_t>(Burst[0]);
+    int64_t NewK = static_cast<int32_t>(Burst[1]);
+    int64_t NewN = static_cast<int32_t>(Burst[2]);
+    if (NewM <= 0 || NewK <= 0 || NewN <= 0 ||
+        NewM * NewK > BufferCapacityWords ||
+        NewK * NewN > BufferCapacityWords ||
+        NewM * NewN > BufferCapacityWords) {
+      signalError(getName() + ": cfg tile does not fit internal buffers");
+      return;
+    }
+    TileM = NewM;
+    TileK = NewK;
+    TileN = NewN;
+    BufA.assign(static_cast<size_t>(TileM * TileK), 0);
+    BufB.assign(static_cast<size_t>(TileK * TileN), 0);
+    AccC.assign(static_cast<size_t>(TileM * TileN), 0.0);
+    break;
+  }
+  case State::ReadA:
+    BufA.assign(Burst.begin(), Burst.end());
+    if (CurrentOpcode == MM_SA_CC_RC) {
+      compute();
+      emitC();
+    }
+    break;
+  case State::ReadB:
+    BufB.assign(Burst.begin(), Burst.end());
+    if (CurrentOpcode == MM_SB_CC_RC) {
+      compute();
+      emitC();
+    }
+    break;
+  case State::ReadAThenB:
+    BufA.assign(Burst.begin(), Burst.begin() + TileM * TileK);
+    BufB.assign(Burst.begin() + TileM * TileK, Burst.end());
+    compute();
+    emitC();
+    break;
+  case State::Idle:
+    assert(false && "finishBurst in Idle state");
+    break;
+  }
+  Burst.clear();
+  St = State::Idle;
+}
+
+void MatMulAccelerator::compute() {
+  // C[m][n] += sum_k A[m][k] * B[k][n], elementwise on the configured tile.
+  for (int64_t M = 0; M < TileM; ++M) {
+    for (int64_t N = 0; N < TileN; ++N) {
+      double Sum = 0;
+      for (int64_t K = 0; K < TileK; ++K) {
+        uint32_t AWord = BufA[static_cast<size_t>(M * TileK + K)];
+        uint32_t BWord = BufB[static_cast<size_t>(K * TileN + N)];
+        if (Kind == ElemKind::F32)
+          Sum += static_cast<double>(wordToFloat(AWord)) *
+                 static_cast<double>(wordToFloat(BWord));
+        else
+          Sum += static_cast<double>(static_cast<int32_t>(AWord)) *
+                 static_cast<double>(static_cast<int32_t>(BWord));
+      }
+      AccC[static_cast<size_t>(M * TileN + N)] += Sum;
+    }
+  }
+  // Table I throughput: 2*M*N*K OPs at OPsPerCycle.
+  double Ops = 2.0 * static_cast<double>(TileM) *
+               static_cast<double>(TileN) * static_cast<double>(TileK);
+  chargeCompute(Ops / matmulOpsPerCycle(BaseSize));
+  ++TilesComputed;
+}
+
+void MatMulAccelerator::emitC() {
+  for (int64_t M = 0; M < TileM; ++M) {
+    for (int64_t N = 0; N < TileN; ++N) {
+      double Value = AccC[static_cast<size_t>(M * TileN + N)];
+      if (Kind == ElemKind::F32)
+        pushOutput(floatToWord(static_cast<float>(Value)));
+      else
+        pushOutput(static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int64_t>(Value))));
+    }
+  }
+  // Delivering C clears the accumulator (partial results are accumulated
+  // host-side via accel.recv {mode="accumulate"}).
+  AccC.assign(AccC.size(), 0.0);
+}

@@ -1,0 +1,82 @@
+//===- MatMulAccelerator.h - Tile MatMul engines (Table I) ------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The v1..v4 tile-based MatMul accelerators of paper Table I:
+///
+///   | Type | Possible reuse     | Opcodes            | (Size, OPs/cycle) |
+///   | v1   | Nothing            | sAsBcCrC           | (4,10)(8,60)(16,112)
+///   | v2   | Inputs             | sA, sB, cCrC       |        "
+///   | v3   | Inputs + Output    | sA, sB, cC, rC     |        "
+///   | v4   | Ins/Out, flex size | cfg, sA, sB, cC, rC|        "
+///
+/// All versions share the word-level protocol; versions differ in which
+/// opcodes they accept (reuse capability) and whether tile dimensions are
+/// runtime-configurable (v4, paper Sec. IV-C).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SIM_MATMULACCELERATOR_H
+#define AXI4MLIR_SIM_MATMULACCELERATOR_H
+
+#include "sim/AcceleratorModel.h"
+
+namespace axi4mlir {
+namespace sim {
+
+/// Behavioural model of one MatMul accelerator instance.
+class MatMulAccelerator : public AcceleratorModel {
+public:
+  enum class Version { V1, V2, V3, V4 };
+
+  /// \p Size is the supported square tile size (Table I). For V4 this is
+  /// the default tile; cfg opcodes may change tM/tK/tN at runtime as long
+  /// as each operand tile fits the buffer capacity.
+  MatMulAccelerator(Version Ver, int64_t Size, ElemKind Kind,
+                    const SoCParams &Params);
+
+  void consumeWord(uint32_t Word) override;
+  std::string getName() const override;
+  void reset() override;
+
+  int64_t getTileM() const { return TileM; }
+  int64_t getTileN() const { return TileN; }
+  int64_t getTileK() const { return TileK; }
+  /// Per-operand internal buffer capacity in words.
+  int64_t getBufferCapacityWords() const { return BufferCapacityWords; }
+  uint64_t getTilesComputed() const { return TilesComputed; }
+
+private:
+  bool supportsOpcode(uint32_t Opcode) const;
+  void startOpcode(uint32_t Opcode);
+  void finishBurst();
+  void compute();
+  void emitC();
+
+  Version Ver;
+  int64_t BaseSize;
+  ElemKind Kind;
+  SoCParams Params;
+
+  int64_t TileM, TileN, TileK;
+  int64_t BufferCapacityWords;
+
+  std::vector<uint32_t> BufA, BufB;
+  std::vector<double> AccC; // accumulator (double covers i32 & f32 exactly)
+
+  enum class State { Idle, ReadCfg, ReadA, ReadB, ReadAThenB };
+  State St = State::Idle;
+  uint32_t CurrentOpcode = 0;
+  std::vector<uint32_t> Burst; // words of the burst being received
+  size_t BurstExpected = 0;
+
+  uint64_t TilesComputed = 0;
+};
+
+} // namespace sim
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SIM_MATMULACCELERATOR_H

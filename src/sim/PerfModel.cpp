@@ -1,0 +1,69 @@
+//===- PerfModel.cpp - Host performance model implementation --------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/PerfModel.h"
+
+#include <sstream>
+
+using namespace axi4mlir;
+using namespace axi4mlir::sim;
+
+std::string PerfReport::summary() const {
+  std::ostringstream OS;
+  OS << "task-clock " << TaskClockMs << " ms | instructions " << Instructions
+     << " | branches " << BranchInstructions << " | cache-refs "
+     << CacheReferences << " | cache-misses " << CacheMisses
+     << " | dma-transfers " << DmaTransfers << " (" << DmaBytesMoved
+     << " B)";
+  return OS.str();
+}
+
+void HostPerfModel::onMemcpy(uint64_t Dst, uint64_t Src, uint64_t Bytes) {
+  uint64_t CopyInstructions =
+      Params.MemcpySetupInstructions +
+      (Bytes + Params.MemcpyBytesPerInstruction - 1) /
+          Params.MemcpyBytesPerInstruction;
+  Instructions += CopyInstructions;
+  // A memcpy is almost branch-free: one loop branch per 64-byte chunk.
+  uint64_t Branches = Bytes / 64 + 1;
+  BranchInstructions += Branches;
+  Instructions += Branches;
+  HostCycles += static_cast<double>(CopyInstructions + Branches) *
+                Params.CyclesPerInstruction;
+  HostCycles += static_cast<double>(Cache.accessRange(Src, Bytes));
+  HostCycles += static_cast<double>(Cache.accessRange(Dst, Bytes));
+  Loads += Bytes / Params.MemcpyBytesPerInstruction;
+  Stores += Bytes / Params.MemcpyBytesPerInstruction;
+}
+
+PerfReport HostPerfModel::report() const {
+  PerfReport Report;
+  Report.Instructions = Instructions;
+  Report.BranchInstructions = BranchInstructions;
+  Report.Loads = Loads;
+  Report.Stores = Stores;
+  Report.L1DAccesses = Cache.getReferences();
+  Report.CacheReferences = Cache.getL1Misses();
+  Report.CacheMisses = Cache.getL2Misses();
+  Report.HostCycles = HostCycles;
+  Report.FabricCycles = FabricCycles;
+  Report.DmaTransfers = DmaTransfers;
+  Report.DmaBytesMoved = DmaBytesMoved;
+  Report.TaskClockMs = Params.taskClockMs(HostCycles, FabricCycles);
+  return Report;
+}
+
+void HostPerfModel::reset() {
+  Cache.reset();
+  Instructions = 0;
+  BranchInstructions = 0;
+  Loads = 0;
+  Stores = 0;
+  HostCycles = 0;
+  FabricCycles = 0;
+  DmaTransfers = 0;
+  DmaBytesMoved = 0;
+}

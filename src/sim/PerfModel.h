@@ -1,0 +1,139 @@
+//===- PerfModel.h - Host performance model ---------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HostPerfModel accumulates the perf-style counters the paper reports
+/// (task-clock, cache-references, branch-instructions; Figs. 12 & 16) while
+/// host code executes against the simulator. The interpreter and the DMA
+/// runtime call the on*() hooks; benchmarks read the PerfReport.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SIM_PERFMODEL_H
+#define AXI4MLIR_SIM_PERFMODEL_H
+
+#include "sim/CacheSim.h"
+#include "sim/CostModel.h"
+
+#include <cstdint>
+#include <string>
+
+namespace axi4mlir {
+namespace sim {
+
+/// Snapshot of all counters, in perf nomenclature. Following perf's
+/// defaults on ARM, `cache-references`/`cache-misses` describe the
+/// last-level cache: references = L1D misses that reach the LLC, misses =
+/// LLC misses that reach DRAM.
+struct PerfReport {
+  uint64_t Instructions = 0;
+  uint64_t BranchInstructions = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t L1DAccesses = 0;
+  uint64_t CacheReferences = 0; // LLC accesses (== L1D misses).
+  uint64_t CacheMisses = 0;     // LLC misses (DRAM accesses).
+  double HostCycles = 0;
+  double FabricCycles = 0;
+  uint64_t DmaTransfers = 0;
+  uint64_t DmaBytesMoved = 0;
+  double TaskClockMs = 0;
+
+  std::string summary() const;
+};
+
+/// The mutable counter accumulator + cache simulator.
+class HostPerfModel {
+public:
+  explicit HostPerfModel(const SoCParams &Params)
+      : Params(Params), Cache(Params) {}
+
+  const SoCParams &params() const { return Params; }
+
+  //===------------------------------------------------------------------===//
+  // Host-side events
+  //===------------------------------------------------------------------===//
+
+  /// A scalar load/store of \p Bytes at \p Address.
+  void onScalarLoad(uint64_t Address, unsigned Bytes) {
+    ++Loads;
+    chargeAccess(Address, Bytes);
+  }
+  void onScalarStore(uint64_t Address, unsigned Bytes) {
+    ++Stores;
+    chargeAccess(Address, Bytes);
+  }
+
+  /// Plain ALU instruction(s).
+  void onArith(uint64_t Count = 1) {
+    Instructions += Count;
+    HostCycles += static_cast<double>(Count) * Params.CyclesPerInstruction;
+  }
+
+  /// A (taken or not) branch instruction.
+  void onBranch(uint64_t Count = 1) {
+    BranchInstructions += Count;
+    onArith(Count);
+  }
+
+  /// One loop iteration: induction update + compare + backedge branch.
+  void onLoopIteration() {
+    onArith(Params.LoopIterationInstructions);
+    onBranch();
+  }
+
+  /// A vectorized memcpy of \p Bytes from \p Src to \p Dst (the copy
+  /// specialization of paper Sec. IV-B): per-line cache references and
+  /// ~one instruction per 16 bytes instead of per element.
+  void onMemcpy(uint64_t Dst, uint64_t Src, uint64_t Bytes);
+
+  /// Fixed host-cycle charges (DMA driver calls etc.).
+  void onHostCycles(uint64_t Cycles) {
+    HostCycles += static_cast<double>(Cycles);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Fabric-side events (charged by the DMA engine / accelerator)
+  //===------------------------------------------------------------------===//
+
+  void onFabricCycles(double Cycles) { FabricCycles += Cycles; }
+  void onDmaTransfer(uint64_t Bytes) {
+    ++DmaTransfers;
+    DmaBytesMoved += Bytes;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Reporting
+  //===------------------------------------------------------------------===//
+
+  PerfReport report() const;
+  void reset();
+
+private:
+  void chargeAccess(uint64_t Address, unsigned Bytes) {
+    Instructions += 1 + Params.ScalarAccessExtraInstructions;
+    HostCycles += (1.0 + static_cast<double>(
+                             Params.ScalarAccessExtraInstructions)) *
+                  Params.CyclesPerInstruction;
+    HostCycles += static_cast<double>(Cache.access(Address, Bytes));
+  }
+
+  SoCParams Params;
+  CacheSim Cache;
+  uint64_t Instructions = 0;
+  uint64_t BranchInstructions = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  double HostCycles = 0;
+  double FabricCycles = 0;
+  uint64_t DmaTransfers = 0;
+  uint64_t DmaBytesMoved = 0;
+};
+
+} // namespace sim
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SIM_PERFMODEL_H

@@ -1,0 +1,78 @@
+//===- SoC.h - Bundled system simulator -------------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SoC bundles one host perf model, one accelerator model and one DMA
+/// engine — the simulated equivalent of the paper's PYNQ-Z2 board. Factory
+/// helpers build the Table I accelerator variants and the Conv2D engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SIM_SOC_H
+#define AXI4MLIR_SIM_SOC_H
+
+#include "sim/ConvAccelerator.h"
+#include "sim/DmaEngine.h"
+#include "sim/MatMulAccelerator.h"
+
+#include <memory>
+
+namespace axi4mlir {
+namespace sim {
+
+/// A complete simulated system: CPU cost model + accelerator + DMA.
+class SoC {
+public:
+  SoC(std::unique_ptr<AcceleratorModel> TheAccel, const SoCParams &Params)
+      : Params(Params), Perf(Params), Accel(std::move(TheAccel)),
+        Dma(&Perf, Accel.get()) {}
+
+  /// A CPU-only system (no accelerator); DMA unusable.
+  explicit SoC(const SoCParams &Params)
+      : Params(Params), Perf(Params), Accel(nullptr), Dma(&Perf, nullptr) {}
+
+  const SoCParams &params() const { return Params; }
+  HostPerfModel &perf() { return Perf; }
+  AcceleratorModel *accelerator() { return Accel.get(); }
+  DmaEngine &dma() { return Dma; }
+
+  PerfReport report() const { return Perf.report(); }
+  void resetCounters() { Perf.reset(); }
+
+private:
+  SoCParams Params;
+  HostPerfModel Perf;
+  std::unique_ptr<AcceleratorModel> Accel;
+  DmaEngine Dma;
+};
+
+/// Builds a simulated board hosting a MatMul accelerator of the given
+/// Table I version/size.
+inline std::unique_ptr<SoC>
+makeMatMulSoC(MatMulAccelerator::Version Ver, int64_t Size,
+              ElemKind Kind = ElemKind::I32, SoCParams Params = SoCParams()) {
+  auto Accel = std::make_unique<MatMulAccelerator>(Ver, Size, Kind, Params);
+  return std::make_unique<SoC>(std::move(Accel), Params);
+}
+
+/// Builds a simulated board hosting the Conv2D accelerator.
+inline std::unique_ptr<SoC>
+makeConvSoC(ElemKind Kind = ElemKind::I32, SoCParams Params = SoCParams(),
+            int64_t MaxWindowWords = 256 * 7 * 7) {
+  auto Accel = std::make_unique<ConvAccelerator>(Kind, Params,
+                                                 MaxWindowWords);
+  return std::make_unique<SoC>(std::move(Accel), Params);
+}
+
+/// Builds a CPU-only system (for the mlir_CPU baselines).
+inline std::unique_ptr<SoC> makeCpuOnlySoC(SoCParams Params = SoCParams()) {
+  return std::make_unique<SoC>(Params);
+}
+
+} // namespace sim
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SIM_SOC_H

@@ -1,0 +1,72 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast helpers ---------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal reimplementation of LLVM's opt-in RTTI helpers (isa<>, cast<>,
+/// dyn_cast<>) used throughout the IR and dialect op-view classes. A class
+/// participates by providing a static `bool classof(const From *)` member.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SUPPORT_CASTING_H
+#define AXI4MLIR_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace axi4mlir {
+
+/// Returns true if \p Val is an instance of the target class \p To.
+template <typename To, typename From>
+bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Variadic form: true if \p Val is an instance of any listed class.
+template <typename To, typename Second, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<Second, Rest...>(Val);
+}
+
+/// Checked downcast; asserts on kind mismatch.
+template <typename To, typename From>
+To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible kind");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From>
+const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible kind");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns nullptr on kind mismatch.
+template <typename To, typename From>
+To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Null-tolerant variants.
+template <typename To, typename From>
+To *dyn_cast_if_present(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SUPPORT_CASTING_H

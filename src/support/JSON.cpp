@@ -1,0 +1,307 @@
+//===- JSON.cpp - Relaxed JSON parser implementation ----------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+using namespace axi4mlir;
+using namespace axi4mlir::json;
+
+const Value *Value::get(const std::string &Key) const {
+  for (const auto &[Name, Member] : ObjectVal)
+    if (Name == Key)
+      return &Member;
+  return nullptr;
+}
+
+void Value::set(const std::string &Key, Value V) {
+  for (auto &[Name, Member] : ObjectVal) {
+    if (Name == Key) {
+      Member = std::move(V);
+      return;
+    }
+  }
+  ObjectVal.emplace_back(Key, std::move(V));
+}
+
+int64_t Value::getInt(const std::string &Key, int64_t Default) const {
+  const Value *V = get(Key);
+  if (!V || !(V->isInt() || V->isDouble()))
+    return Default;
+  return V->asInt();
+}
+
+std::string Value::getString(const std::string &Key,
+                             const std::string &Default) const {
+  const Value *V = get(Key);
+  return V && V->isString() ? V->asString() : Default;
+}
+
+namespace {
+
+/// Recursive-descent reader over the relaxed JSON dialect.
+class Lexer {
+public:
+  Lexer(const std::string &Text) : Text(Text) {}
+
+  /// Current position rendered as "line L column C" for diagnostics.
+  std::string locationString() const {
+    unsigned Line = 1, Column = 1;
+    for (size_t I = 0; I < Pos && I < Text.size(); ++I) {
+      if (Text[I] == '\n') {
+        ++Line;
+        Column = 1;
+      } else {
+        ++Column;
+      }
+    }
+    std::ostringstream OS;
+    OS << "line " << Line << " column " << Column;
+    return OS.str();
+  }
+
+  void skipWhitespaceAndComments() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool atEnd() {
+    skipWhitespaceAndComments();
+    return Pos >= Text.size();
+  }
+
+  char peek() {
+    skipWhitespaceAndComments();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+
+  bool consumeIf(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  /// Reads a double-quoted string (no escape support needed for configs,
+  /// but \" and \\ are handled).
+  FailureOr<std::string> readQuotedString() {
+    if (!consumeIf('"'))
+      return failure();
+    std::string Result;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C == '\\' && Pos < Text.size())
+        C = Text[Pos++];
+      Result.push_back(C);
+    }
+    if (Pos >= Text.size())
+      return failure();
+    ++Pos; // closing quote
+    return Result;
+  }
+
+  /// Reads a bare word: identifiers, numbers with size suffixes, hex.
+  std::string readBareWord() {
+    skipWhitespaceAndComments();
+    std::string Result;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '.' || C == '-' || C == '+') {
+        Result.push_back(C);
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    return Result;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+class Parser {
+public:
+  Parser(const std::string &Text) : Lex(Text) {}
+
+  FailureOr<Value> parseValue() {
+    char C = Lex.peek();
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"') {
+      auto Str = Lex.readQuotedString();
+      if (failed(Str))
+        return error("unterminated string");
+      return Value(*Str);
+    }
+    return parseBare();
+  }
+
+  std::string ErrorMessage;
+
+private:
+  FailureOr<Value> error(const std::string &Message) {
+    if (ErrorMessage.empty())
+      ErrorMessage = Message + " at " + Lex.locationString();
+    return failure();
+  }
+
+  /// Parses object member keys: quoted strings or bare identifiers.
+  FailureOr<std::string> parseKey() {
+    if (Lex.peek() == '"') {
+      auto Str = Lex.readQuotedString();
+      if (failed(Str)) {
+        error("unterminated key string");
+        return failure();
+      }
+      return *Str;
+    }
+    std::string Word = Lex.readBareWord();
+    if (Word.empty()) {
+      error("expected object key");
+      return failure();
+    }
+    return Word;
+  }
+
+  FailureOr<Value> parseObject() {
+    Lex.consumeIf('{');
+    Value Result = Value::makeObject();
+    if (Lex.consumeIf('}'))
+      return Result;
+    while (true) {
+      auto Key = parseKey();
+      if (failed(Key))
+        return failure();
+      // Accept both ':' and '=' as key separators (the paper's sample config
+      // mixes the two).
+      if (!Lex.consumeIf(':') && !Lex.consumeIf('='))
+        return error("expected ':' or '=' after object key");
+      auto Member = parseValue();
+      if (failed(Member))
+        return failure();
+      Result.set(*Key, std::move(*Member));
+      if (Lex.consumeIf(',')) {
+        if (Lex.consumeIf('}')) // trailing comma
+          return Result;
+        continue;
+      }
+      if (Lex.consumeIf('}'))
+        return Result;
+      return error("expected ',' or '}' in object");
+    }
+  }
+
+  FailureOr<Value> parseArray() {
+    Lex.consumeIf('[');
+    Value Result = Value::makeArray();
+    if (Lex.consumeIf(']'))
+      return Result;
+    while (true) {
+      auto Element = parseValue();
+      if (failed(Element))
+        return failure();
+      Result.array().push_back(std::move(*Element));
+      if (Lex.consumeIf(',')) {
+        if (Lex.consumeIf(']')) // trailing comma
+          return Result;
+        continue;
+      }
+      if (Lex.consumeIf(']'))
+        return Result;
+      return error("expected ',' or ']' in array");
+    }
+  }
+
+  /// Bare tokens: true/false/null, integers (decimal/hex/size-suffixed),
+  /// doubles, or identifier strings.
+  FailureOr<Value> parseBare() {
+    std::string Word = Lex.readBareWord();
+    if (Word.empty())
+      return error("expected a value");
+    if (Word == "true")
+      return Value(true);
+    if (Word == "false")
+      return Value(false);
+    if (Word == "null")
+      return Value();
+
+    // Hexadecimal.
+    if (Word.size() > 2 && Word[0] == '0' &&
+        (Word[1] == 'x' || Word[1] == 'X')) {
+      char *End = nullptr;
+      int64_t IntValue = std::strtoll(Word.c_str(), &End, 16);
+      if (End && *End == '\0')
+        return Value(IntValue);
+    }
+
+    // Size-suffixed integer: 32K, 512K, 4M, 1G.
+    if (Word.size() >= 2) {
+      char Suffix = Word.back();
+      int64_t Scale = Suffix == 'K'   ? 1024
+                      : Suffix == 'M' ? 1024 * 1024
+                      : Suffix == 'G' ? 1024LL * 1024 * 1024
+                                      : 0;
+      if (Scale != 0) {
+        char *End = nullptr;
+        std::string Digits = Word.substr(0, Word.size() - 1);
+        int64_t IntValue = std::strtoll(Digits.c_str(), &End, 10);
+        if (End && *End == '\0' && !Digits.empty())
+          return Value(IntValue * Scale);
+      }
+    }
+
+    // Plain integer.
+    {
+      char *End = nullptr;
+      int64_t IntValue = std::strtoll(Word.c_str(), &End, 10);
+      if (End && *End == '\0')
+        return Value(IntValue);
+    }
+    // Double.
+    {
+      char *End = nullptr;
+      double DoubleValue = std::strtod(Word.c_str(), &End);
+      if (End && *End == '\0' && Word.find_first_of(".eE") != std::string::npos)
+        return Value(DoubleValue);
+    }
+    // Fallback: identifier-string (e.g. int32, data, m).
+    return Value(Word);
+  }
+
+  Lexer Lex;
+};
+
+} // namespace
+
+FailureOr<Value> json::parse(const std::string &Text,
+                             std::string *ErrorMessage) {
+  Parser P(Text);
+  auto Result = P.parseValue();
+  if (failed(Result)) {
+    if (ErrorMessage)
+      *ErrorMessage = P.ErrorMessage;
+    return failure();
+  }
+  return Result;
+}

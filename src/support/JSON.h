@@ -1,0 +1,108 @@
+//===- JSON.h - Relaxed JSON parser for configuration files -----*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained JSON reader used to parse the accelerator/CPU
+/// configuration files (paper Fig. 5). The dialect is deliberately relaxed
+/// to match the paper's sample config:
+///   * `=` is accepted in place of `:` after object keys;
+///   * bare identifiers (`data`, `int32`, `m`) parse as strings;
+///   * size suffixes (`32K`, `512K`, `4M`) parse as integers;
+///   * hexadecimal integers (`0xFF00`) are accepted;
+///   * trailing commas and `//` line comments are tolerated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SUPPORT_JSON_H
+#define AXI4MLIR_SUPPORT_JSON_H
+
+#include "support/LogicalResult.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace axi4mlir {
+namespace json {
+
+/// A parsed JSON value. Objects preserve key insertion order.
+class Value {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() : TheKind(Kind::Null) {}
+  explicit Value(bool B) : TheKind(Kind::Bool), BoolVal(B) {}
+  explicit Value(int64_t I) : TheKind(Kind::Int), IntVal(I) {}
+  explicit Value(double D) : TheKind(Kind::Double), DoubleVal(D) {}
+  explicit Value(std::string S)
+      : TheKind(Kind::String), StringVal(std::move(S)) {}
+
+  static Value makeArray() {
+    Value V;
+    V.TheKind = Kind::Array;
+    return V;
+  }
+  static Value makeObject() {
+    Value V;
+    V.TheKind = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isNull() const { return TheKind == Kind::Null; }
+  bool isBool() const { return TheKind == Kind::Bool; }
+  bool isInt() const { return TheKind == Kind::Int; }
+  bool isDouble() const { return TheKind == Kind::Double; }
+  bool isString() const { return TheKind == Kind::String; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  bool isObject() const { return TheKind == Kind::Object; }
+
+  bool asBool() const { return BoolVal; }
+  int64_t asInt() const { return TheKind == Kind::Double
+                                     ? static_cast<int64_t>(DoubleVal)
+                                     : IntVal; }
+  double asDouble() const {
+    return TheKind == Kind::Int ? static_cast<double>(IntVal) : DoubleVal;
+  }
+  const std::string &asString() const { return StringVal; }
+
+  std::vector<Value> &array() { return ArrayVal; }
+  const std::vector<Value> &array() const { return ArrayVal; }
+
+  /// Object access. get() returns nullptr for a missing key.
+  const Value *get(const std::string &Key) const;
+  void set(const std::string &Key, Value V);
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return ObjectVal;
+  }
+
+  /// Convenience typed lookups that return a fallback on missing/mismatched
+  /// entries.
+  int64_t getInt(const std::string &Key, int64_t Default = 0) const;
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const;
+
+private:
+  Kind TheKind;
+  bool BoolVal = false;
+  int64_t IntVal = 0;
+  double DoubleVal = 0.0;
+  std::string StringVal;
+  std::vector<Value> ArrayVal;
+  std::vector<std::pair<std::string, Value>> ObjectVal;
+};
+
+/// Parses \p Text. On failure returns failure and fills \p ErrorMessage
+/// (if non-null) with a line/column annotated description.
+FailureOr<Value> parse(const std::string &Text,
+                       std::string *ErrorMessage = nullptr);
+
+} // namespace json
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SUPPORT_JSON_H

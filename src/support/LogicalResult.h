@@ -1,0 +1,78 @@
+//===- LogicalResult.h - MLIR-style success/failure results -----*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LogicalResult / FailureOr<T>, mirroring mlir/Support/LogicalResult.h.
+/// Used as the return type of verifiers, parsers and passes, avoiding
+/// exceptions per the LLVM coding standards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SUPPORT_LOGICALRESULT_H
+#define AXI4MLIR_SUPPORT_LOGICALRESULT_H
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+namespace axi4mlir {
+
+/// Boolean-like result of an operation that can fail. Use the free functions
+/// success()/failure() to construct, and succeeded()/failed() to query.
+class LogicalResult {
+public:
+  static LogicalResult success(bool IsSuccess = true) {
+    return LogicalResult(IsSuccess);
+  }
+  static LogicalResult failure(bool IsFailure = true) {
+    return LogicalResult(!IsFailure);
+  }
+
+  bool succeeded() const { return IsSuccess; }
+  bool failed() const { return !IsSuccess; }
+
+private:
+  explicit LogicalResult(bool IsSuccess) : IsSuccess(IsSuccess) {}
+  bool IsSuccess;
+};
+
+inline LogicalResult success(bool IsSuccess = true) {
+  return LogicalResult::success(IsSuccess);
+}
+inline LogicalResult failure(bool IsFailure = true) {
+  return LogicalResult::failure(IsFailure);
+}
+inline bool succeeded(LogicalResult Result) { return Result.succeeded(); }
+inline bool failed(LogicalResult Result) { return Result.failed(); }
+
+/// A LogicalResult that, on success, carries a value of type T.
+template <typename T>
+class FailureOr : public std::optional<T> {
+public:
+  FailureOr() : std::optional<T>() {}
+  FailureOr(LogicalResult Result) {
+    assert(failed(Result) &&
+           "success should be constructed with an actual value");
+    (void)Result;
+  }
+  FailureOr(T &&Value) : std::optional<T>(std::forward<T>(Value)) {}
+  FailureOr(const T &Value) : std::optional<T>(Value) {}
+
+  operator LogicalResult() const { return success(this->has_value()); }
+};
+
+template <typename T>
+bool succeeded(const FailureOr<T> &Result) {
+  return Result.has_value();
+}
+template <typename T>
+bool failed(const FailureOr<T> &Result) {
+  return !Result.has_value();
+}
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SUPPORT_LOGICALRESULT_H

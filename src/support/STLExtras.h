@@ -1,0 +1,67 @@
+//===- STLExtras.h - Small STL helper utilities -----------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assorted helpers in the spirit of llvm/ADT/STLExtras.h: interleave,
+/// enumerate-free joins, and simple numeric utilities shared across modules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SUPPORT_STLEXTRAS_H
+#define AXI4MLIR_SUPPORT_STLEXTRAS_H
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace axi4mlir {
+
+/// Calls \p EachFn for every element of \p Range, calling \p BetweenFn
+/// between consecutive elements (llvm::interleave).
+template <typename Range, typename EachFn, typename BetweenFn>
+void interleave(const Range &TheRange, EachFn Each, BetweenFn Between) {
+  bool First = true;
+  for (const auto &Element : TheRange) {
+    if (!First)
+      Between();
+    First = false;
+    Each(Element);
+  }
+}
+
+/// Joins the elements of \p Values with \p Sep using operator<<.
+template <typename T>
+std::string join(const std::vector<T> &Values, const std::string &Sep) {
+  std::ostringstream OS;
+  interleave(
+      Values, [&](const T &V) { OS << V; }, [&] { OS << Sep; });
+  return OS.str();
+}
+
+/// Integer ceiling division; requires Divisor > 0.
+inline int64_t ceilDiv(int64_t Numerator, int64_t Divisor) {
+  return (Numerator + Divisor - 1) / Divisor;
+}
+
+/// Rounds \p Value down to the nearest multiple of \p Factor (>= Factor).
+inline int64_t roundDownToMultiple(int64_t Value, int64_t Factor) {
+  int64_t Result = (Value / Factor) * Factor;
+  return Result < Factor ? Factor : Result;
+}
+
+/// Computes the product of a shape vector.
+inline int64_t product(const std::vector<int64_t> &Shape) {
+  int64_t Result = 1;
+  for (int64_t Dim : Shape)
+    Result *= Dim;
+  return Result;
+}
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SUPPORT_STLEXTRAS_H

@@ -1,0 +1,213 @@
+//===- AccelToRuntime.cpp - accel ops -> DMA runtime library calls --------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers accel-dialect ops to func.call ops on the DMA runtime library
+/// (paper Fig. 9 semantics):
+///
+///   accel.send_literal -> axirt.copy_literal_to_dma
+///   accel.send         -> axirt.copy_to_dma
+///   accel.send_dim     -> axirt.copy_literal_to_dma (static dim size)
+///   accel.send_idx     -> axirt.copy_index_to_dma
+///   accel.recv         -> axirt.start_recv + axirt.wait_recv
+///                         + axirt.copy_from_dma {accumulate}
+///
+/// Consecutive staged copies whose offsets chain are batched into a single
+/// axirt.start_send/axirt.wait_send pair ("the offset argument allows for
+/// efficient batching of different data transfers after computing the
+/// total length and executing a single send", paper Sec. III-A).
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialects/Accel.h"
+#include "dialects/Arith.h"
+#include "dialects/SCF.h"
+#include "transforms/Passes.h"
+
+using namespace axi4mlir;
+using namespace axi4mlir::transforms;
+
+namespace {
+
+/// Lowers the accel ops of one block (recursing into nested regions).
+class RuntimeLowering {
+public:
+  RuntimeLowering(MLIRContext *Context, std::string &Error)
+      : Builder(Context), Error(Error) {}
+
+  LogicalResult lowerBlock(Block &TheBlock);
+
+private:
+  /// Flushes an open send chain: emits start_send(end, start) + wait.
+  void flushChain() {
+    if (!ChainOpen)
+      return;
+    Builder.setInsertionPointAfter(LastChainOp);
+    func::CallOp::create(Builder, rtcall::StartSend,
+                         {ChainEndOffset, ChainStartOffset});
+    func::CallOp::create(Builder, rtcall::WaitSend, {});
+    ChainOpen = false;
+    LastChainOp = nullptr;
+  }
+
+  OpBuilder Builder;
+  std::string &Error;
+
+  bool ChainOpen = false;
+  Value ChainStartOffset;
+  Value ChainEndOffset;
+  Operation *LastChainOp = nullptr;
+  /// Maps original accel op results (offsets) to lowered call results.
+  std::map<detail::ValueImpl *, Value> OffsetMapping;
+};
+
+LogicalResult RuntimeLowering::lowerBlock(Block &TheBlock) {
+  // Snapshot: we will insert and erase while iterating.
+  std::vector<Operation *> Ops(TheBlock.getOperations().begin(),
+                               TheBlock.getOperations().end());
+  for (Operation *Op : Ops) {
+    // Recurse into nested loops first; chains never span loop boundaries.
+    if (Op->getNumRegions() > 0) {
+      flushChain();
+      for (unsigned R = 0; R < Op->getNumRegions(); ++R)
+        for (auto &Nested : Op->getRegion(R).getBlocks())
+          if (failed(lowerBlock(*Nested)))
+            return failure();
+      continue;
+    }
+
+    const std::string &Name = Op->getName();
+    bool IsSendLike = Name == accel::SendOp::OpName ||
+                      Name == accel::SendLiteralOp::OpName ||
+                      Name == accel::SendDimOp::OpName ||
+                      Name == accel::SendIdxOp::OpName;
+    bool IsRecv = Name == accel::RecvOp::OpName;
+    bool IsDmaInit = Name == accel::DmaInitOp::OpName;
+    if (!IsSendLike && !IsRecv && !IsDmaInit) {
+      // Pure address/tile computations (constants, index arithmetic,
+      // subviews) may interleave with a batch; anything else flushes it.
+      bool Pure = Name.rfind("arith.", 0) == 0 ||
+                  Name.rfind("memref.subview", 0) == 0;
+      if (!Pure && ChainOpen)
+        flushChain();
+      continue;
+    }
+
+    Builder.setInsertionPoint(Op);
+
+    if (IsDmaInit) {
+      flushChain();
+      const accel::DmaInitConfig &Config =
+          accel::DmaInitOp(Op).getConfig();
+      Operation *Call =
+          func::CallOp::create(Builder, rtcall::DmaInit, {}).getOperation();
+      Call->setAttr("dma_config", Attribute::getDmaConfig(Config));
+      Op->erase();
+      continue;
+    }
+
+    if (IsSendLike) {
+      // Resolve this op's offset operand: it either continues the open
+      // chain or starts a new one.
+      unsigned OffsetIdx = Name == accel::SendLiteralOp::OpName ? 0 : 1;
+      Value OldOffset = Op->getOperand(OffsetIdx);
+      Value NewOffset;
+      auto Mapped = OffsetMapping.find(OldOffset.getImpl());
+      // The operand either still names the original accel result (mapped)
+      // or was already rewritten to the lowered call result.
+      bool Continues =
+          ChainOpen && (OldOffset == ChainEndOffset ||
+                        (Mapped != OffsetMapping.end() &&
+                         Mapped->second == ChainEndOffset));
+      if (!Continues) {
+        flushChain();
+        Builder.setInsertionPoint(Op);
+        NewOffset = Mapped != OffsetMapping.end() ? Mapped->second
+                                                  : OldOffset;
+        ChainStartOffset = NewOffset;
+      } else {
+        NewOffset = ChainEndOffset;
+      }
+
+      func::CallOp Call;
+      Type IndexTy = Builder.getIndexType();
+      if (Name == accel::SendLiteralOp::OpName) {
+        Value Literal =
+            arith::ConstantOp::createInt(
+                Builder, accel::SendLiteralOp(Op).getLiteral(),
+                Builder.getI32Type())
+                .getResult();
+        Call = func::CallOp::create(Builder, rtcall::CopyLiteralToDma,
+                                    {Literal, NewOffset}, {IndexTy});
+      } else if (Name == accel::SendOp::OpName) {
+        Call = func::CallOp::create(Builder, rtcall::CopyToDma,
+                                    {Op->getOperand(0), NewOffset},
+                                    {IndexTy});
+      } else if (Name == accel::SendDimOp::OpName) {
+        // The transmitted size is static: the tile footprint recorded by
+        // the lowering pass, or the memref's dimension as a fallback.
+        MemRefType Ty = Op->getOperand(0).getType().cast<MemRefType>();
+        int64_t DimSize =
+            Op->hasAttr("static_size")
+                ? Op->getIntAttr("static_size")
+                : Ty.getDimSize(static_cast<unsigned>(Op->getIntAttr("dim")));
+        Value Literal = arith::ConstantOp::createInt(Builder, DimSize,
+                                                     Builder.getI32Type())
+                            .getResult();
+        Call = func::CallOp::create(Builder, rtcall::CopyLiteralToDma,
+                                    {Literal, NewOffset}, {IndexTy});
+      } else { // accel.send_idx
+        Call = func::CallOp::create(Builder, rtcall::CopyIndexToDma,
+                                    {Op->getOperand(0), NewOffset},
+                                    {IndexTy});
+      }
+
+      Value Result = Call.getOperation()->getResult(0);
+      OffsetMapping[Op->getResult(0).getImpl()] = Result;
+      // Any residual uses of the old offset result (e.g. by accel.recv)
+      // see the lowered offset.
+      TheBlock.getParentOp()->replaceUsesOfWith(Op->getResult(0), Result);
+      ChainOpen = true;
+      ChainEndOffset = Result;
+      LastChainOp = Call.getOperation();
+      Op->erase();
+      continue;
+    }
+
+    // accel.recv: flush sends, then start/wait/copy-back.
+    flushChain();
+    Builder.setInsertionPoint(Op);
+    accel::RecvOp Recv(Op);
+    MemRefType TileTy = Recv.getMemRef().getType().cast<MemRefType>();
+    Value Length = arith::ConstantOp::createIndex(
+                       Builder, TileTy.getNumElements())
+                       .getResult();
+    Value Zero = arith::ConstantOp::createIndex(Builder, 0).getResult();
+    func::CallOp::create(Builder, rtcall::StartRecv, {Length, Zero});
+    func::CallOp::create(Builder, rtcall::WaitRecv, {});
+    Operation *CopyBack =
+        func::CallOp::create(Builder, rtcall::CopyFromDma,
+                             {Recv.getMemRef(), Zero}, {})
+            .getOperation();
+    CopyBack->setAttr("accumulate",
+                      Attribute::getBool(Recv.getMode() == "accumulate"));
+    // The recv result (an offset) is only used as a chain seed; any such
+    // use restarts from the recv's incoming offset.
+    TheBlock.getParentOp()->replaceUsesOfWith(Op->getResult(0),
+                                              Recv.getOffset());
+    Op->erase();
+  }
+  flushChain();
+  return success();
+}
+
+} // namespace
+
+LogicalResult transforms::convertAccelToRuntime(func::FuncOp Func,
+                                                std::string &Error) {
+  RuntimeLowering Lowering(Func.getOperation()->getContext(), Error);
+  return Lowering.lowerBlock(Func.getBody());
+}

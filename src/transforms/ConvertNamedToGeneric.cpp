@@ -1,0 +1,65 @@
+//===- ConvertNamedToGeneric.cpp - Named linalg ops -> generic ------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the "Convert named ops to linalg.generic" stage of the
+/// pipeline (paper Fig. 4, Fig. 2a): linalg.matmul and
+/// linalg.conv_2d_nchw_fchw are rewritten into linalg.generic ops with the
+/// canonical indexing maps, iterator types, and a mul-add payload.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialects/Arith.h"
+#include "dialects/Linalg.h"
+#include "transforms/Passes.h"
+
+using namespace axi4mlir;
+using namespace axi4mlir::transforms;
+
+/// Builds the multiply-accumulate payload shared by matmul and conv:
+///   %0 = mul(%a, %b); %1 = add(%c, %0); linalg.yield %1
+static void buildMulAddBody(OpBuilder &Builder,
+                            const std::vector<Value> &Args) {
+  bool IsFloat = Args[0].getType().isFloat();
+  Value Product = arith::BinaryOp::create(
+                      Builder, IsFloat ? "arith.mulf" : "arith.muli", Args[0],
+                      Args[1])
+                      .getResult();
+  Value Sum = arith::BinaryOp::create(Builder,
+                                      IsFloat ? "arith.addf" : "arith.addi",
+                                      Args[2], Product)
+                  .getResult();
+  linalg::YieldOp::create(Builder, {Sum});
+}
+
+LogicalResult transforms::convertNamedToGeneric(func::FuncOp Func,
+                                                std::string &Error) {
+  (void)Error;
+  std::vector<Operation *> NamedOps;
+  Func.getOperation()->walk([&](Operation *Op) {
+    if (isa_op<linalg::MatmulOp>(Op) || isa_op<linalg::Conv2DNchwFchwOp>(Op))
+      NamedOps.push_back(Op);
+  });
+
+  OpBuilder Builder(Func.getOperation()->getContext());
+  for (Operation *Op : NamedOps) {
+    Builder.setInsertionPoint(Op);
+    if (auto Matmul = dyn_cast_op<linalg::MatmulOp>(Op)) {
+      linalg::GenericOp::create(
+          Builder, {Matmul.getA(), Matmul.getB()}, {Matmul.getC()},
+          linalg::getMatmulIndexingMaps(), linalg::getMatmulIteratorTypes(),
+          buildMulAddBody);
+    } else {
+      auto Conv = cast_op<linalg::Conv2DNchwFchwOp>(Op);
+      linalg::GenericOp::create(
+          Builder, {Conv.getInput(), Conv.getFilter()}, {Conv.getOutput()},
+          linalg::getConvIndexingMaps(Conv.getStrideH(), Conv.getStrideW()),
+          linalg::getConvIteratorTypes(), buildMulAddBody);
+    }
+    Op->erase();
+  }
+  return success();
+}

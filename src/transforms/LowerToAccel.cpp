@@ -1,0 +1,664 @@
+//===- LowerToAccel.cpp - Tiling + opcode-flow host code generation -------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heart of AXI4MLIR (paper Fig. 4 steps 4-5): lowers an annotated
+/// linalg.generic into
+///
+///   * an optional outer loop nest tiled for the CPU's last-level cache
+///     (temporal locality, DESIGN.md Sec. 5.2),
+///   * an inner loop nest tiled to the accelerator size, ordered by the
+///     permutation_map (stationary dataflows),
+///   * accel-dialect communication ops placed at the loop level dictated
+///     by the opcode_flow scopes and each tile's index dependencies
+///     (DESIGN.md Sec. 5.1) — e.g. paper Fig. 6b for matmul-As and
+///     Fig. 15b for the output-stationary convolution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialects/Accel.h"
+#include "dialects/Arith.h"
+#include "dialects/Linalg.h"
+#include "dialects/MemRef.h"
+#include "dialects/SCF.h"
+#include "transforms/Passes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace axi4mlir;
+using namespace axi4mlir::transforms;
+using accel::OpcodeAction;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Linear analysis of indexing expressions
+//===----------------------------------------------------------------------===//
+
+/// A sum of coeff*dim terms plus a constant: the normal form of every
+/// indexing expression we support (projections and strided convolutions).
+struct LinearExpr {
+  std::vector<std::pair<unsigned, int64_t>> Terms; // (dim, coeff)
+  int64_t Constant = 0;
+};
+
+bool analyzeLinear(AffineExpr Expr, LinearExpr &Out, int64_t Scale = 1) {
+  switch (Expr.getKind()) {
+  case AffineExpr::Kind::Constant:
+    Out.Constant += Scale * Expr.getConstantValue();
+    return true;
+  case AffineExpr::Kind::Dim:
+    Out.Terms.emplace_back(Expr.getPosition(), Scale);
+    return true;
+  case AffineExpr::Kind::Add:
+    return analyzeLinear(Expr.getLHS(), Out, Scale) &&
+           analyzeLinear(Expr.getRHS(), Out, Scale);
+  case AffineExpr::Kind::Mul: {
+    AffineExpr LHS = Expr.getLHS(), RHS = Expr.getRHS();
+    if (RHS.isConstant())
+      return analyzeLinear(LHS, Out, Scale * RHS.getConstantValue());
+    if (LHS.isConstant())
+      return analyzeLinear(RHS, Out, Scale * LHS.getConstantValue());
+    return false;
+  }
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-dimension loop bookkeeping
+//===----------------------------------------------------------------------===//
+
+/// Everything the emitter knows about one kernel dimension.
+struct DimInfo {
+  int64_t Extent = 0;   ///< full problem extent
+  int64_t Tile = 1;     ///< accelerator tile (== Extent if not host-looped)
+  int64_t CpuTile = 0;  ///< CPU cache tile (0 = no CPU loop)
+  bool HasAccelLoop = false;
+  int AccelLoopDepth = -1; ///< depth among emitted accel loops
+  Value AccelIV;
+  Value CpuIV;
+};
+
+/// A token placement decision.
+struct TokenPlacement {
+  const accel::OpcodeEntry *Entry = nullptr;
+  unsigned Depth = 0; ///< number of enclosing accel loops
+  bool Post = false;  ///< insert after (true) or before (false) the child
+                      ///< loop at Depth
+};
+
+//===----------------------------------------------------------------------===//
+// The emitter
+//===----------------------------------------------------------------------===//
+
+class AccelLoweringEmitter {
+public:
+  AccelLoweringEmitter(linalg::GenericOp Generic,
+                       const LoweringOptions &Options, std::string &Error)
+      : Generic(Generic), Op(Generic.getOperation()),
+        Builder(Op->getContext()), Options(Options), Error(Error) {}
+
+  LogicalResult run();
+
+private:
+  LogicalResult analyze();
+  void chooseCpuTiles();
+  LogicalResult placeTokens(const accel::FlowScope &Scope, unsigned Level,
+                            std::vector<TokenPlacement> &Placements);
+  unsigned innerStartOfLevel(unsigned Level) const;
+  unsigned sendTokenDepth(const accel::OpcodeEntry &Entry) const;
+
+  LogicalResult emit();
+  LogicalResult emitInitOpcodes();
+  /// The accelerator-tile footprint of result dimension \p ResultDim of
+  /// operand \p ArgIndex (what send_dim transmits).
+  int64_t operandDimFootprint(int64_t ArgIndex, unsigned ResultDim) const;
+  void buildLoopNest();
+  LogicalResult emitToken(const TokenPlacement &Placement);
+  Value emitSubview(int64_t ArgIndex, unsigned Depth);
+  Value visibleIV(unsigned Dim, unsigned Depth, bool &CoveredByLoop) const;
+
+  Value constantIndex(int64_t V) {
+    return arith::ConstantOp::createIndex(Builder, V).getResult();
+  }
+
+  linalg::GenericOp Generic;
+  Operation *Op;
+  OpBuilder Builder;
+  LoweringOptions Options;
+  std::string &Error;
+
+  // Analysis results.
+  unsigned NumLoops = 0;
+  std::vector<DimInfo> Dims;
+  std::vector<unsigned> Permutation;
+  const accel::OpcodeMapData *OpcodeMap = nullptr;
+  const accel::OpcodeFlowData *Flow = nullptr;
+  const accel::OpcodeFlowData *InitFlow = nullptr;
+  accel::DmaInitConfig DmaConfig;
+
+  /// Dim -> accel-loop depth map and the emitted loops.
+  std::vector<unsigned> AccelLoopDims; // perm-ordered dims with accel loops
+  std::vector<scf::ForOp> AccelLoops;
+  std::vector<scf::ForOp> CpuLoops;
+
+  /// Per-scope-level maximum send-token depth (for recv/literal placement).
+  std::vector<unsigned> LevelSendDepth;
+
+  /// Saved insertion state per (depth, post) while emitting tokens. The
+  /// running offset chains consecutive tokens of a slot into one batched
+  /// DMA transfer (paper Sec. III-A: "computing the total length and
+  /// executing a single send").
+  struct SlotState {
+    OpBuilder::InsertPoint Point;
+    Value ChainOffset;
+  };
+  std::map<std::pair<unsigned, bool>, SlotState> Points;
+};
+
+LogicalResult AccelLoweringEmitter::analyze() {
+  NumLoops = Generic.getNumLoops();
+  std::vector<int64_t> Ranges = Generic.getStaticLoopRanges();
+  if (Ranges.empty()) {
+    Error = "annotated generic has non-inferable loop ranges";
+    return failure();
+  }
+
+  AffineMap TileMap =
+      Op->getAttr(accel::AccelDimAttrName).getAffineMapValue();
+  AffineMap PermMap =
+      Op->getAttr(accel::PermutationMapAttrName).getAffineMapValue();
+  OpcodeMap = &Op->getAttr(accel::OpcodeMapAttrName).getOpcodeMapValue();
+  Flow = &Op->getAttr(accel::OpcodeFlowAttrName).getOpcodeFlowValue();
+  if (Op->hasAttr(accel::InitOpcodesAttrName))
+    InitFlow = &Op->getAttr(accel::InitOpcodesAttrName).getOpcodeFlowValue();
+  DmaConfig = Op->getAttr(accel::DmaInitConfigAttrName).getDmaConfigValue();
+
+  Dims.resize(NumLoops);
+  for (unsigned D = 0; D < NumLoops; ++D) {
+    Dims[D].Extent = Ranges[D];
+    Dims[D].Tile = TileMap.getResult(D).getConstantValue();
+  }
+  Permutation.clear();
+  for (unsigned R = 0; R < PermMap.getNumResults(); ++R)
+    Permutation.push_back(PermMap.getResult(R).getPosition());
+
+  chooseCpuTiles();
+
+  // Decide which dims get accel loops, in permutation order.
+  for (unsigned Dim : Permutation) {
+    int64_t LoopExtent =
+        Dims[Dim].CpuTile ? Dims[Dim].CpuTile : Dims[Dim].Extent;
+    if (Dims[Dim].Tile < LoopExtent) {
+      Dims[Dim].HasAccelLoop = true;
+      Dims[Dim].AccelLoopDepth = static_cast<int>(AccelLoopDims.size());
+      AccelLoopDims.push_back(Dim);
+    }
+  }
+  return success();
+}
+
+void AccelLoweringEmitter::chooseCpuTiles() {
+  if (!Options.EnableCpuTiling)
+    return;
+  // Working set of one CPU tile: sum over operands of the tile footprint
+  // under candidate tile sizes (DESIGN.md Sec. 5.2).
+  auto workingSetBytes = [&](const std::vector<int64_t> &Tiles) -> int64_t {
+    int64_t Total = 0;
+    for (unsigned I = 0, E = Op->getNumOperands(); I < E; ++I) {
+      AffineMap Map = Generic.getIndexingMap(I);
+      int64_t Elements = 1;
+      for (const AffineExpr &Result : Map.getResults()) {
+        LinearExpr Linear;
+        if (!analyzeLinear(Result, Linear))
+          return INT64_MAX;
+        int64_t Size = 1;
+        for (auto [Dim, Coeff] : Linear.Terms)
+          Size += std::abs(Coeff) * (Tiles[Dim] - 1);
+        Elements *= Size;
+      }
+      Total += Elements * Options.ElementBytes;
+    }
+    return Total;
+  };
+
+  // Grow tiles by powers of two above the accelerator tile while the
+  // working set fits in half the last-level cache and the tile divides the
+  // extent.
+  std::vector<int64_t> Best(NumLoops);
+  for (unsigned D = 0; D < NumLoops; ++D)
+    Best[D] = Dims[D].Tile;
+  for (int Step = 0; Step < 12; ++Step) {
+    bool Changed = false;
+    // Round-robin doubling keeps tiles roughly square.
+    for (unsigned D = 0; D < NumLoops; ++D) {
+      int64_t Candidate = Best[D] * 2;
+      if (Candidate > Dims[D].Extent)
+        Candidate = Dims[D].Extent;
+      if (Candidate == Best[D] || Dims[D].Extent % Candidate != 0)
+        continue;
+      std::vector<int64_t> Trial = Best;
+      Trial[D] = Candidate;
+      if (workingSetBytes(Trial) * 2 <= Options.CacheBytes) {
+        Best = Trial;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  for (unsigned D = 0; D < NumLoops; ++D) {
+    // A CPU loop is only worthwhile strictly between tile and extent.
+    if (Best[D] > Dims[D].Tile && Best[D] < Dims[D].Extent)
+      Dims[D].CpuTile = Best[D];
+  }
+}
+
+int64_t AccelLoweringEmitter::operandDimFootprint(int64_t ArgIndex,
+                                                  unsigned ResultDim) const {
+  AffineMap Map = Generic.getIndexingMap(ArgIndex);
+  assert(ResultDim < Map.getNumResults() && "send_dim result out of range");
+  LinearExpr Linear;
+  [[maybe_unused]] bool Ok = analyzeLinear(Map.getResult(ResultDim), Linear);
+  assert(Ok && "non-linear indexing expression in send_dim");
+  int64_t Size = 1;
+  for (auto [Dim, Coeff] : Linear.Terms)
+    Size += std::abs(Coeff) * (Dims[Dim].Tile - 1);
+  return Size;
+}
+
+unsigned AccelLoweringEmitter::sendTokenDepth(
+    const accel::OpcodeEntry &Entry) const {
+  unsigned Depth = 0;
+  for (const OpcodeAction &Action : Entry.Actions) {
+    if (Action.ActionKind != OpcodeAction::Kind::Send)
+      continue;
+    AffineMap Map = Generic.getIndexingMap(Action.ArgIndex);
+    for (unsigned Dim : Map.getAllDimPositions())
+      if (Dims[Dim].HasAccelLoop)
+        Depth = std::max(Depth,
+                         static_cast<unsigned>(Dims[Dim].AccelLoopDepth) + 1);
+  }
+  return Depth;
+}
+
+unsigned AccelLoweringEmitter::innerStartOfLevel(unsigned Level) const {
+  // First loop depth owned by scopes deeper than `Level`: one past the
+  // deepest send of levels <= Level, or the innermost depth if those
+  // levels transfer nothing.
+  if (Level < LevelSendDepth.size() && LevelSendDepth[Level] > 0)
+    return LevelSendDepth[Level];
+  return static_cast<unsigned>(AccelLoops.size());
+}
+
+LogicalResult AccelLoweringEmitter::placeTokens(
+    const accel::FlowScope &Scope, unsigned Level,
+    std::vector<TokenPlacement> &Placements) {
+  bool SeenNestedScope = false;
+  for (const accel::FlowItem &Item : Scope.Items) {
+    if (Item.isScope()) {
+      if (failed(placeTokens(*Item.Scope, Level + 1, Placements)))
+        return failure();
+      SeenNestedScope = true;
+      continue;
+    }
+    const accel::OpcodeEntry *Entry = OpcodeMap->lookup(Item.Token);
+    if (!Entry) {
+      Error = "flow token '" + Item.Token + "' missing from opcode_map";
+      return failure();
+    }
+    TokenPlacement Placement;
+    Placement.Entry = Entry;
+    Placement.Post = SeenNestedScope;
+
+    bool HasSend = false, HasRecv = false;
+    for (const OpcodeAction &Action : Entry->Actions) {
+      HasSend |= Action.ActionKind == OpcodeAction::Kind::Send;
+      HasRecv |= Action.ActionKind == OpcodeAction::Kind::Recv;
+    }
+
+    if (HasSend) {
+      Placement.Depth = sendTokenDepth(*Entry);
+    } else if (HasRecv) {
+      // Hoisted receives cover the loops owned by deeper scopes: only
+      // dimensions of outer loops act as tile offsets.
+      unsigned Limit = innerStartOfLevel(Level);
+      unsigned Depth = 0;
+      for (const OpcodeAction &Action : Entry->Actions) {
+        if (Action.ActionKind != OpcodeAction::Kind::Recv)
+          continue;
+        AffineMap Map = Generic.getIndexingMap(Action.ArgIndex);
+        for (unsigned Dim : Map.getAllDimPositions()) {
+          if (!Dims[Dim].HasAccelLoop)
+            continue;
+          unsigned LoopDepth =
+              static_cast<unsigned>(Dims[Dim].AccelLoopDepth);
+          if (LoopDepth < Limit)
+            Depth = std::max(Depth, LoopDepth + 1);
+        }
+      }
+      // A receive never hoists above sends of its own scope: in a flat Ns
+      // flow (sA sB cC rC) the rC stays innermost alongside the sends;
+      // only when the inner scope owns the reduction loops (Cs / conv-Os)
+      // does the receive land outside them.
+      if (Level < LevelSendDepth.size())
+        Depth = std::max(Depth, LevelSendDepth[Level]);
+      Placement.Depth = Depth;
+    } else {
+      // Literal/config-only tokens (e.g. cC) run at their scope's compute
+      // depth: alongside that scope's deepest sends, or innermost.
+      unsigned Depth = 0;
+      if (Level < LevelSendDepth.size())
+        Depth = LevelSendDepth[Level];
+      Placement.Depth =
+          Depth ? Depth : static_cast<unsigned>(AccelLoops.size());
+    }
+    Placements.push_back(Placement);
+  }
+  return success();
+}
+
+void AccelLoweringEmitter::buildLoopNest() {
+  // CPU-level loops first (permutation order).
+  for (unsigned Dim : Permutation) {
+    if (!Dims[Dim].CpuTile)
+      continue;
+    scf::ForOp Loop = scf::ForOp::create(Builder, constantIndex(0),
+                                         constantIndex(Dims[Dim].Extent),
+                                         constantIndex(Dims[Dim].CpuTile));
+    Dims[Dim].CpuIV = Loop.getInductionVar();
+    CpuLoops.push_back(Loop);
+    Builder.setInsertionPoint(Loop.getBodyTerminator());
+  }
+  // Accelerator-level loops.
+  for (unsigned Dim : AccelLoopDims) {
+    Value LowerBound, UpperBound;
+    if (Dims[Dim].CpuTile) {
+      LowerBound = Dims[Dim].CpuIV;
+      UpperBound = arith::BinaryOp::create(Builder, "arith.addi",
+                                           Dims[Dim].CpuIV,
+                                           constantIndex(Dims[Dim].CpuTile))
+                       .getResult();
+    } else {
+      LowerBound = constantIndex(0);
+      UpperBound = constantIndex(Dims[Dim].Extent);
+    }
+    scf::ForOp Loop = scf::ForOp::create(Builder, LowerBound, UpperBound,
+                                         constantIndex(Dims[Dim].Tile));
+    Dims[Dim].AccelIV = Loop.getInductionVar();
+    AccelLoops.push_back(Loop);
+    Builder.setInsertionPoint(Loop.getBodyTerminator());
+  }
+}
+
+Value AccelLoweringEmitter::visibleIV(unsigned Dim, unsigned Depth,
+                                      bool &CoveredByLoop) const {
+  const DimInfo &Info = Dims[Dim];
+  CoveredByLoop = false;
+  if (Info.HasAccelLoop &&
+      static_cast<unsigned>(Info.AccelLoopDepth) < Depth)
+    return Info.AccelIV;
+  if (Info.HasAccelLoop) {
+    // Hoisted over this accel loop: the tile covers its whole range.
+    CoveredByLoop = true;
+    return Info.CpuIV; // may be null (covers the full extent from 0)
+  }
+  return Value(); // No loop: tile == extent, offset 0.
+}
+
+Value AccelLoweringEmitter::emitSubview(int64_t ArgIndex, unsigned Depth) {
+  Value Operand = Op->getOperand(ArgIndex);
+  MemRefType Ty = Operand.getType().cast<MemRefType>();
+  AffineMap Map = Generic.getIndexingMap(ArgIndex);
+
+  std::vector<Value> Offsets;
+  std::vector<int64_t> Sizes;
+  for (unsigned R = 0; R < Map.getNumResults(); ++R) {
+    LinearExpr Linear;
+    [[maybe_unused]] bool Ok = analyzeLinear(Map.getResult(R), Linear);
+    assert(Ok && "non-linear indexing expression");
+
+    // Offset = const + sum coeff * visible-IV; Size = 1 + sum
+    // coeff * (per-dim footprint - 1).
+    Value Offset;
+    int64_t StaticOffset = Linear.Constant;
+    int64_t Size = 1;
+    for (auto [Dim, Coeff] : Linear.Terms) {
+      bool Covered = false;
+      Value IV = visibleIV(Dim, Depth, Covered);
+      int64_t Footprint;
+      if (Covered)
+        Footprint = Dims[Dim].CpuTile ? Dims[Dim].CpuTile : Dims[Dim].Extent;
+      else if (IV)
+        Footprint = Dims[Dim].Tile;
+      else
+        Footprint = Dims[Dim].Tile; // No loop: tile == covered extent.
+      Size += std::abs(Coeff) * (Footprint - 1);
+      if (!IV)
+        continue;
+      Value Term = IV;
+      if (Coeff != 1)
+        Term = arith::BinaryOp::create(Builder, "arith.muli", IV,
+                                       constantIndex(Coeff))
+                   .getResult();
+      Offset = Offset ? arith::BinaryOp::create(Builder, "arith.addi",
+                                                Offset, Term)
+                            .getResult()
+                      : Term;
+    }
+    if (StaticOffset != 0 || !Offset) {
+      Value Const = constantIndex(StaticOffset);
+      Offset = Offset ? arith::BinaryOp::create(Builder, "arith.addi",
+                                                Offset, Const)
+                            .getResult()
+                      : Const;
+    }
+    Offsets.push_back(Offset);
+    Sizes.push_back(std::min(Size, Ty.getDimSize(R)));
+  }
+  return memref::SubViewOp::create(Builder, Operand, Offsets, Sizes)
+      .getResult();
+}
+
+LogicalResult AccelLoweringEmitter::emitToken(
+    const TokenPlacement &Placement) {
+  unsigned Depth = Placement.Depth;
+  unsigned NumAccelLoops = AccelLoops.size();
+
+  // Restore (or initialize) the insertion point for this placement slot.
+  auto Key = std::make_pair(Depth, Placement.Post);
+  auto It = Points.find(Key);
+  if (It != Points.end()) {
+    Builder.restoreInsertionPoint(It->second.Point);
+  } else if (Depth == NumAccelLoops) {
+    // Innermost: before the innermost terminator (or at the generic's
+    // position when there are no loops at all).
+    if (NumAccelLoops > 0)
+      Builder.setInsertionPoint(AccelLoops.back().getBodyTerminator());
+    else if (!CpuLoops.empty())
+      Builder.setInsertionPoint(CpuLoops.back().getBodyTerminator());
+    // else: Builder already sits at the generic's position.
+  } else if (!Placement.Post) {
+    Builder.setInsertionPoint(AccelLoops[Depth].getOperation());
+  } else {
+    Builder.setInsertionPointAfter(AccelLoops[Depth].getOperation());
+  }
+
+  // Emit the token's actions with offset chaining. Consecutive tokens in
+  // the same slot continue the chain, so e.g. the whole v3 Ns iteration
+  // (sA sB cC rC-opcode) ships as one batched DMA transfer before the
+  // receive.
+  Value Offset = It != Points.end() && It->second.ChainOffset
+                     ? It->second.ChainOffset
+                     : constantIndex(0);
+  for (const OpcodeAction &Action : Placement.Entry->Actions) {
+    switch (Action.ActionKind) {
+    case OpcodeAction::Kind::SendLiteral:
+      Offset = accel::SendLiteralOp::create(Builder, Action.Literal, Offset)
+                   .getResult();
+      break;
+    case OpcodeAction::Kind::Send: {
+      Value Tile = emitSubview(Action.ArgIndex, Depth);
+      Offset = accel::SendOp::create(Builder, Tile, Offset).getResult();
+      break;
+    }
+    case OpcodeAction::Kind::SendDim: {
+      // send_dim transmits the per-kernel tile footprint of an operand
+      // dimension: the conv accelerator's `rst` receives iC and fH (full
+      // extents, Fig. 15a); v4's `cfg` receives the selected tM/tK/tN.
+      int64_t Arg = Action.ArgIndex >= 0 ? Action.ArgIndex : 0;
+      Operation *SendDim =
+          accel::SendDimOp::create(Builder, Op->getOperand(Arg),
+                                   Action.DimIndex, Offset)
+              .getOperation();
+      SendDim->setAttr(
+          "static_size",
+          Attribute::getInteger(operandDimFootprint(
+              Arg, static_cast<unsigned>(Action.DimIndex))));
+      Offset = SendDim->getResult(0);
+      break;
+    }
+    case OpcodeAction::Kind::SendIdx: {
+      unsigned Dim = static_cast<unsigned>(Action.DimIndex);
+      if (Dim >= NumLoops) {
+        Error = "send_idx dimension out of range";
+        return failure();
+      }
+      bool Covered = false;
+      Value IV = visibleIV(Dim, Depth, Covered);
+      if (!IV)
+        IV = constantIndex(0);
+      Offset = accel::SendIdxOp::create(Builder, IV, Offset).getResult();
+      break;
+    }
+    case OpcodeAction::Kind::Recv: {
+      Value Tile = emitSubview(Action.ArgIndex, Depth);
+      Offset = accel::RecvOp::create(Builder, Tile, Offset, "accumulate")
+                   .getResult();
+      break;
+    }
+    }
+  }
+  // A receive consumed the in-flight batch; later tokens start a fresh
+  // chain at offset 0.
+  bool EndsWithRecv = false;
+  for (const OpcodeAction &Action : Placement.Entry->Actions)
+    EndsWithRecv |= Action.ActionKind == OpcodeAction::Kind::Recv;
+  Points[Key] = {Builder.saveInsertionPoint(),
+                 EndsWithRecv ? Value() : Offset};
+  return success();
+}
+
+LogicalResult AccelLoweringEmitter::emitInitOpcodes() {
+  if (!InitFlow)
+    return success();
+  for (const std::string &Token : InitFlow->allTokens()) {
+    const accel::OpcodeEntry *Entry = OpcodeMap->lookup(Token);
+    if (!Entry) {
+      Error = "init opcode '" + Token + "' missing from opcode_map";
+      return failure();
+    }
+    Value Offset = constantIndex(0);
+    for (const OpcodeAction &Action : Entry->Actions) {
+      switch (Action.ActionKind) {
+      case OpcodeAction::Kind::SendLiteral:
+        Offset = accel::SendLiteralOp::create(Builder, Action.Literal,
+                                              Offset)
+                     .getResult();
+        break;
+      case OpcodeAction::Kind::SendDim: {
+        int64_t Arg = Action.ArgIndex >= 0 ? Action.ArgIndex : 0;
+        Operation *SendDim =
+            accel::SendDimOp::create(Builder, Op->getOperand(Arg),
+                                     Action.DimIndex, Offset)
+                .getOperation();
+        SendDim->setAttr(
+            "static_size",
+            Attribute::getInteger(operandDimFootprint(
+                Arg, static_cast<unsigned>(Action.DimIndex))));
+        Offset = SendDim->getResult(0);
+        break;
+      }
+      default:
+        Error = "init_opcodes may only use send_literal and send_dim";
+        return failure();
+      }
+    }
+  }
+  return success();
+}
+
+LogicalResult AccelLoweringEmitter::run() {
+  if (failed(analyze()))
+    return failure();
+
+  // dma_init + init opcodes go right before the loop nest (executed once
+  // per kernel; dma_init itself is idempotent in the runtime).
+  Builder.setInsertionPoint(Op);
+  accel::DmaInitOp::create(Builder, DmaConfig);
+  if (failed(emitInitOpcodes()))
+    return failure();
+
+  buildLoopNest();
+
+  // Pre-compute per-scope-level deepest send depth (controls hoisted-recv
+  // and literal-token placement).
+  {
+    LevelSendDepth.clear();
+    std::function<void(const accel::FlowScope &, unsigned)> Visit =
+        [&](const accel::FlowScope &Scope, unsigned Level) {
+          if (LevelSendDepth.size() <= Level)
+            LevelSendDepth.resize(Level + 1, 0);
+          for (const accel::FlowItem &Item : Scope.Items) {
+            if (Item.isScope()) {
+              Visit(*Item.Scope, Level + 1);
+              continue;
+            }
+            if (const accel::OpcodeEntry *Entry =
+                    OpcodeMap->lookup(Item.Token))
+              LevelSendDepth[Level] =
+                  std::max(LevelSendDepth[Level], sendTokenDepth(*Entry));
+          }
+        };
+    Visit(Flow->Root, 0);
+    // Outer levels bound inner levels from below.
+    for (size_t L = 1; L < LevelSendDepth.size(); ++L)
+      LevelSendDepth[L] = std::max(LevelSendDepth[L], LevelSendDepth[L - 1]);
+  }
+
+  std::vector<TokenPlacement> Placements;
+  if (failed(placeTokens(Flow->Root, 0, Placements)))
+    return failure();
+  for (const TokenPlacement &Placement : Placements)
+    if (failed(emitToken(Placement)))
+      return failure();
+
+  Op->erase();
+  return success();
+}
+
+} // namespace
+
+LogicalResult transforms::lowerToAccel(func::FuncOp Func,
+                                       const LoweringOptions &Options,
+                                       std::string &Error) {
+  std::vector<Operation *> Annotated;
+  Func.getOperation()->walk([&](Operation *Op) {
+    if (isa_op<linalg::GenericOp>(Op) &&
+        Op->hasAttr(accel::OpcodeFlowAttrName))
+      Annotated.push_back(Op);
+  });
+  for (Operation *Op : Annotated) {
+    AccelLoweringEmitter Emitter(linalg::GenericOp(Op), Options, Error);
+    if (failed(Emitter.run()))
+      return failure();
+  }
+  return success();
+}

@@ -1,0 +1,295 @@
+//===- MatchAndAnnotate.cpp - Find and annotate offloadable generics ------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the "Match and Annotate operations for Runtime Replacement"
+/// stage (paper Fig. 4 step 3): linalg.generic ops whose operation traits
+/// (indexing maps + iterator types) structurally match the accelerator's
+/// kernel get the AXI4MLIR trait attributes of paper Fig. 6a attached.
+///
+/// Also implements the default loop-permutation derivation: dimensions
+/// transferred by outer-scope (stationary) send opcodes become outer loops.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialects/Accel.h"
+#include "dialects/Linalg.h"
+#include "transforms/Passes.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace axi4mlir;
+using namespace axi4mlir::transforms;
+using accel::OpcodeAction;
+
+//===----------------------------------------------------------------------===//
+// Permutation derivation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects, per scope depth, the dimensions referenced by send-action
+/// operands of tokens directly in that scope (flow order), assigning each
+/// dimension to the first scope that transfers it.
+void assignDimsToScopes(const accel::FlowScope &Scope, unsigned Depth,
+                        const accel::OpcodeMapData &Map,
+                        const std::vector<AffineMap> &IndexingMaps,
+                        std::vector<std::vector<unsigned>> &DimsPerLevel,
+                        std::set<unsigned> &Assigned) {
+  if (DimsPerLevel.size() <= Depth)
+    DimsPerLevel.resize(Depth + 1);
+  for (const accel::FlowItem &Item : Scope.Items) {
+    if (Item.isScope()) {
+      assignDimsToScopes(*Item.Scope, Depth + 1, Map, IndexingMaps,
+                         DimsPerLevel, Assigned);
+      continue;
+    }
+    const accel::OpcodeEntry *Entry = Map.lookup(Item.Token);
+    if (!Entry)
+      continue;
+    for (const OpcodeAction &Action : Entry->Actions) {
+      if (Action.ActionKind != OpcodeAction::Kind::Send)
+        continue;
+      if (Action.ArgIndex < 0 ||
+          Action.ArgIndex >= static_cast<int64_t>(IndexingMaps.size()))
+        continue;
+      std::set<unsigned> Dims =
+          IndexingMaps[Action.ArgIndex].getAllDimPositions();
+      for (unsigned Dim : Dims) {
+        if (Assigned.insert(Dim).second)
+          DimsPerLevel[Depth].push_back(Dim);
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::vector<unsigned> transforms::derivePermutationFromFlow(
+    const accel::OpcodeFlowData &Flow, const accel::OpcodeMapData &Map,
+    const std::vector<AffineMap> &IndexingMaps, unsigned NumLoops) {
+  std::vector<std::vector<unsigned>> DimsPerLevel;
+  std::set<unsigned> Assigned;
+  assignDimsToScopes(Flow.Root, 0, Map, IndexingMaps, DimsPerLevel,
+                     Assigned);
+
+  std::vector<unsigned> Permutation;
+  for (std::vector<unsigned> &LevelDims : DimsPerLevel) {
+    std::sort(LevelDims.begin(), LevelDims.end());
+    for (unsigned Dim : LevelDims)
+      Permutation.push_back(Dim);
+  }
+  // Dimensions never transferred (e.g. fully accelerator-internal ones)
+  // keep their natural order at the innermost position.
+  for (unsigned Dim = 0; Dim < NumLoops; ++Dim)
+    if (!Assigned.count(Dim))
+      Permutation.push_back(Dim);
+  return Permutation;
+}
+
+//===----------------------------------------------------------------------===//
+// Structural matching
+//===----------------------------------------------------------------------===//
+
+/// Extracts the stride of a conv-style expression `dOuter * s + dInner`
+/// against expected dim positions; returns 0 if the shape doesn't match.
+static int64_t matchStridedExpr(AffineExpr Expr, unsigned OuterDim,
+                                unsigned InnerDim) {
+  if (Expr.getKind() != AffineExpr::Kind::Add)
+    return 0;
+  AffineExpr LHS = Expr.getLHS(), RHS = Expr.getRHS();
+  if (!RHS.isDim() || RHS.getPosition() != InnerDim)
+    return 0;
+  if (LHS.isDim() && LHS.getPosition() == OuterDim)
+    return 1;
+  if (LHS.getKind() == AffineExpr::Kind::Mul && LHS.getLHS().isDim() &&
+      LHS.getLHS().getPosition() == OuterDim && LHS.getRHS().isConstant())
+    return LHS.getRHS().getConstantValue();
+  return 0;
+}
+
+/// True if \p Generic is a canonical matmul generic (paper Fig. 2a traits).
+static bool matchesMatmul(linalg::GenericOp Generic) {
+  if (Generic.getNumInputs() != 2 || Generic.getNumOutputs() != 1 ||
+      Generic.getNumLoops() != 3)
+    return false;
+  if (Generic.getIteratorTypes() != linalg::getMatmulIteratorTypes())
+    return false;
+  std::vector<AffineMap> Expected = linalg::getMatmulIndexingMaps();
+  for (unsigned I = 0; I < 3; ++I)
+    if (!(Generic.getIndexingMap(I) == Expected[I]))
+      return false;
+  return true;
+}
+
+/// True if \p Generic is a canonical conv_2d_nchw_fchw generic; extracts
+/// the strides.
+static bool matchesConv(linalg::GenericOp Generic, int64_t &StrideH,
+                        int64_t &StrideW) {
+  if (Generic.getNumInputs() != 2 || Generic.getNumOutputs() != 1 ||
+      Generic.getNumLoops() != 7)
+    return false;
+  if (Generic.getIteratorTypes() != linalg::getConvIteratorTypes())
+    return false;
+  AffineMap IMap = Generic.getIndexingMap(0);
+  if (IMap.getNumResults() != 4)
+    return false;
+  StrideH = matchStridedExpr(IMap.getResult(2), /*OuterDim=*/2,
+                             /*InnerDim=*/5);
+  StrideW = matchStridedExpr(IMap.getResult(3), /*OuterDim=*/3,
+                             /*InnerDim=*/6);
+  if (StrideH <= 0 || StrideW <= 0)
+    return false;
+  std::vector<AffineMap> Expected =
+      linalg::getConvIndexingMaps(StrideH, StrideW);
+  return IMap == Expected[0] && Generic.getIndexingMap(1) == Expected[1] &&
+         Generic.getIndexingMap(2) == Expected[2];
+}
+
+//===----------------------------------------------------------------------===//
+// Annotation
+//===----------------------------------------------------------------------===//
+
+static LogicalResult annotateGeneric(linalg::GenericOp Generic,
+                                     const parser::AcceleratorDesc &Accel,
+                                     std::string &Error) {
+  Operation *Op = Generic.getOperation();
+  unsigned NumLoops = Generic.getNumLoops();
+
+  std::vector<int64_t> LoopRanges = Generic.getStaticLoopRanges();
+  if (LoopRanges.empty()) {
+    Error = "cannot infer static loop ranges for the annotated generic";
+    return failure();
+  }
+
+  // Resolve the accelerator tile per dimension:
+  //   >0 -> fixed tile; 0 -> per-element host loop (tile 1);
+  //   -1 -> runtime-flexible, use the full extent (the conv accelerator's
+  //         iC/fH/fW, configured through its `rst` opcode).
+  if (Accel.AccelSize.size() != NumLoops) {
+    Error = "accel_size rank (" + std::to_string(Accel.AccelSize.size()) +
+            ") does not match the kernel's loop count (" +
+            std::to_string(NumLoops) + ")";
+    return failure();
+  }
+  std::vector<int64_t> Tiles(NumLoops);
+  for (unsigned D = 0; D < NumLoops; ++D) {
+    int64_t Config = Accel.AccelSize[D];
+    int64_t Extent = LoopRanges[D];
+    if (Config < 0)
+      Tiles[D] = Extent;
+    else if (Config == 0)
+      Tiles[D] = 1;
+    else
+      Tiles[D] = Config;
+    if (Tiles[D] > Extent)
+      Tiles[D] = Extent; // Small problems fit in one accelerator tile.
+    if (Extent % Tiles[D] != 0) {
+      Error = "problem extent " + std::to_string(Extent) + " of dim " +
+              std::to_string(D) + " is not divisible by accelerator tile " +
+              std::to_string(Tiles[D]);
+      return failure();
+    }
+  }
+
+  // Validate opcode arg indices against the operand count.
+  for (const accel::OpcodeEntry &Entry : Accel.OpcodeMap.Entries) {
+    for (const OpcodeAction &Action : Entry.Actions) {
+      bool NeedsArg = Action.ActionKind == OpcodeAction::Kind::Send ||
+                      Action.ActionKind == OpcodeAction::Kind::Recv ||
+                      (Action.ActionKind == OpcodeAction::Kind::SendDim &&
+                       Action.ArgIndex >= 0);
+      if (NeedsArg && (Action.ArgIndex < 0 ||
+                       Action.ArgIndex >=
+                           static_cast<int64_t>(Op->getNumOperands()))) {
+        Error = "opcode '" + Entry.Name +
+                "' references operand #" + std::to_string(Action.ArgIndex) +
+                " but the kernel has " +
+                std::to_string(Op->getNumOperands()) + " operands";
+        return failure();
+      }
+    }
+  }
+
+  const accel::OpcodeFlowData *Flow = Accel.selectedFlow();
+  if (!Flow) {
+    Error = "accelerator '" + Accel.Name + "' has no selected flow";
+    return failure();
+  }
+
+  // Permutation: explicit or derived from the flow.
+  std::vector<unsigned> Permutation;
+  if (Accel.Permutation) {
+    Permutation = *Accel.Permutation;
+    if (Permutation.size() != NumLoops) {
+      Error = "explicit permutation rank mismatch";
+      return failure();
+    }
+  } else {
+    Permutation = derivePermutationFromFlow(
+        *Flow, Accel.OpcodeMap, Generic.getIndexingMaps(), NumLoops);
+  }
+  {
+    std::vector<bool> Seen(NumLoops, false);
+    for (unsigned Dim : Permutation) {
+      if (Dim >= NumLoops || Seen[Dim]) {
+        Error = "derived/explicit loop order is not a permutation";
+        return failure();
+      }
+      Seen[Dim] = true;
+    }
+  }
+
+  Op->setAttr(accel::AcceleratorNameAttrName,
+              Attribute::getString(Accel.Name));
+  Op->setAttr(accel::DmaInitConfigAttrName,
+              Attribute::getDmaConfig(Accel.DmaConfig));
+  Op->setAttr(accel::AccelDimAttrName,
+              Attribute::getAffineMap(AffineMap::getConstant(NumLoops,
+                                                             Tiles)));
+  Op->setAttr(accel::PermutationMapAttrName,
+              Attribute::getAffineMap(AffineMap::getPermutation(Permutation)));
+  Op->setAttr(accel::OpcodeMapAttrName,
+              Attribute::getOpcodeMap(Accel.OpcodeMap));
+  Op->setAttr(accel::OpcodeFlowAttrName, Attribute::getOpcodeFlow(*Flow));
+  if (Accel.InitOpcodes)
+    Op->setAttr(accel::InitOpcodesAttrName,
+                Attribute::getOpcodeFlow(*Accel.InitOpcodes));
+  return success();
+}
+
+LogicalResult transforms::matchAndAnnotate(func::FuncOp Func,
+                                           const parser::AcceleratorDesc &Accel,
+                                           std::string &Error,
+                                           unsigned *NumAnnotated) {
+  unsigned Count = 0;
+  bool Failed = false;
+  Func.getOperation()->walk([&](Operation *Op) {
+    if (Failed)
+      return;
+    auto Generic = dyn_cast_op<linalg::GenericOp>(Op);
+    if (!Generic)
+      return;
+    bool Matches = false;
+    if (Accel.Kernel == "linalg.matmul") {
+      Matches = matchesMatmul(Generic);
+    } else if (Accel.Kernel == "linalg.conv_2d_nchw_fchw") {
+      int64_t StrideH = 0, StrideW = 0;
+      Matches = matchesConv(Generic, StrideH, StrideW);
+    }
+    if (!Matches)
+      return;
+    if (failed(annotateGeneric(Generic, Accel, Error))) {
+      Failed = true;
+      return;
+    }
+    ++Count;
+  });
+  if (NumAnnotated)
+    *NumAnnotated = Count;
+  return failure(Failed);
+}

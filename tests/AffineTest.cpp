@@ -1,0 +1,117 @@
+//===- AffineTest.cpp - Affine expression/map unit tests ------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AffineMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+
+namespace {
+
+TEST(AffineExpr, EvalBasics) {
+  AffineExpr D0 = AffineExpr::getDim(0);
+  AffineExpr D1 = AffineExpr::getDim(1);
+  AffineExpr C2 = AffineExpr::getConstant(2);
+  EXPECT_EQ(D0.eval({5, 7}), 5);
+  EXPECT_EQ((D0 + D1).eval({5, 7}), 12);
+  EXPECT_EQ((D0 * 3).eval({5, 7}), 15);
+  EXPECT_EQ((D0 * 2 + D1).eval({3, 1}), 7); // conv-style oh*2 + fh
+  EXPECT_EQ(C2.eval({}), 2);
+}
+
+TEST(AffineExpr, ModAndFloorDiv) {
+  AffineExpr D0 = AffineExpr::getDim(0);
+  AffineExpr Mod = AffineExpr::getBinary(AffineExpr::Kind::Mod, D0,
+                                         AffineExpr::getConstant(4));
+  AffineExpr Div = AffineExpr::getBinary(AffineExpr::Kind::FloorDiv, D0,
+                                         AffineExpr::getConstant(4));
+  EXPECT_EQ(Mod.eval({10}), 2);
+  EXPECT_EQ(Mod.eval({-1}), 3); // Euclidean semantics.
+  EXPECT_EQ(Div.eval({10}), 2);
+  EXPECT_EQ(Div.eval({-1}), -1);
+}
+
+TEST(AffineExpr, StructuralEquality) {
+  AffineExpr A = AffineExpr::getDim(0) + AffineExpr::getDim(1);
+  AffineExpr B = AffineExpr::getDim(0) + AffineExpr::getDim(1);
+  AffineExpr C = AffineExpr::getDim(1) + AffineExpr::getDim(0);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C); // No canonicalization: structural comparison.
+}
+
+TEST(AffineExpr, CollectAndReplaceDims) {
+  AffineExpr Expr = AffineExpr::getDim(2) * 2 + AffineExpr::getDim(5);
+  std::set<unsigned> Dims;
+  Expr.collectDimPositions(Dims);
+  EXPECT_EQ(Dims, (std::set<unsigned>{2, 5}));
+  AffineExpr Replaced = Expr.replaceDims({0, 1, 7, 3, 4, 9, 6});
+  Dims.clear();
+  Replaced.collectDimPositions(Dims);
+  EXPECT_EQ(Dims, (std::set<unsigned>{7, 9}));
+  EXPECT_EQ(Replaced.eval({0, 0, 0, 0, 0, 0, 0, 3, 0, 4}), 10);
+}
+
+TEST(AffineExpr, Printing) {
+  AffineExpr Expr = AffineExpr::getDim(2) * 2 + AffineExpr::getDim(5);
+  EXPECT_EQ(Expr.str(), "((d2 * 2) + d5)");
+}
+
+TEST(AffineMap, Identity) {
+  AffineMap Map = AffineMap::getMultiDimIdentity(3);
+  EXPECT_EQ(Map.getNumDims(), 3u);
+  EXPECT_EQ(Map.getNumResults(), 3u);
+  EXPECT_TRUE(Map.isPermutation());
+  EXPECT_EQ(Map.eval({4, 5, 6}), (std::vector<int64_t>{4, 5, 6}));
+}
+
+TEST(AffineMap, Permutation) {
+  // The A-stationary loop order of paper Fig. 6a: (m, n, k) -> (m, k, n).
+  AffineMap Map = AffineMap::getPermutation({0, 2, 1});
+  EXPECT_TRUE(Map.isPermutation());
+  EXPECT_EQ(Map.eval({1, 2, 3}), (std::vector<int64_t>{1, 3, 2}));
+  AffineMap NotPerm = AffineMap::getSelect({0, 0}, 2);
+  EXPECT_FALSE(NotPerm.isPermutation());
+  EXPECT_TRUE(NotPerm.isProjectedPermutation());
+}
+
+TEST(AffineMap, SelectMatchesMatmulOperands) {
+  // A: (m, n, k) -> (m, k).
+  AffineMap AMap = AffineMap::getSelect({0, 2}, 3);
+  EXPECT_EQ(AMap.eval({10, 20, 30}), (std::vector<int64_t>{10, 30}));
+  EXPECT_EQ(AMap.getResultDimPositions(1), (std::set<unsigned>{2}));
+  EXPECT_EQ(AMap.getAllDimPositions(), (std::set<unsigned>{0, 2}));
+}
+
+TEST(AffineMap, ConstantMapForAccelDim) {
+  // accel_dim = map<(m, n, k) -> (4, 4, 4)> (paper Fig. 6a L9).
+  AffineMap Map = AffineMap::getConstant(3, {4, 4, 4});
+  EXPECT_EQ(Map.getNumDims(), 3u);
+  EXPECT_EQ(Map.eval({9, 9, 9}), (std::vector<int64_t>{4, 4, 4}));
+  EXPECT_FALSE(Map.isProjectedPermutation());
+  EXPECT_EQ(Map.getResult(0).getConstantValue(), 4);
+}
+
+TEST(AffineMap, EqualityAndPrinting) {
+  EXPECT_EQ(AffineMap::getMultiDimIdentity(2),
+            AffineMap::getMultiDimIdentity(2));
+  EXPECT_NE(AffineMap::getMultiDimIdentity(2),
+            AffineMap::getPermutation({1, 0}));
+  EXPECT_EQ(AffineMap::getPermutation({1, 0}).str(), "(d0, d1) -> (d1, d0)");
+}
+
+TEST(AffineMap, ConvInputMap) {
+  // I: (b, oc, oh, ow, ic, fh, fw) -> (b, ic, oh*2 + fh, ow*2 + fw).
+  AffineExpr B = AffineExpr::getDim(0), OH = AffineExpr::getDim(2),
+             OW = AffineExpr::getDim(3), IC = AffineExpr::getDim(4),
+             FH = AffineExpr::getDim(5), FW = AffineExpr::getDim(6);
+  AffineMap Map = AffineMap::get(7, 0, {B, IC, OH * 2 + FH, OW * 2 + FW});
+  EXPECT_EQ(Map.eval({0, 3, 5, 6, 7, 1, 2}),
+            (std::vector<int64_t>{0, 7, 11, 14}));
+  EXPECT_EQ(Map.getResultDimPositions(2), (std::set<unsigned>{2, 5}));
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+//===- CodegenTest.cpp - C emitter tests ----------------------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "dialects/InitAllDialects.h"
+#include "exec/AccelConfigs.h"
+#include "exec/Pipeline.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+using V = sim::MatMulAccelerator::Version;
+
+namespace {
+
+std::string lowerAndEmit(const char *Flow, int64_t Dims) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func =
+      exec::buildMatMulFunc(Builder, Dims, Dims, Dims, sim::ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
+      exec::makeMatMulConfigJson(V::V3, 8, Flow));
+  std::string Error;
+  transforms::PassManager Pipeline =
+      transforms::buildPipeline(Accel, transforms::LoweringOptions());
+  EXPECT_TRUE(succeeded(Pipeline.run(Func, Error))) << Error;
+  auto Source = codegen::emitC(Func, &Error);
+  EXPECT_TRUE(succeeded(Source)) << Error;
+  return Source ? *Source : "";
+}
+
+TEST(CEmitter, EmitsDriverSkeleton) {
+  std::string Source = lowerAndEmit("Ns", 16);
+  EXPECT_NE(Source.find("void matmul_call(MemRef"), std::string::npos);
+  EXPECT_NE(Source.find("dma_init("), std::string::npos);
+  EXPECT_NE(Source.find("for (int64_t"), std::string::npos);
+  EXPECT_NE(Source.find("memref_subview("), std::string::npos);
+  EXPECT_NE(Source.find("copy_to_dma_region("), std::string::npos);
+  EXPECT_NE(Source.find("copy_literal_to_dma_region("), std::string::npos);
+  EXPECT_NE(Source.find("dma_start_send("), std::string::npos);
+  EXPECT_NE(Source.find("dma_wait_send_completion("), std::string::npos);
+  EXPECT_NE(Source.find("dma_start_recv("), std::string::npos);
+  EXPECT_NE(Source.find("copy_from_dma_region("), std::string::npos);
+  EXPECT_NE(Source.find("/*accumulate=*/true"), std::string::npos);
+}
+
+TEST(CEmitter, LoopNestDepthMatchesFlow) {
+  std::string Ns = lowerAndEmit("Ns", 32);
+  std::string As = lowerAndEmit("As", 32);
+  // Both have three loops...
+  auto countFor = [](const std::string &Text) {
+    size_t Count = 0, Pos = 0;
+    while ((Pos = Text.find("for (int64_t", Pos)) != std::string::npos) {
+      ++Count;
+      Pos += 4;
+    }
+    return Count;
+  };
+  EXPECT_EQ(countFor(Ns), 3u);
+  EXPECT_EQ(countFor(As), 3u);
+  // ...but As copies the A tile before the innermost loop: its first
+  // copy_to_dma_region appears before the third `for`.
+  size_t FirstCopy = As.find("copy_to_dma_region");
+  size_t ThirdFor = As.find("for (int64_t",
+                            As.find("for (int64_t",
+                                    As.find("for (int64_t") + 4) +
+                                4);
+  ASSERT_NE(FirstCopy, std::string::npos);
+  ASSERT_NE(ThirdFor, std::string::npos);
+  EXPECT_LT(FirstCopy, ThirdFor);
+}
+
+TEST(CEmitter, RejectsUnloweredIR) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func =
+      exec::buildMatMulFunc(Builder, 8, 8, 8, sim::ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  std::string Error;
+  EXPECT_TRUE(failed(codegen::emitC(Func, &Error)));
+  EXPECT_NE(Error.find("linalg.matmul"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- ConfigParserTest.cpp - Configuration file parsing tests ------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/AccelConfigs.h"
+#include "parser/ConfigParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+using namespace axi4mlir::parser;
+using V = sim::MatMulAccelerator::Version;
+
+namespace {
+
+/// A hand-written config in the exact spirit of paper Fig. 5.
+const char *Fig5Config = R"json({
+  "cpu" = { "cache-levels": [32K, 512K],
+            "cache-types": [data, shared] },
+  "accelerators" = [
+    { "name": "MM_4x4x4", "version": 1.2, "description": "tile matmul",
+      "dma_config": { "id": 0x0, "inputAddress": 0x42,
+                      "inputBufferSize": 0xFF00, "outputAddress": 0xFF42,
+                      "outputBufferSize": 0xFF00 },
+      "kernel": "linalg.matmul",
+      "accel_size": [4, 4, 4], "data_type": int32,
+      "dims": ["m", "n", "k"],
+      "data": { "A": [m, k], "B": [k, n], "C": [m, n] },
+      "opcode_map": "opcode_map< sA = [send_literal(0x22), send(0)],
+                                 sB = [send_literal(0x23), send(1)],
+                                 sBcCrC = [send_literal(0x25), send(1), recv(2)],
+                                 reset = [send_literal(0xFF)] >",
+      "opcode_flow_map": { "flowID01": "(sA (sBcCrC))",
+                           "flowNs": "(sA sBcCrC)" },
+      "selected_flow": "flowID01",
+      "init_opcodes": "(reset)" }]
+})json";
+
+TEST(ConfigParser, ParsesFig5StyleConfig) {
+  std::string Error;
+  auto Config = parseSystemConfig(Fig5Config, &Error);
+  ASSERT_TRUE(succeeded(Config)) << Error;
+
+  EXPECT_EQ(Config->Cpu.CacheLevelBytes,
+            (std::vector<int64_t>{32 * 1024, 512 * 1024}));
+  EXPECT_EQ(Config->Cpu.lastLevelCacheBytes(), 512 * 1024);
+  EXPECT_EQ(Config->Cpu.CacheTypes[1], "shared");
+
+  ASSERT_EQ(Config->Accelerators.size(), 1u);
+  const AcceleratorDesc &Accel = Config->Accelerators[0];
+  EXPECT_EQ(Accel.Name, "MM_4x4x4");
+  EXPECT_EQ(Accel.Kernel, "linalg.matmul");
+  EXPECT_EQ(Accel.DataType, "int32");
+  EXPECT_EQ(Accel.AccelSize, (std::vector<int64_t>{4, 4, 4}));
+  EXPECT_EQ(Accel.Dims, (std::vector<std::string>{"m", "n", "k"}));
+  EXPECT_EQ(Accel.DmaConfig.InputAddress, 0x42);
+  EXPECT_EQ(Accel.DmaConfig.InputBufferSize, 0xFF00);
+  EXPECT_EQ(Accel.Data.size(), 3u);
+  EXPECT_EQ(Accel.Data[0].first, "A");
+  EXPECT_EQ(Accel.Data[0].second, (std::vector<std::string>{"m", "k"}));
+
+  EXPECT_NE(Accel.OpcodeMap.lookup("sBcCrC"), nullptr);
+  EXPECT_EQ(Accel.FlowMap.size(), 2u);
+  EXPECT_EQ(Accel.SelectedFlow, "flowID01");
+  ASSERT_NE(Accel.selectedFlow(), nullptr);
+  EXPECT_EQ(Accel.selectedFlow()->Root.depth(), 2u);
+  ASSERT_TRUE(Accel.InitOpcodes.has_value());
+  EXPECT_EQ(Accel.InitOpcodes->allTokens(),
+            (std::vector<std::string>{"reset"}));
+  EXPECT_EQ(Config->findByKernel("linalg.matmul"), &Accel);
+  EXPECT_EQ(Config->findByKernel("linalg.conv_2d_nchw_fchw"), nullptr);
+}
+
+TEST(ConfigParser, ScalarAccelSizeBroadcasts) {
+  auto Config = parseSystemConfig(R"json({
+    "accelerators": [{ "name": "a", "kernel": "linalg.matmul",
+      "accel_size": 8,
+      "opcode_map": "t = [send_literal(1), send(0), recv(2)]",
+      "opcode_flow_map": { "Ns": "(t)" } }]
+  })json");
+  ASSERT_TRUE(succeeded(Config));
+  EXPECT_EQ(Config->Accelerators[0].AccelSize,
+            (std::vector<int64_t>{8, 8, 8}));
+  // selected_flow defaults to the first entry.
+  EXPECT_EQ(Config->Accelerators[0].SelectedFlow, "Ns");
+}
+
+TEST(ConfigParser, ExplicitPermutationByName) {
+  auto Config = parseSystemConfig(R"json({
+    "accelerators": [{ "name": "a", "kernel": "linalg.matmul",
+      "accel_size": [4, 4, 4], "dims": [m, n, k],
+      "opcode_map": "t = [send_literal(1), send(0), recv(2)]",
+      "opcode_flow_map": { "Ns": "(t)" },
+      "permutation": [m, k, n] }]
+  })json");
+  ASSERT_TRUE(succeeded(Config));
+  ASSERT_TRUE(Config->Accelerators[0].Permutation.has_value());
+  EXPECT_EQ(*Config->Accelerators[0].Permutation,
+            (std::vector<unsigned>{0, 2, 1}));
+}
+
+TEST(ConfigParser, Diagnostics) {
+  std::string Error;
+  // Missing kernel.
+  EXPECT_TRUE(failed(parseSystemConfig(
+      R"json({"accelerators": [{"name": "x", "accel_size": 4,
+           "opcode_map": "t = [send(0)]",
+           "opcode_flow_map": {"Ns": "(t)"}}]})json",
+      &Error)));
+  EXPECT_NE(Error.find("kernel"), std::string::npos);
+
+  // Flow referencing an unknown opcode.
+  Error.clear();
+  EXPECT_TRUE(failed(parseSystemConfig(
+      R"json({"accelerators": [{"name": "x", "kernel": "linalg.matmul",
+           "accel_size": 4, "opcode_map": "t = [send(0)]",
+           "opcode_flow_map": {"Ns": "(bogus)"}}]})json",
+      &Error)));
+  EXPECT_NE(Error.find("bogus"), std::string::npos);
+
+  // selected_flow that does not exist.
+  Error.clear();
+  EXPECT_TRUE(failed(parseSystemConfig(
+      R"json({"accelerators": [{"name": "x", "kernel": "linalg.matmul",
+           "accel_size": 4, "opcode_map": "t = [send(0)]",
+           "opcode_flow_map": {"Ns": "(t)"}, "selected_flow": "Xs"}]})json",
+      &Error)));
+  EXPECT_NE(Error.find("Xs"), std::string::npos);
+
+  // No accelerators at all.
+  Error.clear();
+  EXPECT_TRUE(failed(parseSystemConfig(R"json({"accelerators": []})json", &Error)));
+
+  // Not JSON.
+  Error.clear();
+  EXPECT_TRUE(failed(parseSystemConfig("12, 13", &Error)));
+}
+
+TEST(ConfigParser, LibraryMatMulConfigsParse) {
+  for (V Version : {V::V1, V::V2, V::V3, V::V4}) {
+    for (int64_t Size : {4, 8, 16}) {
+      std::string Json =
+          exec::makeMatMulConfigJson(Version, Size, "Ns");
+      std::string Error;
+      auto Config = parseSystemConfig(Json, &Error);
+      ASSERT_TRUE(succeeded(Config)) << Error << "\n" << Json;
+      EXPECT_EQ(Config->Accelerators[0].Kernel, "linalg.matmul");
+    }
+  }
+}
+
+TEST(ConfigParser, LibraryConvConfigParses) {
+  std::string Error;
+  auto Config = parseSystemConfig(exec::makeConvConfigJson(), &Error);
+  ASSERT_TRUE(succeeded(Config)) << Error;
+  const AcceleratorDesc &Accel = Config->Accelerators[0];
+  EXPECT_EQ(Accel.Kernel, "linalg.conv_2d_nchw_fchw");
+  EXPECT_EQ(Accel.AccelSize,
+            (std::vector<int64_t>{0, 1, 0, 0, -1, -1, -1}));
+  ASSERT_TRUE(Accel.InitOpcodes.has_value());
+  EXPECT_EQ(Accel.InitOpcodes->allTokens(),
+            (std::vector<std::string>{"rst"}));
+}
+
+TEST(ConfigParser, MissingFileFails) {
+  std::string Error;
+  EXPECT_TRUE(failed(
+      parseSystemConfigFile("/nonexistent/path/config.json", &Error)));
+  EXPECT_NE(Error.find("cannot open"), std::string::npos);
+}
+
+} // namespace

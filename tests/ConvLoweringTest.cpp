@@ -1,0 +1,182 @@
+//===- ConvLoweringTest.cpp - Conv2D lowering structure tests -------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural checks that the convolution lowering reproduces paper
+/// Fig. 15b: the `rst` configuration opcodes run once before the loops,
+/// the filter send (sF) is hoisted to the output-channel loop, the input
+/// windows (sIcO) stream in the innermost spatial loop, and the output
+/// slice receive (rO) lands after the spatial loops (output stationary).
+/// Also validates the checked-in configuration files under configs/.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialects/InitAllDialects.h"
+#include "exec/AccelConfigs.h"
+#include "exec/Pipeline.h"
+#include "ir/Verifier.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+using namespace axi4mlir::transforms;
+
+#ifndef AXI4MLIR_SOURCE_DIR
+#define AXI4MLIR_SOURCE_DIR "."
+#endif
+
+namespace {
+
+unsigned loopDepth(Operation *Op) {
+  unsigned Depth = 0;
+  for (Operation *Parent = Op->getParentOp(); Parent;
+       Parent = Parent->getParentOp())
+    if (Parent->getName() == "scf.for")
+      ++Depth;
+  return Depth;
+}
+
+struct ConvLowered {
+  MLIRContext Context;
+  OpBuilder Builder{&Context};
+  func::FuncOp Func;
+  OwningOpRef Owner;
+
+  ConvLowered(int64_t InHW = 12, int64_t InC = 8, int64_t FilterHW = 3,
+              int64_t OutC = 4, int64_t Stride = 1) {
+    registerAllDialects(Context);
+    Func = exec::buildConvFunc(Builder, 1, InC, InHW, OutC, FilterHW,
+                               Stride, sim::ElemKind::I32);
+    Owner = OwningOpRef(Func.getOperation());
+    parser::AcceleratorDesc Accel =
+        exec::parseSingleAccelerator(exec::makeConvConfigJson());
+    std::string Error;
+    LoweringOptions Options;
+    Options.EnableCpuTiling = false;
+    EXPECT_TRUE(succeeded(convertNamedToGeneric(Func, Error))) << Error;
+    EXPECT_TRUE(succeeded(matchAndAnnotate(Func, Accel, Error))) << Error;
+    EXPECT_TRUE(succeeded(lowerToAccel(Func, Options, Error))) << Error;
+    EXPECT_TRUE(succeeded(verify(Func.getOperation(), Error))) << Error;
+  }
+
+  /// Finds the accel.send whose memref traces back to function argument
+  /// \p ArgIndex (walking through the subview).
+  Operation *findSendOfArgument(unsigned ArgIndex) {
+    Operation *Found = nullptr;
+    Value Arg = Func.getArgument(ArgIndex);
+    Func.getOperation()->walk([&](Operation *Op) {
+      if (Op->getName() != "accel.send" || Found)
+        return;
+      Operation *SubView = Op->getOperand(0).getDefiningOp();
+      if (SubView && SubView->getNumOperands() > 0 &&
+          SubView->getOperand(0) == Arg)
+        Found = Op;
+    });
+    return Found;
+  }
+};
+
+TEST(ConvLowering, ReproducesFig15bStructure) {
+  ConvLowered F;
+
+  // Three loops: oc, oh, ow (b has extent 1; ic/fh/fw live inside the
+  // accelerator).
+  unsigned Loops = 0;
+  F.Func.getOperation()->walk([&](Operation *Op) {
+    if (Op->getName() == "scf.for")
+      ++Loops;
+  });
+  EXPECT_EQ(Loops, 3u);
+
+  // sF (filter = operand 1) inside exactly the oc loop.
+  Operation *SendFilter = F.findSendOfArgument(1);
+  ASSERT_NE(SendFilter, nullptr);
+  EXPECT_EQ(loopDepth(SendFilter), 1u);
+
+  // sIcO (input = operand 0) innermost.
+  Operation *SendWindow = F.findSendOfArgument(0);
+  ASSERT_NE(SendWindow, nullptr);
+  EXPECT_EQ(loopDepth(SendWindow), 3u);
+
+  // rO hoisted to the oc level, placed after the spatial loops.
+  Operation *Recv = nullptr;
+  F.Func.getOperation()->walk([&](Operation *Op) {
+    if (Op->getName() == "accel.recv")
+      Recv = Op;
+  });
+  ASSERT_NE(Recv, nullptr);
+  EXPECT_EQ(loopDepth(Recv), 1u);
+  bool SawSpatialLoop = false;
+  for (Operation *Op : Recv->getBlock()->getOperations()) {
+    if (Op->getName() == "scf.for")
+      SawSpatialLoop = true;
+    if (Op == Recv)
+      break;
+  }
+  EXPECT_TRUE(SawSpatialLoop);
+
+  // The receive's subview covers the whole output slice [1, 1, oH, oW].
+  MemRefType RecvTy = Recv->getOperand(0).getType().cast<MemRefType>();
+  EXPECT_EQ(RecvTy.getShape(), (std::vector<int64_t>{1, 1, 10, 10}));
+}
+
+TEST(ConvLowering, RstSendsFilterSizeAndChannels) {
+  ConvLowered F(/*InHW=*/12, /*InC=*/8, /*FilterHW=*/3);
+  // Two send_dims at function level: fH (3) then iC (8).
+  std::vector<Operation *> SendDims;
+  F.Func.getOperation()->walk([&](Operation *Op) {
+    if (Op->getName() == "accel.send_dim")
+      SendDims.push_back(Op);
+  });
+  ASSERT_EQ(SendDims.size(), 2u);
+  EXPECT_EQ(loopDepth(SendDims[0]), 0u);
+  EXPECT_EQ(SendDims[0]->getIntAttr("static_size"), 3); // fW footprint
+  EXPECT_EQ(SendDims[1]->getIntAttr("static_size"), 8); // iC footprint
+}
+
+TEST(ConvLowering, StridedWindowSubviewShape) {
+  ConvLowered F(/*InHW=*/11, /*InC=*/4, /*FilterHW=*/3, /*OutC=*/2,
+                /*Stride=*/2);
+  Operation *SendWindow = F.findSendOfArgument(0);
+  ASSERT_NE(SendWindow, nullptr);
+  // Window = [1, iC, fH, fW] regardless of stride.
+  MemRefType Ty = SendWindow->getOperand(0).getType().cast<MemRefType>();
+  EXPECT_EQ(Ty.getShape(), (std::vector<int64_t>{1, 4, 3, 3}));
+}
+
+TEST(ConvLowering, CheckedInConfigsParse) {
+  for (const char *Name :
+       {"matmul_v3_16.json", "matmul_v4_16_flex.json", "conv2d.json"}) {
+    std::string Path =
+        std::string(AXI4MLIR_SOURCE_DIR) + "/configs/" + Name;
+    std::string Error;
+    auto Config = parser::parseSystemConfigFile(Path, &Error);
+    ASSERT_TRUE(succeeded(Config)) << Path << ": " << Error;
+    EXPECT_FALSE(Config->Accelerators.empty());
+    EXPECT_NE(Config->Accelerators[0].selectedFlow(), nullptr);
+  }
+}
+
+TEST(ConvLowering, PipelineFromCheckedInConfig) {
+  std::string Path =
+      std::string(AXI4MLIR_SOURCE_DIR) + "/configs/matmul_v3_16.json";
+  std::string Error;
+  auto Config = parser::parseSystemConfigFile(Path, &Error);
+  ASSERT_TRUE(succeeded(Config)) << Error;
+
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func =
+      exec::buildMatMulFunc(Builder, 32, 32, 32, sim::ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  PassManager Pipeline =
+      buildPipeline(Config->Accelerators[0], LoweringOptions());
+  ASSERT_TRUE(succeeded(Pipeline.run(Func, Error))) << Error;
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+//===- HeuristicsTest.cpp - Tiling/dataflow heuristic tests ---------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Heuristics.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+using namespace axi4mlir::exec;
+
+namespace {
+
+TEST(MovementEstimator, ClosedFormValues) {
+  // M=N=K=64, T=16 square tiles, 4 steps per dimension.
+  // Ns: A*4 + B*4 + C*4 = 4096*12.
+  EXPECT_DOUBLE_EQ(estimateMovedElements("Ns", 64, 64, 64, 16, 16, 16),
+                   4096.0 * 12);
+  // As: A once + B per m-step + C per k-step = 4096 * (1 + 4 + 4).
+  EXPECT_DOUBLE_EQ(estimateMovedElements("As", 64, 64, 64, 16, 16, 16),
+                   4096.0 * 9);
+  EXPECT_DOUBLE_EQ(estimateMovedElements("Bs", 64, 64, 64, 16, 16, 16),
+                   4096.0 * 9);
+  EXPECT_DOUBLE_EQ(estimateMovedElements("Cs", 64, 64, 64, 16, 16, 16),
+                   4096.0 * 9);
+}
+
+TEST(MovementEstimator, StationaryAlwaysBeatsNs) {
+  for (int64_t M : {32, 128}) {
+    for (int64_t N : {64, 256}) {
+      double Ns = estimateMovedElements("Ns", M, N, 64, 8, 8, 8);
+      for (const char *Flow : {"As", "Bs", "Cs"})
+        EXPECT_LT(estimateMovedElements(Flow, M, N, 64, 8, 8, 8), Ns)
+            << Flow << " " << M << "x" << N;
+    }
+  }
+}
+
+TEST(SquareTile, PicksLargestFittingDivisor) {
+  // Paper Sec. IV-C: T = 32 for the {32, 256, 512} permutations on v4_16.
+  FlowTilingChoice Choice =
+      chooseSquareTile(256, 32, 512, "Cs", /*CapacityWords=*/16 * 16 * 16);
+  EXPECT_EQ(Choice.TileM, 32);
+  EXPECT_EQ(Choice.TileN, 32);
+  EXPECT_EQ(Choice.TileK, 32);
+  // With a bigger buffer it grows to the largest square divisor.
+  Choice = chooseSquareTile(128, 128, 128, "As", 1 << 20);
+  EXPECT_EQ(Choice.TileM, 128);
+}
+
+TEST(BestFlexible, ReproducesPaperAnnotations) {
+  const int64_t Capacity = 16 * 16 * 16;
+  // Paper Fig. 14 annotates 256_32_512 -> "Cs 128 32 32".
+  FlowTilingChoice Best = chooseBestFlexible(256, 32, 512, Capacity);
+  EXPECT_EQ(Best.Flow, "Cs");
+  EXPECT_EQ(Best.TileM, 128);
+  EXPECT_EQ(Best.TileN, 32);
+  EXPECT_EQ(Best.TileK, 32);
+  // ... and 32_256_512 -> "Cs 32 128 32".
+  Best = chooseBestFlexible(32, 256, 512, Capacity);
+  EXPECT_EQ(Best.Flow, "Cs");
+  EXPECT_EQ(Best.TileM, 32);
+  EXPECT_EQ(Best.TileN, 128);
+  EXPECT_EQ(Best.TileK, 32);
+}
+
+TEST(BestFlexible, NeverWorseThanSquare) {
+  const int64_t Capacity = 16 * 16 * 16;
+  const int64_t Sizes[3] = {32, 256, 512};
+  const int Perms[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                           {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (const auto &Perm : Perms) {
+    int64_t M = Sizes[Perm[0]], N = Sizes[Perm[1]], K = Sizes[Perm[2]];
+    FlowTilingChoice Best = chooseBestFlexible(M, N, K, Capacity);
+    for (const char *Flow : {"As", "Bs", "Cs"}) {
+      FlowTilingChoice Square = chooseSquareTile(M, N, K, Flow, Capacity);
+      EXPECT_LE(Best.MovedElements, Square.MovedElements)
+          << M << "_" << N << "_" << K << " vs " << Flow;
+    }
+  }
+}
+
+TEST(BestFlexible, RespectsCapacity) {
+  FlowTilingChoice Best = chooseBestFlexible(512, 512, 512, 1024);
+  EXPECT_LE(Best.TileM * Best.TileK, 1024);
+  EXPECT_LE(Best.TileK * Best.TileN, 1024);
+  EXPECT_LE(Best.TileM * Best.TileN, 1024);
+}
+
+TEST(BestFlexible, SmallProblemUsesFullExtent) {
+  FlowTilingChoice Best = chooseBestFlexible(8, 8, 8, 1 << 20,
+                                             /*TileQuantum=*/16);
+  // Dimensions below the quantum fall back to the extent itself.
+  EXPECT_EQ(Best.TileM, 8);
+  EXPECT_EQ(Best.TileN, 8);
+  EXPECT_EQ(Best.TileK, 8);
+}
+
+} // namespace

@@ -1,0 +1,266 @@
+//===- IRTest.cpp - Core IR unit tests ------------------------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialects/InitAllDialects.h"
+#include "ir/Builders.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+
+namespace {
+
+TEST(Types, ScalarIdentityAndWidths) {
+  MLIRContext Context;
+  EXPECT_EQ(Type::getI32(&Context), Type::getI32(&Context));
+  EXPECT_NE(Type::getI32(&Context), Type::getF32(&Context));
+  EXPECT_EQ(Type::getF32(&Context).getByteWidth(), 4u);
+  EXPECT_EQ(Type::getI64(&Context).getByteWidth(), 8u);
+  EXPECT_EQ(Type::getIndex(&Context).getByteWidth(), 4u); // 32-bit host
+  EXPECT_TRUE(Type::getIndex(&Context).isIntOrIndex());
+  EXPECT_TRUE(Type::getF64(&Context).isFloat());
+}
+
+TEST(Types, MemRefStructuralEquality) {
+  MLIRContext Context;
+  Type F32 = Type::getF32(&Context);
+  MemRefType A = MemRefType::get(&Context, {4, 8}, F32);
+  MemRefType B = MemRefType::get(&Context, {4, 8}, F32);
+  MemRefType C = MemRefType::get(&Context, {8, 4}, F32);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A.getRank(), 2u);
+  EXPECT_EQ(A.getNumElements(), 32);
+  EXPECT_EQ(A.getStrides(), (std::vector<int64_t>{8, 1}));
+  EXPECT_TRUE(A.isContiguousRowMajor());
+}
+
+TEST(Types, StridedMemRef) {
+  MLIRContext Context;
+  Type I32 = Type::getI32(&Context);
+  MemRefType Tile =
+      MemRefType::getStrided(&Context, {4, 4}, I32, {80, 1}, DynamicSize);
+  EXPECT_TRUE(Tile.hasExplicitStrides());
+  EXPECT_TRUE(Tile.isInnermostContiguous());
+  EXPECT_FALSE(Tile.isContiguousRowMajor());
+  EXPECT_TRUE(isDynamic(Tile.getOffset()));
+  MemRefType Col =
+      MemRefType::getStrided(&Context, {4, 4}, I32, {1, 4}, 0);
+  EXPECT_FALSE(Col.isInnermostContiguous());
+  // Type casting interface.
+  Type Generic = Tile;
+  EXPECT_TRUE(Generic.isa<MemRefType>());
+  EXPECT_EQ(Generic.cast<MemRefType>().getDimSize(1), 4);
+  EXPECT_FALSE(I32.isa<MemRefType>());
+  EXPECT_FALSE(I32.dyn_cast<MemRefType>());
+}
+
+TEST(Types, Printing) {
+  MLIRContext Context;
+  EXPECT_EQ(Type::getF32(&Context).str(), "f32");
+  MemRefType M = MemRefType::get(&Context, {60, 80},
+                                 Type::getF32(&Context));
+  EXPECT_EQ(M.str(), "memref<60x80xf32>");
+  MemRefType S = MemRefType::getStrided(&Context, {4, 4},
+                                        Type::getI32(&Context), {80, 1},
+                                        DynamicSize);
+  EXPECT_EQ(S.str(), "memref<4x4xi32, strided<[80, 1], offset: ?>>");
+}
+
+TEST(Attributes, KindsAndEquality) {
+  EXPECT_EQ(Attribute::getInteger(4), Attribute::getInteger(4));
+  EXPECT_NE(Attribute::getInteger(4), Attribute::getInteger(5));
+  EXPECT_EQ(Attribute::getString("x"), Attribute::getString("x"));
+  EXPECT_NE(Attribute::getString("x"), Attribute::getInteger(4));
+  Attribute Arr = Attribute::getArray(
+      {Attribute::getInteger(1), Attribute::getString("two")});
+  EXPECT_EQ(Arr.getArrayValue().size(), 2u);
+  Attribute Dict = Attribute::getDictionary(
+      {{"k", Attribute::getInteger(9)}});
+  EXPECT_EQ(Dict.getDictionaryEntry("k").getIntValue(), 9);
+  EXPECT_FALSE(Dict.getDictionaryEntry("missing"));
+  EXPECT_TRUE(Attribute::getUnit().isUnit());
+  EXPECT_EQ(Attribute::getBool(true).getIntValue(), 1);
+}
+
+TEST(Attributes, AccelKinds) {
+  accel::DmaInitConfig Config;
+  Config.InputAddress = 0x42;
+  Attribute DmaAttr = Attribute::getDmaConfig(Config);
+  EXPECT_EQ(DmaAttr.getDmaConfigValue().InputAddress, 0x42);
+
+  accel::OpcodeMapData Map;
+  Map.Entries.push_back(
+      {"sA", {accel::OpcodeAction::sendLiteral(0x22),
+              accel::OpcodeAction::send(0)}});
+  Attribute MapAttr = Attribute::getOpcodeMap(Map);
+  ASSERT_NE(MapAttr.getOpcodeMapValue().lookup("sA"), nullptr);
+  EXPECT_EQ(MapAttr.getOpcodeMapValue().lookup("sA")->Actions[0].Literal,
+            0x22);
+  EXPECT_NE(MapAttr.str().find("send_literal(34)"), std::string::npos);
+}
+
+TEST(Operations, CreateAndAccessors) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = func::FuncOp::create(
+      Builder, "f", {MemRefType::get(&Context, {4}, Builder.getF32Type())});
+  OwningOpRef Owner(Func.getOperation());
+  Builder.setInsertionPointToEnd(&Func.getBody());
+
+  Value C0 = arith::ConstantOp::createIndex(Builder, 0).getResult();
+  Value C4 = arith::ConstantOp::createIndex(Builder, 4).getResult();
+  Value C1 = arith::ConstantOp::createIndex(Builder, 1).getResult();
+  scf::ForOp Loop = scf::ForOp::create(Builder, C0, C4, C1);
+  func::ReturnOp::create(Builder);
+
+  EXPECT_EQ(Loop.getLowerBound(), C0);
+  EXPECT_EQ(Loop.getStep(), C1);
+  EXPECT_TRUE(Loop.getInductionVar().isBlockArgument());
+  EXPECT_EQ(Loop.getInductionVar().getType(), Builder.getIndexType());
+  EXPECT_EQ(Loop.getOperation()->getParentOp(), Func.getOperation());
+
+  unsigned Count = 0;
+  Func.getOperation()->walk([&](Operation *) { ++Count; });
+  // func + 3 constants + for + yield + return.
+  EXPECT_EQ(Count, 7u);
+}
+
+TEST(Operations, AttributesAndUseReplacement) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = func::FuncOp::create(Builder, "f", {});
+  OwningOpRef Owner(Func.getOperation());
+  Builder.setInsertionPointToEnd(&Func.getBody());
+  Value A = arith::ConstantOp::createInt(Builder, 1, Builder.getI32Type())
+                .getResult();
+  Value B = arith::ConstantOp::createInt(Builder, 2, Builder.getI32Type())
+                .getResult();
+  Operation *Add =
+      arith::BinaryOp::create(Builder, "arith.addi", A, A).getOperation();
+  func::ReturnOp::create(Builder);
+
+  Add->setAttr("tag", Attribute::getString("x"));
+  EXPECT_TRUE(Add->hasAttr("tag"));
+  Add->setAttr("tag", Attribute::getString("y"));
+  EXPECT_EQ(Add->getStringAttr("tag"), "y");
+  Add->removeAttr("tag");
+  EXPECT_FALSE(Add->hasAttr("tag"));
+
+  Func.getOperation()->replaceUsesOfWith(A, B);
+  EXPECT_EQ(Add->getOperand(0), B);
+  EXPECT_EQ(Add->getOperand(1), B);
+}
+
+TEST(Operations, MoveBeforeAndErase) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = func::FuncOp::create(Builder, "f", {});
+  OwningOpRef Owner(Func.getOperation());
+  Builder.setInsertionPointToEnd(&Func.getBody());
+  Operation *First =
+      arith::ConstantOp::createIndex(Builder, 1).getOperation();
+  Operation *Second =
+      arith::ConstantOp::createIndex(Builder, 2).getOperation();
+  func::ReturnOp::create(Builder);
+
+  Second->moveBefore(First);
+  auto It = Func.getBody().getOperations().begin();
+  EXPECT_EQ(*It, Second);
+  EXPECT_EQ(*std::next(It), First);
+
+  First->erase();
+  EXPECT_EQ(Func.getBody().getOperations().size(), 2u);
+}
+
+TEST(Builder, InsertionPoints) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = func::FuncOp::create(Builder, "f", {});
+  OwningOpRef Owner(Func.getOperation());
+  Builder.setInsertionPointToEnd(&Func.getBody());
+  Operation *Ret = func::ReturnOp::create(Builder).getOperation();
+
+  Builder.setInsertionPoint(Ret);
+  Operation *BeforeRet =
+      arith::ConstantOp::createIndex(Builder, 7).getOperation();
+  Builder.setInsertionPointToStart(&Func.getBody());
+  Operation *AtStart =
+      arith::ConstantOp::createIndex(Builder, 8).getOperation();
+  Builder.setInsertionPointAfter(AtStart);
+  Operation *AfterStart =
+      arith::ConstantOp::createIndex(Builder, 9).getOperation();
+
+  std::vector<Operation *> Order(Func.getBody().getOperations().begin(),
+                                 Func.getBody().getOperations().end());
+  ASSERT_EQ(Order.size(), 4u);
+  EXPECT_EQ(Order[0], AtStart);
+  EXPECT_EQ(Order[1], AfterStart);
+  EXPECT_EQ(Order[2], BeforeRet);
+  EXPECT_EQ(Order[3], Ret);
+}
+
+TEST(Printer, ProducesReadableIR) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = func::FuncOp::create(
+      Builder, "matmul_call",
+      {MemRefType::get(&Context, {8, 8}, Builder.getI32Type())});
+  OwningOpRef Owner(Func.getOperation());
+  Builder.setInsertionPointToEnd(&Func.getBody());
+  Value C0 = arith::ConstantOp::createIndex(Builder, 0).getResult();
+  scf::ForOp::create(Builder, C0, C0, C0);
+  func::ReturnOp::create(Builder);
+
+  std::string Text = Func.getOperation()->str();
+  EXPECT_NE(Text.find("func.func"), std::string::npos);
+  EXPECT_NE(Text.find("scf.for"), std::string::npos);
+  EXPECT_NE(Text.find("arith.constant"), std::string::npos);
+  EXPECT_NE(Text.find("memref<8x8xi32>"), std::string::npos);
+  EXPECT_NE(Text.find("sym_name = \"matmul_call\""), std::string::npos);
+}
+
+TEST(Verifier, AcceptsWellFormedAndRejectsBroken) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = func::FuncOp::create(Builder, "f", {});
+  OwningOpRef Owner(Func.getOperation());
+  Builder.setInsertionPointToEnd(&Func.getBody());
+  func::ReturnOp::create(Builder);
+  std::string Error;
+  EXPECT_TRUE(succeeded(verify(Func.getOperation(), Error))) << Error;
+
+  // Unregistered op name.
+  Builder.setInsertionPointToStart(&Func.getBody());
+  Builder.create("bogus.op");
+  EXPECT_TRUE(failed(verify(Func.getOperation(), Error)));
+  EXPECT_NE(Error.find("bogus.op"), std::string::npos);
+}
+
+TEST(Verifier, ChecksOperandContracts) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = func::FuncOp::create(Builder, "f", {});
+  OwningOpRef Owner(Func.getOperation());
+  Builder.setInsertionPointToEnd(&Func.getBody());
+  Value C0 = arith::ConstantOp::createIndex(Builder, 0).getResult();
+  // scf.for with only two operands.
+  Builder.create("scf.for", {C0, C0}, {}, {}, /*NumRegions=*/1);
+  func::ReturnOp::create(Builder);
+  std::string Error;
+  EXPECT_TRUE(failed(verify(Func.getOperation(), Error)));
+  EXPECT_NE(Error.find("scf.for"), std::string::npos);
+}
+
+} // namespace

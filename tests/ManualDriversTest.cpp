@@ -1,0 +1,127 @@
+//===- ManualDriversTest.cpp - Hand-written baseline driver tests ---------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ManualDrivers.h"
+#include "exec/Reference.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+using namespace axi4mlir::exec;
+using runtime::MemRefDesc;
+using V = sim::MatMulAccelerator::Version;
+
+namespace {
+
+struct Problem {
+  MemRefDesc A, B, C, Expected;
+
+  Problem(int64_t M, int64_t N, int64_t K, uint32_t Seed) {
+    A = MemRefDesc::alloc({M, K});
+    B = MemRefDesc::alloc({K, N});
+    C = MemRefDesc::alloc({M, N});
+    fillRandom(A, Seed);
+    fillRandom(B, Seed + 1);
+    fillRandom(C, Seed + 2);
+    Expected = cloneMemRef(C);
+    referenceMatMul(A, B, Expected);
+  }
+};
+
+void expectManualMatches(V Version, int64_t Size, const std::string &Flow,
+                         int64_t M, int64_t N, int64_t K) {
+  Problem P(M, N, K, 17);
+  auto Soc = sim::makeMatMulSoC(Version, Size);
+  runtime::DmaRuntime Runtime(*Soc);
+  ManualMatMulConfig Config;
+  Config.Version = Version;
+  Config.TileM = Config.TileN = Config.TileK = Size;
+  Config.Flow = Flow;
+  ASSERT_TRUE(runManualMatMul(Runtime, P.A, P.B, P.C, Config))
+      << Runtime.errorMessage();
+  EXPECT_TRUE(memrefEquals(P.Expected, P.C))
+      << "v" << static_cast<int>(Version) << " " << Flow;
+}
+
+TEST(ManualMatMul, V1Ns) { expectManualMatches(V::V1, 4, "Ns", 16, 16, 16); }
+TEST(ManualMatMul, V2Ns) { expectManualMatches(V::V2, 8, "Ns", 24, 16, 32); }
+TEST(ManualMatMul, V2As) { expectManualMatches(V::V2, 8, "As", 24, 16, 32); }
+TEST(ManualMatMul, V2Bs) { expectManualMatches(V::V2, 8, "Bs", 24, 16, 32); }
+TEST(ManualMatMul, V3Ns) { expectManualMatches(V::V3, 8, "Ns", 16, 24, 32); }
+TEST(ManualMatMul, V3As) { expectManualMatches(V::V3, 8, "As", 16, 24, 32); }
+TEST(ManualMatMul, V3Bs) { expectManualMatches(V::V3, 8, "Bs", 16, 24, 32); }
+TEST(ManualMatMul, V3Cs) { expectManualMatches(V::V3, 8, "Cs", 16, 24, 32); }
+
+TEST(ManualMatMul, V4RectangularTiles) {
+  Problem P(32, 16, 64, 23);
+  auto Soc = sim::makeMatMulSoC(V::V4, 16);
+  runtime::DmaRuntime Runtime(*Soc);
+  ManualMatMulConfig Config;
+  Config.Version = V::V4;
+  Config.TileM = 16;
+  Config.TileN = 8;
+  Config.TileK = 32;
+  Config.Flow = "Cs";
+  ASSERT_TRUE(runManualMatMul(Runtime, P.A, P.B, P.C, Config))
+      << Runtime.errorMessage();
+  EXPECT_TRUE(memrefEquals(P.Expected, P.C));
+}
+
+TEST(ManualMatMul, StationaryFlowsMoveLessData) {
+  auto run = [&](const std::string &Flow) {
+    Problem P(32, 32, 32, 5);
+    auto Soc = sim::makeMatMulSoC(V::V3, 8);
+    runtime::DmaRuntime Runtime(*Soc);
+    ManualMatMulConfig Config;
+    Config.Version = V::V3;
+    Config.TileM = Config.TileN = Config.TileK = 8;
+    Config.Flow = Flow;
+    EXPECT_TRUE(runManualMatMul(Runtime, P.A, P.B, P.C, Config));
+    return Soc->report().DmaBytesMoved;
+  };
+  uint64_t Ns = run("Ns"), As = run("As"), Cs = run("Cs");
+  EXPECT_LT(As, Ns);
+  EXPECT_LT(Cs, Ns);
+}
+
+TEST(ManualConv, MatchesReferenceStride1And2) {
+  for (int64_t Stride : {1, 2}) {
+    MemRefDesc I = MemRefDesc::alloc({1, 4, 11, 11});
+    MemRefDesc W = MemRefDesc::alloc({3, 4, 3, 3});
+    int64_t OutHW = (11 - 3) / Stride + 1;
+    MemRefDesc O = MemRefDesc::alloc({1, 3, OutHW, OutHW});
+    fillRandom(I, 31);
+    fillRandom(W, 32);
+    fillRandom(O, 33);
+    MemRefDesc Expected = cloneMemRef(O);
+    referenceConv2D(I, W, Expected, Stride, Stride);
+
+    auto Soc = sim::makeConvSoC();
+    runtime::DmaRuntime Runtime(*Soc);
+    ASSERT_TRUE(runManualConv2D(Runtime, I, W, O, Stride, Stride))
+        << Runtime.errorMessage();
+    EXPECT_TRUE(memrefEquals(Expected, O)) << "stride " << Stride;
+  }
+}
+
+TEST(ManualConv, UnitFilter) {
+  // fHW == 1 (the pointwise layers of Fig. 16).
+  MemRefDesc I = MemRefDesc::alloc({1, 6, 5, 5});
+  MemRefDesc W = MemRefDesc::alloc({4, 6, 1, 1});
+  MemRefDesc O = MemRefDesc::alloc({1, 4, 3, 3});
+  fillRandom(I, 41);
+  fillRandom(W, 42);
+  MemRefDesc Expected = cloneMemRef(O);
+  referenceConv2D(I, W, Expected, 2, 2);
+
+  auto Soc = sim::makeConvSoC();
+  runtime::DmaRuntime Runtime(*Soc);
+  ASSERT_TRUE(runManualConv2D(Runtime, I, W, O, 2, 2))
+      << Runtime.errorMessage();
+  EXPECT_TRUE(memrefEquals(Expected, O));
+}
+
+} // namespace

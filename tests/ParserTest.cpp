@@ -1,0 +1,163 @@
+//===- ParserTest.cpp - opcode_map / opcode_flow grammar tests ------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the Fig. 7 / Fig. 8 grammars against the exact strings the paper
+/// shows (matmul Fig. 6a, conv Fig. 15a) plus malformed-input diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/OpcodeParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+using namespace axi4mlir::parser;
+using accel::OpcodeAction;
+
+namespace {
+
+TEST(OpcodeMapParser, PaperFig6aMatmul) {
+  // Verbatim structure of paper Fig. 6a L14-L20.
+  auto Map = parseOpcodeMap(
+      "opcode_map < "
+      "sA = [send_literal(0x22), send(0)], "
+      "sB = [send_literal(0x23), send(1)], "
+      "cC = [send_literal(0xF0)], "
+      "rC = [send_literal(0x24), recv(2)], "
+      "sBcCrC = [send_literal(0x25), send(1), recv(2)], "
+      "reset = [send_literal(0xFF)] >");
+  ASSERT_TRUE(succeeded(Map));
+  EXPECT_EQ(Map->Entries.size(), 6u);
+
+  const accel::OpcodeEntry *SA = Map->lookup("sA");
+  ASSERT_NE(SA, nullptr);
+  ASSERT_EQ(SA->Actions.size(), 2u);
+  EXPECT_EQ(SA->Actions[0].ActionKind, OpcodeAction::Kind::SendLiteral);
+  EXPECT_EQ(SA->Actions[0].Literal, 0x22);
+  EXPECT_EQ(SA->Actions[1].ActionKind, OpcodeAction::Kind::Send);
+  EXPECT_EQ(SA->Actions[1].ArgIndex, 0);
+
+  const accel::OpcodeEntry *Combined = Map->lookup("sBcCrC");
+  ASSERT_NE(Combined, nullptr);
+  ASSERT_EQ(Combined->Actions.size(), 3u);
+  EXPECT_EQ(Combined->Actions[2].ActionKind, OpcodeAction::Kind::Recv);
+  EXPECT_EQ(Combined->Actions[2].ArgIndex, 2);
+}
+
+TEST(OpcodeMapParser, PaperFig15aConv) {
+  auto Map = parseOpcodeMap(
+      "opcode_map< "
+      "sIcO = [send_literal(70), send(0)], "
+      "sF = [send_literal(1), send(1)], "
+      "rO = [send_literal(8), recv(2)], "
+      "rst = [send_literal(32), send_dim(1, 3), send_literal(16), "
+      "send_dim(0, 1)] >");
+  ASSERT_TRUE(succeeded(Map));
+  const accel::OpcodeEntry *Rst = Map->lookup("rst");
+  ASSERT_NE(Rst, nullptr);
+  ASSERT_EQ(Rst->Actions.size(), 4u);
+  EXPECT_EQ(Rst->Actions[1].ActionKind, OpcodeAction::Kind::SendDim);
+  EXPECT_EQ(Rst->Actions[1].ArgIndex, 1);
+  EXPECT_EQ(Rst->Actions[1].DimIndex, 3);
+  EXPECT_EQ(Rst->Actions[3].ArgIndex, 0);
+  EXPECT_EQ(Rst->Actions[3].DimIndex, 1);
+}
+
+TEST(OpcodeMapParser, OptionalWrapperAndSendIdx) {
+  auto Map = parseOpcodeMap("tok = [send_idx(2), send_dim(7)]");
+  ASSERT_TRUE(succeeded(Map));
+  EXPECT_EQ(Map->Entries[0].Actions[0].ActionKind,
+            OpcodeAction::Kind::SendIdx);
+  EXPECT_EQ(Map->Entries[0].Actions[0].DimIndex, 2);
+  // Single-arg send_dim: dimension of the iteration space.
+  EXPECT_EQ(Map->Entries[0].Actions[1].ArgIndex, -1);
+  EXPECT_EQ(Map->Entries[0].Actions[1].DimIndex, 7);
+}
+
+TEST(OpcodeMapParser, DimensionNames) {
+  std::vector<std::string> Dims = {"m", "n", "k"};
+  auto Map = parseOpcodeMap("t = [send_idx(k)]", nullptr, &Dims);
+  ASSERT_TRUE(succeeded(Map));
+  EXPECT_EQ(Map->Entries[0].Actions[0].DimIndex, 2);
+}
+
+TEST(OpcodeMapParser, Errors) {
+  std::string Error;
+  EXPECT_TRUE(failed(parseOpcodeMap("sA = [send()]", &Error)));
+  EXPECT_FALSE(Error.empty());
+  Error.clear();
+  EXPECT_TRUE(failed(parseOpcodeMap("sA = [explode(1)]", &Error)));
+  EXPECT_NE(Error.find("explode"), std::string::npos);
+  Error.clear();
+  EXPECT_TRUE(failed(parseOpcodeMap("sA = send(1)", &Error)));
+  Error.clear();
+  EXPECT_TRUE(
+      failed(parseOpcodeMap("sA = [send(1)], sA = [send(2)]", &Error)));
+  EXPECT_NE(Error.find("duplicate"), std::string::npos);
+  Error.clear();
+  EXPECT_TRUE(failed(parseOpcodeMap("", &Error)));
+  Error.clear();
+  EXPECT_TRUE(failed(parseOpcodeMap("sA = [send_idx(q)]", &Error)));
+}
+
+TEST(OpcodeFlowParser, FlatAndNested) {
+  auto Ns = parseOpcodeFlow("opcode_flow < (sA sB cC rC) >");
+  ASSERT_TRUE(succeeded(Ns));
+  EXPECT_EQ(Ns->Root.depth(), 1u);
+  EXPECT_EQ(Ns->allTokens(),
+            (std::vector<std::string>{"sA", "sB", "cC", "rC"}));
+
+  // A-stationary (paper Fig. 6a L23).
+  auto As = parseOpcodeFlow("(sA (sBcCrC))");
+  ASSERT_TRUE(succeeded(As));
+  EXPECT_EQ(As->Root.depth(), 2u);
+  ASSERT_EQ(As->Root.Items.size(), 2u);
+  EXPECT_TRUE(As->Root.Items[0].isToken());
+  EXPECT_TRUE(As->Root.Items[1].isScope());
+  EXPECT_EQ(As->Root.Items[1].Scope->Items[0].Token, "sBcCrC");
+
+  // Output-stationary conv (paper Fig. 15a L10).
+  auto Os = parseOpcodeFlow("(sF (sIcO) rO)");
+  ASSERT_TRUE(succeeded(Os));
+  ASSERT_EQ(Os->Root.Items.size(), 3u);
+  EXPECT_TRUE(Os->Root.Items[1].isScope());
+  EXPECT_EQ(Os->Root.Items[2].Token, "rO");
+}
+
+TEST(OpcodeFlowParser, DeeplyNested) {
+  auto Flow = parseOpcodeFlow("(a (b (c d)) e)");
+  ASSERT_TRUE(succeeded(Flow));
+  EXPECT_EQ(Flow->Root.depth(), 3u);
+  EXPECT_EQ(Flow->allTokens(),
+            (std::vector<std::string>{"a", "b", "c", "d", "e"}));
+}
+
+TEST(OpcodeFlowParser, Errors) {
+  std::string Error;
+  EXPECT_TRUE(failed(parseOpcodeFlow("(sA", &Error)));
+  EXPECT_FALSE(Error.empty());
+  Error.clear();
+  EXPECT_TRUE(failed(parseOpcodeFlow("()", &Error)));
+  EXPECT_NE(Error.find("at least one"), std::string::npos);
+  Error.clear();
+  EXPECT_TRUE(failed(parseOpcodeFlow("(sA) extra", &Error)));
+}
+
+TEST(FlowValidation, AgainstMap) {
+  auto Map = parseOpcodeMap("sA = [send(0)], sB = [send(1)]");
+  ASSERT_TRUE(succeeded(Map));
+  auto Good = parseOpcodeFlow("(sA (sB))");
+  ASSERT_TRUE(succeeded(Good));
+  EXPECT_TRUE(succeeded(validateFlowAgainstMap(*Good, *Map)));
+  auto Bad = parseOpcodeFlow("(sA sX)");
+  ASSERT_TRUE(succeeded(Bad));
+  std::string Error;
+  EXPECT_TRUE(failed(validateFlowAgainstMap(*Bad, *Map, &Error)));
+  EXPECT_NE(Error.find("sX"), std::string::npos);
+}
+
+} // namespace

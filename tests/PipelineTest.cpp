@@ -1,0 +1,128 @@
+//===- PipelineTest.cpp - End-to-end pipeline integration tests -----------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integration tests of the full AXI4MLIR flow: linalg -> annotate ->
+/// tile/permute/place -> runtime calls -> execution on the simulated SoC,
+/// with numerics validated against the reference kernels for every
+/// accelerator version and dataflow the paper evaluates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+using namespace axi4mlir::exec;
+using Version = sim::MatMulAccelerator::Version;
+
+namespace {
+
+MatMulRunConfig makeConfig(int64_t Dims, Version Ver, int64_t Size,
+                           const std::string &Flow) {
+  MatMulRunConfig Config;
+  Config.M = Config.N = Config.K = Dims;
+  Config.Version = Ver;
+  Config.AccelSize = Size;
+  Config.Flow = Flow;
+  return Config;
+}
+
+TEST(Pipeline, V1NsSmall) {
+  RunResult Result = runMatMulAxi4mlir(makeConfig(16, Version::V1, 4, "Ns"));
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(Result.NumericsMatch) << Result.Error;
+  EXPECT_GT(Result.Report.TaskClockMs, 0.0);
+}
+
+TEST(Pipeline, V2AllFlows) {
+  for (const char *Flow : {"Ns", "As", "Bs"}) {
+    RunResult Result =
+        runMatMulAxi4mlir(makeConfig(32, Version::V2, 8, Flow));
+    ASSERT_TRUE(Result.Ok) << Flow << ": " << Result.Error;
+    EXPECT_TRUE(Result.NumericsMatch) << Flow << ": " << Result.Error;
+  }
+}
+
+TEST(Pipeline, V3AllFlows) {
+  for (const char *Flow : {"Ns", "As", "Bs", "Cs"}) {
+    RunResult Result =
+        runMatMulAxi4mlir(makeConfig(32, Version::V3, 8, Flow));
+    ASSERT_TRUE(Result.Ok) << Flow << ": " << Result.Error;
+    EXPECT_TRUE(Result.NumericsMatch) << Flow << ": " << Result.Error;
+  }
+}
+
+TEST(Pipeline, V4FlexibleTiles) {
+  MatMulRunConfig Config = makeConfig(0, Version::V4, 16, "Cs");
+  Config.M = 64;
+  Config.N = 32;
+  Config.K = 128;
+  Config.TileM = 32;
+  Config.TileN = 16;
+  Config.TileK = 64;
+  RunResult Result = runMatMulAxi4mlir(Config);
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(Result.NumericsMatch) << Result.Error;
+}
+
+TEST(Pipeline, CpuOnlyMatchesReference) {
+  RunResult Result = runMatMulCpuOnly(makeConfig(24, Version::V1, 4, "Ns"));
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(Result.NumericsMatch);
+  EXPECT_EQ(Result.Report.DmaTransfers, 0u);
+}
+
+TEST(Pipeline, ManualMatchesReference) {
+  for (const char *Flow : {"Ns", "As", "Bs", "Cs"}) {
+    RunResult Result = runMatMulManual(makeConfig(32, Version::V3, 8, Flow));
+    ASSERT_TRUE(Result.Ok) << Flow << ": " << Result.Error;
+    EXPECT_TRUE(Result.NumericsMatch) << Flow;
+  }
+}
+
+TEST(Pipeline, ConvAxi4mlirMatchesReference) {
+  ConvRunConfig Config;
+  Config.InChannels = 8;
+  Config.InHW = 12;
+  Config.OutChannels = 4;
+  Config.FilterHW = 3;
+  Config.Stride = 1;
+  RunResult Result = runConvAxi4mlir(Config);
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(Result.NumericsMatch) << Result.Error;
+}
+
+TEST(Pipeline, ConvManualMatchesReference) {
+  ConvRunConfig Config;
+  Config.InChannels = 8;
+  Config.InHW = 12;
+  Config.OutChannels = 4;
+  Config.FilterHW = 3;
+  Config.Stride = 2;
+  RunResult Result = runConvManual(Config);
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(Result.NumericsMatch) << Result.Error;
+}
+
+TEST(Pipeline, SpecializationOnlyChangesPerformance) {
+  MatMulRunConfig Config = makeConfig(32, Version::V3, 8, "As");
+  Config.SpecializeCopies = true;
+  RunResult Fast = runMatMulAxi4mlir(Config);
+  Config.SpecializeCopies = false;
+  RunResult Slow = runMatMulAxi4mlir(Config);
+  ASSERT_TRUE(Fast.Ok) << Fast.Error;
+  ASSERT_TRUE(Slow.Ok) << Slow.Error;
+  EXPECT_TRUE(Fast.NumericsMatch);
+  EXPECT_TRUE(Slow.NumericsMatch);
+  // The unspecialized copies execute more instructions and branches.
+  EXPECT_GT(Slow.Report.Instructions, Fast.Report.Instructions);
+  EXPECT_GT(Slow.Report.BranchInstructions,
+            Fast.Report.BranchInstructions);
+}
+
+} // namespace

@@ -1,0 +1,224 @@
+//===- RuntimeTest.cpp - DMA runtime library unit tests -------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Reference.h"
+#include "runtime/DmaRuntime.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+using namespace axi4mlir::runtime;
+using namespace axi4mlir::sim;
+
+namespace {
+
+std::unique_ptr<SoC> makeBoard() {
+  auto Soc = makeMatMulSoC(MatMulAccelerator::Version::V3, 8);
+  return Soc;
+}
+
+accel::DmaInitConfig bigRegions() {
+  accel::DmaInitConfig Config;
+  Config.InputBufferSize = 1 << 16;
+  Config.OutputBufferSize = 1 << 16;
+  return Config;
+}
+
+TEST(MemRefDesc, AllocSubviewIndexing) {
+  MemRefDesc Full = MemRefDesc::alloc({6, 8});
+  EXPECT_EQ(Full.rank(), 2u);
+  EXPECT_EQ(Full.numElements(), 48);
+  EXPECT_EQ(Full.Strides, (std::vector<int64_t>{8, 1}));
+  Full.write({2, 3}, 42);
+  EXPECT_EQ(Full.read({2, 3}), 42);
+
+  MemRefDesc Tile = Full.subview({2, 3}, {2, 2});
+  EXPECT_EQ(Tile.Offset, 2 * 8 + 3);
+  EXPECT_EQ(Tile.read({0, 0}), 42); // aliases the source buffer
+  Tile.write({1, 1}, 7);
+  EXPECT_EQ(Full.read({3, 4}), 7);
+  EXPECT_TRUE(Tile.innermostContiguous());
+}
+
+TEST(MemRefDesc, FloatKind) {
+  MemRefDesc F = MemRefDesc::alloc({4}, ElemKind::F32);
+  F.write({2}, 1.5);
+  EXPECT_DOUBLE_EQ(F.read({2}), 1.5);
+}
+
+TEST(DmaRuntime, LiteralAndOffsetChaining) {
+  auto Soc = makeBoard();
+  DmaRuntime Runtime(*Soc);
+  Runtime.dmaInit(bigRegions());
+  int64_t Off = Runtime.copyLiteralToDmaRegion(0x22, 0);
+  EXPECT_EQ(Off, 1);
+  MemRefDesc Tile = MemRefDesc::alloc({2, 3});
+  for (int64_t I = 0; I < 2; ++I)
+    for (int64_t J = 0; J < 3; ++J)
+      Tile.write({I, J}, I * 3 + J);
+  Off = Runtime.copyToDmaRegion(Tile, Off);
+  EXPECT_EQ(Off, 7); // 1 literal + 6 elements
+  uint32_t *Region = Soc->dma().inputRegion();
+  EXPECT_EQ(Region[0], 0x22u);
+  for (int I = 0; I < 6; ++I)
+    EXPECT_EQ(static_cast<int32_t>(Region[1 + I]), I);
+}
+
+TEST(DmaRuntime, StridedCopyLinearizesRowMajor) {
+  auto Soc = makeBoard();
+  DmaRuntime Runtime(*Soc);
+  Runtime.dmaInit(bigRegions());
+  MemRefDesc Full = MemRefDesc::alloc({8, 8});
+  for (int64_t I = 0; I < 8; ++I)
+    for (int64_t J = 0; J < 8; ++J)
+      Full.write({I, J}, I * 10 + J);
+  MemRefDesc Tile = Full.subview({2, 4}, {3, 2});
+  Runtime.copyToDmaRegion(Tile, 0);
+  uint32_t *Region = Soc->dma().inputRegion();
+  int32_t Expected[] = {24, 25, 34, 35, 44, 45};
+  for (int I = 0; I < 6; ++I)
+    EXPECT_EQ(static_cast<int32_t>(Region[I]), Expected[I]);
+}
+
+TEST(DmaRuntime, SpecializationIsBitExact) {
+  for (bool Specialize : {false, true}) {
+    auto Soc = makeBoard();
+    DmaRuntime Runtime(*Soc, Specialize);
+    Runtime.dmaInit(bigRegions());
+    MemRefDesc Full = MemRefDesc::alloc({16, 16});
+    exec::fillRandom(Full, 3);
+    MemRefDesc Tile = Full.subview({4, 8}, {8, 8});
+    Runtime.copyToDmaRegion(Tile, 0);
+    if (Specialize) {
+      // Compare against the unspecialized sibling run.
+      auto SocRef = makeBoard();
+      DmaRuntime RuntimeRef(*SocRef, false);
+      RuntimeRef.dmaInit(bigRegions());
+      RuntimeRef.copyToDmaRegion(Tile, 0);
+      for (int I = 0; I < 64; ++I)
+        EXPECT_EQ(Soc->dma().inputRegion()[I],
+                  SocRef->dma().inputRegion()[I]);
+    }
+  }
+}
+
+TEST(DmaRuntime, SpecializationCutsInstructions) {
+  MemRefDesc Full = MemRefDesc::alloc({64, 64});
+  MemRefDesc Tile = Full.subview({0, 0}, {16, 16});
+
+  auto SlowSoc = makeBoard();
+  DmaRuntime Slow(*SlowSoc, /*SpecializeCopies=*/false);
+  Slow.dmaInit(bigRegions());
+  Slow.copyToDmaRegion(Tile, 0);
+
+  auto FastSoc = makeBoard();
+  DmaRuntime Fast(*FastSoc, /*SpecializeCopies=*/true);
+  Fast.dmaInit(bigRegions());
+  Fast.copyToDmaRegion(Tile, 0);
+
+  EXPECT_LT(FastSoc->report().Instructions,
+            SlowSoc->report().Instructions);
+  EXPECT_LT(FastSoc->report().BranchInstructions,
+            SlowSoc->report().BranchInstructions);
+}
+
+TEST(DmaRuntime, NonContiguousFallsBackToElementwise) {
+  // Column-slice tile: innermost stride != 1 -> generic path regardless of
+  // the specialization flag; contents must still be correct.
+  auto Soc = makeBoard();
+  DmaRuntime Runtime(*Soc, /*SpecializeCopies=*/true);
+  Runtime.dmaInit(bigRegions());
+  MemRefDesc Full = MemRefDesc::alloc({4, 4});
+  for (int64_t I = 0; I < 4; ++I)
+    for (int64_t J = 0; J < 4; ++J)
+      Full.write({I, J}, I * 4 + J);
+  MemRefDesc Column;
+  Column.Buffer = Full.Buffer;
+  Column.Offset = 1;
+  Column.Sizes = {4};
+  Column.Strides = {4}; // column 1
+  Runtime.copyToDmaRegion(Column, 0);
+  uint32_t *Region = Soc->dma().inputRegion();
+  int32_t Expected[] = {1, 5, 9, 13};
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(static_cast<int32_t>(Region[I]), Expected[I]);
+}
+
+TEST(DmaRuntime, CopyFromDmaOverwriteAndAccumulate) {
+  auto Soc = makeBoard();
+  DmaRuntime Runtime(*Soc);
+  Runtime.dmaInit(bigRegions());
+  uint32_t *Out = Soc->dma().outputRegion();
+  for (int I = 0; I < 4; ++I)
+    Out[I] = static_cast<uint32_t>(10 + I);
+
+  MemRefDesc Dest = MemRefDesc::alloc({2, 2});
+  Dest.write({0, 0}, 100);
+  Runtime.copyFromDmaRegion(Dest, 0, /*Accumulate=*/false);
+  EXPECT_EQ(Dest.read({0, 0}), 10);
+  EXPECT_EQ(Dest.read({1, 1}), 13);
+  Runtime.copyFromDmaRegion(Dest, 0, /*Accumulate=*/true);
+  EXPECT_EQ(Dest.read({0, 0}), 20);
+  EXPECT_EQ(Dest.read({1, 1}), 26);
+}
+
+TEST(DmaRuntime, AccumulateFloat) {
+  auto Soc = makeMatMulSoC(MatMulAccelerator::Version::V3, 8,
+                           ElemKind::F32);
+  DmaRuntime Runtime(*Soc);
+  Runtime.dmaInit(bigRegions());
+  Soc->dma().outputRegion()[0] = floatToWord(1.25f);
+  MemRefDesc Dest = MemRefDesc::alloc({1}, ElemKind::F32);
+  Dest.write({0}, 0.25);
+  Runtime.copyFromDmaRegion(Dest, 0, /*Accumulate=*/true);
+  EXPECT_DOUBLE_EQ(Dest.read({0}), 1.5);
+}
+
+TEST(DmaRuntime, UnitDimCollapseKeepsSemantics) {
+  // A [1, C, 1, 1] conv-window-style view (the fHW==1 case of Sec. IV-D).
+  auto Soc = makeBoard();
+  DmaRuntime Runtime(*Soc, /*SpecializeCopies=*/true);
+  Runtime.dmaInit(bigRegions());
+  MemRefDesc Input = MemRefDesc::alloc({1, 4, 3, 3});
+  for (int64_t C = 0; C < 4; ++C)
+    Input.write({0, C, 1, 2}, 50 + C);
+  MemRefDesc Window = Input.subview({0, 0, 1, 2}, {1, 4, 1, 1});
+  Runtime.copyToDmaRegion(Window, 0);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(static_cast<int32_t>(Soc->dma().inputRegion()[I]), 50 + I);
+}
+
+TEST(DmaRuntime, EndToEndSendComputeRecv) {
+  // Drive one 8x8x8 tile through the real accelerator via the runtime.
+  auto Soc = makeBoard();
+  DmaRuntime Runtime(*Soc);
+  Runtime.dmaInit(bigRegions());
+
+  MemRefDesc A = MemRefDesc::alloc({8, 8});
+  MemRefDesc B = MemRefDesc::alloc({8, 8});
+  MemRefDesc C = MemRefDesc::alloc({8, 8});
+  exec::fillRandom(A, 5);
+  exec::fillRandom(B, 6);
+  MemRefDesc Expected = exec::cloneMemRef(C);
+  exec::referenceMatMul(A, B, Expected);
+
+  int64_t Off = Runtime.copyLiteralToDmaRegion(0x22, 0);
+  Off = Runtime.copyToDmaRegion(A, Off);
+  Off = Runtime.copyLiteralToDmaRegion(0x23, Off);
+  Off = Runtime.copyToDmaRegion(B, Off);
+  Off = Runtime.copyLiteralToDmaRegion(0xF0, Off);
+  Off = Runtime.copyLiteralToDmaRegion(0x24, Off);
+  Runtime.dmaStartSend(Off, 0);
+  Runtime.dmaWaitSendCompletion();
+  Runtime.dmaStartRecv(64, 0);
+  Runtime.dmaWaitRecvCompletion();
+  Runtime.copyFromDmaRegion(C, 0, /*Accumulate=*/true);
+
+  ASSERT_FALSE(Runtime.hadError()) << Runtime.errorMessage();
+  EXPECT_TRUE(exec::memrefEquals(Expected, C));
+}
+
+} // namespace

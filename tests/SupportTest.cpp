@@ -1,0 +1,133 @@
+//===- SupportTest.cpp - support library unit tests -----------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/JSON.h"
+#include "support/LogicalResult.h"
+#include "support/STLExtras.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+
+namespace {
+
+TEST(LogicalResult, Basics) {
+  EXPECT_TRUE(succeeded(success()));
+  EXPECT_FALSE(failed(success()));
+  EXPECT_TRUE(failed(failure()));
+  EXPECT_TRUE(succeeded(failure(false)));
+  EXPECT_TRUE(failed(success(false)));
+}
+
+TEST(FailureOr, CarriesValue) {
+  FailureOr<int> Ok(42);
+  ASSERT_TRUE(succeeded(Ok));
+  EXPECT_EQ(*Ok, 42);
+  FailureOr<int> Bad = failure();
+  EXPECT_TRUE(failed(Bad));
+  EXPECT_TRUE(failed(LogicalResult(Bad)));
+}
+
+struct Base {
+  enum class Kind { A, B } TheKind;
+  explicit Base(Kind K) : TheKind(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->TheKind == Base::Kind::A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(Kind::B) {}
+  static bool classof(const Base *B) { return B->TheKind == Base::Kind::B; }
+};
+
+TEST(Casting, IsaCastDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_TRUE((isa<DerivedB, DerivedA>(B)));
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &A);
+  Base *Null = nullptr;
+  EXPECT_EQ(dyn_cast_if_present<DerivedA>(Null), nullptr);
+  EXPECT_FALSE(isa_and_present<DerivedA>(Null));
+}
+
+TEST(STLExtras, JoinAndMath) {
+  EXPECT_EQ(join(std::vector<int>{1, 2, 3}, ", "), "1, 2, 3");
+  EXPECT_EQ(join(std::vector<int>{}, ","), "");
+  EXPECT_EQ(ceilDiv(7, 4), 2);
+  EXPECT_EQ(ceilDiv(8, 4), 2);
+  EXPECT_EQ(roundDownToMultiple(37, 8), 32);
+  EXPECT_EQ(roundDownToMultiple(5, 8), 8);
+  EXPECT_EQ(product({2, 3, 4}), 24);
+  EXPECT_EQ(product({}), 1);
+}
+
+TEST(Json, ParsesBasicObject) {
+  auto V = json::parse(R"({"a": 1, "b": "two", "c": [3, 4], "d": true})");
+  ASSERT_TRUE(succeeded(V));
+  EXPECT_EQ(V->getInt("a"), 1);
+  EXPECT_EQ(V->getString("b"), "two");
+  ASSERT_TRUE(V->get("c")->isArray());
+  EXPECT_EQ(V->get("c")->array()[1].asInt(), 4);
+  EXPECT_TRUE(V->get("d")->asBool());
+  EXPECT_EQ(V->get("missing"), nullptr);
+}
+
+TEST(Json, RelaxedSyntax) {
+  // '=' separators, bare identifiers, size suffixes, hex, comments,
+  // trailing commas — everything the paper's Fig. 5 sample needs.
+  auto V = json::parse(R"({
+    // host description
+    "cpu" = { "cache-levels": [32K, 512K], "cache-types": [data, shared], },
+    "addr" = 0xFF00,
+  })");
+  ASSERT_TRUE(succeeded(V));
+  const json::Value *Cpu = V->get("cpu");
+  ASSERT_NE(Cpu, nullptr);
+  EXPECT_EQ(Cpu->get("cache-levels")->array()[0].asInt(), 32 * 1024);
+  EXPECT_EQ(Cpu->get("cache-levels")->array()[1].asInt(), 512 * 1024);
+  EXPECT_EQ(Cpu->get("cache-types")->array()[0].asString(), "data");
+  EXPECT_EQ(V->getInt("addr"), 0xFF00);
+}
+
+TEST(Json, NumbersAndDoubles) {
+  auto V = json::parse(R"({"i": -12, "f": 1.5, "e": 2e3, "g": 1G})");
+  ASSERT_TRUE(succeeded(V));
+  EXPECT_EQ(V->getInt("i"), -12);
+  EXPECT_DOUBLE_EQ(V->get("f")->asDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(V->get("e")->asDouble(), 2000.0);
+  EXPECT_EQ(V->getInt("g"), 1024LL * 1024 * 1024);
+}
+
+TEST(Json, ReportsErrors) {
+  std::string Error;
+  EXPECT_TRUE(failed(json::parse(R"({"a" 1})", &Error)));
+  EXPECT_NE(Error.find("':'"), std::string::npos);
+  Error.clear();
+  EXPECT_TRUE(failed(json::parse(R"({"a": [1, )", &Error)));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_TRUE(failed(json::parse(R"("unterminated)", &Error)));
+}
+
+TEST(Json, ObjectOrderPreservedAndSetOverwrites) {
+  auto V = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(succeeded(V));
+  ASSERT_EQ(V->members().size(), 3u);
+  EXPECT_EQ(V->members()[0].first, "z");
+  EXPECT_EQ(V->members()[2].first, "m");
+  json::Value Obj = json::Value::makeObject();
+  Obj.set("k", json::Value(int64_t{1}));
+  Obj.set("k", json::Value(int64_t{2}));
+  EXPECT_EQ(Obj.getInt("k"), 2);
+  EXPECT_EQ(Obj.members().size(), 1u);
+}
+
+} // namespace

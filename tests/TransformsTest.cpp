@@ -1,0 +1,380 @@
+//===- TransformsTest.cpp - Compiler pass unit tests ----------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the individual AXI4MLIR passes: named-op conversion,
+/// match-and-annotate (trait attachment + permutation derivation against
+/// the paper's flows), the tiling/placement lowering (structural checks of
+/// hoisted communication ops, paper Figs. 6b/15b) and the runtime
+/// lowering's transfer batching.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialects/InitAllDialects.h"
+#include "exec/AccelConfigs.h"
+#include "exec/Pipeline.h"
+#include "ir/Verifier.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+using namespace axi4mlir::transforms;
+using V = sim::MatMulAccelerator::Version;
+
+namespace {
+
+struct PipelineFixture {
+  MLIRContext Context;
+  OpBuilder Builder{&Context};
+  func::FuncOp Func;
+  OwningOpRef Owner;
+
+  PipelineFixture(int64_t M = 32, int64_t N = 32, int64_t K = 32) {
+    registerAllDialects(Context);
+    Func = exec::buildMatMulFunc(Builder, M, N, K, sim::ElemKind::I32);
+    Owner = OwningOpRef(Func.getOperation());
+  }
+
+  /// Number of enclosing scf.for loops of \p Op.
+  static unsigned loopDepth(Operation *Op) {
+    unsigned Depth = 0;
+    for (Operation *Parent = Op->getParentOp(); Parent;
+         Parent = Parent->getParentOp())
+      if (Parent->getName() == "scf.for")
+        ++Depth;
+    return Depth;
+  }
+
+  /// First op with the given name (walk order), or nullptr.
+  Operation *findOp(const std::string &Name, unsigned Skip = 0) {
+    Operation *Found = nullptr;
+    Func.getOperation()->walk([&](Operation *Op) {
+      if (Op->getName() == Name && !Found) {
+        if (Skip == 0)
+          Found = Op;
+        else
+          --Skip;
+      }
+    });
+    return Found;
+  }
+
+  unsigned countOps(const std::string &Name) {
+    unsigned Count = 0;
+    Func.getOperation()->walk([&](Operation *Op) {
+      if (Op->getName() == Name)
+        ++Count;
+    });
+    return Count;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// convertNamedToGeneric
+//===----------------------------------------------------------------------===//
+
+TEST(ConvertNamedToGeneric, MatmulBecomesGeneric) {
+  PipelineFixture F;
+  std::string Error;
+  ASSERT_TRUE(succeeded(convertNamedToGeneric(F.Func, Error))) << Error;
+  EXPECT_EQ(F.countOps("linalg.matmul"), 0u);
+  ASSERT_EQ(F.countOps("linalg.generic"), 1u);
+
+  linalg::GenericOp Generic(F.findOp("linalg.generic"));
+  EXPECT_EQ(Generic.getNumInputs(), 2u);
+  EXPECT_EQ(Generic.getNumLoops(), 3u);
+  EXPECT_EQ(Generic.getIteratorTypes(), linalg::getMatmulIteratorTypes());
+  EXPECT_EQ(Generic.getIndexingMap(0), linalg::getMatmulIndexingMaps()[0]);
+  EXPECT_EQ(Generic.getStaticLoopRanges(),
+            (std::vector<int64_t>{32, 32, 32}));
+  ASSERT_TRUE(succeeded(verify(F.Func.getOperation(), Error))) << Error;
+}
+
+TEST(ConvertNamedToGeneric, ConvBecomesGenericWithStrides) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = exec::buildConvFunc(Builder, 1, 4, 9, 2, 3, 2,
+                                          sim::ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  std::string Error;
+  ASSERT_TRUE(succeeded(convertNamedToGeneric(Func, Error))) << Error;
+
+  Operation *GenericOp = nullptr;
+  Func.getOperation()->walk([&](Operation *Op) {
+    if (Op->getName() == "linalg.generic")
+      GenericOp = Op;
+  });
+  ASSERT_NE(GenericOp, nullptr);
+  linalg::GenericOp Generic(GenericOp);
+  EXPECT_EQ(Generic.getNumLoops(), 7u);
+  EXPECT_EQ(Generic.getIndexingMap(0), linalg::getConvIndexingMaps(2, 2)[0]);
+  // Loop ranges: b=1, oc=2, oh=ow=(9-3)/2+1=4, ic=4, fh=fw=3.
+  EXPECT_EQ(Generic.getStaticLoopRanges(),
+            (std::vector<int64_t>{1, 2, 4, 4, 4, 3, 3}));
+}
+
+//===----------------------------------------------------------------------===//
+// matchAndAnnotate + permutation derivation
+//===----------------------------------------------------------------------===//
+
+TEST(MatchAndAnnotate, AttachesTraitAttributes) {
+  PipelineFixture F;
+  parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
+      exec::makeMatMulConfigJson(V::V3, 8, "As"));
+  std::string Error;
+  ASSERT_TRUE(succeeded(convertNamedToGeneric(F.Func, Error)));
+  unsigned NumAnnotated = 0;
+  ASSERT_TRUE(
+      succeeded(matchAndAnnotate(F.Func, Accel, Error, &NumAnnotated)))
+      << Error;
+  EXPECT_EQ(NumAnnotated, 1u);
+
+  Operation *Generic = F.findOp("linalg.generic");
+  ASSERT_NE(Generic, nullptr);
+  EXPECT_TRUE(Generic->hasAttr(accel::OpcodeMapAttrName));
+  EXPECT_TRUE(Generic->hasAttr(accel::OpcodeFlowAttrName));
+  EXPECT_TRUE(Generic->hasAttr(accel::DmaInitConfigAttrName));
+  EXPECT_TRUE(Generic->hasAttr(accel::InitOpcodesAttrName));
+
+  // accel_dim = (8, 8, 8).
+  AffineMap Tiles =
+      Generic->getAffineMapAttr(accel::AccelDimAttrName);
+  EXPECT_EQ(Tiles.eval({0, 0, 0}), (std::vector<int64_t>{8, 8, 8}));
+  // As flow derives the (m, k, n) loop order of paper Fig. 6a L12.
+  AffineMap Perm =
+      Generic->getAffineMapAttr(accel::PermutationMapAttrName);
+  EXPECT_EQ(Perm.eval({0, 1, 2}), (std::vector<int64_t>{0, 2, 1}));
+}
+
+TEST(MatchAndAnnotate, SkipsNonMatchingGenerics) {
+  // An elementwise generic must not be annotated with matmul traits.
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  MemRefType Ty = MemRefType::get(&Context, {8}, Type::getI32(&Context));
+  func::FuncOp Func = func::FuncOp::create(Builder, "ew", {Ty, Ty});
+  OwningOpRef Owner(Func.getOperation());
+  Builder.setInsertionPointToEnd(&Func.getBody());
+  linalg::GenericOp::create(
+      Builder, {Func.getArgument(0)}, {Func.getArgument(1)},
+      {AffineMap::getMultiDimIdentity(1), AffineMap::getMultiDimIdentity(1)},
+      {linalg::IteratorParallel},
+      [](OpBuilder &B, const std::vector<Value> &Args) {
+        linalg::YieldOp::create(B, {Args[0]});
+      });
+  func::ReturnOp::create(Builder);
+
+  parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
+      exec::makeMatMulConfigJson(V::V3, 8, "Ns"));
+  std::string Error;
+  unsigned NumAnnotated = 0;
+  ASSERT_TRUE(
+      succeeded(matchAndAnnotate(Func, Accel, Error, &NumAnnotated)));
+  EXPECT_EQ(NumAnnotated, 0u);
+}
+
+TEST(MatchAndAnnotate, RejectsIndivisibleProblems) {
+  PipelineFixture F(/*M=*/30, /*N=*/32, /*K=*/32); // 30 % 8 != 0
+  parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
+      exec::makeMatMulConfigJson(V::V3, 8, "Ns"));
+  std::string Error;
+  ASSERT_TRUE(succeeded(convertNamedToGeneric(F.Func, Error)));
+  EXPECT_TRUE(failed(matchAndAnnotate(F.Func, Accel, Error)));
+  EXPECT_NE(Error.find("divisible"), std::string::npos);
+}
+
+TEST(DerivePermutation, PaperFlows) {
+  parser::AcceleratorDesc V3Desc = exec::parseSingleAccelerator(
+      exec::makeMatMulConfigJson(V::V3, 8, "Ns"));
+  std::vector<AffineMap> Maps = linalg::getMatmulIndexingMaps();
+
+  auto perm = [&](const char *Flow) {
+    return derivePermutationFromFlow(*V3Desc.lookupFlow(Flow),
+                                     V3Desc.OpcodeMap, Maps, 3);
+  };
+  // Dims: m=0, n=1, k=2.
+  EXPECT_EQ(perm("Ns"), (std::vector<unsigned>{0, 1, 2})); // (m,n,k)
+  EXPECT_EQ(perm("As"), (std::vector<unsigned>{0, 2, 1})); // (m,k,n)
+  EXPECT_EQ(perm("Bs"), (std::vector<unsigned>{1, 2, 0})); // (n,k,m)
+  EXPECT_EQ(perm("Cs"), (std::vector<unsigned>{0, 1, 2})); // (m,n,k)
+}
+
+//===----------------------------------------------------------------------===//
+// lowerToAccel: structure of the generated host code
+//===----------------------------------------------------------------------===//
+
+struct LoweredFixture : PipelineFixture {
+  LoweredFixture(const char *Flow, V Version = V::V3, int64_t Size = 8,
+                 bool CpuTiling = false, int64_t Dims = 32)
+      : PipelineFixture(Dims, Dims, Dims) {
+    parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
+        exec::makeMatMulConfigJson(Version, Size, Flow));
+    std::string Error;
+    LoweringOptions Options;
+    Options.EnableCpuTiling = CpuTiling;
+    EXPECT_TRUE(succeeded(convertNamedToGeneric(Func, Error))) << Error;
+    EXPECT_TRUE(succeeded(matchAndAnnotate(Func, Accel, Error))) << Error;
+    EXPECT_TRUE(succeeded(lowerToAccel(Func, Options, Error))) << Error;
+    EXPECT_TRUE(succeeded(verify(Func.getOperation(), Error))) << Error;
+  }
+};
+
+TEST(LowerToAccel, NsPlacesEverythingInnermost) {
+  LoweredFixture F("Ns");
+  EXPECT_EQ(F.countOps("linalg.generic"), 0u);
+  EXPECT_EQ(F.countOps("scf.for"), 3u);
+  EXPECT_EQ(F.countOps("accel.dma_init"), 1u);
+  // All data movement at depth 3.
+  Operation *Send = F.findOp("accel.send");
+  Operation *Recv = F.findOp("accel.recv");
+  ASSERT_NE(Send, nullptr);
+  ASSERT_NE(Recv, nullptr);
+  EXPECT_EQ(PipelineFixture::loopDepth(Send), 3u);
+  EXPECT_EQ(PipelineFixture::loopDepth(Recv), 3u);
+}
+
+TEST(LowerToAccel, AsHoistsTheATile) {
+  // Paper Fig. 6b: sA's send sits inside two loops, sB/rC innermost.
+  LoweredFixture F("As");
+  Operation *SendA = F.findOp("accel.send", /*Skip=*/0);
+  Operation *SendB = F.findOp("accel.send", /*Skip=*/1);
+  Operation *Recv = F.findOp("accel.recv");
+  ASSERT_NE(SendA, nullptr);
+  ASSERT_NE(SendB, nullptr);
+  ASSERT_NE(Recv, nullptr);
+  EXPECT_EQ(PipelineFixture::loopDepth(SendA), 2u);
+  EXPECT_EQ(PipelineFixture::loopDepth(SendB), 3u);
+  EXPECT_EQ(PipelineFixture::loopDepth(Recv), 3u);
+}
+
+TEST(LowerToAccel, CsHoistsTheReceive) {
+  LoweredFixture F("Cs");
+  Operation *Recv = F.findOp("accel.recv");
+  ASSERT_NE(Recv, nullptr);
+  // rC lives inside (m, n) after the k loop.
+  EXPECT_EQ(PipelineFixture::loopDepth(Recv), 2u);
+  // ... and the k-loop precedes it in the same block.
+  Block *RecvBlock = Recv->getBlock();
+  bool SawInnerLoop = false;
+  for (Operation *Op : RecvBlock->getOperations()) {
+    if (Op->getName() == "scf.for")
+      SawInnerLoop = true;
+    if (Op == Recv)
+      break;
+  }
+  EXPECT_TRUE(SawInnerLoop);
+}
+
+TEST(LowerToAccel, InitOpcodesPrecedeLoops) {
+  LoweredFixture F("Ns");
+  // The reset literal (0xFF) executes outside any loop.
+  Operation *Reset = nullptr;
+  F.Func.getOperation()->walk([&](Operation *Op) {
+    if (Op->getName() == "accel.send_literal" &&
+        Op->getIntAttr("literal") == 0xFF)
+      Reset = Op;
+  });
+  ASSERT_NE(Reset, nullptr);
+  EXPECT_EQ(PipelineFixture::loopDepth(Reset), 0u);
+}
+
+TEST(LowerToAccel, CpuTilingAddsOuterLoops) {
+  // 256^3 with 8x8x8 accel tiles: the heuristic picks a CPU tile level.
+  LoweredFixture Flat("Ns", V::V3, 8, /*CpuTiling=*/false, /*Dims=*/256);
+  LoweredFixture Tiled("Ns", V::V3, 8, /*CpuTiling=*/true, /*Dims=*/256);
+  EXPECT_EQ(Flat.countOps("scf.for"), 3u);
+  EXPECT_GT(Tiled.countOps("scf.for"), 3u);
+}
+
+TEST(LowerToAccel, SmallProblemNeedsNoLoops) {
+  // dims == accel size: single tile, loop-free driver.
+  LoweredFixture F("Ns", V::V3, 8, false, /*Dims=*/8);
+  EXPECT_EQ(F.countOps("scf.for"), 0u);
+  EXPECT_EQ(F.countOps("accel.send"), 2u);
+  EXPECT_EQ(F.countOps("accel.recv"), 1u);
+}
+
+TEST(LowerToAccel, V4EmitsConfigInit) {
+  LoweredFixture F("Cs", V::V4, 16, false, /*Dims=*/32);
+  // cfg = literal 0x10 + three send_dims carrying the tile sizes.
+  Operation *Cfg = nullptr;
+  F.Func.getOperation()->walk([&](Operation *Op) {
+    if (Op->getName() == "accel.send_literal" &&
+        Op->getIntAttr("literal") == 0x10)
+      Cfg = Op;
+  });
+  ASSERT_NE(Cfg, nullptr);
+  EXPECT_EQ(F.countOps("accel.send_dim"), 3u);
+  Operation *SendDim = F.findOp("accel.send_dim");
+  EXPECT_EQ(SendDim->getIntAttr("static_size"), 16);
+}
+
+//===----------------------------------------------------------------------===//
+// convertAccelToRuntime: batching
+//===----------------------------------------------------------------------===//
+
+TEST(AccelToRuntime, BatchesTokensIntoOneSend) {
+  LoweredFixture F("Ns", V::V3, 8, false, /*Dims=*/16);
+  std::string Error;
+  ASSERT_TRUE(succeeded(convertAccelToRuntime(F.Func, Error))) << Error;
+  ASSERT_TRUE(succeeded(verify(F.Func.getOperation(), Error))) << Error;
+
+  // No accel ops remain.
+  EXPECT_EQ(F.countOps("accel.send"), 0u);
+  EXPECT_EQ(F.countOps("accel.recv"), 0u);
+  EXPECT_EQ(F.countOps("accel.dma_init"), 0u);
+
+  // In the innermost block: exactly one start_send (the whole
+  // sA+sB+cC+rC-opcode batch) and one start_recv.
+  unsigned StartSends = 0, StartRecvs = 0, WaitSends = 0;
+  F.Func.getOperation()->walk([&](Operation *Op) {
+    if (Op->getName() != "func.call")
+      return;
+    std::string Callee = func::CallOp(Op).getCallee();
+    if (Callee == rtcall::StartSend)
+      ++StartSends;
+    if (Callee == rtcall::StartRecv)
+      ++StartRecvs;
+    if (Callee == rtcall::WaitSend)
+      ++WaitSends;
+  });
+  // One batched send in the loop body plus one for the init opcodes.
+  EXPECT_EQ(StartSends, 2u);
+  EXPECT_EQ(StartRecvs, 1u);
+  EXPECT_EQ(WaitSends, StartSends);
+}
+
+TEST(AccelToRuntime, RecvCarriesAccumulateFlag) {
+  LoweredFixture F("Ns", V::V3, 8, false, /*Dims=*/16);
+  std::string Error;
+  ASSERT_TRUE(succeeded(convertAccelToRuntime(F.Func, Error))) << Error;
+  Operation *CopyBack = nullptr;
+  F.Func.getOperation()->walk([&](Operation *Op) {
+    if (Op->getName() == "func.call" &&
+        func::CallOp(Op).getCallee() == rtcall::CopyFromDma)
+      CopyBack = Op;
+  });
+  ASSERT_NE(CopyBack, nullptr);
+  EXPECT_EQ(CopyBack->getAttr("accumulate").getIntValue(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Full pass manager
+//===----------------------------------------------------------------------===//
+
+TEST(PassManager, ReportsFailingPass) {
+  PipelineFixture F(/*M=*/30, 32, 32);
+  parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
+      exec::makeMatMulConfigJson(V::V3, 8, "Ns"));
+  PassManager PM = buildPipeline(Accel, LoweringOptions());
+  std::string Error;
+  EXPECT_TRUE(failed(PM.run(F.Func, Error)));
+  EXPECT_NE(Error.find("match-and-annotate"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+//===- axi4mlir-opt.cpp - Command-line pipeline driver --------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line face of the reproduction, in the spirit of mlir-opt:
+/// reads an accelerator/CPU configuration file (paper Fig. 5), builds the
+/// requested linalg workload, runs the AXI4MLIR pipeline, and prints the
+/// host driver as IR and/or C. Optionally executes the driver on the
+/// simulated SoC and reports the perf counters.
+///
+/// Usage:
+///   axi4mlir-opt --config configs/matmul_v3_16.json --matmul 128x128x128
+///                [--flow As] [--emit ir|c|both] [--no-cpu-tiling]
+///                [--no-specialize] [--run]
+///   axi4mlir-opt --config configs/conv2d.json --conv 58x64x3x128x2 --run
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "dialects/InitAllDialects.h"
+#include "exec/Interpreter.h"
+#include "exec/Pipeline.h"
+#include "exec/Reference.h"
+#include "parser/ConfigParser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace axi4mlir;
+
+namespace {
+
+struct CliOptions {
+  std::string ConfigPath;
+  std::string Emit = "both";
+  bool CpuTiling = true;
+  bool Specialize = true;
+  bool Run = false;
+  std::string Flow; // override selected_flow
+  // MatMul problem.
+  bool IsMatMul = false;
+  int64_t M = 0, N = 0, K = 0;
+  // Conv problem: iHW x iC x fHW x oC x stride.
+  bool IsConv = false;
+  int64_t InHW = 0, InC = 0, FilterHW = 0, OutC = 0, Stride = 1;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: axi4mlir-opt --config FILE (--matmul MxNxK | --conv "
+      "iHWxiCxfHWxoCxS)\n"
+      "                    [--flow NAME] [--emit ir|c|both] [--run]\n"
+      "                    [--no-cpu-tiling] [--no-specialize]\n");
+}
+
+bool parseDims(const std::string &Text, std::vector<int64_t> &Out) {
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Next = Text.find('x', Pos);
+    std::string Piece = Text.substr(
+        Pos, Next == std::string::npos ? std::string::npos : Next - Pos);
+    if (Piece.empty())
+      return false;
+    Out.push_back(std::strtoll(Piece.c_str(), nullptr, 10));
+    if (Next == std::string::npos)
+      break;
+    Pos = Next + 1;
+  }
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--config") {
+      const char *V = next();
+      if (!V)
+        return false;
+      Options.ConfigPath = V;
+    } else if (Arg == "--matmul") {
+      const char *V = next();
+      std::vector<int64_t> Dims;
+      if (!V || !parseDims(V, Dims) || Dims.size() != 3)
+        return false;
+      Options.IsMatMul = true;
+      Options.M = Dims[0];
+      Options.N = Dims[1];
+      Options.K = Dims[2];
+    } else if (Arg == "--conv") {
+      const char *V = next();
+      std::vector<int64_t> Dims;
+      if (!V || !parseDims(V, Dims) || Dims.size() != 5)
+        return false;
+      Options.IsConv = true;
+      Options.InHW = Dims[0];
+      Options.InC = Dims[1];
+      Options.FilterHW = Dims[2];
+      Options.OutC = Dims[3];
+      Options.Stride = Dims[4];
+    } else if (Arg == "--flow") {
+      const char *V = next();
+      if (!V)
+        return false;
+      Options.Flow = V;
+    } else if (Arg == "--emit") {
+      const char *V = next();
+      if (!V)
+        return false;
+      Options.Emit = V;
+    } else if (Arg == "--run") {
+      Options.Run = true;
+    } else if (Arg == "--no-cpu-tiling") {
+      Options.CpuTiling = false;
+    } else if (Arg == "--no-specialize") {
+      Options.Specialize = false;
+    } else if (Arg == "--help" || Arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return !Options.ConfigPath.empty() &&
+         (Options.IsMatMul != Options.IsConv);
+}
+
+int runTool(const CliOptions &Options) {
+  std::string Error;
+  auto Config = parser::parseSystemConfigFile(Options.ConfigPath, &Error);
+  if (failed(Config)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  const char *Kernel =
+      Options.IsMatMul ? "linalg.matmul" : "linalg.conv_2d_nchw_fchw";
+  const parser::AcceleratorDesc *Found = Config->findByKernel(Kernel);
+  if (!Found) {
+    std::fprintf(stderr, "error: no accelerator for kernel '%s' in '%s'\n",
+                 Kernel, Options.ConfigPath.c_str());
+    return 1;
+  }
+  parser::AcceleratorDesc Accel = *Found;
+  if (!Options.Flow.empty()) {
+    if (!Accel.lookupFlow(Options.Flow)) {
+      std::fprintf(stderr, "error: accelerator '%s' has no flow '%s'\n",
+                   Accel.Name.c_str(), Options.Flow.c_str());
+      return 1;
+    }
+    Accel.SelectedFlow = Options.Flow;
+  }
+
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  sim::ElemKind Kind =
+      Accel.DataType == "f32" ? sim::ElemKind::F32 : sim::ElemKind::I32;
+  func::FuncOp Func =
+      Options.IsMatMul
+          ? exec::buildMatMulFunc(Builder, Options.M, Options.N, Options.K,
+                                  Kind)
+          : exec::buildConvFunc(Builder, 1, Options.InC, Options.InHW,
+                                Options.OutC, Options.FilterHW,
+                                Options.Stride, Kind);
+  OwningOpRef Owner(Func.getOperation());
+
+  transforms::LoweringOptions Lowering;
+  Lowering.EnableCpuTiling = Options.CpuTiling;
+  Lowering.CacheBytes = Config->Cpu.lastLevelCacheBytes();
+  transforms::PassManager Pipeline =
+      transforms::buildPipeline(Accel, Lowering);
+  if (failed(Pipeline.run(Func, Error))) {
+    std::fprintf(stderr, "pipeline error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (Options.Emit == "ir" || Options.Emit == "both") {
+    std::cout << "// ---- lowered host driver IR ----\n"
+              << *Func.getOperation() << "\n";
+  }
+  if (Options.Emit == "c" || Options.Emit == "both") {
+    auto CSource = codegen::emitC(Func, &Error);
+    if (failed(CSource)) {
+      std::fprintf(stderr, "C emission error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::cout << "// ---- generated C driver ----\n" << *CSource << "\n";
+  }
+
+  if (!Options.Run)
+    return 0;
+
+  // Build the matching simulated board from the accelerator name.
+  std::unique_ptr<sim::SoC> Soc;
+  if (Options.IsMatMul) {
+    using V = sim::MatMulAccelerator::Version;
+    V Version = Accel.Name.find("v1") != std::string::npos   ? V::V1
+                : Accel.Name.find("v2") != std::string::npos ? V::V2
+                : Accel.Name.find("v4") != std::string::npos ? V::V4
+                                                             : V::V3;
+    int64_t Size = 8;
+    for (int64_t Tile : Accel.AccelSize)
+      Size = std::max(Size, Tile);
+    Soc = sim::makeMatMulSoC(Version, Size, Kind);
+  } else {
+    Soc = sim::makeConvSoC(Kind);
+  }
+  runtime::DmaRuntime Runtime(*Soc, Options.Specialize);
+
+  std::vector<runtime::MemRefDesc> Args;
+  if (Options.IsMatMul) {
+    Args.push_back(runtime::MemRefDesc::alloc({Options.M, Options.K}, Kind));
+    Args.push_back(runtime::MemRefDesc::alloc({Options.K, Options.N}, Kind));
+    Args.push_back(runtime::MemRefDesc::alloc({Options.M, Options.N}, Kind));
+  } else {
+    int64_t OutHW =
+        (Options.InHW - Options.FilterHW) / Options.Stride + 1;
+    Args.push_back(runtime::MemRefDesc::alloc(
+        {1, Options.InC, Options.InHW, Options.InHW}, Kind));
+    Args.push_back(runtime::MemRefDesc::alloc(
+        {Options.OutC, Options.InC, Options.FilterHW, Options.FilterHW},
+        Kind));
+    Args.push_back(
+        runtime::MemRefDesc::alloc({1, Options.OutC, OutHW, OutHW}, Kind));
+  }
+  for (size_t I = 0; I < Args.size(); ++I)
+    exec::fillRandom(Args[I], static_cast<uint32_t>(13 + I));
+
+  // Reference result for validation.
+  runtime::MemRefDesc Expected = exec::cloneMemRef(Args.back());
+  if (Options.IsMatMul)
+    exec::referenceMatMul(Args[0], Args[1], Expected);
+  else
+    exec::referenceConv2D(Args[0], Args[1], Expected, Options.Stride,
+                          Options.Stride);
+
+  exec::Interpreter Interp(*Soc, &Runtime);
+  if (failed(Interp.run(Func, Args, Error))) {
+    std::fprintf(stderr, "execution error: %s\n", Error.c_str());
+    return 1;
+  }
+  bool Match = exec::memrefEquals(Expected, Args.back());
+  std::cout << "// ---- execution on the simulated SoC ----\n"
+            << "numerics match reference: " << (Match ? "yes" : "NO")
+            << "\n"
+            << Soc->report().summary() << "\n";
+  return Match ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Options;
+  if (!parseArgs(Argc, Argv, Options)) {
+    printUsage();
+    return 2;
+  }
+  return runTool(Options);
+}
