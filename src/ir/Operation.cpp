@@ -27,9 +27,12 @@ Block &Region::emplaceBlock() {
 
 Block::~Block() {
   // Destroy operations front-to-back; each Operation recursively destroys
-  // its regions (and thus nested blocks/ops).
-  for (Operation *Op : Operations)
+  // its regions (and thus nested blocks/ops). Unlink each op first: the
+  // whole block is going away, so there is no list left to erase from.
+  for (Operation *Op : Operations) {
+    Op->ParentBlock = nullptr;
     Op->destroy();
+  }
   Operations.clear();
 }
 

@@ -1,0 +1,83 @@
+//===- ConfigFilesTest.cpp - Checked-in configs/*.json smoke test ---------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loads every JSON file checked in under configs/ through the real
+/// parser and asserts it validates: each file must describe at least one
+/// accelerator with a resolvable selected flow. Keeps the documented
+/// example configs from drifting away from the parser.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/ConfigParser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace axi4mlir;
+using namespace axi4mlir::parser;
+
+namespace {
+
+std::vector<std::filesystem::path> configFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(AXI4MLIR_CONFIGS_DIR))
+    if (Entry.path().extension() == ".json")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+TEST(ConfigFiles, DirectoryHasDocumentedConfigs) {
+  std::vector<std::string> Names;
+  for (const auto &Path : configFiles())
+    Names.push_back(Path.filename().string());
+  // The configs the README and the acceptance command rely on.
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "matmul_v3_16.json"),
+            Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "conv2d.json"),
+            Names.end());
+  EXPECT_GE(Names.size(), 6u);
+}
+
+TEST(ConfigFiles, EveryCheckedInConfigValidates) {
+  for (const auto &Path : configFiles()) {
+    std::string Error;
+    auto Config = parseSystemConfigFile(Path.string(), &Error);
+    ASSERT_TRUE(succeeded(Config)) << Path << ": " << Error;
+    ASSERT_FALSE(Config->Accelerators.empty()) << Path;
+    for (const AcceleratorDesc &Accel : Config->Accelerators) {
+      EXPECT_FALSE(Accel.Name.empty()) << Path;
+      EXPECT_FALSE(Accel.Kernel.empty()) << Path;
+      ASSERT_NE(Accel.selectedFlow(), nullptr)
+          << Path << ": accelerator '" << Accel.Name
+          << "' has no resolvable selected flow";
+    }
+  }
+}
+
+TEST(ConfigFiles, MatMulConfigsCoverAllFourVersions) {
+  std::vector<std::string> Kernels;
+  for (const auto &Path : configFiles()) {
+    auto Config = parseSystemConfigFile(Path.string());
+    ASSERT_TRUE(succeeded(Config)) << Path;
+    for (const AcceleratorDesc &Accel : Config->Accelerators)
+      Kernels.push_back(Accel.Name);
+  }
+  for (const char *Version : {"v1", "v2", "v3", "v4"}) {
+    bool Found = false;
+    for (const std::string &Name : Kernels)
+      Found = Found || Name.find(Version) != std::string::npos;
+    EXPECT_TRUE(Found) << "no checked-in matmul config for " << Version;
+  }
+}
+
+} // namespace
