@@ -41,6 +41,47 @@ int main() {
                 static_cast<unsigned long long>(Flat.CacheReferences));
   }
 
+  printHeader("Ablation: partial-tile strategy (pad vs peel, v3_16)");
+  // Non-divisible shapes (the tiling-plan layer's pad/peel paths): the
+  // acceptance shape, a ResNet-ish projection, and thin- vs thick-fringe
+  // extremes around the 16 tile. Tracks the overhead each strategy adds
+  // over the nearest divisible problem.
+  {
+    struct Shape {
+      int64_t M, N, K;
+      const char *Note;
+    };
+    const Shape Shapes[] = {
+        {100, 36, 52, "acceptance shape"},
+        {224, 112, 50, "conv-as-matmul projection"},
+        {129, 129, 129, "thin fringe (129 % 16 = 1)"},
+        {127, 127, 127, "thick fringe (127 % 16 = 15)"},
+    };
+    for (const Shape &S : Shapes) {
+      MatMulRunConfig Config;
+      Config.M = S.M;
+      Config.N = S.N;
+      Config.K = S.K;
+      Config.Version = V::V3;
+      Config.AccelSize = 16;
+      Config.Flow = "As";
+      Config.Validate = false;
+
+      Config.Remainder = transforms::RemainderMode::Pad;
+      sim::PerfReport Pad = mustRun(runMatMulAxi4mlir, Config, "pad");
+      Config.Remainder = transforms::RemainderMode::Peel;
+      sim::PerfReport Peel = mustRun(runMatMulAxi4mlir, Config, "peel");
+      std::printf("%4lldx%-4lldx%-4lld: pad %9.3f ms (%6llu transfers) | "
+                  "peel %9.3f ms (%6llu transfers)  [%s]\n",
+                  static_cast<long long>(S.M), static_cast<long long>(S.N),
+                  static_cast<long long>(S.K), Pad.TaskClockMs,
+                  static_cast<unsigned long long>(Pad.DmaTransfers),
+                  Peel.TaskClockMs,
+                  static_cast<unsigned long long>(Peel.DmaTransfers),
+                  S.Note);
+    }
+  }
+
   printHeader("Ablation: transfer batching (one dma_start_send per token "
               "vs per accel op)");
   // The batched path is the default pipeline; the unbatched path is the

@@ -21,6 +21,15 @@ DeallocOp memref::DeallocOp::create(OpBuilder &Builder, Value MemRef) {
   return DeallocOp(Builder.create(OpName, {MemRef}));
 }
 
+CopyOp memref::CopyOp::create(OpBuilder &Builder, Value Source, Value Dest) {
+  [[maybe_unused]] MemRefType SourceTy =
+      Source.getType().cast<MemRefType>();
+  [[maybe_unused]] MemRefType DestTy = Dest.getType().cast<MemRefType>();
+  assert(SourceTy.getShape() == DestTy.getShape() &&
+         "memref.copy requires identical shapes");
+  return CopyOp(Builder.create(OpName, {Source, Dest}));
+}
+
 LoadOp memref::LoadOp::create(OpBuilder &Builder, Value MemRef,
                               const std::vector<Value> &Indices) {
   MemRefType Ty = MemRef.getType().cast<MemRefType>();
@@ -85,6 +94,24 @@ void memref::registerDialect(MLIRContext &Context) {
   Registry.registerOp({DeallocOp::OpName, /*NumOperands=*/1,
                        /*NumResults=*/0, /*NumRegions=*/0,
                        /*IsTerminator=*/false, nullptr});
+  Registry.registerOp(
+      {CopyOp::OpName, /*NumOperands=*/2, /*NumResults=*/0,
+       /*NumRegions=*/0, /*IsTerminator=*/false,
+       [](Operation *Op, std::string &Error) {
+         MemRefType SourceTy =
+             Op->getOperand(0).getType().dyn_cast<MemRefType>();
+         MemRefType DestTy =
+             Op->getOperand(1).getType().dyn_cast<MemRefType>();
+         if (!SourceTy || !DestTy) {
+           Error = "memref.copy operands must be memrefs";
+           return failure();
+         }
+         if (SourceTy.getShape() != DestTy.getShape()) {
+           Error = "memref.copy source/dest shapes differ";
+           return failure();
+         }
+         return success();
+       }});
   Registry.registerOp(
       {LoadOp::OpName, /*NumOperands=*/-1, /*NumResults=*/1, /*NumRegions=*/0,
        /*IsTerminator=*/false, [](Operation *Op, std::string &Error) {

@@ -46,6 +46,22 @@ public:
   static DeallocOp create(OpBuilder &Builder, Value MemRef);
 };
 
+/// memref.copy %src, %dst: copies every element of one memref view into
+/// another of identical shape (the pad-staging copy of partial tiles; a
+/// memcpy per contiguous row at runtime).
+class CopyOp : public OpView {
+public:
+  static constexpr const char *OpName = "memref.copy";
+  using OpView::OpView;
+
+  static bool classof(const Operation *Op) { return Op->getName() == OpName; }
+
+  static CopyOp create(OpBuilder &Builder, Value Source, Value Dest);
+
+  Value getSource() const { return Op->getOperand(0); }
+  Value getDest() const { return Op->getOperand(1); }
+};
+
 /// memref.load %memref[%i, %j, ...].
 class LoadOp : public OpView {
 public:

@@ -6,6 +6,8 @@
 
 #include "exec/Heuristics.h"
 
+#include "support/STLExtras.h"
+
 #include <cassert>
 #include <limits>
 #include <vector>
@@ -16,11 +18,14 @@ using namespace axi4mlir::exec;
 double exec::estimateMovedElements(const std::string &Flow, int64_t M,
                                    int64_t N, int64_t K, int64_t TileM,
                                    int64_t TileN, int64_t TileK) {
-  double DM = static_cast<double>(M), DN = static_cast<double>(N),
-         DK = static_cast<double>(K);
-  double StepsM = DM / static_cast<double>(TileM);
-  double StepsN = DN / static_cast<double>(TileN);
-  double StepsK = DK / static_cast<double>(TileK);
+  // Partial tiles ship padded to full size, so each dimension contributes
+  // ceil(extent/tile) full tile steps (exact for divisible extents).
+  double StepsM = static_cast<double>(ceilDiv(M, TileM));
+  double StepsN = static_cast<double>(ceilDiv(N, TileN));
+  double StepsK = static_cast<double>(ceilDiv(K, TileK));
+  double DM = StepsM * static_cast<double>(TileM),
+         DN = StepsN * static_cast<double>(TileN),
+         DK = StepsK * static_cast<double>(TileK);
   double AAll = DM * DK, BAll = DK * DN, CAll = DM * DN;
 
   if (Flow == "As") // A sent once; B per (m); C per (k).
@@ -35,27 +40,49 @@ double exec::estimateMovedElements(const std::string &Flow, int64_t M,
 
 FlowTilingChoice exec::chooseSquareTile(int64_t M, int64_t N, int64_t K,
                                         const std::string &Flow,
-                                        int64_t CapacityWords) {
+                                        int64_t CapacityWords,
+                                        bool AllowPartial) {
   FlowTilingChoice Choice;
   Choice.Flow = Flow;
   int64_t Limit = std::min(std::min(M, N), K);
-  for (int64_t T = Limit; T >= 1; --T) {
-    if (M % T || N % T || K % T || T * T > CapacityWords)
-      continue;
-    Choice.TileM = Choice.TileN = Choice.TileK = T;
-    Choice.MovedElements = estimateMovedElements(Flow, M, N, K, T, T, T);
+  if (!AllowPartial) {
+    // Legacy behaviour: the largest divisible square tile wins outright.
+    for (int64_t T = Limit; T >= 1; --T) {
+      if (M % T || N % T || K % T || T * T > CapacityWords)
+        continue;
+      Choice.TileM = Choice.TileN = Choice.TileK = T;
+      Choice.MovedElements = estimateMovedElements(Flow, M, N, K, T, T, T);
+      return Choice;
+    }
+    Choice.TileM = Choice.TileN = Choice.TileK = 1;
+    Choice.MovedElements = estimateMovedElements(Flow, M, N, K, 1, 1, 1);
     return Choice;
   }
-  Choice.TileM = Choice.TileN = Choice.TileK = 1;
-  Choice.MovedElements = estimateMovedElements(Flow, M, N, K, 1, 1, 1);
+  // With a pad/peel strategy every tile is legal; the padded-movement
+  // estimate penalizes tiles that waste a large partial fringe.
+  Choice.MovedElements = std::numeric_limits<double>::max();
+  for (int64_t T = Limit; T >= 1; --T) {
+    if (T * T > CapacityWords)
+      continue;
+    double Moved = estimateMovedElements(Flow, M, N, K, T, T, T);
+    if (Moved < Choice.MovedElements) {
+      Choice.TileM = Choice.TileN = Choice.TileK = T;
+      Choice.MovedElements = Moved;
+    }
+  }
+  if (!Choice.TileM) {
+    Choice.TileM = Choice.TileN = Choice.TileK = 1;
+    Choice.MovedElements = estimateMovedElements(Flow, M, N, K, 1, 1, 1);
+  }
   return Choice;
 }
 
 static std::vector<int64_t> tileCandidates(int64_t Extent,
-                                           int64_t TileQuantum) {
+                                           int64_t TileQuantum,
+                                           bool AllowPartial) {
   std::vector<int64_t> Candidates;
   for (int64_t T = TileQuantum; T <= Extent; T += TileQuantum)
-    if (Extent % T == 0)
+    if (AllowPartial || Extent % T == 0)
       Candidates.push_back(T);
   if (Candidates.empty())
     Candidates.push_back(Extent); // Extent smaller than the quantum.
@@ -64,13 +91,14 @@ static std::vector<int64_t> tileCandidates(int64_t Extent,
 
 FlowTilingChoice exec::chooseBestFlexible(int64_t M, int64_t N, int64_t K,
                                           int64_t CapacityWords,
-                                          int64_t TileQuantum) {
+                                          int64_t TileQuantum,
+                                          bool AllowPartial) {
   FlowTilingChoice Best;
   Best.MovedElements = std::numeric_limits<double>::max();
   const char *Flows[] = {"Ns", "As", "Bs", "Cs"};
-  for (int64_t TM : tileCandidates(M, TileQuantum)) {
-    for (int64_t TN : tileCandidates(N, TileQuantum)) {
-      for (int64_t TK : tileCandidates(K, TileQuantum)) {
+  for (int64_t TM : tileCandidates(M, TileQuantum, AllowPartial)) {
+    for (int64_t TN : tileCandidates(N, TileQuantum, AllowPartial)) {
+      for (int64_t TK : tileCandidates(K, TileQuantum, AllowPartial)) {
         if (TM * TK > CapacityWords || TK * TN > CapacityWords ||
             TM * TN > CapacityWords)
           continue;

@@ -31,23 +31,32 @@ struct FlowTilingChoice {
 };
 
 /// Estimated elements transferred (in + out) for a MatMul of size M,N,K
-/// tiled (TM,TN,TK) under the given stationary flow.
+/// tiled (TM,TN,TK) under the given stationary flow. Non-divisible
+/// extents are modelled as padded: tile steps round up and partial tiles
+/// ship at full size (exact for divisible problems).
 double estimateMovedElements(const std::string &Flow, int64_t M, int64_t N,
                              int64_t K, int64_t TileM, int64_t TileN,
                              int64_t TileK);
 
-/// Largest square tile T dividing M, N and K whose per-operand footprint
-/// T*T fits in \p CapacityWords, with the given flow.
+/// Largest square tile T whose per-operand footprint T*T fits in
+/// \p CapacityWords, with the given flow. By default T must divide M, N
+/// and K; with \p AllowPartial (a pad/peel remainder strategy is
+/// available) non-dividing tiles are legal and the minimum-movement one
+/// wins.
 FlowTilingChoice chooseSquareTile(int64_t M, int64_t N, int64_t K,
                                   const std::string &Flow,
-                                  int64_t CapacityWords);
+                                  int64_t CapacityWords,
+                                  bool AllowPartial = false);
 
 /// Searches all flows (Ns/As/Bs/Cs) and rectangular tiles (multiples of
-/// \p TileQuantum dividing each dimension, footprints within
-/// \p CapacityWords) for the minimum-movement configuration.
+/// \p TileQuantum, footprints within \p CapacityWords) for the
+/// minimum-movement configuration. Without \p AllowPartial tiles must
+/// divide each dimension; with it partial tiles are legal (padded
+/// transfer volumes are charged by the estimate).
 FlowTilingChoice chooseBestFlexible(int64_t M, int64_t N, int64_t K,
                                     int64_t CapacityWords,
-                                    int64_t TileQuantum = 16);
+                                    int64_t TileQuantum = 16,
+                                    bool AllowPartial = false);
 
 } // namespace exec
 } // namespace axi4mlir

@@ -14,6 +14,7 @@
 #include "transforms/Passes.h"
 
 #include <cassert>
+#include <functional>
 
 using namespace axi4mlir;
 using namespace axi4mlir::exec;
@@ -176,6 +177,49 @@ LogicalResult Interpreter::executeOp(Operation *Op) {
                       ? static_cast<int64_t>(Stored.FloatVal)
                       : Stored.IntVal));
     Desc.Buffer->Data[static_cast<size_t>(Linear)] = Word;
+    return success();
+  }
+  if (auto Copy = dyn_cast_op<memref::CopyOp>(Op)) {
+    const MemRefDesc &Source = memrefValue(Copy.getSource());
+    const MemRefDesc &Dest = memrefValue(Copy.getDest());
+    if (Source.Sizes != Dest.Sizes)
+      return fail("memref.copy shape mismatch");
+    // Row-wise memcpy when both sides are contiguous innermost (the
+    // compiler vectorizes the staging copy); scalar sweep otherwise.
+    unsigned Rank = Source.rank();
+    bool RowWise = Source.innermostContiguous() && Dest.innermostContiguous();
+    std::vector<int64_t> Indices(Rank, 0);
+    std::function<void(unsigned)> CopyDim = [&](unsigned Dim) {
+      if (RowWise && (Rank == 0 || Dim + 1 == Rank)) {
+        int64_t RowElements = Rank == 0 ? 1 : Source.Sizes[Dim];
+        if (Rank > 0)
+          Indices[Dim] = 0;
+        int64_t SrcLinear = Source.linearIndex(Indices);
+        int64_t DstLinear = Dest.linearIndex(Indices);
+        uint64_t Bytes = static_cast<uint64_t>(RowElements) * 4;
+        __builtin_memcpy(Dest.Buffer->Data.data() + DstLinear,
+                         Source.Buffer->Data.data() + SrcLinear, Bytes);
+        Perf.onMemcpy(Dest.addressOf(DstLinear), Source.addressOf(SrcLinear),
+                      Bytes);
+        return;
+      }
+      if (Dim == Rank) {
+        int64_t SrcLinear = Source.linearIndex(Indices);
+        int64_t DstLinear = Dest.linearIndex(Indices);
+        Perf.onScalarLoad(Source.addressOf(SrcLinear), 4);
+        Perf.onScalarStore(Dest.addressOf(DstLinear), 4);
+        Perf.onArith(2);
+        Dest.Buffer->Data[static_cast<size_t>(DstLinear)] =
+            Source.Buffer->Data[static_cast<size_t>(SrcLinear)];
+        return;
+      }
+      for (int64_t I = 0; I < Source.Sizes[Dim]; ++I) {
+        Indices[Dim] = I;
+        Perf.onLoopIteration();
+        CopyDim(Dim + 1);
+      }
+    };
+    CopyDim(0);
     return success();
   }
   if (auto SubView = dyn_cast_op<memref::SubViewOp>(Op)) {

@@ -117,10 +117,15 @@ RunResult exec::runMatMulAxi4mlir(const MatMulRunConfig &Config) {
   transforms::LoweringOptions Options;
   Options.EnableCpuTiling = Config.CpuTiling;
   Options.CacheBytes = Config.Params.L2SizeBytes;
-  transforms::PassManager Pipeline =
-      transforms::buildPipeline(Accel, Options);
+  Options.Remainder = Config.Remainder;
+  Options.CostParams = Config.Params;
+  auto Plans = std::make_shared<std::vector<transforms::TilingPlan>>();
+  transforms::PassManager Pipeline = transforms::buildPipeline(
+      std::vector<parser::AcceleratorDesc>{Accel}, Options, Plans);
   if (failed(Pipeline.run(Func, Result.Error)))
     return Result;
+  if (!Plans->empty())
+    Result.SelectedAccelerator = Plans->front().AcceleratorName;
 
   // Execute against the simulated board.
   auto Soc = sim::makeMatMulSoC(Config.Version, Config.AccelSize,
@@ -252,10 +257,15 @@ RunResult exec::runConvAxi4mlir(const ConvRunConfig &Config) {
   transforms::LoweringOptions Options;
   Options.EnableCpuTiling = Config.CpuTiling;
   Options.CacheBytes = Config.Params.L2SizeBytes;
-  transforms::PassManager Pipeline =
-      transforms::buildPipeline(Accel, Options);
+  Options.Remainder = Config.Remainder;
+  Options.CostParams = Config.Params;
+  auto Plans = std::make_shared<std::vector<transforms::TilingPlan>>();
+  transforms::PassManager Pipeline = transforms::buildPipeline(
+      std::vector<parser::AcceleratorDesc>{Accel}, Options, Plans);
   if (failed(Pipeline.run(Func, Result.Error)))
     return Result;
+  if (!Plans->empty())
+    Result.SelectedAccelerator = Plans->front().AcceleratorName;
 
   auto Soc = sim::makeConvSoC(Config.Kind, Config.Params);
   runtime::DmaRuntime Runtime(*Soc, Config.SpecializeCopies);

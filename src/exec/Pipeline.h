@@ -40,6 +40,9 @@ struct MatMulRunConfig {
   /// AXI4MLIR options (ignored by manual/CPU runs).
   bool CpuTiling = true;
   bool SpecializeCopies = true;
+  /// Partial-tile strategy for extents not divisible by the tile
+  /// (ignored by manual/CPU runs; Reject reproduces the legacy error).
+  transforms::RemainderMode Remainder = transforms::RemainderMode::Pad;
   sim::ElemKind Kind = sim::ElemKind::I32;
   sim::SoCParams Params;
   /// Validate numerics against the reference kernel (costs an extra
@@ -54,6 +57,9 @@ struct RunResult {
   bool NumericsMatch = false;
   std::string Error;
   sim::PerfReport Report;
+  /// Name of the accelerator the planning layer dispatched to (empty for
+  /// manual/CPU runs).
+  std::string SelectedAccelerator;
 };
 
 /// Builds `func @matmul_call(%A, %B, %C)` containing one linalg.matmul.
@@ -82,6 +88,7 @@ struct ConvRunConfig {
           FilterHW = 3, Stride = 1;
   bool CpuTiling = false; // conv tiles are already output-slice shaped
   bool SpecializeCopies = true;
+  transforms::RemainderMode Remainder = transforms::RemainderMode::Pad;
   sim::ElemKind Kind = sim::ElemKind::I32;
   sim::SoCParams Params;
   bool Validate = true;

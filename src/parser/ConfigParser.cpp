@@ -109,6 +109,10 @@ static LogicalResult parseAccelerator(const json::Value &AccelValue,
     for (const json::Value &Dim : Size->array()) {
       if (!Dim.isInt())
         return fail(Error, "'accel_size' entries must be integers");
+      if (Dim.asInt() < -1)
+        return fail(Error, "accelerator '" + Accel.Name +
+                               "': 'accel_size' entries must be >= -1 "
+                               "(got " + std::to_string(Dim.asInt()) + ")");
       Accel.AccelSize.push_back(Dim.asInt());
     }
   } else {
@@ -232,15 +236,32 @@ FailureOr<SystemConfig> parser::parseSystemConfig(const std::string &Text,
   if (!Accels || !Accels->isArray())
     return (void)fail(Error, "configuration needs an 'accelerators' array"),
            failure();
+  // Every entry must parse cleanly, not just the first one the pipeline
+  // happens to use: since the planning layer dispatches across the whole
+  // array, a malformed trailing entry is a hard error.
+  size_t EntryIndex = 0;
   for (const json::Value &AccelValue : Accels->array()) {
     AcceleratorDesc Accel;
-    if (failed(parseAccelerator(AccelValue, Accel, Error)))
+    std::string EntryError;
+    if (failed(parseAccelerator(AccelValue, Accel, &EntryError))) {
+      if (Error)
+        *Error = "in accelerators[" + std::to_string(EntryIndex) +
+                 "]: " + EntryError;
       return failure();
+    }
     Config.Accelerators.push_back(std::move(Accel));
+    ++EntryIndex;
   }
   if (Config.Accelerators.empty())
     return (void)fail(Error, "configuration defines no accelerators"),
            failure();
+  // Names must be unique so plan diagnostics and dispatch are unambiguous.
+  for (size_t I = 0; I < Config.Accelerators.size(); ++I)
+    for (size_t J = I + 1; J < Config.Accelerators.size(); ++J)
+      if (Config.Accelerators[I].Name == Config.Accelerators[J].Name)
+        return (void)fail(Error, "duplicate accelerator name '" +
+                                     Config.Accelerators[I].Name + "'"),
+               failure();
   return Config;
 }
 

@@ -24,6 +24,7 @@
 
 #include "dialects/Accel.h"
 #include "dialects/Arith.h"
+#include "dialects/MemRef.h"
 #include "dialects/SCF.h"
 #include "transforms/Passes.h"
 
@@ -87,11 +88,16 @@ LogicalResult RuntimeLowering::lowerBlock(Block &TheBlock) {
     bool IsRecv = Name == accel::RecvOp::OpName;
     bool IsDmaInit = Name == accel::DmaInitOp::OpName;
     if (!IsSendLike && !IsRecv && !IsDmaInit) {
-      // Pure address/tile computations (constants, index arithmetic,
-      // subviews) may interleave with a batch; anything else flushes it.
-      bool Pure = Name.rfind("arith.", 0) == 0 ||
-                  Name.rfind("memref.subview", 0) == 0;
-      if (!Pure && ChainOpen)
+      // Ops that never touch the DMA staging region may interleave with a
+      // batch: address/tile computations (constants, index arithmetic,
+      // subviews) and the host-side pad-staging ops (alloc/copy/dealloc of
+      // the zero-filled full-tile buffers). Anything else flushes it.
+      bool ChainTransparent = Name.rfind("arith.", 0) == 0 ||
+                              Name == memref::SubViewOp::OpName ||
+                              Name == memref::AllocOp::OpName ||
+                              Name == memref::CopyOp::OpName ||
+                              Name == memref::DeallocOp::OpName;
+      if (!ChainTransparent && ChainOpen)
         flushChain();
       continue;
     }

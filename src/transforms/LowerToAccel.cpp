@@ -17,14 +17,28 @@
 ///     (DESIGN.md Sec. 5.1) — e.g. paper Fig. 6b for matmul-As and
 ///     Fig. 15b for the output-stationary convolution.
 ///
+/// The pass consumes the TilingPlan computed during match-and-annotate
+/// instead of re-deriving tiles. Problem extents that are not divisible by
+/// the accelerator tile are handled per the plan's remainder strategy:
+///
+///   * Pad: the iteration space is decomposed into boxes (full-tile
+///     segments x partial-tile segments per dimension); partial tiles are
+///     staged through a zero-filled full-tile buffer on send and masked
+///     through a staging buffer + accumulate-copy on receive, so the
+///     accelerator always sees full-size bursts.
+///   * Peel: the accelerator runs the full-tile main region only and each
+///     partial dimension peels into a host epilogue (a residual
+///     linalg.generic over the remainder subviews).
+///
 //===----------------------------------------------------------------------===//
 
 #include "dialects/Accel.h"
 #include "dialects/Arith.h"
 #include "dialects/Linalg.h"
 #include "dialects/MemRef.h"
-#include "dialects/SCF.h"
 #include "transforms/Passes.h"
+#include "transforms/TilingPlan.h"
+#include "dialects/SCF.h"
 
 #include <algorithm>
 #include <map>
@@ -75,15 +89,54 @@ bool analyzeLinear(AffineExpr Expr, LinearExpr &Out, int64_t Scale = 1) {
 // Per-dimension loop bookkeeping
 //===----------------------------------------------------------------------===//
 
-/// Everything the emitter knows about one kernel dimension.
+/// Everything the emitter knows about one kernel dimension. The plan-level
+/// fields are constant; the region-local fields are reset per emitted
+/// iteration-space box.
 struct DimInfo {
-  int64_t Extent = 0;   ///< full problem extent
-  int64_t Tile = 1;     ///< accelerator tile (== Extent if not host-looped)
-  int64_t CpuTile = 0;  ///< CPU cache tile (0 = no CPU loop)
+  // Plan level.
+  int64_t Extent = 0;     ///< full problem extent
+  int64_t Tile = 1;       ///< accelerator tile (== Extent if not host-looped)
+  int64_t Remainder = 0;  ///< partial-tile remainder (plan)
+  int64_t MainExtent = 0; ///< extent covered by full tiles
+  int64_t CpuTile = 0;    ///< CPU cache tile (0 = no CPU loop; main box only)
+
+  // Region-local.
+  int64_t Lower = 0;     ///< box lower bound for this dim
+  int64_t Length = 0;    ///< box extent for this dim
+  int64_t Footprint = 1; ///< tile footprint inside the box (<= Tile)
   bool HasAccelLoop = false;
   int AccelLoopDepth = -1; ///< depth among emitted accel loops
   Value AccelIV;
   Value CpuIV;
+};
+
+/// One segment of a dimension: either the full-tile main range or the
+/// partial-tile remainder range.
+struct DimSegment {
+  int64_t Lower = 0;
+  int64_t Length = 0;
+  int64_t Footprint = 1;
+  bool Partial = false;
+};
+
+/// One box of the decomposed iteration space.
+struct RegionBox {
+  std::vector<DimSegment> Segments; // one per kernel dim
+  bool Host = false; ///< peel epilogue: execute on the host CPU
+  bool hasPartial() const {
+    for (const DimSegment &Segment : Segments)
+      if (Segment.Partial)
+        return true;
+    return false;
+  }
+  /// A box with a zero-length segment covers no iteration-space points
+  /// (e.g. the main box when an extent is below the engine tile).
+  bool isEmpty() const {
+    for (const DimSegment &Segment : Segments)
+      if (Segment.Length == 0)
+        return true;
+    return false;
+  }
 };
 
 /// A token placement decision.
@@ -110,20 +163,41 @@ public:
 private:
   LogicalResult analyze();
   void chooseCpuTiles();
+  std::vector<RegionBox> buildRegions() const;
+
+  LogicalResult emitAccelRegion(const RegionBox &Box);
+  LogicalResult emitHostRegion(const RegionBox &Box);
+
   LogicalResult placeTokens(const accel::FlowScope &Scope, unsigned Level,
                             std::vector<TokenPlacement> &Placements);
   unsigned innerStartOfLevel(unsigned Level) const;
   unsigned sendTokenDepth(const accel::OpcodeEntry &Entry) const;
 
-  LogicalResult emit();
   LogicalResult emitInitOpcodes();
   /// The accelerator-tile footprint of result dimension \p ResultDim of
-  /// operand \p ArgIndex (what send_dim transmits).
+  /// operand \p ArgIndex (what send_dim transmits). Always the plan's full
+  /// tile: padded partial tiles ship at full size.
   int64_t operandDimFootprint(int64_t ArgIndex, unsigned ResultDim) const;
   void buildLoopNest();
   LogicalResult emitToken(const TokenPlacement &Placement);
-  Value emitSubview(int64_t ArgIndex, unsigned Depth);
+  /// Emits the tile subview of \p ArgIndex visible at \p Depth. Also
+  /// reports the subview's sizes and the full accelerator-tile sizes the
+  /// engine expects; they differ exactly when the tile is partial.
+  Value emitSubview(int64_t ArgIndex, unsigned Depth,
+                    std::vector<int64_t> *ActualSizes = nullptr,
+                    std::vector<int64_t> *FullSizes = nullptr);
   Value visibleIV(unsigned Dim, unsigned Depth, bool &CoveredByLoop) const;
+
+  /// Stages a partial tile into a fresh zero-filled full-tile buffer
+  /// (memref.alloc zero-fills) and returns the staging buffer to send.
+  Value emitPadStaging(Value PartialTile,
+                       const std::vector<int64_t> &ActualSizes,
+                       const std::vector<int64_t> &FullSizes);
+  /// Receives into a full-tile staging buffer and accumulates only the
+  /// valid region back into \p PartialTile (result masking).
+  Value emitMaskedRecv(Value PartialTile,
+                       const std::vector<int64_t> &ActualSizes,
+                       const std::vector<int64_t> &FullSizes, Value Offset);
 
   Value constantIndex(int64_t V) {
     return arith::ConstantOp::createIndex(Builder, V).getResult();
@@ -137,6 +211,7 @@ private:
 
   // Analysis results.
   unsigned NumLoops = 0;
+  TilingPlan Plan;
   std::vector<DimInfo> Dims;
   std::vector<unsigned> Permutation;
   const accel::OpcodeMapData *OpcodeMap = nullptr;
@@ -144,7 +219,7 @@ private:
   const accel::OpcodeFlowData *InitFlow = nullptr;
   accel::DmaInitConfig DmaConfig;
 
-  /// Dim -> accel-loop depth map and the emitted loops.
+  /// Dim -> accel-loop depth map and the emitted loops (region-local).
   std::vector<unsigned> AccelLoopDims; // perm-ordered dims with accel loops
   std::vector<scf::ForOp> AccelLoops;
   std::vector<scf::ForOp> CpuLoops;
@@ -165,14 +240,12 @@ private:
 
 LogicalResult AccelLoweringEmitter::analyze() {
   NumLoops = Generic.getNumLoops();
-  std::vector<int64_t> Ranges = Generic.getStaticLoopRanges();
-  if (Ranges.empty()) {
-    Error = "annotated generic has non-inferable loop ranges";
-    return failure();
-  }
 
-  AffineMap TileMap =
-      Op->getAttr(accel::AccelDimAttrName).getAffineMapValue();
+  auto AttachedPlan = TilingPlan::fromOp(Op, Error);
+  if (failed(AttachedPlan))
+    return failure();
+  Plan = std::move(*AttachedPlan);
+
   AffineMap PermMap =
       Op->getAttr(accel::PermutationMapAttrName).getAffineMapValue();
   OpcodeMap = &Op->getAttr(accel::OpcodeMapAttrName).getOpcodeMapValue();
@@ -183,31 +256,25 @@ LogicalResult AccelLoweringEmitter::analyze() {
 
   Dims.resize(NumLoops);
   for (unsigned D = 0; D < NumLoops; ++D) {
-    Dims[D].Extent = Ranges[D];
-    Dims[D].Tile = TileMap.getResult(D).getConstantValue();
+    const DimPlan &Planned = Plan.Dims[D];
+    Dims[D].Extent = Planned.Extent;
+    Dims[D].Tile = Planned.Tile;
+    Dims[D].Remainder = Planned.Remainder;
+    Dims[D].MainExtent = Planned.mainExtent();
   }
   Permutation.clear();
   for (unsigned R = 0; R < PermMap.getNumResults(); ++R)
     Permutation.push_back(PermMap.getResult(R).getPosition());
 
   chooseCpuTiles();
-
-  // Decide which dims get accel loops, in permutation order.
-  for (unsigned Dim : Permutation) {
-    int64_t LoopExtent =
-        Dims[Dim].CpuTile ? Dims[Dim].CpuTile : Dims[Dim].Extent;
-    if (Dims[Dim].Tile < LoopExtent) {
-      Dims[Dim].HasAccelLoop = true;
-      Dims[Dim].AccelLoopDepth = static_cast<int>(AccelLoopDims.size());
-      AccelLoopDims.push_back(Dim);
-    }
-  }
   return success();
 }
 
 void AccelLoweringEmitter::chooseCpuTiles() {
   if (!Options.EnableCpuTiling)
     return;
+  // CPU cache tiling applies to the full-tile main region; partial-tile
+  // boxes are a thin fringe that gains nothing from an extra loop level.
   // Working set of one CPU tile: sum over operands of the tile footprint
   // under candidate tile sizes (DESIGN.md Sec. 5.2).
   auto workingSetBytes = [&](const std::vector<int64_t> &Tiles) -> int64_t {
@@ -231,7 +298,7 @@ void AccelLoweringEmitter::chooseCpuTiles() {
 
   // Grow tiles by powers of two above the accelerator tile while the
   // working set fits in half the last-level cache and the tile divides the
-  // extent.
+  // main-region extent.
   std::vector<int64_t> Best(NumLoops);
   for (unsigned D = 0; D < NumLoops; ++D)
     Best[D] = Dims[D].Tile;
@@ -239,10 +306,13 @@ void AccelLoweringEmitter::chooseCpuTiles() {
     bool Changed = false;
     // Round-robin doubling keeps tiles roughly square.
     for (unsigned D = 0; D < NumLoops; ++D) {
+      // No main region above one tile -> no room for a CPU loop level.
+      if (Dims[D].MainExtent <= Dims[D].Tile)
+        continue;
       int64_t Candidate = Best[D] * 2;
-      if (Candidate > Dims[D].Extent)
-        Candidate = Dims[D].Extent;
-      if (Candidate == Best[D] || Dims[D].Extent % Candidate != 0)
+      if (Candidate > Dims[D].MainExtent)
+        Candidate = Dims[D].MainExtent;
+      if (Candidate <= Best[D] || Dims[D].MainExtent % Candidate != 0)
         continue;
       std::vector<int64_t> Trial = Best;
       Trial[D] = Candidate;
@@ -256,9 +326,68 @@ void AccelLoweringEmitter::chooseCpuTiles() {
   }
   for (unsigned D = 0; D < NumLoops; ++D) {
     // A CPU loop is only worthwhile strictly between tile and extent.
-    if (Best[D] > Dims[D].Tile && Best[D] < Dims[D].Extent)
+    if (Best[D] > Dims[D].Tile && Best[D] < Dims[D].MainExtent)
       Dims[D].CpuTile = Best[D];
   }
+}
+
+std::vector<RegionBox> AccelLoweringEmitter::buildRegions() const {
+  // The all-full-tiles main box (for divisible problems: the whole space).
+  RegionBox Main;
+  Main.Segments.resize(NumLoops);
+  for (unsigned D = 0; D < NumLoops; ++D)
+    Main.Segments[D] = {/*Lower=*/0, Dims[D].MainExtent, Dims[D].Tile,
+                        /*Partial=*/false};
+  std::vector<RegionBox> Regions = {Main};
+  if (!Plan.hasPartialTiles())
+    return Regions;
+
+  if (Plan.Mode == RemainderMode::Peel) {
+    // Host epilogue boxes: for each partial dim d, the box where d is the
+    // first dimension escaping the main region — dims before d stay in
+    // their main range, dims after d run their full extent. The boxes are
+    // disjoint and together cover exactly the peeled remainder.
+    for (unsigned D = 0; D < NumLoops; ++D) {
+      if (!Dims[D].Remainder)
+        continue;
+      RegionBox Box;
+      Box.Host = true;
+      Box.Segments.resize(NumLoops);
+      for (unsigned I = 0; I < NumLoops; ++I) {
+        if (I < D)
+          Box.Segments[I] = {0, Dims[I].MainExtent, Dims[I].Tile, false};
+        else if (I == D)
+          Box.Segments[I] = {Dims[I].MainExtent, Dims[I].Remainder,
+                             Dims[I].Remainder, true};
+        else
+          Box.Segments[I] = {0, Dims[I].Extent, Dims[I].Tile, false};
+      }
+      Regions.push_back(Box);
+    }
+    return Regions;
+  }
+
+  // Pad: the cartesian product of {main, partial} segments per dimension.
+  // Every box with at least one partial segment runs on the accelerator
+  // with zero-padded staging tiles; static subview sizes stay uniform
+  // inside each box.
+  std::vector<unsigned> PartialDims;
+  for (unsigned D = 0; D < NumLoops; ++D)
+    if (Dims[D].Remainder)
+      PartialDims.push_back(D);
+  for (uint64_t Mask = 1; Mask < (uint64_t(1) << PartialDims.size());
+       ++Mask) {
+    RegionBox Box = Main;
+    for (size_t Bit = 0; Bit < PartialDims.size(); ++Bit) {
+      if (!(Mask & (uint64_t(1) << Bit)))
+        continue;
+      unsigned D = PartialDims[Bit];
+      Box.Segments[D] = {Dims[D].MainExtent, Dims[D].Remainder,
+                         Dims[D].Remainder, true};
+    }
+    Regions.push_back(Box);
+  }
+  return Regions;
 }
 
 int64_t AccelLoweringEmitter::operandDimFootprint(int64_t ArgIndex,
@@ -366,12 +495,12 @@ LogicalResult AccelLoweringEmitter::placeTokens(
 }
 
 void AccelLoweringEmitter::buildLoopNest() {
-  // CPU-level loops first (permutation order).
+  // CPU-level loops first (permutation order; main box only).
   for (unsigned Dim : Permutation) {
     if (!Dims[Dim].CpuTile)
       continue;
     scf::ForOp Loop = scf::ForOp::create(Builder, constantIndex(0),
-                                         constantIndex(Dims[Dim].Extent),
+                                         constantIndex(Dims[Dim].Length),
                                          constantIndex(Dims[Dim].CpuTile));
     Dims[Dim].CpuIV = Loop.getInductionVar();
     CpuLoops.push_back(Loop);
@@ -387,11 +516,11 @@ void AccelLoweringEmitter::buildLoopNest() {
                                            constantIndex(Dims[Dim].CpuTile))
                        .getResult();
     } else {
-      LowerBound = constantIndex(0);
-      UpperBound = constantIndex(Dims[Dim].Extent);
+      LowerBound = constantIndex(Dims[Dim].Lower);
+      UpperBound = constantIndex(Dims[Dim].Lower + Dims[Dim].Length);
     }
     scf::ForOp Loop = scf::ForOp::create(Builder, LowerBound, UpperBound,
-                                         constantIndex(Dims[Dim].Tile));
+                                         constantIndex(Dims[Dim].Footprint));
     Dims[Dim].AccelIV = Loop.getInductionVar();
     AccelLoops.push_back(Loop);
     Builder.setInsertionPoint(Loop.getBodyTerminator());
@@ -408,12 +537,14 @@ Value AccelLoweringEmitter::visibleIV(unsigned Dim, unsigned Depth,
   if (Info.HasAccelLoop) {
     // Hoisted over this accel loop: the tile covers its whole range.
     CoveredByLoop = true;
-    return Info.CpuIV; // may be null (covers the full extent from 0)
+    return Info.CpuIV; // may be null (covers the box range from Lower)
   }
-  return Value(); // No loop: tile == extent, offset 0.
+  return Value(); // No loop: tile == box segment, offset = box lower.
 }
 
-Value AccelLoweringEmitter::emitSubview(int64_t ArgIndex, unsigned Depth) {
+Value AccelLoweringEmitter::emitSubview(int64_t ArgIndex, unsigned Depth,
+                                        std::vector<int64_t> *ActualSizes,
+                                        std::vector<int64_t> *FullSizes) {
   Value Operand = Op->getOperand(ArgIndex);
   MemRefType Ty = Operand.getType().cast<MemRefType>();
   AffineMap Map = Generic.getIndexingMap(ArgIndex);
@@ -426,23 +557,30 @@ Value AccelLoweringEmitter::emitSubview(int64_t ArgIndex, unsigned Depth) {
     assert(Ok && "non-linear indexing expression");
 
     // Offset = const + sum coeff * visible-IV; Size = 1 + sum
-    // coeff * (per-dim footprint - 1).
+    // coeff * (per-dim footprint - 1). The full size replaces partial
+    // footprints with the plan's full tile (what the engine expects).
     Value Offset;
     int64_t StaticOffset = Linear.Constant;
-    int64_t Size = 1;
+    int64_t Size = 1, FullSize = 1;
     for (auto [Dim, Coeff] : Linear.Terms) {
       bool Covered = false;
       Value IV = visibleIV(Dim, Depth, Covered);
       int64_t Footprint;
       if (Covered)
-        Footprint = Dims[Dim].CpuTile ? Dims[Dim].CpuTile : Dims[Dim].Extent;
-      else if (IV)
-        Footprint = Dims[Dim].Tile;
+        Footprint = Dims[Dim].CpuTile ? Dims[Dim].CpuTile : Dims[Dim].Length;
       else
-        Footprint = Dims[Dim].Tile; // No loop: tile == covered extent.
+        Footprint = Dims[Dim].Footprint;
       Size += std::abs(Coeff) * (Footprint - 1);
-      if (!IV)
+      // Covered tiles stream tile-by-tile from the engine's perspective;
+      // only uncovered partial footprints need padding to the full tile.
+      FullSize +=
+          std::abs(Coeff) * ((Covered ? Footprint : Dims[Dim].Tile) - 1);
+      if (!IV) {
+        // No loop (or a covered dim without a CPU loop): the tile starts
+        // at the box's lower corner.
+        StaticOffset += Coeff * Dims[Dim].Lower;
         continue;
+      }
       Value Term = IV;
       if (Coeff != 1)
         Term = arith::BinaryOp::create(Builder, "arith.muli", IV,
@@ -462,9 +600,62 @@ Value AccelLoweringEmitter::emitSubview(int64_t ArgIndex, unsigned Depth) {
     }
     Offsets.push_back(Offset);
     Sizes.push_back(std::min(Size, Ty.getDimSize(R)));
+    if (FullSizes)
+      FullSizes->push_back(FullSize);
   }
+  if (ActualSizes)
+    *ActualSizes = Sizes;
   return memref::SubViewOp::create(Builder, Operand, Offsets, Sizes)
       .getResult();
+}
+
+Value AccelLoweringEmitter::emitPadStaging(
+    Value PartialTile, const std::vector<int64_t> &ActualSizes,
+    const std::vector<int64_t> &FullSizes) {
+  MemRefType TileTy = PartialTile.getType().cast<MemRefType>();
+  MemRefType StagingTy = MemRefType::get(Builder.getContext(), FullSizes,
+                                         TileTy.getElementType());
+  // memref.alloc zero-fills, so the elements beyond the valid region are
+  // the neutral zeros the accelerator's multiply-accumulate ignores.
+  Value Staging = memref::AllocOp::create(Builder, StagingTy).getResult();
+  std::vector<Value> Zeros(FullSizes.size(), constantIndex(0));
+  Value Dest =
+      memref::SubViewOp::create(Builder, Staging, Zeros, ActualSizes)
+          .getResult();
+  memref::CopyOp::create(Builder, PartialTile, Dest);
+  return Staging;
+}
+
+Value AccelLoweringEmitter::emitMaskedRecv(
+    Value PartialTile, const std::vector<int64_t> &ActualSizes,
+    const std::vector<int64_t> &FullSizes, Value Offset) {
+  MemRefType TileTy = PartialTile.getType().cast<MemRefType>();
+  Type ElemTy = TileTy.getElementType();
+  MemRefType StagingTy =
+      MemRefType::get(Builder.getContext(), FullSizes, ElemTy);
+  Value Staging = memref::AllocOp::create(Builder, StagingTy).getResult();
+  Value Result =
+      accel::RecvOp::create(Builder, Staging, Offset, "overwrite")
+          .getResult();
+  // Mask: accumulate only the valid region back into the real tile.
+  std::vector<Value> Zeros(FullSizes.size(), constantIndex(0));
+  Value Valid =
+      memref::SubViewOp::create(Builder, Staging, Zeros, ActualSizes)
+          .getResult();
+  unsigned Rank = ActualSizes.size();
+  const char *AddName = ElemTy.isFloat() ? "arith.addf" : "arith.addi";
+  linalg::GenericOp::create(
+      Builder, {Valid}, {PartialTile},
+      {AffineMap::getMultiDimIdentity(Rank),
+       AffineMap::getMultiDimIdentity(Rank)},
+      std::vector<std::string>(Rank, linalg::IteratorParallel),
+      [&](OpBuilder &B, const std::vector<Value> &Args) {
+        Value Sum =
+            arith::BinaryOp::create(B, AddName, Args[0], Args[1]).getResult();
+        linalg::YieldOp::create(B, {Sum});
+      });
+  memref::DeallocOp::create(Builder, Staging);
+  return Result;
 }
 
 LogicalResult AccelLoweringEmitter::emitToken(
@@ -505,8 +696,15 @@ LogicalResult AccelLoweringEmitter::emitToken(
                    .getResult();
       break;
     case OpcodeAction::Kind::Send: {
-      Value Tile = emitSubview(Action.ArgIndex, Depth);
+      std::vector<int64_t> ActualSizes, FullSizes;
+      Value Tile =
+          emitSubview(Action.ArgIndex, Depth, &ActualSizes, &FullSizes);
+      Value Staging;
+      if (ActualSizes != FullSizes)
+        Tile = Staging = emitPadStaging(Tile, ActualSizes, FullSizes);
       Offset = accel::SendOp::create(Builder, Tile, Offset).getResult();
+      if (Staging)
+        memref::DeallocOp::create(Builder, Staging);
       break;
     }
     case OpcodeAction::Kind::SendDim: {
@@ -534,14 +732,19 @@ LogicalResult AccelLoweringEmitter::emitToken(
       bool Covered = false;
       Value IV = visibleIV(Dim, Depth, Covered);
       if (!IV)
-        IV = constantIndex(0);
+        IV = constantIndex(Dims[Dim].Lower);
       Offset = accel::SendIdxOp::create(Builder, IV, Offset).getResult();
       break;
     }
     case OpcodeAction::Kind::Recv: {
-      Value Tile = emitSubview(Action.ArgIndex, Depth);
-      Offset = accel::RecvOp::create(Builder, Tile, Offset, "accumulate")
-                   .getResult();
+      std::vector<int64_t> ActualSizes, FullSizes;
+      Value Tile =
+          emitSubview(Action.ArgIndex, Depth, &ActualSizes, &FullSizes);
+      if (ActualSizes != FullSizes)
+        Offset = emitMaskedRecv(Tile, ActualSizes, FullSizes, Offset);
+      else
+        Offset = accel::RecvOp::create(Builder, Tile, Offset, "accumulate")
+                     .getResult();
       break;
     }
     }
@@ -595,17 +798,40 @@ LogicalResult AccelLoweringEmitter::emitInitOpcodes() {
   return success();
 }
 
-LogicalResult AccelLoweringEmitter::run() {
-  if (failed(analyze()))
-    return failure();
+LogicalResult AccelLoweringEmitter::emitAccelRegion(const RegionBox &Box) {
+  // Region-local state: bounds, footprints and loop decisions.
+  AccelLoopDims.clear();
+  AccelLoops.clear();
+  CpuLoops.clear();
+  LevelSendDepth.clear();
+  Points.clear();
+  bool Partial = Box.hasPartial();
+  for (unsigned D = 0; D < NumLoops; ++D) {
+    const DimSegment &Segment = Box.Segments[D];
+    DimInfo &Info = Dims[D];
+    Info.Lower = Segment.Lower;
+    Info.Length = Segment.Length;
+    Info.Footprint = Segment.Footprint;
+    Info.HasAccelLoop = false;
+    Info.AccelLoopDepth = -1;
+    Info.AccelIV = Value();
+    Info.CpuIV = Value();
+    // CPU cache tiling only applies to the all-full-tiles main box.
+    if (Partial)
+      Info.CpuTile = 0;
+  }
+  // Decide which dims get accel loops, in permutation order.
+  for (unsigned Dim : Permutation) {
+    int64_t LoopExtent =
+        Dims[Dim].CpuTile ? Dims[Dim].CpuTile : Dims[Dim].Length;
+    if (Dims[Dim].Footprint < LoopExtent) {
+      Dims[Dim].HasAccelLoop = true;
+      Dims[Dim].AccelLoopDepth = static_cast<int>(AccelLoopDims.size());
+      AccelLoopDims.push_back(Dim);
+    }
+  }
 
-  // dma_init + init opcodes go right before the loop nest (executed once
-  // per kernel; dma_init itself is idempotent in the runtime).
   Builder.setInsertionPoint(Op);
-  accel::DmaInitOp::create(Builder, DmaConfig);
-  if (failed(emitInitOpcodes()))
-    return failure();
-
   buildLoopNest();
 
   // Pre-compute per-scope-level deepest send depth (controls hoisted-recv
@@ -639,6 +865,93 @@ LogicalResult AccelLoweringEmitter::run() {
   for (const TokenPlacement &Placement : Placements)
     if (failed(emitToken(Placement)))
       return failure();
+  return success();
+}
+
+LogicalResult AccelLoweringEmitter::emitHostRegion(const RegionBox &Box) {
+  // Peel epilogue: the remainder box executes as a residual linalg.generic
+  // on subviews of the operands, interpreted on the host CPU.
+  Builder.setInsertionPoint(Op);
+  unsigned NumInputs = Generic.getNumInputs();
+  std::vector<Value> Inputs, Outputs;
+  for (unsigned I = 0, E = Op->getNumOperands(); I < E; ++I) {
+    AffineMap Map = Generic.getIndexingMap(I);
+    std::vector<Value> Offsets;
+    std::vector<int64_t> Sizes;
+    for (unsigned R = 0; R < Map.getNumResults(); ++R) {
+      LinearExpr Linear;
+      if (!analyzeLinear(Map.getResult(R), Linear)) {
+        Error = "non-linear indexing expression in peel epilogue";
+        return failure();
+      }
+      // The subview origin absorbs the box lower corner; the map's own
+      // constant stays inside the cloned generic's indexing map.
+      int64_t Offset = 0, Size = 1;
+      for (auto [Dim, Coeff] : Linear.Terms) {
+        Offset += Coeff * Box.Segments[Dim].Lower;
+        Size += std::abs(Coeff) * (Box.Segments[Dim].Length - 1);
+      }
+      Offsets.push_back(constantIndex(Offset));
+      Sizes.push_back(Size);
+    }
+    Value View =
+        memref::SubViewOp::create(Builder, Op->getOperand(I), Offsets, Sizes)
+            .getResult();
+    if (I < NumInputs)
+      Inputs.push_back(View);
+    else
+      Outputs.push_back(View);
+  }
+
+  // Clone the payload into a fresh generic with identical traits.
+  Block &OrigBody = Generic.getBody();
+  linalg::GenericOp::create(
+      Builder, Inputs, Outputs, Generic.getIndexingMaps(),
+      Generic.getIteratorTypes(),
+      [&](OpBuilder &B, const std::vector<Value> &Args) {
+        std::map<detail::ValueImpl *, Value> Mapping;
+        for (unsigned I = 0; I < OrigBody.getNumArguments(); ++I)
+          Mapping[OrigBody.getArgument(I).getImpl()] = Args[I];
+        for (Operation *BodyOp : OrigBody.getOperations()) {
+          std::vector<Value> Operands;
+          for (Value Operand : BodyOp->getOperands()) {
+            auto Found = Mapping.find(Operand.getImpl());
+            Operands.push_back(Found != Mapping.end() ? Found->second
+                                                      : Operand);
+          }
+          std::vector<Type> ResultTypes;
+          for (unsigned R = 0; R < BodyOp->getNumResults(); ++R)
+            ResultTypes.push_back(BodyOp->getResult(R).getType());
+          Operation *Clone = B.create(BodyOp->getName(), Operands,
+                                      ResultTypes, BodyOp->getAttrs());
+          for (unsigned R = 0; R < BodyOp->getNumResults(); ++R)
+            Mapping[BodyOp->getResult(R).getImpl()] = Clone->getResult(R);
+        }
+      });
+  return success();
+}
+
+LogicalResult AccelLoweringEmitter::run() {
+  if (failed(analyze()))
+    return failure();
+
+  // dma_init + init opcodes go right before the loop nest (executed once
+  // per kernel; dma_init itself is idempotent in the runtime).
+  Builder.setInsertionPoint(Op);
+  accel::DmaInitOp::create(Builder, DmaConfig);
+  if (failed(emitInitOpcodes()))
+    return failure();
+
+  // Emit every box of the (possibly decomposed) iteration space: the main
+  // full-tile region first, then the partial-tile fringe. Empty boxes
+  // (an extent below the engine tile leaves no full-tile range) vanish.
+  for (const RegionBox &Box : buildRegions()) {
+    if (Box.isEmpty())
+      continue;
+    if (Box.Host ? failed(emitHostRegion(Box))
+                 : failed(emitAccelRegion(Box)))
+      return failure();
+  }
 
   Op->erase();
   return success();

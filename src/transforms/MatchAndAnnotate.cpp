@@ -18,6 +18,7 @@
 #include "dialects/Accel.h"
 #include "dialects/Linalg.h"
 #include "transforms/Passes.h"
+#include "transforms/TilingPlan.h"
 
 #include <algorithm>
 #include <set>
@@ -156,45 +157,10 @@ static bool matchesConv(linalg::GenericOp Generic, int64_t &StrideH,
 
 static LogicalResult annotateGeneric(linalg::GenericOp Generic,
                                      const parser::AcceleratorDesc &Accel,
+                                     const TilingPlan &Plan,
                                      std::string &Error) {
   Operation *Op = Generic.getOperation();
   unsigned NumLoops = Generic.getNumLoops();
-
-  std::vector<int64_t> LoopRanges = Generic.getStaticLoopRanges();
-  if (LoopRanges.empty()) {
-    Error = "cannot infer static loop ranges for the annotated generic";
-    return failure();
-  }
-
-  // Resolve the accelerator tile per dimension:
-  //   >0 -> fixed tile; 0 -> per-element host loop (tile 1);
-  //   -1 -> runtime-flexible, use the full extent (the conv accelerator's
-  //         iC/fH/fW, configured through its `rst` opcode).
-  if (Accel.AccelSize.size() != NumLoops) {
-    Error = "accel_size rank (" + std::to_string(Accel.AccelSize.size()) +
-            ") does not match the kernel's loop count (" +
-            std::to_string(NumLoops) + ")";
-    return failure();
-  }
-  std::vector<int64_t> Tiles(NumLoops);
-  for (unsigned D = 0; D < NumLoops; ++D) {
-    int64_t Config = Accel.AccelSize[D];
-    int64_t Extent = LoopRanges[D];
-    if (Config < 0)
-      Tiles[D] = Extent;
-    else if (Config == 0)
-      Tiles[D] = 1;
-    else
-      Tiles[D] = Config;
-    if (Tiles[D] > Extent)
-      Tiles[D] = Extent; // Small problems fit in one accelerator tile.
-    if (Extent % Tiles[D] != 0) {
-      Error = "problem extent " + std::to_string(Extent) + " of dim " +
-              std::to_string(D) + " is not divisible by accelerator tile " +
-              std::to_string(Tiles[D]);
-      return failure();
-    }
-  }
 
   // Validate opcode arg indices against the operand count.
   for (const accel::OpcodeEntry &Entry : Accel.OpcodeMap.Entries) {
@@ -248,9 +214,7 @@ static LogicalResult annotateGeneric(linalg::GenericOp Generic,
               Attribute::getString(Accel.Name));
   Op->setAttr(accel::DmaInitConfigAttrName,
               Attribute::getDmaConfig(Accel.DmaConfig));
-  Op->setAttr(accel::AccelDimAttrName,
-              Attribute::getAffineMap(AffineMap::getConstant(NumLoops,
-                                                             Tiles)));
+  Plan.attachTo(Op); // accel_dim (tiles) + remainder mode/remainders.
   Op->setAttr(accel::PermutationMapAttrName,
               Attribute::getAffineMap(AffineMap::getPermutation(Permutation)));
   Op->setAttr(accel::OpcodeMapAttrName,
@@ -262,10 +226,22 @@ static LogicalResult annotateGeneric(linalg::GenericOp Generic,
   return success();
 }
 
-LogicalResult transforms::matchAndAnnotate(func::FuncOp Func,
-                                           const parser::AcceleratorDesc &Accel,
-                                           std::string &Error,
-                                           unsigned *NumAnnotated) {
+/// True if \p Generic structurally matches the kernel \p Accel implements.
+static bool matchesKernel(linalg::GenericOp Generic,
+                          const parser::AcceleratorDesc &Accel) {
+  if (Accel.Kernel == "linalg.matmul")
+    return matchesMatmul(Generic);
+  if (Accel.Kernel == "linalg.conv_2d_nchw_fchw") {
+    int64_t StrideH = 0, StrideW = 0;
+    return matchesConv(Generic, StrideH, StrideW);
+  }
+  return false;
+}
+
+LogicalResult transforms::matchAndAnnotate(
+    func::FuncOp Func, const std::vector<parser::AcceleratorDesc> &Accels,
+    const PlanningOptions &Options, std::string &Error,
+    unsigned *NumAnnotated, std::vector<TilingPlan> *PlansOut) {
   unsigned Count = 0;
   bool Failed = false;
   Func.getOperation()->walk([&](Operation *Op) {
@@ -274,22 +250,45 @@ LogicalResult transforms::matchAndAnnotate(func::FuncOp Func,
     auto Generic = dyn_cast_op<linalg::GenericOp>(Op);
     if (!Generic)
       return;
-    bool Matches = false;
-    if (Accel.Kernel == "linalg.matmul") {
-      Matches = matchesMatmul(Generic);
-    } else if (Accel.Kernel == "linalg.conv_2d_nchw_fchw") {
-      int64_t StrideH = 0, StrideW = 0;
-      Matches = matchesConv(Generic, StrideH, StrideW);
+
+    // Candidate set: every accelerator that structurally implements this
+    // generic (remember original indices for the caller).
+    std::vector<parser::AcceleratorDesc> Candidates;
+    std::vector<size_t> CandidateIndices;
+    for (size_t Index = 0; Index < Accels.size(); ++Index) {
+      if (matchesKernel(Generic, Accels[Index])) {
+        Candidates.push_back(Accels[Index]);
+        CandidateIndices.push_back(Index);
+      }
     }
-    if (!Matches)
+    if (Candidates.empty())
       return;
-    if (failed(annotateGeneric(Generic, Accel, Error))) {
+
+    auto Plan = planTiling(Generic, Candidates, Options, Error);
+    if (failed(Plan)) {
       Failed = true;
       return;
     }
+    const parser::AcceleratorDesc &Selected =
+        Candidates[Plan->AcceleratorIndex];
+    Plan->AcceleratorIndex = CandidateIndices[Plan->AcceleratorIndex];
+    if (failed(annotateGeneric(Generic, Selected, *Plan, Error))) {
+      Failed = true;
+      return;
+    }
+    if (PlansOut)
+      PlansOut->push_back(*Plan);
     ++Count;
   });
   if (NumAnnotated)
     *NumAnnotated = Count;
   return failure(Failed);
+}
+
+LogicalResult transforms::matchAndAnnotate(func::FuncOp Func,
+                                           const parser::AcceleratorDesc &Accel,
+                                           std::string &Error,
+                                           unsigned *NumAnnotated) {
+  return matchAndAnnotate(Func, std::vector<parser::AcceleratorDesc>{Accel},
+                          PlanningOptions(), Error, NumAnnotated);
 }

@@ -26,16 +26,25 @@ LogicalResult PassManager::run(func::FuncOp Func, std::string &Error) {
   return success();
 }
 
-PassManager transforms::buildPipeline(const parser::AcceleratorDesc &Accel,
-                                      const LoweringOptions &Options) {
+PassManager transforms::buildPipeline(
+    std::vector<parser::AcceleratorDesc> Accels,
+    const LoweringOptions &Options,
+    std::shared_ptr<std::vector<TilingPlan>> PlansOut) {
+  PlanningOptions Planning;
+  Planning.Mode = Options.Remainder;
+  Planning.Params = Options.CostParams;
+
   PassManager PM;
   PM.addPass("convert-named-to-generic",
              [](func::FuncOp Func, std::string &Error) {
                return convertNamedToGeneric(Func, Error);
              });
   PM.addPass("match-and-annotate",
-             [Accel](func::FuncOp Func, std::string &Error) {
-               return matchAndAnnotate(Func, Accel, Error);
+             [Accels = std::move(Accels), Planning,
+              PlansOut](func::FuncOp Func, std::string &Error) {
+               return matchAndAnnotate(Func, Accels, Planning, Error,
+                                       /*NumAnnotated=*/nullptr,
+                                       PlansOut.get());
              });
   PM.addPass("lower-to-accel",
              [Options](func::FuncOp Func, std::string &Error) {
@@ -46,4 +55,9 @@ PassManager transforms::buildPipeline(const parser::AcceleratorDesc &Accel,
                return convertAccelToRuntime(Func, Error);
              });
   return PM;
+}
+
+PassManager transforms::buildPipeline(const parser::AcceleratorDesc &Accel,
+                                      const LoweringOptions &Options) {
+  return buildPipeline(std::vector<parser::AcceleratorDesc>{Accel}, Options);
 }

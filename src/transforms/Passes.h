@@ -27,8 +27,10 @@
 #include "dialects/Func.h"
 #include "parser/AcceleratorConfig.h"
 #include "support/LogicalResult.h"
+#include "transforms/TilingPlan.h"
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,10 +41,21 @@ namespace transforms {
 /// with the canonical indexing maps and payload regions.
 LogicalResult convertNamedToGeneric(func::FuncOp Func, std::string &Error);
 
-/// Finds linalg.generic ops whose traits structurally match what
-/// \p Accel implements and attaches the AXI4MLIR trait attributes
-/// (paper Fig. 6a). Returns the number of annotated ops via
-/// \p NumAnnotated (optional).
+/// Finds linalg.generic ops whose traits structurally match what any of
+/// the \p Accels implements, computes a TilingPlan (scoring every
+/// structurally-matching candidate through the cost model and picking the
+/// cheapest), and attaches the AXI4MLIR trait attributes (paper Fig. 6a)
+/// plus the plan attributes of the selected accelerator. Returns the
+/// number of annotated ops via \p NumAnnotated and, when \p PlansOut is
+/// non-null, appends the plan chosen for each annotated op.
+LogicalResult matchAndAnnotate(func::FuncOp Func,
+                               const std::vector<parser::AcceleratorDesc> &Accels,
+                               const PlanningOptions &Options,
+                               std::string &Error,
+                               unsigned *NumAnnotated = nullptr,
+                               std::vector<TilingPlan> *PlansOut = nullptr);
+
+/// Single-accelerator convenience overload (pad remainders by default).
 LogicalResult matchAndAnnotate(func::FuncOp Func,
                                const parser::AcceleratorDesc &Accel,
                                std::string &Error,
@@ -67,6 +80,10 @@ struct LoweringOptions {
   int64_t CacheBytes = 512 * 1024;
   /// Element width in bytes (the AXI stream carries 32-bit words).
   int64_t ElementBytes = 4;
+  /// Partial-tile strategy used when planning (pad, peel or reject).
+  RemainderMode Remainder = RemainderMode::Pad;
+  /// SoC calibration for the accelerator-dispatch cost model.
+  sim::SoCParams CostParams;
 };
 
 /// Lowers every annotated linalg.generic into the tiled scf loop nest with
@@ -113,6 +130,16 @@ private:
   std::vector<std::pair<std::string, PassFn>> Passes;
   bool VerifyAfterEach;
 };
+
+/// Builds the standard AXI4MLIR pipeline over a set of candidate
+/// accelerators: the match pass plans each matched kernel across all of
+/// them and dispatches to the cheapest. When \p PlansOut is non-null the
+/// plans selected during the run are appended to it (one per annotated
+/// kernel, in walk order).
+PassManager buildPipeline(std::vector<parser::AcceleratorDesc> Accels,
+                          const LoweringOptions &Options,
+                          std::shared_ptr<std::vector<TilingPlan>> PlansOut =
+                              nullptr);
 
 /// Builds the standard AXI4MLIR pipeline for one accelerator.
 PassManager buildPipeline(const parser::AcceleratorDesc &Accel,

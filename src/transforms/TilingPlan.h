@@ -1,0 +1,161 @@
+//===- TilingPlan.h - Per-kernel tiling/dispatch plan -----------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tiling-plan layer: a `TilingPlan` value object captures, per loop
+/// dimension of a matched kernel, the accelerator tile, the number of full
+/// tiles, the partial-tile remainder and the strategy used to handle it
+/// (`Pad` a zero-filled staging tile + mask the result, or `Peel` the
+/// remainder into a host epilogue loop), plus the accelerator selected to
+/// run the kernel.
+///
+/// `planTiling` is the single entry point: it scores *every* parsed
+/// accelerator that structurally implements the kernel against the
+/// `sim/CostModel.h` SoC parameters and picks the cheapest legal one.
+/// The plan is computed once (during match-and-annotate), attached to the
+/// annotated linalg.generic as attributes, and consumed — never re-derived
+/// — by lowerToAccel (loop bounds, peel epilogues, pad staging) and
+/// convertAccelToRuntime (DMA transfer lengths follow the plan's
+/// tile-shaped staging buffers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_TRANSFORMS_TILINGPLAN_H
+#define AXI4MLIR_TRANSFORMS_TILINGPLAN_H
+
+#include "dialects/Linalg.h"
+#include "parser/AcceleratorConfig.h"
+#include "sim/CostModel.h"
+#include "support/LogicalResult.h"
+
+#include <string>
+#include <vector>
+
+namespace axi4mlir {
+namespace transforms {
+
+/// How problem extents that are not divisible by the accelerator tile are
+/// handled.
+enum class RemainderMode {
+  /// Refuse non-divisible problems (the pre-plan behaviour). The error
+  /// reports every offending dimension at once.
+  Reject,
+  /// Ship the last tile of each dimension zero-padded to the full
+  /// accelerator tile and mask the valid region when writing results back.
+  Pad,
+  /// Execute full tiles on the accelerator and peel the remainder region
+  /// into host epilogue loops (a residual linalg.generic per partial dim).
+  Peel,
+};
+
+const char *remainderModeName(RemainderMode Mode);
+FailureOr<RemainderMode> parseRemainderMode(const std::string &Name);
+
+/// The plan for one kernel loop dimension.
+struct DimPlan {
+  /// Full problem extent of this dimension.
+  int64_t Extent = 0;
+  /// Accelerator tile (resolved: >0 config = fixed, 0 = per-element host
+  /// loop, -1 = full extent; always clamped to the extent).
+  int64_t Tile = 1;
+  /// Number of whole accelerator tiles: Extent / Tile.
+  int64_t FullTiles = 0;
+  /// Partial-tile remainder: Extent % Tile (0 when divisible).
+  int64_t Remainder = 0;
+
+  /// Extent covered by full tiles (the accelerator main region).
+  int64_t mainExtent() const { return FullTiles * Tile; }
+  /// Extent after padding the partial tile up to a full one.
+  int64_t paddedExtent() const {
+    return (FullTiles + (Remainder ? 1 : 0)) * Tile;
+  }
+  bool hasPartialTile() const { return Remainder != 0; }
+};
+
+/// A complete tiling/dispatch decision for one kernel.
+struct TilingPlan {
+  RemainderMode Mode = RemainderMode::Pad;
+  std::vector<DimPlan> Dims;
+  /// The selected accelerator: name and index into the candidate list
+  /// handed to planTiling.
+  std::string AcceleratorName;
+  size_t AcceleratorIndex = 0;
+  /// Modelled execution cost of the whole kernel on the selected
+  /// accelerator (milliseconds of task clock).
+  double EstimatedCostMs = 0.0;
+
+  bool hasPartialTiles() const {
+    for (const DimPlan &Dim : Dims)
+      if (Dim.hasPartialTile())
+        return true;
+    return false;
+  }
+  std::vector<int64_t> tiles() const {
+    std::vector<int64_t> Tiles;
+    for (const DimPlan &Dim : Dims)
+      Tiles.push_back(Dim.Tile);
+    return Tiles;
+  }
+  std::vector<int64_t> remainders() const {
+    std::vector<int64_t> Remainders;
+    for (const DimPlan &Dim : Dims)
+      Remainders.push_back(Dim.Remainder);
+    return Remainders;
+  }
+
+  /// Attaches the plan to an annotated linalg.generic (remainder mode +
+  /// per-dim tiles/remainders). The accel_dim attribute carries the tiles;
+  /// the plan attributes carry the rest.
+  void attachTo(Operation *Op) const;
+  /// Reconstructs the plan attached by attachTo. Fails with \p Error if
+  /// the op does not carry plan attributes.
+  static FailureOr<TilingPlan> fromOp(Operation *Op, std::string &Error);
+};
+
+/// Options for plan construction.
+struct PlanningOptions {
+  RemainderMode Mode = RemainderMode::Pad;
+  /// SoC calibration used by the dispatch cost model.
+  sim::SoCParams Params;
+};
+
+/// Resolves the per-dimension tiles of \p Accel against the kernel's loop
+/// ranges and builds a plan (no cost scoring, no selection). Fails when
+/// the accelerator is illegal for the kernel: rank mismatch, or — in
+/// Reject mode — any non-divisible extent (all offending dims are listed
+/// in one error).
+FailureOr<TilingPlan> planForAccelerator(const std::vector<int64_t> &LoopRanges,
+                                         const parser::AcceleratorDesc &Accel,
+                                         RemainderMode Mode,
+                                         std::string &Error);
+
+/// Models the cost of executing the planned kernel on \p Accel: per-tile
+/// DMA driver overhead, streamed words (padded tiles ship full size),
+/// fabric compute on padded extents, and — for Peel — the host cycles of
+/// the epilogue region. Returns milliseconds of task clock.
+double estimatePlanCostMs(const TilingPlan &Plan,
+                          const parser::AcceleratorDesc &Accel,
+                          const std::vector<AffineMap> &IndexingMaps,
+                          const sim::SoCParams &Params);
+
+/// The planning entry point: scores every candidate accelerator whose
+/// description is legal for the kernel and returns the cheapest plan
+/// (ties break towards the earlier entry, making selection deterministic).
+/// Fails when no candidate is legal; the error aggregates every
+/// per-candidate reason.
+FailureOr<TilingPlan> planTiling(linalg::GenericOp Generic,
+                                 const std::vector<parser::AcceleratorDesc> &Accels,
+                                 const PlanningOptions &Options,
+                                 std::string &Error);
+
+/// Plan attribute names (attached next to the Fig. 6a trait attributes).
+inline constexpr const char *RemainderModeAttrName = "accel.remainder_mode";
+inline constexpr const char *PlanRemaindersAttrName = "accel.plan_remainders";
+
+} // namespace transforms
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_TRANSFORMS_TILINGPLAN_H

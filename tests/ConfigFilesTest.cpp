@@ -64,6 +64,18 @@ TEST(ConfigFiles, EveryCheckedInConfigValidates) {
   }
 }
 
+TEST(ConfigFiles, MultiAcceleratorConfigDefinesTwoEngines) {
+  // The multi-accelerator dispatch example the docs point at.
+  std::string Error;
+  auto Config = parseSystemConfigFile(
+      std::string(AXI4MLIR_CONFIGS_DIR) + "/matmul_multi.json", &Error);
+  ASSERT_TRUE(succeeded(Config)) << Error;
+  ASSERT_EQ(Config->Accelerators.size(), 2u);
+  EXPECT_EQ(Config->Accelerators[0].Kernel, "linalg.matmul");
+  EXPECT_EQ(Config->Accelerators[1].Kernel, "linalg.matmul");
+  EXPECT_NE(Config->Accelerators[0].Name, Config->Accelerators[1].Name);
+}
+
 TEST(ConfigFiles, MatMulConfigsCoverAllFourVersions) {
   std::vector<std::string> Kernels;
   for (const auto &Path : configFiles()) {

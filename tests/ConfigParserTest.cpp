@@ -138,6 +138,68 @@ TEST(ConfigParser, Diagnostics) {
   EXPECT_TRUE(failed(parseSystemConfig("12, 13", &Error)));
 }
 
+TEST(ConfigParser, TwoAcceleratorEntriesBothValidated) {
+  // Both entries parse and survive into the dispatch candidate list.
+  auto Config = parseSystemConfig(R"json({
+    "accelerators": [
+      { "name": "small", "kernel": "linalg.matmul", "accel_size": [4, 4, 4],
+        "opcode_map": "t = [send_literal(1), send(0), recv(2)]",
+        "opcode_flow_map": { "Ns": "(t)" } },
+      { "name": "large", "kernel": "linalg.matmul", "accel_size": [16, 16, 16],
+        "opcode_map": "t = [send_literal(1), send(0), recv(2)]",
+        "opcode_flow_map": { "Ns": "(t)" } }]
+  })json");
+  ASSERT_TRUE(succeeded(Config));
+  ASSERT_EQ(Config->Accelerators.size(), 2u);
+  EXPECT_EQ(Config->Accelerators[0].Name, "small");
+  EXPECT_EQ(Config->Accelerators[1].Name, "large");
+}
+
+TEST(ConfigParser, MalformedSecondEntryIsAHardError) {
+  // Entries past the first used to go unexercised by the pipeline; the
+  // parser must still reject them eagerly (here: a flow referencing an
+  // opcode the second accelerator does not define).
+  std::string Error;
+  EXPECT_TRUE(failed(parseSystemConfig(R"json({
+    "accelerators": [
+      { "name": "good", "kernel": "linalg.matmul", "accel_size": [4, 4, 4],
+        "opcode_map": "t = [send_literal(1), send(0), recv(2)]",
+        "opcode_flow_map": { "Ns": "(t)" } },
+      { "name": "bad", "kernel": "linalg.matmul", "accel_size": [8, 8, 8],
+        "opcode_map": "t = [send_literal(1), send(0), recv(2)]",
+        "opcode_flow_map": { "Ns": "(missing_opcode)" } }]
+  })json", &Error)));
+  // The error pinpoints the offending entry.
+  EXPECT_NE(Error.find("accelerators[1]"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("missing_opcode"), std::string::npos) << Error;
+}
+
+TEST(ConfigParser, RejectsDuplicateAcceleratorNames) {
+  std::string Error;
+  EXPECT_TRUE(failed(parseSystemConfig(R"json({
+    "accelerators": [
+      { "name": "twin", "kernel": "linalg.matmul", "accel_size": [4, 4, 4],
+        "opcode_map": "t = [send_literal(1), send(0), recv(2)]",
+        "opcode_flow_map": { "Ns": "(t)" } },
+      { "name": "twin", "kernel": "linalg.matmul", "accel_size": [8, 8, 8],
+        "opcode_map": "t = [send_literal(1), send(0), recv(2)]",
+        "opcode_flow_map": { "Ns": "(t)" } }]
+  })json", &Error)));
+  EXPECT_NE(Error.find("duplicate"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("twin"), std::string::npos) << Error;
+}
+
+TEST(ConfigParser, RejectsNonsenseAccelSize) {
+  std::string Error;
+  EXPECT_TRUE(failed(parseSystemConfig(R"json({
+    "accelerators": [{ "name": "x", "kernel": "linalg.matmul",
+      "accel_size": [4, -5, 4],
+      "opcode_map": "t = [send_literal(1), send(0), recv(2)]",
+      "opcode_flow_map": { "Ns": "(t)" } }]
+  })json", &Error)));
+  EXPECT_NE(Error.find("accel_size"), std::string::npos) << Error;
+}
+
 TEST(ConfigParser, LibraryMatMulConfigsParse) {
   for (V Version : {V::V1, V::V2, V::V3, V::V4}) {
     for (int64_t Size : {4, 8, 16}) {

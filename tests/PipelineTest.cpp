@@ -70,6 +70,100 @@ TEST(Pipeline, V4FlexibleTiles) {
   EXPECT_TRUE(Result.NumericsMatch) << Result.Error;
 }
 
+TEST(Pipeline, PartialTilesPadMatchesReference) {
+  // The acceptance shape: 100x36x52 on the 16-tile engine, zero-padded
+  // partial tiles with masked write-back.
+  MatMulRunConfig Config = makeConfig(0, Version::V3, 16, "Ns");
+  Config.M = 100;
+  Config.N = 36;
+  Config.K = 52;
+  Config.Remainder = transforms::RemainderMode::Pad;
+  RunResult Result = runMatMulAxi4mlir(Config);
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(Result.NumericsMatch) << Result.Error;
+  EXPECT_EQ(Result.SelectedAccelerator, "matmul_v3_16");
+}
+
+TEST(Pipeline, PartialTilesPeelMatchesReference) {
+  MatMulRunConfig Config = makeConfig(0, Version::V3, 16, "Ns");
+  Config.M = 100;
+  Config.N = 36;
+  Config.K = 52;
+  Config.Remainder = transforms::RemainderMode::Peel;
+  RunResult Result = runMatMulAxi4mlir(Config);
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(Result.NumericsMatch) << Result.Error;
+}
+
+TEST(Pipeline, PartialTilesAllFlowsBothStrategies) {
+  for (const char *Flow : {"Ns", "As", "Bs", "Cs"}) {
+    for (transforms::RemainderMode Mode :
+         {transforms::RemainderMode::Pad, transforms::RemainderMode::Peel}) {
+      MatMulRunConfig Config = makeConfig(0, Version::V3, 8, Flow);
+      Config.M = 20;
+      Config.N = 12;
+      Config.K = 28;
+      Config.Remainder = Mode;
+      RunResult Result = runMatMulAxi4mlir(Config);
+      ASSERT_TRUE(Result.Ok)
+          << Flow << "/" << transforms::remainderModeName(Mode) << ": "
+          << Result.Error;
+      EXPECT_TRUE(Result.NumericsMatch)
+          << Flow << "/" << transforms::remainderModeName(Mode) << ": "
+          << Result.Error;
+    }
+  }
+}
+
+TEST(Pipeline, PartialTilesV1CombinedOpcode) {
+  // v1 ships A and B in one combined burst; padding must keep the burst
+  // at the full expected size.
+  MatMulRunConfig Config = makeConfig(0, Version::V1, 4, "Ns");
+  Config.M = 10;
+  Config.N = 7;
+  Config.K = 9;
+  Config.Remainder = transforms::RemainderMode::Pad;
+  RunResult Result = runMatMulAxi4mlir(Config);
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(Result.NumericsMatch) << Result.Error;
+}
+
+TEST(Pipeline, PartialTilesWithCpuTilingEnabled) {
+  MatMulRunConfig Config = makeConfig(0, Version::V3, 16, "As");
+  Config.M = 100;
+  Config.N = 36;
+  Config.K = 52;
+  Config.CpuTiling = true;
+  Config.Remainder = transforms::RemainderMode::Pad;
+  RunResult Result = runMatMulAxi4mlir(Config);
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(Result.NumericsMatch) << Result.Error;
+}
+
+TEST(Pipeline, RejectModeReproducesLegacyError) {
+  MatMulRunConfig Config = makeConfig(30, Version::V3, 8, "Ns");
+  Config.Remainder = transforms::RemainderMode::Reject;
+  RunResult Result = runMatMulAxi4mlir(Config);
+  EXPECT_FALSE(Result.Ok);
+  EXPECT_NE(Result.Error.find("divisible"), std::string::npos)
+      << Result.Error;
+}
+
+TEST(Pipeline, ConvOddShapeMatchesReference) {
+  // Odd channel counts and an odd input size: the conv engine's plan
+  // (per-element host loops + full-extent dims) has no partial tiles,
+  // so any shape must run through the plan layer unchanged.
+  ConvRunConfig Config;
+  Config.InChannels = 3;
+  Config.InHW = 13;
+  Config.OutChannels = 5;
+  Config.FilterHW = 3;
+  Config.Stride = 2;
+  RunResult Result = runConvAxi4mlir(Config);
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_TRUE(Result.NumericsMatch) << Result.Error;
+}
+
 TEST(Pipeline, CpuOnlyMatchesReference) {
   RunResult Result = runMatMulCpuOnly(makeConfig(24, Version::V1, 4, "Ns"));
   ASSERT_TRUE(Result.Ok) << Result.Error;

@@ -1,0 +1,292 @@
+//===- TilingPlanTest.cpp - Tiling-plan layer unit tests ------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the TilingPlan subsystem: per-dimension plan construction
+/// (full tiles, pad/peel remainder math), the attribute round trip, and
+/// the cost-driven accelerator selection of planTiling — including
+/// deterministic tie-breaking across identical engines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialects/InitAllDialects.h"
+#include "exec/AccelConfigs.h"
+#include "exec/Pipeline.h"
+#include "parser/ConfigParser.h"
+#include "transforms/Passes.h"
+#include "transforms/TilingPlan.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+using namespace axi4mlir::transforms;
+using V = sim::MatMulAccelerator::Version;
+
+namespace {
+
+parser::AcceleratorDesc makeMatMulAccel(int64_t Size,
+                                        const std::string &Name = "") {
+  parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
+      exec::makeMatMulConfigJson(V::V3, Size, "Ns"));
+  if (!Name.empty())
+    Accel.Name = Name;
+  return Accel;
+}
+
+/// A matmul linalg.generic fixture the planner can consume.
+struct GenericFixture {
+  MLIRContext Context;
+  OpBuilder Builder{&Context};
+  func::FuncOp Func;
+  OwningOpRef Owner;
+  linalg::GenericOp Generic;
+
+  GenericFixture(int64_t M, int64_t N, int64_t K) {
+    registerAllDialects(Context);
+    Func = exec::buildMatMulFunc(Builder, M, N, K, sim::ElemKind::I32);
+    Owner = OwningOpRef(Func.getOperation());
+    std::string Error;
+    EXPECT_TRUE(succeeded(convertNamedToGeneric(Func, Error))) << Error;
+    Func.getOperation()->walk([&](Operation *Op) {
+      if (Op->getName() == linalg::GenericOp::OpName)
+        Generic = linalg::GenericOp(Op);
+    });
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Plan construction
+//===----------------------------------------------------------------------===//
+
+TEST(TilingPlan, ConstructionRemainderMath) {
+  // The acceptance shape: 100x36x52 on a 16-tile engine.
+  std::string Error;
+  auto Plan = planForAccelerator({100, 36, 52}, makeMatMulAccel(16),
+                                 RemainderMode::Pad, Error);
+  ASSERT_TRUE(succeeded(Plan)) << Error;
+  EXPECT_TRUE(Plan->hasPartialTiles());
+  EXPECT_EQ(Plan->tiles(), (std::vector<int64_t>{16, 16, 16}));
+  EXPECT_EQ(Plan->remainders(), (std::vector<int64_t>{4, 4, 4}));
+  ASSERT_EQ(Plan->Dims.size(), 3u);
+  EXPECT_EQ(Plan->Dims[0].FullTiles, 6);
+  EXPECT_EQ(Plan->Dims[1].FullTiles, 2);
+  EXPECT_EQ(Plan->Dims[2].FullTiles, 3);
+  // Peel main region vs pad rounded-up region.
+  EXPECT_EQ(Plan->Dims[0].mainExtent(), 96);
+  EXPECT_EQ(Plan->Dims[0].paddedExtent(), 112);
+  EXPECT_EQ(Plan->Dims[1].mainExtent(), 32);
+  EXPECT_EQ(Plan->Dims[1].paddedExtent(), 48);
+  EXPECT_EQ(Plan->Dims[2].mainExtent(), 48);
+  EXPECT_EQ(Plan->Dims[2].paddedExtent(), 64);
+}
+
+TEST(TilingPlan, DivisibleProblemHasNoPartialTiles) {
+  std::string Error;
+  auto Plan = planForAccelerator({64, 64, 64}, makeMatMulAccel(16),
+                                 RemainderMode::Pad, Error);
+  ASSERT_TRUE(succeeded(Plan)) << Error;
+  EXPECT_FALSE(Plan->hasPartialTiles());
+  EXPECT_EQ(Plan->Dims[0].FullTiles, 4);
+  EXPECT_EQ(Plan->Dims[0].mainExtent(), 64);
+  EXPECT_EQ(Plan->Dims[0].paddedExtent(), 64);
+}
+
+TEST(TilingPlan, SmallProblemBecomesOnePaddedPartialTile) {
+  // A fixed-size engine still expects full-size bursts, so an extent
+  // below the tile pads the whole extent up (FullTiles = 0).
+  std::string Error;
+  auto Plan = planForAccelerator({4, 4, 4}, makeMatMulAccel(16),
+                                 RemainderMode::Pad, Error);
+  ASSERT_TRUE(succeeded(Plan)) << Error;
+  EXPECT_EQ(Plan->tiles(), (std::vector<int64_t>{16, 16, 16}));
+  EXPECT_EQ(Plan->remainders(), (std::vector<int64_t>{4, 4, 4}));
+  EXPECT_EQ(Plan->Dims[0].FullTiles, 0);
+  EXPECT_TRUE(Plan->hasPartialTiles());
+  // Reject mode keeps the legacy clamp (small problems stay legal).
+  auto Legacy = planForAccelerator({4, 4, 4}, makeMatMulAccel(16),
+                                   RemainderMode::Reject, Error);
+  ASSERT_TRUE(succeeded(Legacy)) << Error;
+  EXPECT_EQ(Legacy->tiles(), (std::vector<int64_t>{4, 4, 4}));
+  EXPECT_FALSE(Legacy->hasPartialTiles());
+}
+
+TEST(TilingPlan, RejectModeListsEveryOffendingDim) {
+  std::string Error;
+  auto Plan = planForAccelerator({30, 32, 29}, makeMatMulAccel(8),
+                                 RemainderMode::Reject, Error);
+  EXPECT_TRUE(failed(Plan));
+  EXPECT_NE(Error.find("divisible"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("dim 0"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("dim 2"), std::string::npos) << Error;
+  EXPECT_EQ(Error.find("dim 1"), std::string::npos) << Error;
+}
+
+TEST(TilingPlan, RankMismatchIsIllegal) {
+  std::string Error;
+  auto Plan = planForAccelerator({8, 8}, makeMatMulAccel(8),
+                                 RemainderMode::Pad, Error);
+  EXPECT_TRUE(failed(Plan));
+  EXPECT_NE(Error.find("rank"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Attribute round trip
+//===----------------------------------------------------------------------===//
+
+TEST(TilingPlan, AttributeRoundTrip) {
+  GenericFixture F(100, 36, 52);
+  std::string Error;
+  auto Plan = planForAccelerator({100, 36, 52}, makeMatMulAccel(16),
+                                 RemainderMode::Peel, Error);
+  ASSERT_TRUE(succeeded(Plan)) << Error;
+  Plan->attachTo(F.Generic.getOperation());
+
+  auto Restored = TilingPlan::fromOp(F.Generic.getOperation(), Error);
+  ASSERT_TRUE(succeeded(Restored)) << Error;
+  EXPECT_EQ(Restored->Mode, RemainderMode::Peel);
+  EXPECT_EQ(Restored->tiles(), Plan->tiles());
+  EXPECT_EQ(Restored->remainders(), Plan->remainders());
+  for (unsigned D = 0; D < 3; ++D) {
+    EXPECT_EQ(Restored->Dims[D].Extent, Plan->Dims[D].Extent);
+    EXPECT_EQ(Restored->Dims[D].FullTiles, Plan->Dims[D].FullTiles);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cost-driven accelerator selection
+//===----------------------------------------------------------------------===//
+
+TEST(TilingPlan, SelectsSmallEngineForSmallProblems) {
+  // A 4x4x4 problem fits the small engine exactly; the 16-tile engine
+  // would pad 64x the compute and ship 16x the words.
+  GenericFixture F(4, 4, 4);
+  std::vector<parser::AcceleratorDesc> Accels = {makeMatMulAccel(4),
+                                                 makeMatMulAccel(16)};
+  std::string Error;
+  auto Plan = planTiling(F.Generic, Accels, PlanningOptions(), Error);
+  ASSERT_TRUE(succeeded(Plan)) << Error;
+  EXPECT_EQ(Plan->AcceleratorName, "matmul_v3_4");
+  EXPECT_EQ(Plan->AcceleratorIndex, 0u);
+}
+
+TEST(TilingPlan, SelectsLargeEngineForLargeProblems) {
+  // At 64^3 the per-tile DMA overhead of the 4-tile engine (4096 steps vs
+  // 64) dominates; the large engine wins despite identical data volume.
+  GenericFixture F(64, 64, 64);
+  std::vector<parser::AcceleratorDesc> Accels = {makeMatMulAccel(4),
+                                                 makeMatMulAccel(16)};
+  std::string Error;
+  auto Plan = planTiling(F.Generic, Accels, PlanningOptions(), Error);
+  ASSERT_TRUE(succeeded(Plan)) << Error;
+  EXPECT_EQ(Plan->AcceleratorName, "matmul_v3_16");
+  EXPECT_EQ(Plan->AcceleratorIndex, 1u);
+}
+
+TEST(TilingPlan, SelectionOrderIndependence) {
+  // The same engine wins regardless of its position in the config array.
+  GenericFixture F(100, 36, 52);
+  std::vector<parser::AcceleratorDesc> Forward = {makeMatMulAccel(4),
+                                                  makeMatMulAccel(16)};
+  std::vector<parser::AcceleratorDesc> Backward = {makeMatMulAccel(16),
+                                                   makeMatMulAccel(4)};
+  std::string Error;
+  auto PlanForward = planTiling(F.Generic, Forward, PlanningOptions(), Error);
+  auto PlanBackward =
+      planTiling(F.Generic, Backward, PlanningOptions(), Error);
+  ASSERT_TRUE(succeeded(PlanForward)) << Error;
+  ASSERT_TRUE(succeeded(PlanBackward)) << Error;
+  EXPECT_EQ(PlanForward->AcceleratorName, PlanBackward->AcceleratorName);
+  EXPECT_DOUBLE_EQ(PlanForward->EstimatedCostMs,
+                   PlanBackward->EstimatedCostMs);
+}
+
+TEST(TilingPlan, TiesBreakTowardsTheEarlierEntry) {
+  // Two identical engines: deterministic selection of the first.
+  GenericFixture F(32, 32, 32);
+  std::vector<parser::AcceleratorDesc> Accels = {
+      makeMatMulAccel(8, "first_engine"), makeMatMulAccel(8, "twin_engine")};
+  std::string Error;
+  auto Plan = planTiling(F.Generic, Accels, PlanningOptions(), Error);
+  ASSERT_TRUE(succeeded(Plan)) << Error;
+  EXPECT_EQ(Plan->AcceleratorName, "first_engine");
+  EXPECT_EQ(Plan->AcceleratorIndex, 0u);
+}
+
+TEST(TilingPlan, RejectModeStillSelectsWhenOneEngineDivides) {
+  // 24^3: divisible by 8, not by 16. In Reject mode only the 8-tile
+  // engine is legal, so it must be selected even if scored worse.
+  GenericFixture F(24, 24, 24);
+  std::vector<parser::AcceleratorDesc> Accels = {makeMatMulAccel(16),
+                                                 makeMatMulAccel(8)};
+  PlanningOptions Options;
+  Options.Mode = RemainderMode::Reject;
+  std::string Error;
+  auto Plan = planTiling(F.Generic, Accels, Options, Error);
+  ASSERT_TRUE(succeeded(Plan)) << Error;
+  EXPECT_EQ(Plan->AcceleratorName, "matmul_v3_8");
+  EXPECT_EQ(Plan->AcceleratorIndex, 1u);
+}
+
+TEST(TilingPlan, NoLegalCandidateAggregatesReasons) {
+  GenericFixture F(30, 30, 30);
+  std::vector<parser::AcceleratorDesc> Accels = {
+      makeMatMulAccel(8, "engine_a"), makeMatMulAccel(16, "engine_b")};
+  PlanningOptions Options;
+  Options.Mode = RemainderMode::Reject;
+  std::string Error;
+  auto Plan = planTiling(F.Generic, Accels, Options, Error);
+  EXPECT_TRUE(failed(Plan));
+  EXPECT_NE(Error.find("engine_a"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("engine_b"), std::string::npos) << Error;
+}
+
+TEST(TilingPlan, CostModelTradesPadAgainstPeel) {
+  std::string Error;
+  parser::AcceleratorDesc Accel = makeMatMulAccel(16);
+  std::vector<AffineMap> Maps = linalg::getMatmulIndexingMaps();
+  sim::SoCParams Params;
+  auto costOf = [&](const std::vector<int64_t> &Ranges, RemainderMode Mode) {
+    auto Plan = planForAccelerator(Ranges, Accel, Mode, Error);
+    EXPECT_TRUE(succeeded(Plan)) << Error;
+    return estimatePlanCostMs(*Plan, Accel, Maps, Params);
+  };
+  // Nearly-full partial tiles (31 % 16 = 15): peeling pushes a huge
+  // remainder volume onto the host, padding barely adds fabric work.
+  EXPECT_GT(costOf({31, 31, 31}, RemainderMode::Peel),
+            costOf({31, 31, 31}, RemainderMode::Pad));
+  // Thin fringe (17 % 16 = 1): the host epilogue is a sliver, while
+  // padding doubles the tile steps in every dimension.
+  EXPECT_LT(costOf({17, 17, 17}, RemainderMode::Peel),
+            costOf({17, 17, 17}, RemainderMode::Pad));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end selection through the parsed multi-accelerator config
+//===----------------------------------------------------------------------===//
+
+TEST(TilingPlan, MultiAcceleratorConfigSelectsPerShape) {
+  auto Config = parser::parseSystemConfigFile(
+      std::string(AXI4MLIR_SOURCE_DIR) + "/configs/matmul_multi.json");
+  ASSERT_TRUE(succeeded(Config));
+  ASSERT_EQ(Config->Accelerators.size(), 2u);
+
+  auto selectedFor = [&](int64_t M, int64_t N, int64_t K) {
+    GenericFixture F(M, N, K);
+    std::string Error;
+    auto Plan =
+        planTiling(F.Generic, Config->Accelerators, PlanningOptions(), Error);
+    EXPECT_TRUE(succeeded(Plan)) << Error;
+    return succeeded(Plan) ? Plan->AcceleratorName : std::string();
+  };
+  EXPECT_EQ(selectedFor(4, 4, 4), "matmul_v3_4");
+  // 8^3 pads into a single 16-tile step: one DMA round trip beats the
+  // eight steps the small engine would need.
+  EXPECT_EQ(selectedFor(8, 8, 8), "matmul_v3_16");
+  EXPECT_EQ(selectedFor(64, 64, 64), "matmul_v3_16");
+  EXPECT_EQ(selectedFor(100, 36, 52), "matmul_v3_16");
+}
+
+} // namespace

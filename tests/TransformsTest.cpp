@@ -178,14 +178,41 @@ TEST(MatchAndAnnotate, SkipsNonMatchingGenerics) {
   EXPECT_EQ(NumAnnotated, 0u);
 }
 
-TEST(MatchAndAnnotate, RejectsIndivisibleProblems) {
-  PipelineFixture F(/*M=*/30, /*N=*/32, /*K=*/32); // 30 % 8 != 0
+TEST(MatchAndAnnotate, RejectModeListsAllIndivisibleDims) {
+  PipelineFixture F(/*M=*/30, /*N=*/32, /*K=*/29); // 30 % 8, 29 % 8
   parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
       exec::makeMatMulConfigJson(V::V3, 8, "Ns"));
   std::string Error;
   ASSERT_TRUE(succeeded(convertNamedToGeneric(F.Func, Error)));
-  EXPECT_TRUE(failed(matchAndAnnotate(F.Func, Accel, Error)));
-  EXPECT_NE(Error.find("divisible"), std::string::npos);
+  PlanningOptions Options;
+  Options.Mode = RemainderMode::Reject;
+  EXPECT_TRUE(failed(matchAndAnnotate(F.Func, {Accel}, Options, Error)));
+  // One error naming every offending dimension, not just the first.
+  EXPECT_NE(Error.find("divisible"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("dim 0"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("dim 2"), std::string::npos) << Error;
+  EXPECT_EQ(Error.find("dim 1"), std::string::npos) << Error;
+}
+
+TEST(MatchAndAnnotate, PadModeAcceptsIndivisibleProblems) {
+  PipelineFixture F(/*M=*/30, /*N=*/32, /*K=*/32);
+  parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
+      exec::makeMatMulConfigJson(V::V3, 8, "Ns"));
+  std::string Error;
+  ASSERT_TRUE(succeeded(convertNamedToGeneric(F.Func, Error)));
+  unsigned NumAnnotated = 0;
+  ASSERT_TRUE(
+      succeeded(matchAndAnnotate(F.Func, Accel, Error, &NumAnnotated)))
+      << Error;
+  EXPECT_EQ(NumAnnotated, 1u);
+  Operation *Generic = F.findOp("linalg.generic");
+  ASSERT_NE(Generic, nullptr);
+  // The attached plan records the remainder strategy and per-dim
+  // remainders (30 % 8 = 6 in m, none elsewhere).
+  EXPECT_EQ(Generic->getStringAttr(RemainderModeAttrName), "pad");
+  AffineMap Remainders =
+      Generic->getAffineMapAttr(PlanRemaindersAttrName);
+  EXPECT_EQ(Remainders.eval({0, 0, 0}), (std::vector<int64_t>{6, 0, 0}));
 }
 
 TEST(DerivePermutation, PaperFlows) {
@@ -315,6 +342,77 @@ TEST(LowerToAccel, V4EmitsConfigInit) {
 }
 
 //===----------------------------------------------------------------------===//
+// lowerToAccel: partial tiles (pad / peel)
+//===----------------------------------------------------------------------===//
+
+struct PartialLoweredFixture : PipelineFixture {
+  PartialLoweredFixture(RemainderMode Mode, int64_t M, int64_t N, int64_t K,
+                        const char *Flow = "Ns", int64_t Size = 8)
+      : PipelineFixture(M, N, K) {
+    parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
+        exec::makeMatMulConfigJson(V::V3, Size, Flow));
+    std::string Error;
+    LoweringOptions Options;
+    Options.EnableCpuTiling = false;
+    PlanningOptions Planning;
+    Planning.Mode = Mode;
+    EXPECT_TRUE(succeeded(convertNamedToGeneric(Func, Error))) << Error;
+    EXPECT_TRUE(succeeded(matchAndAnnotate(Func, {Accel}, Planning, Error)))
+        << Error;
+    EXPECT_TRUE(succeeded(lowerToAccel(Func, Options, Error))) << Error;
+    EXPECT_TRUE(succeeded(verify(Func.getOperation(), Error))) << Error;
+  }
+};
+
+TEST(LowerToAccel, PadStagesPartialTilesThroughZeroFilledBuffers) {
+  // 20x12x28 on an 8-tile engine: a partial tile in every dimension. The
+  // fringe boxes must stage sends through zero-filled full-tile buffers
+  // (alloc + copy) and mask receives back (alloc + accumulate generic).
+  PartialLoweredFixture F(RemainderMode::Pad, 20, 12, 28);
+  EXPECT_GT(F.countOps("memref.alloc"), 0u);
+  EXPECT_GT(F.countOps("memref.copy"), 0u);
+  EXPECT_GT(F.countOps("memref.dealloc"), 0u);
+  // Masked receives land as residual accumulate generics.
+  EXPECT_GT(F.countOps("linalg.generic"), 0u);
+  // Overwrite-mode receives into the staging tile.
+  bool SawOverwriteRecv = false;
+  F.Func.getOperation()->walk([&](Operation *Op) {
+    if (Op->getName() == "accel.recv" &&
+        accel::RecvOp(Op).getMode() == "overwrite")
+      SawOverwriteRecv = true;
+  });
+  EXPECT_TRUE(SawOverwriteRecv);
+}
+
+TEST(LowerToAccel, PadDivisibleProblemNeedsNoStaging) {
+  PartialLoweredFixture F(RemainderMode::Pad, 32, 32, 32);
+  EXPECT_EQ(F.countOps("memref.alloc"), 0u);
+  EXPECT_EQ(F.countOps("memref.copy"), 0u);
+  EXPECT_EQ(F.countOps("linalg.generic"), 0u);
+  EXPECT_EQ(F.countOps("scf.for"), 3u);
+}
+
+TEST(LowerToAccel, PeelEmitsOneHostEpiloguePerPartialDim) {
+  // Three partial dims -> three residual host generics over the peeled
+  // remainder boxes; no staging buffers at all.
+  PartialLoweredFixture F(RemainderMode::Peel, 20, 12, 28);
+  EXPECT_EQ(F.countOps("linalg.generic"), 3u);
+  EXPECT_EQ(F.countOps("memref.alloc"), 0u);
+  EXPECT_EQ(F.countOps("memref.copy"), 0u);
+}
+
+TEST(LowerToAccel, PeelSingleRemainderDim) {
+  // Only K is partial: one epilogue, and the accel main loops cover the
+  // full m/n extents.
+  PartialLoweredFixture F(RemainderMode::Peel, 32, 32, 28);
+  EXPECT_EQ(F.countOps("linalg.generic"), 1u);
+  Operation *Epilogue = F.findOp("linalg.generic");
+  ASSERT_NE(Epilogue, nullptr);
+  // The epilogue runs outside the accel loop nest.
+  EXPECT_EQ(PipelineFixture::loopDepth(Epilogue), 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // convertAccelToRuntime: batching
 //===----------------------------------------------------------------------===//
 
@@ -371,7 +469,9 @@ TEST(PassManager, ReportsFailingPass) {
   PipelineFixture F(/*M=*/30, 32, 32);
   parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
       exec::makeMatMulConfigJson(V::V3, 8, "Ns"));
-  PassManager PM = buildPipeline(Accel, LoweringOptions());
+  LoweringOptions Options;
+  Options.Remainder = RemainderMode::Reject; // 30 % 8 != 0 -> plan error
+  PassManager PM = buildPipeline(Accel, Options);
   std::string Error;
   EXPECT_TRUE(failed(PM.run(F.Func, Error)));
   EXPECT_NE(Error.find("match-and-annotate"), std::string::npos);

@@ -14,8 +14,13 @@
 /// Usage:
 ///   axi4mlir-opt --config configs/matmul_v3_16.json --matmul 128x128x128
 ///                [--flow As] [--emit ir|c|both] [--no-cpu-tiling]
-///                [--no-specialize] [--run]
+///                [--no-specialize] [--remainder pad|peel|reject] [--run]
 ///   axi4mlir-opt --config configs/conv2d.json --conv 58x64x3x128x2 --run
+///
+/// Problem extents need not divide the accelerator tile: partial tiles
+/// are padded (default) or peeled per --remainder. When the config file
+/// defines several accelerators for the kernel, the planning layer
+/// dispatches to the cheapest one under the cost model.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +48,7 @@ struct CliOptions {
   bool Specialize = true;
   bool Run = false;
   std::string Flow; // override selected_flow
+  transforms::RemainderMode Remainder = transforms::RemainderMode::Pad;
   // MatMul problem.
   bool IsMatMul = false;
   int64_t M = 0, N = 0, K = 0;
@@ -57,7 +63,8 @@ void printUsage() {
       "usage: axi4mlir-opt --config FILE (--matmul MxNxK | --conv "
       "iHWxiCxfHWxoCxS)\n"
       "                    [--flow NAME] [--emit ir|c|both] [--run]\n"
-      "                    [--no-cpu-tiling] [--no-specialize]\n");
+      "                    [--no-cpu-tiling] [--no-specialize]\n"
+      "                    [--remainder pad|peel|reject]\n");
 }
 
 bool parseDims(const std::string &Text, std::vector<int64_t> &Out) {
@@ -79,7 +86,24 @@ bool parseDims(const std::string &Text, std::vector<int64_t> &Out) {
 bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string Inline;
+    bool HasInline = false;
+    if (Arg.rfind("--", 0) == 0) {
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        Inline = Arg.substr(Eq + 1);
+        Arg = Arg.substr(0, Eq);
+        HasInline = true;
+        if (Inline.empty()) {
+          std::fprintf(stderr, "missing value in '%s='\n", Arg.c_str());
+          return false;
+        }
+      }
+    }
     auto next = [&]() -> const char * {
+      if (HasInline)
+        return Inline.c_str();
       return I + 1 < Argc ? Argv[++I] : nullptr;
     };
     if (Arg == "--config") {
@@ -117,6 +141,24 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       if (!V)
         return false;
       Options.Emit = V;
+      if (Options.Emit != "ir" && Options.Emit != "c" &&
+          Options.Emit != "both" && Options.Emit != "none") {
+        std::fprintf(stderr, "unknown emit mode '%s' (ir|c|both|none)\n",
+                     V);
+        return false;
+      }
+    } else if (Arg == "--remainder") {
+      const char *V = next();
+      if (!V)
+        return false;
+      auto Mode = transforms::parseRemainderMode(V);
+      if (failed(Mode)) {
+        std::fprintf(stderr,
+                     "unknown remainder strategy '%s' (pad|peel|reject)\n",
+                     V);
+        return false;
+      }
+      Options.Remainder = *Mode;
     } else if (Arg == "--run") {
       Options.Run = true;
     } else if (Arg == "--no-cpu-tiling") {
@@ -142,29 +184,50 @@ int runTool(const CliOptions &Options) {
     return 1;
   }
 
+  // Every accelerator implementing the requested kernel is a dispatch
+  // candidate; the planning layer selects the cheapest per problem shape.
   const char *Kernel =
       Options.IsMatMul ? "linalg.matmul" : "linalg.conv_2d_nchw_fchw";
-  const parser::AcceleratorDesc *Found = Config->findByKernel(Kernel);
-  if (!Found) {
+  std::vector<parser::AcceleratorDesc> Candidates;
+  for (const parser::AcceleratorDesc &Desc : Config->Accelerators)
+    if (Desc.Kernel == Kernel)
+      Candidates.push_back(Desc);
+  if (Candidates.empty()) {
     std::fprintf(stderr, "error: no accelerator for kernel '%s' in '%s'\n",
                  Kernel, Options.ConfigPath.c_str());
     return 1;
   }
-  parser::AcceleratorDesc Accel = *Found;
   if (!Options.Flow.empty()) {
-    if (!Accel.lookupFlow(Options.Flow)) {
-      std::fprintf(stderr, "error: accelerator '%s' has no flow '%s'\n",
-                   Accel.Name.c_str(), Options.Flow.c_str());
+    for (parser::AcceleratorDesc &Candidate : Candidates) {
+      if (!Candidate.lookupFlow(Options.Flow)) {
+        std::fprintf(stderr, "error: accelerator '%s' has no flow '%s'\n",
+                     Candidate.Name.c_str(), Options.Flow.c_str());
+        return 1;
+      }
+      Candidate.SelectedFlow = Options.Flow;
+    }
+  }
+
+  // The workload's element type must be fixed before planning, so all
+  // dispatch candidates must agree on it.
+  for (const parser::AcceleratorDesc &Candidate : Candidates) {
+    if (Candidate.DataType != Candidates.front().DataType) {
+      std::fprintf(stderr,
+                   "error: candidate accelerators disagree on data_type "
+                   "('%s' is %s, '%s' is %s)\n",
+                   Candidates.front().Name.c_str(),
+                   Candidates.front().DataType.c_str(),
+                   Candidate.Name.c_str(), Candidate.DataType.c_str());
       return 1;
     }
-    Accel.SelectedFlow = Options.Flow;
   }
 
   MLIRContext Context;
   registerAllDialects(Context);
   OpBuilder Builder(&Context);
-  sim::ElemKind Kind =
-      Accel.DataType == "f32" ? sim::ElemKind::F32 : sim::ElemKind::I32;
+  sim::ElemKind Kind = Candidates.front().DataType == "f32"
+                           ? sim::ElemKind::F32
+                           : sim::ElemKind::I32;
   func::FuncOp Func =
       Options.IsMatMul
           ? exec::buildMatMulFunc(Builder, Options.M, Options.N, Options.K,
@@ -177,12 +240,24 @@ int runTool(const CliOptions &Options) {
   transforms::LoweringOptions Lowering;
   Lowering.EnableCpuTiling = Options.CpuTiling;
   Lowering.CacheBytes = Config->Cpu.lastLevelCacheBytes();
+  Lowering.Remainder = Options.Remainder;
+  auto Plans = std::make_shared<std::vector<transforms::TilingPlan>>();
   transforms::PassManager Pipeline =
-      transforms::buildPipeline(Accel, Lowering);
+      transforms::buildPipeline(Candidates, Lowering, Plans);
   if (failed(Pipeline.run(Func, Error))) {
     std::fprintf(stderr, "pipeline error: %s\n", Error.c_str());
     return 1;
   }
+  if (Plans->empty()) {
+    std::fprintf(stderr, "error: no kernel was matched and annotated\n");
+    return 1;
+  }
+  const parser::AcceleratorDesc &Accel =
+      Candidates[Plans->front().AcceleratorIndex];
+  if (Candidates.size() > 1)
+    std::fprintf(stderr,
+                 "// plan: dispatching to '%s' (estimated %.3f ms)\n",
+                 Accel.Name.c_str(), Plans->front().EstimatedCostMs);
 
   if (Options.Emit == "ir" || Options.Emit == "both") {
     std::cout << "// ---- lowered host driver IR ----\n"
@@ -208,9 +283,13 @@ int runTool(const CliOptions &Options) {
                 : Accel.Name.find("v2") != std::string::npos ? V::V2
                 : Accel.Name.find("v4") != std::string::npos ? V::V4
                                                              : V::V3;
-    int64_t Size = 8;
+    // Size the simulated engine from the selected accelerator's largest
+    // tile (a floor of 8 here used to break --run for 4-tile configs).
+    int64_t Size = 0;
     for (int64_t Tile : Accel.AccelSize)
       Size = std::max(Size, Tile);
+    if (Size <= 0)
+      Size = 8;
     Soc = sim::makeMatMulSoC(Version, Size, Kind);
   } else {
     Soc = sim::makeConvSoC(Kind);
