@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+#===- record_bench.sh - record the runtime_micro wall-clock trajectory ---===//
+#
+# Part of the AXI4MLIR reproduction. MIT licensed.
+#
+# Runs build/bench/runtime_micro with --benchmark_format=json and merges the
+# result into BENCH_runtime_micro.json at the repo root under a named entry,
+# so the file can hold the perf trajectory across PRs (e.g. "baseline" vs
+# "optimized"). Usage:
+#
+#   bench/record_bench.sh [label]       # label defaults to "optimized"
+#   BUILD_DIR=build-foo bench/record_bench.sh baseline
+#   BENCH_MIN_TIME=0.5 bench/record_bench.sh   # steadier numbers, slower
+#
+#===----------------------------------------------------------------------===//
+set -euo pipefail
+
+LABEL="${1:-optimized}"
+BUILD_DIR="${BUILD_DIR:-build}"
+MIN_TIME="${BENCH_MIN_TIME:-0.05}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="$ROOT/$BUILD_DIR/bench/runtime_micro"
+OUT="$ROOT/BENCH_runtime_micro.json"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (needs google-benchmark; configure and build first)" >&2
+  exit 1
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+# google-benchmark >= 1.8 takes a duration suffix, older releases a double.
+"$BIN" --benchmark_format=json --benchmark_min_time="${MIN_TIME}s" >"$TMP" 2>/dev/null ||
+  "$BIN" --benchmark_format=json --benchmark_min_time="$MIN_TIME" >"$TMP"
+
+python3 - "$TMP" "$OUT" "$LABEL" <<'PYEOF'
+import json, sys
+
+src, dst, label = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(src) as f:
+    run = json.load(f)
+# Drop volatile context fields so diffs track the numbers, not the host.
+run.get("context", {}).pop("date", None)
+run.get("context", {}).pop("load_avg", None)
+try:
+    with open(dst) as f:
+        trajectory = json.load(f)
+except FileNotFoundError:
+    trajectory = {}
+trajectory[label] = run
+with open(dst, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+PYEOF
+
+echo "recorded '$LABEL' into $OUT"

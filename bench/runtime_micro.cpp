@@ -13,9 +13,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "dialects/InitAllDialects.h"
+#include "exec/AccelConfigs.h"
+#include "exec/ExecPlan.h"
+#include "exec/Interpreter.h"
+#include "exec/Pipeline.h"
 #include "exec/Reference.h"
 #include "runtime/DmaRuntime.h"
 #include "sim/SoC.h"
+#include "transforms/Passes.h"
 
 #include <benchmark/benchmark.h>
 
@@ -82,11 +88,132 @@ void BM_MatMulAcceleratorTile(benchmark::State &State) {
                           State.range(0) * State.range(0));
 }
 
+//===----------------------------------------------------------------------===//
+// Host interpreter: legacy tree walker vs. compiled ExecPlan
+//===----------------------------------------------------------------------===//
+
+/// CPU-level linalg.generic matmul (the mlir_CPU baseline): every point of
+/// the M*N*K space runs through the executor, so executor overhead
+/// dominates. The IR is built and lowered once; the compiled variant also
+/// builds its plan once (cached inside the Interpreter).
+void interpretMatMulCpu(benchmark::State &State, bool UseCompiledPlan) {
+  int64_t Dims = State.range(0);
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func =
+      exec::buildMatMulFunc(Builder, Dims, Dims, Dims, ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  std::string Error;
+  if (failed(transforms::convertNamedToGeneric(Func, Error))) {
+    State.SkipWithError(Error.c_str());
+    return;
+  }
+
+  auto Soc = makeCpuOnlySoC();
+  MemRefDesc A = MemRefDesc::alloc({Dims, Dims});
+  MemRefDesc B = MemRefDesc::alloc({Dims, Dims});
+  MemRefDesc C = MemRefDesc::alloc({Dims, Dims});
+  exec::fillRandom(A, 1);
+  exec::fillRandom(B, 2);
+  exec::fillRandom(C, 3);
+
+  exec::Interpreter Interp(*Soc, nullptr, UseCompiledPlan);
+  for (auto _ : State) {
+    Soc->resetCounters();
+    if (failed(Interp.run(Func, {A, B, C}, Error))) {
+      State.SkipWithError(Error.c_str());
+      break;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Dims * Dims * Dims);
+}
+
+void BM_InterpretMatMulCpuWalker(benchmark::State &State) {
+  interpretMatMulCpu(State, /*UseCompiledPlan=*/false);
+}
+void BM_InterpretMatMulCpuCompiled(benchmark::State &State) {
+  interpretMatMulCpu(State, /*UseCompiledPlan=*/true);
+}
+
+/// Fully lowered axirt form: scf loop nests driving batched DMA staging
+/// copies — the host-driver hot path the paper measures (Sec. IV-B).
+void interpretMatMulAxirt(benchmark::State &State, bool UseCompiledPlan) {
+  int64_t Dims = State.range(0);
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func =
+      exec::buildMatMulFunc(Builder, Dims, Dims, Dims, ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
+      exec::makeMatMulConfigJson(MatMulAccelerator::Version::V3, 16, "Ns"));
+  std::string Error;
+  transforms::LoweringOptions Options;
+  Options.EnableCpuTiling = false;
+  if (failed(transforms::convertNamedToGeneric(Func, Error)) ||
+      failed(transforms::matchAndAnnotate(Func, Accel, Error)) ||
+      failed(transforms::lowerToAccel(Func, Options, Error)) ||
+      failed(transforms::convertAccelToRuntime(Func, Error))) {
+    State.SkipWithError(Error.c_str());
+    return;
+  }
+
+  auto Soc = makeMatMulSoC(MatMulAccelerator::Version::V3, 16);
+  runtime::DmaRuntime Runtime(*Soc, /*SpecializeCopies=*/true);
+  MemRefDesc A = MemRefDesc::alloc({Dims, Dims});
+  MemRefDesc B = MemRefDesc::alloc({Dims, Dims});
+  MemRefDesc C = MemRefDesc::alloc({Dims, Dims});
+  exec::fillRandom(A, 1);
+  exec::fillRandom(B, 2);
+  exec::fillRandom(C, 3);
+
+  exec::Interpreter Interp(*Soc, &Runtime, UseCompiledPlan);
+  for (auto _ : State) {
+    Soc->resetCounters();
+    if (failed(Interp.run(Func, {A, B, C}, Error))) {
+      State.SkipWithError(Error.c_str());
+      break;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Dims * Dims * Dims);
+}
+
+void BM_InterpretMatMulAxirtWalker(benchmark::State &State) {
+  interpretMatMulAxirt(State, /*UseCompiledPlan=*/false);
+}
+void BM_InterpretMatMulAxirtCompiled(benchmark::State &State) {
+  interpretMatMulAxirt(State, /*UseCompiledPlan=*/true);
+}
+
+/// Plan compilation itself (paid once per function, amortized over runs).
+void BM_ExecPlanCompile(benchmark::State &State) {
+  int64_t Dims = State.range(0);
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func =
+      exec::buildMatMulFunc(Builder, Dims, Dims, Dims, ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  std::string Error;
+  if (failed(transforms::convertNamedToGeneric(Func, Error))) {
+    State.SkipWithError(Error.c_str());
+    return;
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(exec::ExecPlan::compile(Func, Error));
+}
+
 } // namespace
 
 BENCHMARK(BM_CopyToDmaGeneric)->Arg(8)->Arg(16)->Arg(64);
 BENCHMARK(BM_CopyToDmaSpecialized)->Arg(8)->Arg(16)->Arg(64);
 BENCHMARK(BM_CacheSimAccess);
 BENCHMARK(BM_MatMulAcceleratorTile)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_InterpretMatMulCpuWalker)->Arg(16)->Arg(32);
+BENCHMARK(BM_InterpretMatMulCpuCompiled)->Arg(16)->Arg(32);
+BENCHMARK(BM_InterpretMatMulAxirtWalker)->Arg(32)->Arg(64);
+BENCHMARK(BM_InterpretMatMulAxirtCompiled)->Arg(32)->Arg(64);
+BENCHMARK(BM_ExecPlanCompile)->Arg(32);
 
 BENCHMARK_MAIN();

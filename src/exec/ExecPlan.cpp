@@ -1,0 +1,848 @@
+//===- ExecPlan.cpp - Compiled host-code execution plans ------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecPlan.h"
+
+#include "dialects/Accel.h"
+#include "dialects/Arith.h"
+#include "dialects/Linalg.h"
+#include "dialects/MemRef.h"
+#include "dialects/SCF.h"
+#include "runtime/StridedCopy.h"
+#include "transforms/Passes.h"
+
+#include <cassert>
+#include <map>
+
+using namespace axi4mlir;
+using namespace axi4mlir::exec;
+using runtime::MemRefDesc;
+
+//===----------------------------------------------------------------------===//
+// Compilation
+//===----------------------------------------------------------------------===//
+
+namespace axi4mlir {
+namespace exec {
+
+/// Lowers operations into ExecPlan instructions, numbering SSA values into
+/// dense slots as it goes.
+struct ExecPlanBuilder {
+  ExecPlan &Plan;
+  std::map<detail::ValueImpl *, int32_t> Slots;
+  std::string Error;
+
+  explicit ExecPlanBuilder(ExecPlan &Plan) : Plan(Plan) {}
+
+  int32_t slot(Value V) {
+    auto Inserted =
+        Slots.try_emplace(V.getImpl(), static_cast<int32_t>(Plan.NumSlots));
+    if (Inserted.second)
+      ++Plan.NumSlots;
+    return Inserted.first->second;
+  }
+
+  LogicalResult fail(std::string Message) {
+    if (Error.empty())
+      Error = std::move(Message);
+    return failure();
+  }
+
+  static bool isTerminator(const std::string &Name) {
+    return Name == "func.return" || Name == "scf.yield" ||
+           Name == "linalg.yield";
+  }
+
+  /// Compiles \p TheBlock's operations up to (excluding) the first
+  /// terminator, which is reported through \p Terminator.
+  LogicalResult compileBlock(Block &TheBlock, std::vector<ExecPlan::Inst> &Out,
+                             Operation **Terminator) {
+    *Terminator = nullptr;
+    for (Operation *Op : TheBlock.getOperations()) {
+      if (isTerminator(Op->getName())) {
+        *Terminator = Op;
+        return success();
+      }
+      if (failed(compileOp(Op, Out)))
+        return failure();
+    }
+    return success();
+  }
+
+  LogicalResult compileOp(Operation *Op, std::vector<ExecPlan::Inst> &Out);
+  LogicalResult compileGeneric(Operation *Op,
+                               std::vector<ExecPlan::Inst> &Out);
+  LogicalResult compileAccel(Operation *Op, std::vector<ExecPlan::Inst> &Out);
+  LogicalResult compileCall(Operation *Op, std::vector<ExecPlan::Inst> &Out);
+};
+
+} // namespace exec
+} // namespace axi4mlir
+
+LogicalResult ExecPlanBuilder::compileOp(Operation *Op,
+                                         std::vector<ExecPlan::Inst> &Out) {
+  using Inst = ExecPlan::Inst;
+  using PlanOp = ExecPlan::Op;
+  const std::string &Name = Op->getName();
+  Inst I;
+
+  //===--------------------------------------------------------------------===//
+  // arith
+  //===--------------------------------------------------------------------===//
+  if (Name == "arith.constant") {
+    Attribute ValueAttr = Op->getAttr("value");
+    I.Dst = slot(Op->getResult(0));
+    if (ValueAttr.getKind() == Attribute::Kind::Float) {
+      I.Code = PlanOp::ConstFloat;
+      I.FImm = ValueAttr.getFloatValue();
+    } else {
+      I.Code = PlanOp::ConstInt;
+      I.Imm = ValueAttr.getIntValue();
+    }
+    Out.push_back(I);
+    return success();
+  }
+  if (Name.rfind("arith.", 0) == 0 && Op->getNumOperands() == 2) {
+    ExecPlan::BinKind Kind;
+    if (Name == "arith.addf" || Name == "arith.addi")
+      Kind = ExecPlan::BinKind::Add;
+    else if (Name == "arith.mulf" || Name == "arith.muli")
+      Kind = ExecPlan::BinKind::Mul;
+    else if (Name == "arith.subf" || Name == "arith.subi")
+      Kind = ExecPlan::BinKind::Sub;
+    else if (Name == "arith.divf")
+      Kind = ExecPlan::BinKind::Div;
+    else if (Name == "arith.maxf")
+      Kind = ExecPlan::BinKind::Max;
+    else
+      return fail("unsupported arith op '" + Name + "'");
+    I.Code = PlanOp::Binary;
+    I.Sub = static_cast<uint8_t>(Kind);
+    if (Op->getResult(0).getType().isFloat())
+      I.Sub |= ExecPlan::BinFloatResult;
+    I.A = slot(Op->getOperand(0));
+    I.B = slot(Op->getOperand(1));
+    I.Dst = slot(Op->getResult(0));
+    Out.push_back(I);
+    return success();
+  }
+  if (Name == "arith.index_cast") {
+    I.Code = PlanOp::IndexCast;
+    I.A = slot(Op->getOperand(0));
+    I.Dst = slot(Op->getResult(0));
+    Out.push_back(I);
+    return success();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // scf.for: flattened to LoopBegin/LoopEnd over a contiguous body span.
+  //===--------------------------------------------------------------------===//
+  if (Name == scf::ForOp::OpName) {
+    scf::ForOp For(Op);
+    I.Code = PlanOp::LoopBegin;
+    I.A = slot(For.getLowerBound());
+    I.B = slot(For.getUpperBound());
+    I.C = slot(For.getStep());
+    I.Dst = slot(For.getInductionVar());
+    size_t BeginPc = Out.size();
+    Out.push_back(I);
+    Operation *Terminator = nullptr;
+    if (failed(compileBlock(*For.getBody(), Out, &Terminator)))
+      return failure();
+    Inst End;
+    End.Code = PlanOp::LoopEnd;
+    End.Dst = I.Dst;
+    End.B = I.B;
+    End.C = I.C;
+    End.Aux = static_cast<int32_t>(BeginPc + 1);
+    Out.push_back(End);
+    Out[BeginPc].Aux = static_cast<int32_t>(Out.size());
+    return success();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // memref
+  //===--------------------------------------------------------------------===//
+  if (Name == memref::AllocOp::OpName) {
+    memref::AllocOp Alloc(Op);
+    MemRefType Ty = Alloc.getType();
+    ExecPlan::AllocPlan Info;
+    Info.Shape = Ty.getShape();
+    Info.Kind = Ty.getElementType().isFloat() ? sim::ElemKind::F32
+                                              : sim::ElemKind::I32;
+    I.Code = PlanOp::Alloc;
+    I.Aux = static_cast<int32_t>(Plan.Allocs.size());
+    I.Dst = slot(Op->getResult(0));
+    Plan.Allocs.push_back(std::move(Info));
+    Out.push_back(I);
+    return success();
+  }
+  if (Name == memref::DeallocOp::OpName) {
+    I.Code = PlanOp::Dealloc;
+    Out.push_back(I);
+    return success();
+  }
+  if (Name == memref::LoadOp::OpName || Name == memref::StoreOp::OpName) {
+    bool IsLoad = Name == memref::LoadOp::OpName;
+    I.Code = IsLoad ? PlanOp::Load : PlanOp::Store;
+    unsigned FirstIndex = IsLoad ? 1 : 2;
+    if (IsLoad) {
+      I.A = slot(Op->getOperand(0));
+      I.Dst = slot(Op->getResult(0));
+    } else {
+      I.A = slot(Op->getOperand(0)); // stored value
+      I.B = slot(Op->getOperand(1)); // memref
+    }
+    I.Aux = static_cast<int32_t>(Plan.SlotPool.size());
+    for (unsigned Idx = FirstIndex; Idx < Op->getNumOperands(); ++Idx)
+      Plan.SlotPool.push_back(slot(Op->getOperand(Idx)));
+    I.Sub = static_cast<uint8_t>(Op->getNumOperands() - FirstIndex);
+    Out.push_back(I);
+    return success();
+  }
+  if (Name == memref::CopyOp::OpName) {
+    I.Code = PlanOp::Copy;
+    I.A = slot(Op->getOperand(0));
+    I.B = slot(Op->getOperand(1));
+    Out.push_back(I);
+    return success();
+  }
+  if (Name == memref::SubViewOp::OpName) {
+    memref::SubViewOp SubView(Op);
+    ExecPlan::SubViewPlan Info;
+    Info.PoolOffset = static_cast<int32_t>(Plan.SlotPool.size());
+    for (unsigned Idx = 1; Idx < Op->getNumOperands(); ++Idx)
+      Plan.SlotPool.push_back(slot(Op->getOperand(Idx)));
+    Info.NumOffsets = Op->getNumOperands() - 1;
+    Info.StaticSizes = SubView.getStaticSizes();
+    I.Code = PlanOp::SubView;
+    I.A = slot(Op->getOperand(0));
+    I.Aux = static_cast<int32_t>(Plan.SubViews.size());
+    I.Dst = slot(Op->getResult(0));
+    Plan.SubViews.push_back(std::move(Info));
+    Out.push_back(I);
+    return success();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // linalg / accel / calls
+  //===--------------------------------------------------------------------===//
+  if (Name == linalg::GenericOp::OpName)
+    return compileGeneric(Op, Out);
+  if (Name.rfind("accel.", 0) == 0)
+    return compileAccel(Op, Out);
+  if (Name == func::CallOp::OpName)
+    return compileCall(Op, Out);
+
+  return fail("interpreter: unsupported operation '" + Name + "'");
+}
+
+LogicalResult
+ExecPlanBuilder::compileGeneric(Operation *Op,
+                                std::vector<ExecPlan::Inst> &Out) {
+  linalg::GenericOp Generic(Op);
+  ExecPlan::GenericPlan G;
+  G.Ranges = Generic.getStaticLoopRanges();
+  if (G.Ranges.empty())
+    return fail("linalg.generic with non-static loop ranges");
+  if (G.Ranges.size() > runtime::detail::MaxCopyRank)
+    return fail("linalg.generic loop nest deeper than the supported " +
+                std::to_string(runtime::detail::MaxCopyRank) + " loops");
+  G.NumInputs = Generic.getNumInputs();
+
+  for (unsigned Idx = 0; Idx < Op->getNumOperands(); ++Idx) {
+    ExecPlan::OperandPlan P;
+    P.Slot = slot(Op->getOperand(Idx));
+    AffineMap Map = Generic.getIndexingMap(Idx);
+    P.Projected = Map.isProjectedPermutation();
+    if (P.Projected) {
+      for (unsigned R = 0; R < Map.getNumResults(); ++R)
+        P.DimPos.push_back(Map.getResult(R).getPosition());
+    } else {
+      P.Exprs = Map.getResults();
+    }
+    G.Operands.push_back(std::move(P));
+  }
+
+  Block &Body = Generic.getBody();
+  for (unsigned Idx = 0; Idx < Body.getNumArguments(); ++Idx)
+    G.BodyArgSlots.push_back(slot(Body.getArgument(Idx)));
+
+  Operation *Terminator = nullptr;
+  if (failed(compileBlock(Body, G.Body, &Terminator)))
+    return failure();
+  if (Terminator && Terminator->getName() == linalg::YieldOp::OpName)
+    for (unsigned O = 0; O < Terminator->getNumOperands(); ++O)
+      G.YieldSlots.push_back(slot(Terminator->getOperand(O)));
+
+  ExecPlan::Inst I;
+  I.Code = ExecPlan::Op::Generic;
+  I.Aux = static_cast<int32_t>(Plan.Generics.size());
+  Plan.Generics.push_back(std::move(G));
+  Out.push_back(I);
+  return success();
+}
+
+LogicalResult ExecPlanBuilder::compileAccel(Operation *Op,
+                                            std::vector<ExecPlan::Inst> &Out) {
+  using PlanOp = ExecPlan::Op;
+  const std::string &Name = Op->getName();
+  ExecPlan::Inst I;
+
+  if (Name == accel::DmaInitOp::OpName) {
+    I.Code = PlanOp::AccelDmaInit;
+    I.Aux = static_cast<int32_t>(Plan.DmaConfigs.size());
+    Plan.DmaConfigs.push_back(accel::DmaInitOp(Op).getConfig());
+    Out.push_back(I);
+    return success();
+  }
+  if (Name == accel::SendLiteralOp::OpName) {
+    I.Code = PlanOp::AccelSendLiteral;
+    I.A = slot(Op->getOperand(0));
+    I.Imm = Op->getIntAttr("literal");
+    I.Dst = slot(Op->getResult(0));
+    Out.push_back(I);
+    return success();
+  }
+  if (Name == accel::SendOp::OpName) {
+    I.Code = PlanOp::AccelSend;
+    I.A = slot(Op->getOperand(0));
+    I.B = slot(Op->getOperand(1));
+    I.Dst = slot(Op->getResult(0));
+    Out.push_back(I);
+    return success();
+  }
+  if (Name == accel::SendDimOp::OpName) {
+    I.Code = PlanOp::AccelSendDim;
+    I.A = slot(Op->getOperand(0));
+    I.B = slot(Op->getOperand(1));
+    if (Op->hasAttr("static_size")) {
+      I.Sub = 1;
+      I.Imm = Op->getIntAttr("static_size");
+    } else {
+      I.Imm = Op->getIntAttr("dim");
+    }
+    I.Dst = slot(Op->getResult(0));
+    Out.push_back(I);
+    return success();
+  }
+  if (Name == accel::SendIdxOp::OpName) {
+    I.Code = PlanOp::AccelSendIdx;
+    I.A = slot(Op->getOperand(0));
+    I.B = slot(Op->getOperand(1));
+    I.Dst = slot(Op->getResult(0));
+    Out.push_back(I);
+    return success();
+  }
+  if (Name == accel::RecvOp::OpName) {
+    I.Code = PlanOp::AccelRecv;
+    I.A = slot(Op->getOperand(0));
+    I.Sub = accel::RecvOp(Op).getMode() == "accumulate" ? 1 : 0;
+    I.Dst = slot(Op->getResult(0));
+    Out.push_back(I);
+    return success();
+  }
+  return fail("unsupported accel op '" + Name + "'");
+}
+
+LogicalResult ExecPlanBuilder::compileCall(Operation *Op,
+                                           std::vector<ExecPlan::Inst> &Out) {
+  using PlanOp = ExecPlan::Op;
+  namespace rt = transforms::rtcall;
+  const std::string Callee = func::CallOp(Op).getCallee();
+  ExecPlan::Inst I;
+
+  if (Callee == rt::DmaInit) {
+    I.Code = PlanOp::CallDmaInit;
+    I.Aux = static_cast<int32_t>(Plan.DmaConfigs.size());
+    Plan.DmaConfigs.push_back(Op->getAttr("dma_config").getDmaConfigValue());
+  } else if (Callee == rt::CopyToDma) {
+    I.Code = PlanOp::CallCopyToDma;
+    I.A = slot(Op->getOperand(0));
+    I.B = slot(Op->getOperand(1));
+    I.Dst = slot(Op->getResult(0));
+  } else if (Callee == rt::CopyLiteralToDma || Callee == rt::CopyIndexToDma) {
+    I.Code = PlanOp::CallCopyLiteralToDma;
+    I.A = slot(Op->getOperand(0));
+    I.B = slot(Op->getOperand(1));
+    I.Dst = slot(Op->getResult(0));
+  } else if (Callee == rt::StartSend) {
+    I.Code = PlanOp::CallStartSend;
+    I.A = slot(Op->getOperand(0));
+    I.B = slot(Op->getOperand(1));
+  } else if (Callee == rt::WaitSend) {
+    I.Code = PlanOp::CallWaitSend;
+  } else if (Callee == rt::StartRecv) {
+    I.Code = PlanOp::CallStartRecv;
+    I.A = slot(Op->getOperand(0));
+    I.B = slot(Op->getOperand(1));
+  } else if (Callee == rt::WaitRecv) {
+    I.Code = PlanOp::CallWaitRecv;
+  } else if (Callee == rt::CopyFromDma) {
+    I.Code = PlanOp::CallCopyFromDma;
+    I.A = slot(Op->getOperand(0));
+    I.B = slot(Op->getOperand(1));
+    I.Sub = Op->getAttr("accumulate").getIntValue() != 0 ? 1 : 0;
+  } else {
+    return fail("unknown runtime callee '" + Callee + "'");
+  }
+  Out.push_back(I);
+  return success();
+}
+
+std::unique_ptr<ExecPlan> ExecPlan::compile(func::FuncOp Func,
+                                            std::string &Error) {
+  std::unique_ptr<ExecPlan> Plan(new ExecPlan());
+  ExecPlanBuilder Builder(*Plan);
+  Plan->FuncName = Func.getFuncName();
+  Block &Entry = Func.getBody();
+  Plan->NumArgs = Entry.getNumArguments();
+  // Arguments occupy the first slots in order.
+  for (unsigned Idx = 0; Idx < Plan->NumArgs; ++Idx)
+    Builder.slot(Entry.getArgument(Idx));
+  Operation *Terminator = nullptr;
+  if (failed(Builder.compileBlock(Entry, Plan->Program, &Terminator))) {
+    Error = Builder.Error.empty() ? "plan compilation failure"
+                                  : Builder.Error;
+    return nullptr;
+  }
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+struct ExecPlan::ExecState {
+  sim::SoC &Soc;
+  runtime::DmaRuntime *Runtime;
+  std::vector<Cell> Cells;
+  std::vector<int64_t> Scratch; ///< Reused subview-offset buffer.
+  std::string Error;
+
+  ExecState(sim::SoC &Soc, runtime::DmaRuntime *Runtime)
+      : Soc(Soc), Runtime(Runtime) {}
+
+  LogicalResult fail(std::string Message) {
+    if (Error.empty())
+      Error = std::move(Message);
+    return failure();
+  }
+};
+
+namespace {
+
+/// Word -> dynamic value / dynamic value -> word, matching the walker's
+/// load/store conversions exactly. Templated so the anonymous namespace
+/// can name ExecPlan's private Cell type through deduction.
+template <typename CellT> inline void wordToCellImpl(uint32_t Word, bool IsF32, CellT &C) {
+  if (IsF32) {
+    C.Tag = CellT::Kind::Float;
+    C.F = static_cast<double>(sim::wordToFloat(Word));
+  } else {
+    C.Tag = CellT::Kind::Int;
+    C.I = static_cast<int32_t>(Word);
+  }
+}
+
+template <typename CellT> inline uint32_t cellToWordImpl(const CellT &C, bool IsF32) {
+  if (IsF32)
+    return sim::floatToWord(static_cast<float>(
+        C.Tag == CellT::Kind::Float ? C.F : static_cast<double>(C.I)));
+  return static_cast<uint32_t>(static_cast<int32_t>(
+      C.Tag == CellT::Kind::Float ? static_cast<int64_t>(C.F) : C.I));
+}
+
+} // namespace
+
+LogicalResult ExecPlan::runSpan(const std::vector<Inst> &Code,
+                                ExecState &S) const {
+  sim::HostPerfModel &Perf = S.Soc.perf();
+  for (size_t Pc = 0; Pc < Code.size(); ++Pc) {
+    const Inst &I = Code[Pc];
+    switch (I.Code) {
+    case Op::ConstInt: {
+      Cell &C = S.Cells[I.Dst];
+      C.Tag = Cell::Kind::Int;
+      C.I = I.Imm;
+      break;
+    }
+    case Op::ConstFloat: {
+      Cell &C = S.Cells[I.Dst];
+      C.Tag = Cell::Kind::Float;
+      C.F = I.FImm;
+      break;
+    }
+    case Op::Binary: {
+      const Cell &LHS = S.Cells[I.A];
+      const Cell &RHS = S.Cells[I.B];
+      Perf.onArith(1);
+      // The LHS tag selects the interpretation of both operands, exactly
+      // as in the legacy walker.
+      bool IsFloat = LHS.Tag == Cell::Kind::Float;
+      double A = IsFloat ? LHS.F : static_cast<double>(LHS.I);
+      double B = IsFloat ? RHS.F : static_cast<double>(RHS.I);
+      double R = 0;
+      switch (static_cast<BinKind>(I.Sub & 0x7)) {
+      case BinKind::Add:
+        R = A + B;
+        break;
+      case BinKind::Mul:
+        R = A * B;
+        break;
+      case BinKind::Sub:
+        R = A - B;
+        break;
+      case BinKind::Div:
+        R = A / B;
+        break;
+      case BinKind::Max:
+        R = A > B ? A : B;
+        break;
+      }
+      Cell &D = S.Cells[I.Dst];
+      if (I.Sub & BinFloatResult) {
+        D.Tag = Cell::Kind::Float;
+        D.F = R;
+      } else {
+        D.Tag = Cell::Kind::Int;
+        D.I = static_cast<int64_t>(R);
+      }
+      break;
+    }
+    case Op::IndexCast: {
+      S.Cells[I.Dst] = S.Cells[I.A];
+      break;
+    }
+    case Op::LoopBegin: {
+      int64_t LowerBound = S.Cells[I.A].I;
+      int64_t UpperBound = S.Cells[I.B].I;
+      int64_t Step = S.Cells[I.C].I;
+      if (Step <= 0)
+        return S.fail("scf.for requires a positive step");
+      if (LowerBound >= UpperBound) {
+        Pc = static_cast<size_t>(I.Aux) - 1; // continue after LoopEnd
+        break;
+      }
+      Perf.onLoopIteration();
+      Cell &Iv = S.Cells[I.Dst];
+      Iv.Tag = Cell::Kind::Int;
+      Iv.I = LowerBound;
+      break;
+    }
+    case Op::LoopEnd: {
+      Cell &Iv = S.Cells[I.Dst];
+      int64_t Next = Iv.I + S.Cells[I.C].I;
+      if (Next < S.Cells[I.B].I) {
+        Perf.onLoopIteration();
+        Iv.I = Next;
+        Pc = static_cast<size_t>(I.Aux) - 1; // jump to loop body
+      }
+      break;
+    }
+    case Op::Alloc: {
+      const AllocPlan &Info = Allocs[I.Aux];
+      Perf.onArith(10); // allocator call
+      Cell &C = S.Cells[I.Dst];
+      C.Tag = Cell::Kind::MemRef;
+      C.M = MemRefDesc::alloc(Info.Shape, Info.Kind);
+      break;
+    }
+    case Op::Dealloc: {
+      Perf.onArith(10);
+      break;
+    }
+    case Op::Load: {
+      const MemRefDesc &Desc = S.Cells[I.A].M;
+      const int32_t *IndexSlots = SlotPool.data() + I.Aux;
+      int64_t Linear = Desc.Offset;
+      for (unsigned K = 0; K < I.Sub; ++K) {
+        int64_t Index = S.Cells[IndexSlots[K]].I;
+        assert(Index >= 0 && Index < Desc.Sizes[K] &&
+               "memref index out of bounds");
+        Linear += Index * Desc.Strides[K];
+      }
+      Perf.onArith(I.Sub); // address computation
+      Perf.onScalarLoad(Desc.addressOf(Linear), 4);
+      uint32_t Word = Desc.Buffer->Data[static_cast<size_t>(Linear)];
+      wordToCellImpl(Word, Desc.kind() == sim::ElemKind::F32,
+                     S.Cells[I.Dst]);
+      break;
+    }
+    case Op::Store: {
+      const MemRefDesc &Desc = S.Cells[I.B].M;
+      const int32_t *IndexSlots = SlotPool.data() + I.Aux;
+      int64_t Linear = Desc.Offset;
+      for (unsigned K = 0; K < I.Sub; ++K) {
+        int64_t Index = S.Cells[IndexSlots[K]].I;
+        assert(Index >= 0 && Index < Desc.Sizes[K] &&
+               "memref index out of bounds");
+        Linear += Index * Desc.Strides[K];
+      }
+      Perf.onArith(I.Sub);
+      Perf.onScalarStore(Desc.addressOf(Linear), 4);
+      Desc.Buffer->Data[static_cast<size_t>(Linear)] = cellToWordImpl(
+          S.Cells[I.A], Desc.kind() == sim::ElemKind::F32);
+      break;
+    }
+    case Op::Copy: {
+      const MemRefDesc &Source = S.Cells[I.A].M;
+      const MemRefDesc &Dest = S.Cells[I.B].M;
+      if (Source.Sizes != Dest.Sizes)
+        return S.fail("memref.copy shape mismatch");
+      runtime::stridedCopy(
+          Perf, runtime::makeCopyRequest(Source, Dest,
+                                         Source.innermostContiguous() &&
+                                             Dest.innermostContiguous()));
+      break;
+    }
+    case Op::SubView: {
+      const SubViewPlan &Info = SubViews[I.Aux];
+      const MemRefDesc &Source = S.Cells[I.A].M;
+      S.Scratch.clear();
+      const int32_t *OffsetSlots = SlotPool.data() + Info.PoolOffset;
+      for (unsigned K = 0; K < Info.NumOffsets; ++K)
+        S.Scratch.push_back(S.Cells[OffsetSlots[K]].I);
+      Perf.onArith(2 * Source.rank()); // descriptor arithmetic
+      Cell &C = S.Cells[I.Dst];
+      C.Tag = Cell::Kind::MemRef;
+      C.M = Source.subview(S.Scratch, Info.StaticSizes);
+      break;
+    }
+    case Op::Generic: {
+      if (failed(runGeneric(Generics[I.Aux], S)))
+        return failure();
+      break;
+    }
+
+    //===----------------------------------------------------------------===//
+    // accel ops (each performs its own staged copy + transfer)
+    //===----------------------------------------------------------------===//
+    case Op::AccelDmaInit:
+    case Op::AccelSendLiteral:
+    case Op::AccelSend:
+    case Op::AccelSendDim:
+    case Op::AccelSendIdx:
+    case Op::AccelRecv: {
+      if (!S.Runtime)
+        return S.fail("accel op executed without a DMA runtime");
+      runtime::DmaRuntime &Rt = *S.Runtime;
+      if (I.Code == Op::AccelDmaInit) {
+        Rt.dmaInit(DmaConfigs[I.Aux]);
+        break;
+      }
+      if (I.Code == Op::AccelRecv) {
+        const MemRefDesc &Desc = S.Cells[I.A].M;
+        Rt.dmaStartRecv(Desc.numElements(), 0);
+        Rt.dmaWaitRecvCompletion();
+        Rt.copyFromDmaRegion(Desc, 0, I.Sub != 0);
+        Cell &C = S.Cells[I.Dst];
+        C.Tag = Cell::Kind::Int;
+        C.I = 0;
+        break;
+      }
+      int64_t Offset = S.Cells[I.Code == Op::AccelSendLiteral ? I.A : I.B].I;
+      int64_t End = 0;
+      switch (I.Code) {
+      case Op::AccelSendLiteral:
+        End = Rt.copyLiteralToDmaRegion(static_cast<int32_t>(I.Imm), Offset);
+        break;
+      case Op::AccelSend:
+        End = Rt.copyToDmaRegion(S.Cells[I.A].M, Offset);
+        break;
+      case Op::AccelSendDim: {
+        const MemRefDesc &Desc = S.Cells[I.A].M;
+        int64_t Size =
+            I.Sub ? I.Imm : Desc.Sizes[static_cast<size_t>(I.Imm)];
+        End = Rt.copyLiteralToDmaRegion(static_cast<int32_t>(Size), Offset);
+        break;
+      }
+      case Op::AccelSendIdx:
+        End = Rt.copyLiteralToDmaRegion(
+            static_cast<int32_t>(S.Cells[I.A].I), Offset);
+        break;
+      default:
+        break;
+      }
+      Rt.dmaStartSend(End - Offset, Offset);
+      Rt.dmaWaitSendCompletion();
+      Cell &C = S.Cells[I.Dst];
+      C.Tag = Cell::Kind::Int;
+      C.I = End;
+      break;
+    }
+
+    //===----------------------------------------------------------------===//
+    // axirt runtime calls (batched transfers; the fully lowered form)
+    //===----------------------------------------------------------------===//
+    case Op::CallDmaInit:
+    case Op::CallCopyToDma:
+    case Op::CallCopyLiteralToDma:
+    case Op::CallStartSend:
+    case Op::CallWaitSend:
+    case Op::CallStartRecv:
+    case Op::CallWaitRecv:
+    case Op::CallCopyFromDma: {
+      if (!S.Runtime)
+        return S.fail("runtime call executed without a DMA runtime");
+      runtime::DmaRuntime &Rt = *S.Runtime;
+      switch (I.Code) {
+      case Op::CallDmaInit:
+        Rt.dmaInit(DmaConfigs[I.Aux]);
+        break;
+      case Op::CallCopyToDma: {
+        int64_t End = Rt.copyToDmaRegion(S.Cells[I.A].M, S.Cells[I.B].I);
+        Cell &C = S.Cells[I.Dst];
+        C.Tag = Cell::Kind::Int;
+        C.I = End;
+        break;
+      }
+      case Op::CallCopyLiteralToDma: {
+        int64_t End = Rt.copyLiteralToDmaRegion(
+            static_cast<int32_t>(S.Cells[I.A].I), S.Cells[I.B].I);
+        Cell &C = S.Cells[I.Dst];
+        C.Tag = Cell::Kind::Int;
+        C.I = End;
+        break;
+      }
+      case Op::CallStartSend:
+        Rt.dmaStartSend(S.Cells[I.A].I - S.Cells[I.B].I, S.Cells[I.B].I);
+        break;
+      case Op::CallWaitSend:
+        Rt.dmaWaitSendCompletion();
+        break;
+      case Op::CallStartRecv:
+        Rt.dmaStartRecv(S.Cells[I.A].I, S.Cells[I.B].I);
+        break;
+      case Op::CallWaitRecv:
+        Rt.dmaWaitRecvCompletion();
+        break;
+      case Op::CallCopyFromDma:
+        Rt.copyFromDmaRegion(S.Cells[I.A].M, S.Cells[I.B].I, I.Sub != 0);
+        break;
+      default:
+        break;
+      }
+      break;
+    }
+    }
+  }
+  return success();
+}
+
+LogicalResult ExecPlan::runGeneric(const GenericPlan &G, ExecState &S) const {
+  sim::HostPerfModel &Perf = S.Soc.perf();
+  const unsigned NumLoops = static_cast<unsigned>(G.Ranges.size());
+  const unsigned NumOperands = static_cast<unsigned>(G.Operands.size());
+
+  // Resolve descriptors once per generic execution; for projected
+  // permutations fold the map into per-loop-dim stride contributions so
+  // each point's linear index is a plain dot product.
+  struct Resolved {
+    const MemRefDesc *Desc;
+    bool IsF32;
+    bool Projected;
+    int64_t DimStride[runtime::detail::MaxCopyRank];
+  };
+  assert(NumLoops <= runtime::detail::MaxCopyRank &&
+         "loop nest beyond plan odometer cap");
+  std::vector<Resolved> Ops(NumOperands);
+  for (unsigned K = 0; K < NumOperands; ++K) {
+    const OperandPlan &P = G.Operands[K];
+    Resolved &R = Ops[K];
+    R.Desc = &S.Cells[P.Slot].M;
+    R.IsF32 = R.Desc->kind() == sim::ElemKind::F32;
+    R.Projected = P.Projected;
+    if (P.Projected) {
+      for (unsigned D = 0; D < NumLoops; ++D)
+        R.DimStride[D] = 0;
+      for (unsigned Idx = 0; Idx < P.DimPos.size(); ++Idx)
+        R.DimStride[P.DimPos[Idx]] += R.Desc->Strides[Idx];
+    }
+  }
+
+  auto linearAt = [&](unsigned K,
+                      const std::vector<int64_t> &Point) -> int64_t {
+    const Resolved &R = Ops[K];
+    int64_t Linear = R.Desc->Offset;
+    if (R.Projected) {
+      for (unsigned D = 0; D < NumLoops; ++D)
+        Linear += Point[D] * R.DimStride[D];
+      return Linear;
+    }
+    const OperandPlan &P = G.Operands[K];
+    for (unsigned Idx = 0; Idx < P.Exprs.size(); ++Idx) {
+      int64_t Index = P.Exprs[Idx].eval(Point);
+      assert(Index >= 0 && Index < R.Desc->Sizes[Idx] &&
+             "memref index out of bounds");
+      Linear += Index * R.Desc->Strides[Idx];
+    }
+    return Linear;
+  };
+
+  // Odometer over the iteration space; models the compiled loop nest.
+  std::vector<int64_t> Point(NumLoops, 0);
+  bool Done = product(G.Ranges) == 0;
+  while (!Done) {
+    Perf.onLoopIteration();
+    Perf.onArith(3); // indexing arithmetic per point
+
+    // Bind payload arguments: input elements then current output elements.
+    for (unsigned K = 0; K < NumOperands; ++K) {
+      int64_t Linear = linearAt(K, Point);
+      Perf.onScalarLoad(Ops[K].Desc->addressOf(Linear), 4);
+      uint32_t Word =
+          Ops[K].Desc->Buffer->Data[static_cast<size_t>(Linear)];
+      wordToCellImpl(Word, Ops[K].IsF32, S.Cells[G.BodyArgSlots[K]]);
+    }
+
+    // Run the pre-compiled payload, then store the yielded values.
+    if (!G.Body.empty() && failed(runSpan(G.Body, S)))
+      return failure();
+    for (unsigned O = 0; O < G.YieldSlots.size(); ++O) {
+      unsigned OperandIdx = G.NumInputs + O;
+      int64_t Linear = linearAt(OperandIdx, Point);
+      Perf.onScalarStore(Ops[OperandIdx].Desc->addressOf(Linear), 4);
+      Ops[OperandIdx].Desc->Buffer->Data[static_cast<size_t>(Linear)] =
+          cellToWordImpl(S.Cells[G.YieldSlots[O]], Ops[OperandIdx].IsF32);
+    }
+
+    // Advance the odometer (innermost dimension fastest).
+    Done = true;
+    for (int D = static_cast<int>(NumLoops) - 1; D >= 0; --D) {
+      if (++Point[D] < G.Ranges[D]) {
+        Done = false;
+        break;
+      }
+      Point[D] = 0;
+    }
+  }
+  return success();
+}
+
+LogicalResult ExecPlan::run(sim::SoC &Soc, runtime::DmaRuntime *Runtime,
+                            const std::vector<MemRefDesc> &Arguments,
+                            std::string &Error) const {
+  if (Arguments.size() != NumArgs) {
+    Error = "argument count mismatch calling '" + FuncName + "'";
+    return failure();
+  }
+  ExecState S(Soc, Runtime);
+  S.Cells.resize(NumSlots);
+  for (unsigned Idx = 0; Idx < NumArgs; ++Idx) {
+    S.Cells[Idx].Tag = Cell::Kind::MemRef;
+    S.Cells[Idx].M = Arguments[Idx];
+  }
+  if (failed(runSpan(Program, S))) {
+    Error = S.Error.empty() ? "interpreter failure" : S.Error;
+    return failure();
+  }
+  if (Runtime && Runtime->hadError()) {
+    Error = "accelerator/DMA protocol error: " + Runtime->errorMessage();
+    return failure();
+  }
+  return success();
+}

@@ -26,20 +26,35 @@
 #include "support/LogicalResult.h"
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace axi4mlir {
 namespace exec {
 
-/// Interprets one func.func against a simulated system.
+class ExecPlan;
+
+/// Interprets one func.func against a simulated system. By default the
+/// function is compiled once into an ExecPlan (cached across run() calls
+/// on the same function) and executed at memory speed; the legacy
+/// tree-walking executor stays available behind \p UseCompiledPlan for
+/// the plan-vs-walker equivalence tests.
 class Interpreter {
 public:
   /// \p Runtime may be null for CPU-only functions (no accel/axirt ops).
-  Interpreter(sim::SoC &Soc, runtime::DmaRuntime *Runtime)
-      : Soc(Soc), Runtime(Runtime) {}
+  Interpreter(sim::SoC &Soc, runtime::DmaRuntime *Runtime,
+              bool UseCompiledPlan = true);
+  ~Interpreter();
 
-  /// Runs \p Func with memref arguments bound to \p Arguments.
+  /// Selects the compiled-plan executor (default) or the legacy walker.
+  /// Both produce identical output buffers and perf counters.
+  void setUseCompiledPlan(bool Enabled) { UseCompiledPlan = Enabled; }
+  bool usesCompiledPlan() const { return UseCompiledPlan; }
+
+  /// Runs \p Func with memref arguments bound to \p Arguments. The
+  /// compiled plan is cached: repeated runs of the same (unmodified)
+  /// function skip recompilation.
   LogicalResult run(func::FuncOp Func,
                     const std::vector<runtime::MemRefDesc> &Arguments,
                     std::string &Error);
@@ -91,6 +106,15 @@ private:
 
   sim::SoC &Soc;
   runtime::DmaRuntime *Runtime;
+  bool UseCompiledPlan;
+  /// Plan cache for the compiled executor. The fingerprint (op address,
+  /// name, structural argument types, top-level op count) invalidates on
+  /// the realistic staleness cases; callers mutating a function body in
+  /// place without changing any of those must use a fresh Interpreter.
+  std::unique_ptr<ExecPlan> CachedPlan;
+  Operation *CachedPlanFor = nullptr;
+  size_t CachedPlanTopLevelOps = 0;
+  std::vector<Type> CachedPlanArgTypes;
   std::map<detail::ValueImpl *, RuntimeValue> Env;
   std::string ErrorMessage;
 };

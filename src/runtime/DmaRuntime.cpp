@@ -6,8 +6,9 @@
 
 #include "runtime/DmaRuntime.h"
 
+#include "runtime/StridedCopy.h"
+
 #include <cassert>
-#include <functional>
 
 using namespace axi4mlir;
 using namespace axi4mlir::runtime;
@@ -17,62 +18,9 @@ void DmaRuntime::dmaInit(const accel::DmaInitConfig &Config) {
 }
 
 uint64_t DmaRuntime::regionAddress(bool Input, int64_t OffsetWords) const {
-  sim::DmaEngine &Dma = const_cast<sim::SoC &>(Soc).dma();
-  const uint32_t *Base = Input ? const_cast<sim::DmaEngine &>(Dma).inputRegion()
-                               : const_cast<sim::DmaEngine &>(Dma).outputRegion();
+  const sim::DmaEngine &Dma = static_cast<const sim::SoC &>(Soc).dma();
+  const uint32_t *Base = Input ? Dma.inputRegion() : Dma.outputRegion();
   return reinterpret_cast<uint64_t>(Base + OffsetWords);
-}
-
-void DmaRuntime::copyElementwiseToRegion(const MemRefDesc &Source,
-                                         std::vector<int64_t> &Indices,
-                                         unsigned Dim, int64_t &OffsetWords) {
-  sim::HostPerfModel &Perf = Soc.perf();
-  if (Dim == Source.rank()) {
-    // Leaf: one element. Loads/stores hit the cache model; the recursive
-    // descent costs control flow per element (the bottleneck the paper
-    // identifies in Sec. IV-B).
-    int64_t Linear = Source.linearIndex(Indices);
-    Perf.onScalarLoad(Source.addressOf(Linear), 4);
-    Soc.dma().inputRegion()[OffsetWords] =
-        Source.Buffer->Data[static_cast<size_t>(Linear)];
-    Perf.onScalarStore(regionAddress(/*Input=*/true, OffsetWords), 4);
-    Perf.onArith(2); // index arithmetic
-    Perf.onBranch(); // rank/stride dispatch
-    ++OffsetWords;
-    return;
-  }
-  for (int64_t I = 0; I < Source.Sizes[Dim]; ++I) {
-    Indices[Dim] = I;
-    Perf.onLoopIteration();
-    copyElementwiseToRegion(Source, Indices, Dim + 1, OffsetWords);
-  }
-  Perf.onArith(4); // call frame / recursion overhead per row
-}
-
-void DmaRuntime::copyRowsToRegion(const MemRefDesc &Source,
-                                  std::vector<int64_t> &Indices, unsigned Dim,
-                                  int64_t &OffsetWords) {
-  sim::HostPerfModel &Perf = Soc.perf();
-  if (Dim + 1 == Source.rank() || Source.rank() == 0) {
-    // Copy one contiguous row with memcpy (vectorized by the compiler on
-    // the real board; Sec. IV-B).
-    int64_t RowElements = Source.rank() == 0 ? 1 : Source.Sizes[Dim];
-    if (Source.rank() > 0)
-      Indices[Dim] = 0;
-    int64_t Linear = Source.linearIndex(Indices);
-    uint64_t Bytes = static_cast<uint64_t>(RowElements) * 4;
-    __builtin_memcpy(Soc.dma().inputRegion() + OffsetWords,
-                     Source.Buffer->Data.data() + Linear, Bytes);
-    Perf.onMemcpy(regionAddress(/*Input=*/true, OffsetWords),
-                  Source.addressOf(Linear), Bytes);
-    OffsetWords += RowElements;
-    return;
-  }
-  for (int64_t I = 0; I < Source.Sizes[Dim]; ++I) {
-    Indices[Dim] = I;
-    Perf.onLoopIteration();
-    copyRowsToRegion(Source, Indices, Dim + 1, OffsetWords);
-  }
 }
 
 /// Drops size-1 dimensions from a descriptor: the rank-specialization the
@@ -102,17 +50,37 @@ static bool rowsAreProfitable(const MemRefDesc &Desc) {
           Desc.Sizes.back() >= MinProfitableRowElements);
 }
 
+/// Row-major contiguous strides over \p Sizes: the layout of the DMA
+/// staging regions. Written into \p Strides (MaxCopyRank capacity).
+static void contiguousStrides(const std::vector<int64_t> &Sizes,
+                              int64_t *Strides) {
+  unsigned Rank = Sizes.size();
+  assert(Rank <= detail::MaxCopyRank && "region copy rank beyond cap");
+  int64_t Running = 1;
+  for (unsigned I = Rank; I > 0; --I) {
+    Strides[I - 1] = Running;
+    Running *= Sizes[I - 1];
+  }
+}
+
 int64_t DmaRuntime::copyToDmaRegion(const MemRefDesc &Source,
                                     int64_t OffsetWords) {
   assert(Soc.dma().isInitialized() && "copy before dma_init");
   MemRefDesc Collapsed = collapseUnitDims(Source);
-  std::vector<int64_t> Indices(Collapsed.rank(), 0);
-  int64_t Offset = OffsetWords;
-  if (SpecializeCopies && rowsAreProfitable(Collapsed))
-    copyRowsToRegion(Collapsed, Indices, 0, Offset);
-  else
-    copyElementwiseToRegion(Collapsed, Indices, 0, Offset);
-  return Offset;
+  int64_t RegionStrides[detail::MaxCopyRank];
+  contiguousStrides(Collapsed.Sizes, RegionStrides);
+
+  StridedCopyRequest Req;
+  Req.Rank = Collapsed.rank();
+  Req.Sizes = Collapsed.Sizes.data();
+  Req.Src = {Collapsed.Buffer->Data.data() + Collapsed.Offset,
+             Collapsed.addressOf(Collapsed.Offset),
+             Collapsed.Strides.data()};
+  Req.Dst = {Soc.dma().inputRegion() + OffsetWords,
+             regionAddress(/*Input=*/true, OffsetWords), RegionStrides};
+  Req.RowMemcpy = SpecializeCopies && rowsAreProfitable(Collapsed);
+  stridedCopy(Soc.perf(), Req);
+  return OffsetWords + Collapsed.numElements();
 }
 
 int64_t DmaRuntime::copyLiteralToDmaRegion(int32_t Literal,
@@ -138,92 +106,23 @@ void DmaRuntime::dmaStartRecv(int64_t LengthWords, int64_t OffsetWords) {
 
 void DmaRuntime::dmaWaitRecvCompletion() { Soc.dma().waitRecvCompletion(); }
 
-void DmaRuntime::copyElementwiseFromRegion(const MemRefDesc &Dest,
-                                           std::vector<int64_t> &Indices,
-                                           unsigned Dim, int64_t &OffsetWords,
-                                           bool Accumulate) {
-  sim::HostPerfModel &Perf = Soc.perf();
-  if (Dim == Dest.rank()) {
-    int64_t Linear = Dest.linearIndex(Indices);
-    uint32_t Word = Soc.dma().outputRegion()[OffsetWords];
-    Perf.onScalarLoad(regionAddress(/*Input=*/false, OffsetWords), 4);
-    uint32_t &Slot = Dest.Buffer->Data[static_cast<size_t>(Linear)];
-    if (Accumulate) {
-      Perf.onScalarLoad(Dest.addressOf(Linear), 4);
-      Perf.onArith(1);
-      if (Dest.kind() == sim::ElemKind::F32)
-        Slot = sim::floatToWord(sim::wordToFloat(Slot) +
-                                sim::wordToFloat(Word));
-      else
-        Slot = static_cast<uint32_t>(static_cast<int32_t>(Slot) +
-                                     static_cast<int32_t>(Word));
-    } else {
-      Slot = Word;
-    }
-    Perf.onScalarStore(Dest.addressOf(Linear), 4);
-    Perf.onArith(2);
-    Perf.onBranch();
-    ++OffsetWords;
-    return;
-  }
-  for (int64_t I = 0; I < Dest.Sizes[Dim]; ++I) {
-    Indices[Dim] = I;
-    Perf.onLoopIteration();
-    copyElementwiseFromRegion(Dest, Indices, Dim + 1, OffsetWords,
-                              Accumulate);
-  }
-  Perf.onArith(4);
-}
-
 void DmaRuntime::copyFromDmaRegion(const MemRefDesc &OriginalDest,
                                    int64_t OffsetWords, bool Accumulate) {
   assert(Soc.dma().isInitialized() && "copy before dma_init");
-  sim::HostPerfModel &Perf = Soc.perf();
   MemRefDesc Dest = collapseUnitDims(OriginalDest);
-  std::vector<int64_t> Indices(Dest.rank(), 0);
-  int64_t Offset = OffsetWords;
+  int64_t RegionStrides[detail::MaxCopyRank];
+  contiguousStrides(Dest.Sizes, RegionStrides);
 
-  if (!SpecializeCopies || !rowsAreProfitable(Dest)) {
-    copyElementwiseFromRegion(Dest, Indices, 0, Offset, Accumulate);
-    return;
-  }
-
-  // Specialized path: process whole contiguous rows. Plain receives are a
-  // memcpy; accumulating receives are a vectorized load-add-store sweep
-  // (per-line cache references either way).
-  unsigned Rank = Dest.rank();
-  std::function<void(unsigned)> CopyRows = [&](unsigned Dim) {
-    if (Dim + 1 == Rank || Rank == 0) {
-      int64_t RowElements = Rank == 0 ? 1 : Dest.Sizes[Dim];
-      if (Rank > 0)
-        Indices[Dim] = 0;
-      int64_t Linear = Dest.linearIndex(Indices);
-      uint64_t Bytes = static_cast<uint64_t>(RowElements) * 4;
-      uint32_t *Src = Soc.dma().outputRegion() + Offset;
-      uint32_t *Dst = Dest.Buffer->Data.data() + Linear;
-      if (!Accumulate) {
-        __builtin_memcpy(Dst, Src, Bytes);
-      } else if (Dest.kind() == sim::ElemKind::F32) {
-        for (int64_t I = 0; I < RowElements; ++I)
-          Dst[I] = sim::floatToWord(sim::wordToFloat(Dst[I]) +
-                                    sim::wordToFloat(Src[I]));
-      } else {
-        for (int64_t I = 0; I < RowElements; ++I)
-          Dst[I] = static_cast<uint32_t>(static_cast<int32_t>(Dst[I]) +
-                                         static_cast<int32_t>(Src[I]));
-      }
-      Perf.onMemcpy(Dest.addressOf(Linear),
-                    regionAddress(/*Input=*/false, Offset), Bytes);
-      if (Accumulate)
-        Perf.onArith(Bytes / 8); // vectorized adds
-      Offset += RowElements;
-      return;
-    }
-    for (int64_t I = 0; I < Dest.Sizes[Dim]; ++I) {
-      Indices[Dim] = I;
-      Perf.onLoopIteration();
-      CopyRows(Dim + 1);
-    }
-  };
-  CopyRows(0);
+  StridedCopyRequest Req;
+  Req.Rank = Dest.rank();
+  Req.Sizes = Dest.Sizes.data();
+  Req.Src = {Soc.dma().outputRegion() + OffsetWords,
+             regionAddress(/*Input=*/false, OffsetWords), RegionStrides};
+  Req.Dst = {Dest.Buffer->Data.data() + Dest.Offset,
+             Dest.addressOf(Dest.Offset), Dest.Strides.data()};
+  Req.Mode = !Accumulate ? CopyMode::Overwrite
+             : Dest.kind() == sim::ElemKind::F32 ? CopyMode::AccumulateF32
+                                                 : CopyMode::AccumulateI32;
+  Req.RowMemcpy = SpecializeCopies && rowsAreProfitable(Dest);
+  stridedCopy(Soc.perf(), Req);
 }

@@ -76,18 +76,10 @@ public:
   sim::SoC &soc() { return Soc; }
 
 private:
-  /// Generic recursive element-by-element copy (the unspecialized MemRef
-  /// path the paper profiles in Fig. 12a).
-  void copyElementwiseToRegion(const MemRefDesc &Source,
-                               std::vector<int64_t> &Indices, unsigned Dim,
-                               int64_t &OffsetWords);
-  void copyElementwiseFromRegion(const MemRefDesc &Dest,
-                                 std::vector<int64_t> &Indices, unsigned Dim,
-                                 int64_t &OffsetWords, bool Accumulate);
-  /// Specialized row-wise memcpy copy (Fig. 12b).
-  void copyRowsToRegion(const MemRefDesc &Source,
-                        std::vector<int64_t> &Indices, unsigned Dim,
-                        int64_t &OffsetWords);
+  /// Both staging directions (the unspecialized per-element path of
+  /// Fig. 12a and the row-wise memcpy specialization of Fig. 12b) are
+  /// driven by the shared engine in runtime/StridedCopy.h; this class only
+  /// picks the policy (unit-dim collapse + row profitability).
 
   uint64_t regionAddress(bool Input, int64_t OffsetWords) const;
 

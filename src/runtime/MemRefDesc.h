@@ -29,14 +29,44 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <vector>
 
 namespace axi4mlir {
 namespace runtime {
 
+/// Cache-line-aligned storage allocator. The cache simulator is keyed on
+/// real host addresses, so aligning every buffer to a line boundary makes
+/// line-touch counts independent of where the heap happens to place an
+/// allocation — modeled counters stay identical run to run (ExecPlanTest
+/// asserts this for mid-execution staging allocations).
+template <typename T> struct CacheLineAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t Alignment{64};
+
+  CacheLineAllocator() = default;
+  template <typename U>
+  CacheLineAllocator(const CacheLineAllocator<U> &) noexcept {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(::operator new(N * sizeof(T), Alignment));
+  }
+  void deallocate(T *P, size_t) noexcept {
+    ::operator delete(P, Alignment);
+  }
+  template <typename U>
+  bool operator==(const CacheLineAllocator<U> &) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const CacheLineAllocator<U> &) const noexcept {
+    return false;
+  }
+};
+
 /// The storage behind one allocation.
 struct MemRefBuffer {
-  std::vector<uint32_t> Data;
+  std::vector<uint32_t, CacheLineAllocator<uint32_t>> Data;
   sim::ElemKind Kind = sim::ElemKind::I32;
 
   explicit MemRefBuffer(size_t NumElements,

@@ -7,9 +7,17 @@
 #include "sim/CacheSim.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace axi4mlir;
 using namespace axi4mlir::sim;
+
+/// log2 of \p Value when it is a power of two, -1 otherwise.
+static int log2IfPow2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0
+             ? __builtin_ctzll(Value)
+             : -1;
+}
 
 CacheLevel::CacheLevel(int64_t SizeBytes, int64_t Associativity,
                        int64_t LineBytes)
@@ -17,27 +25,41 @@ CacheLevel::CacheLevel(int64_t SizeBytes, int64_t Associativity,
   assert(SizeBytes > 0 && Associativity > 0 && LineBytes > 0);
   NumSets = static_cast<uint64_t>(SizeBytes / (Associativity * LineBytes));
   assert(NumSets > 0 && "cache too small for its associativity");
+  LineShift = log2IfPow2(static_cast<uint64_t>(LineBytes));
+  SetShift = log2IfPow2(NumSets);
+  SetMask = NumSets - 1;
   Tags.assign(NumSets * Ways, 0);
 }
 
 bool CacheLevel::access(uint64_t Address) {
-  uint64_t Line = Address / LineBytes;
-  uint64_t Set = Line % NumSets;
-  uint64_t Tag = Line / NumSets + 1; // +1 so 0 stays "invalid".
+  uint64_t Line = LineShift >= 0
+                      ? Address >> LineShift
+                      : Address / static_cast<uint64_t>(LineBytes);
+  uint64_t Set, Tag;
+  if (SetShift >= 0) {
+    Set = Line & SetMask;
+    Tag = (Line >> SetShift) + 1; // +1 so 0 stays "invalid".
+  } else {
+    Set = Line % NumSets;
+    Tag = Line / NumSets + 1;
+  }
   uint64_t *SetTags = &Tags[Set * Ways];
 
-  for (int64_t Way = 0; Way < Ways; ++Way) {
+  // MRU fast path: repeated accesses to the same line (element sweeps
+  // within one cache line) skip the reordering scan entirely.
+  if (SetTags[0] == Tag)
+    return true;
+
+  for (int64_t Way = 1; Way < Ways; ++Way) {
     if (SetTags[Way] != Tag)
       continue;
     // Hit: move to MRU position.
-    for (int64_t I = Way; I > 0; --I)
-      SetTags[I] = SetTags[I - 1];
+    std::memmove(SetTags + 1, SetTags, Way * sizeof(uint64_t));
     SetTags[0] = Tag;
     return true;
   }
   // Miss: evict LRU (last way), install as MRU.
-  for (int64_t I = Ways - 1; I > 0; --I)
-    SetTags[I] = SetTags[I - 1];
+  std::memmove(SetTags + 1, SetTags, (Ways - 1) * sizeof(uint64_t));
   SetTags[0] = Tag;
   return false;
 }
@@ -47,7 +69,8 @@ void CacheLevel::reset() { Tags.assign(Tags.size(), 0); }
 CacheSim::CacheSim(const SoCParams &Params)
     : Params(Params),
       L1(Params.L1SizeBytes, Params.L1Associativity, Params.CacheLineBytes),
-      L2(Params.L2SizeBytes, Params.L2Associativity, Params.CacheLineBytes) {}
+      L2(Params.L2SizeBytes, Params.L2Associativity, Params.CacheLineBytes),
+      LineShift(log2IfPow2(static_cast<uint64_t>(Params.CacheLineBytes))) {}
 
 uint64_t CacheSim::accessLine(uint64_t LineAddress) {
   ++References;
@@ -62,12 +85,18 @@ uint64_t CacheSim::accessLine(uint64_t LineAddress) {
 
 uint64_t CacheSim::access(uint64_t Address, unsigned Bytes) {
   uint64_t Penalty = accessLine(Address);
-  // A straddling scalar access touches the second line too.
-  uint64_t FirstLine = Address / Params.CacheLineBytes;
-  uint64_t LastLine = (Address + (Bytes ? Bytes - 1 : 0)) /
-                      static_cast<uint64_t>(Params.CacheLineBytes);
-  if (LastLine != FirstLine)
-    Penalty += accessLine(LastLine * Params.CacheLineBytes);
+  // A straddling scalar access touches the second line too. Line math is
+  // a shift for power-of-two lines (the common case), division otherwise.
+  uint64_t End = Address + (Bytes ? Bytes - 1 : 0);
+  if (LineShift >= 0) {
+    uint64_t Shift = static_cast<uint64_t>(LineShift);
+    if ((End >> Shift) != (Address >> Shift))
+      Penalty += accessLine((End >> Shift) << Shift);
+    return Penalty;
+  }
+  uint64_t LineBytes = static_cast<uint64_t>(Params.CacheLineBytes);
+  if (End / LineBytes != Address / LineBytes)
+    Penalty += accessLine(End / LineBytes * LineBytes);
   return Penalty;
 }
 
@@ -75,10 +104,19 @@ uint64_t CacheSim::accessRange(uint64_t Address, uint64_t Bytes) {
   if (Bytes == 0)
     return 0;
   uint64_t Penalty = 0;
-  uint64_t Line = Address / Params.CacheLineBytes;
-  uint64_t LastLine = (Address + Bytes - 1) / Params.CacheLineBytes;
+  if (LineShift >= 0) {
+    uint64_t Shift = static_cast<uint64_t>(LineShift);
+    uint64_t Line = Address >> Shift;
+    uint64_t LastLine = (Address + Bytes - 1) >> Shift;
+    for (; Line <= LastLine; ++Line)
+      Penalty += accessLine(Line << Shift);
+    return Penalty;
+  }
+  uint64_t LineBytes = static_cast<uint64_t>(Params.CacheLineBytes);
+  uint64_t Line = Address / LineBytes;
+  uint64_t LastLine = (Address + Bytes - 1) / LineBytes;
   for (; Line <= LastLine; ++Line)
-    Penalty += accessLine(Line * Params.CacheLineBytes);
+    Penalty += accessLine(Line * LineBytes);
   return Penalty;
 }
 

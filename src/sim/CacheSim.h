@@ -42,6 +42,12 @@ private:
   int64_t LineBytes;
   uint64_t NumSets;
   int64_t Ways;
+  /// Shift/mask fast paths when line size and set count are powers of two
+  /// (the common configuration); -1 disables and falls back to division.
+  /// Purely an implementation speedup — hit/miss behavior is unchanged.
+  int LineShift = -1;
+  int SetShift = -1;
+  uint64_t SetMask = 0;
   /// Tags[set * Ways + way]; 0 = invalid. LRU order per set is maintained
   /// by keeping the most recently used tag first.
   std::vector<uint64_t> Tags;
@@ -74,6 +80,7 @@ private:
   SoCParams Params;
   CacheLevel L1;
   CacheLevel L2;
+  int LineShift; ///< log2(CacheLineBytes), or -1 for the division path.
   uint64_t References = 0;
   uint64_t L1Misses = 0;
   uint64_t L2Misses = 0;

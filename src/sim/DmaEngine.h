@@ -40,8 +40,10 @@ public:
 
   /// Host-visible staging buffers (word-addressed).
   uint32_t *inputRegion() { return InputRegion.data(); }
+  const uint32_t *inputRegion() const { return InputRegion.data(); }
   size_t inputRegionWords() const { return InputRegion.size(); }
   uint32_t *outputRegion() { return OutputRegion.data(); }
+  const uint32_t *outputRegion() const { return OutputRegion.data(); }
   size_t outputRegionWords() const { return OutputRegion.size(); }
 
   /// Streams \p Words words starting at \p OffsetWords of the input region

@@ -39,6 +39,33 @@ void HostPerfModel::onMemcpy(uint64_t Dst, uint64_t Src, uint64_t Bytes) {
   Stores += Bytes / Params.MemcpyBytesPerInstruction;
 }
 
+void HostPerfModel::onMemcpyRows(uint64_t Dst, uint64_t Src,
+                                 uint64_t RowBytes, uint64_t Rows,
+                                 uint64_t DstStrideBytes,
+                                 uint64_t SrcStrideBytes) {
+  if (Rows == 0)
+    return;
+  uint64_t CopyInstructions =
+      Params.MemcpySetupInstructions +
+      (RowBytes + Params.MemcpyBytesPerInstruction - 1) /
+          Params.MemcpyBytesPerInstruction;
+  uint64_t Branches = RowBytes / 64 + 1;
+  Instructions += (CopyInstructions + Branches) * Rows;
+  BranchInstructions += Branches * Rows;
+  HostCycles += static_cast<double>((CopyInstructions + Branches) * Rows) *
+                Params.CyclesPerInstruction;
+  // The cache is stateful: preserve the per-row src-then-dst access order
+  // of the unbatched path so miss counts stay bit-identical.
+  for (uint64_t Row = 0; Row < Rows; ++Row) {
+    HostCycles += static_cast<double>(
+        Cache.accessRange(Src + Row * SrcStrideBytes, RowBytes));
+    HostCycles += static_cast<double>(
+        Cache.accessRange(Dst + Row * DstStrideBytes, RowBytes));
+  }
+  Loads += RowBytes / Params.MemcpyBytesPerInstruction * Rows;
+  Stores += RowBytes / Params.MemcpyBytesPerInstruction * Rows;
+}
+
 PerfReport HostPerfModel::report() const {
   PerfReport Report;
   Report.Instructions = Instructions;

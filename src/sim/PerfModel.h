@@ -85,10 +85,28 @@ public:
     onBranch();
   }
 
+  /// Batched loop-iteration charge: totals are identical to calling
+  /// onLoopIteration() \p Count times (the counters are pure sums), but
+  /// the accounting runs in O(1). Used by the strided-copy fast path.
+  void onLoopIterations(uint64_t Count) {
+    onArith(Count * Params.LoopIterationInstructions);
+    onBranch(Count);
+  }
+
   /// A vectorized memcpy of \p Bytes from \p Src to \p Dst (the copy
   /// specialization of paper Sec. IV-B): per-line cache references and
   /// ~one instruction per 16 bytes instead of per element.
   void onMemcpy(uint64_t Dst, uint64_t Src, uint64_t Bytes);
+
+  /// Batched row-block memcpy charge: totals (and cache state, which is
+  /// walked row by row in src-then-dst order) are identical to \p Rows
+  /// calls of onMemcpy over rows of \p RowBytes spaced \p DstStrideBytes /
+  /// \p SrcStrideBytes apart, but the arithmetic counters are computed in
+  /// closed form. Lets the strided-copy utility issue one charge per row
+  /// block instead of one per row.
+  void onMemcpyRows(uint64_t Dst, uint64_t Src, uint64_t RowBytes,
+                    uint64_t Rows, uint64_t DstStrideBytes,
+                    uint64_t SrcStrideBytes);
 
   /// Fixed host-cycle charges (DMA driver calls etc.).
   void onHostCycles(uint64_t Cycles) {

@@ -38,6 +38,7 @@ public:
   HostPerfModel &perf() { return Perf; }
   AcceleratorModel *accelerator() { return Accel.get(); }
   DmaEngine &dma() { return Dma; }
+  const DmaEngine &dma() const { return Dma; }
 
   PerfReport report() const { return Perf.report(); }
   void resetCounters() { Perf.reset(); }

@@ -1,0 +1,265 @@
+//===- ExecPlanTest.cpp - Compiled plan vs. legacy walker equivalence -----===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Proves the compile-once/execute-many ExecPlan is indistinguishable from
+/// the legacy tree-walking interpreter on all three abstraction levels
+/// (linalg.generic, accel ops, axirt runtime calls): identical output
+/// buffers AND bit-identical HostPerfModel counters. The plan is the
+/// measurement engine for every figure bench, so this equivalence is what
+/// licenses using it by default.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialects/InitAllDialects.h"
+#include "exec/AccelConfigs.h"
+#include "exec/ExecPlan.h"
+#include "exec/Interpreter.h"
+#include "exec/Pipeline.h"
+#include "exec/Reference.h"
+
+#include <gtest/gtest.h>
+
+using namespace axi4mlir;
+using namespace axi4mlir::exec;
+using runtime::MemRefDesc;
+using V = sim::MatMulAccelerator::Version;
+
+namespace {
+
+/// Every counter of the perf report, compared exactly. The doubles are
+/// sums accumulated in the same order on both sides, so even they must
+/// match bit for bit.
+void expectIdenticalReports(const sim::PerfReport &Walker,
+                            const sim::PerfReport &Plan) {
+  EXPECT_EQ(Walker.Instructions, Plan.Instructions);
+  EXPECT_EQ(Walker.BranchInstructions, Plan.BranchInstructions);
+  EXPECT_EQ(Walker.Loads, Plan.Loads);
+  EXPECT_EQ(Walker.Stores, Plan.Stores);
+  EXPECT_EQ(Walker.L1DAccesses, Plan.L1DAccesses);
+  EXPECT_EQ(Walker.CacheReferences, Plan.CacheReferences);
+  EXPECT_EQ(Walker.CacheMisses, Plan.CacheMisses);
+  EXPECT_EQ(Walker.HostCycles, Plan.HostCycles);
+  EXPECT_EQ(Walker.FabricCycles, Plan.FabricCycles);
+  EXPECT_EQ(Walker.DmaTransfers, Plan.DmaTransfers);
+  EXPECT_EQ(Walker.DmaBytesMoved, Plan.DmaBytesMoved);
+  EXPECT_EQ(Walker.TaskClockMs, Plan.TaskClockMs);
+}
+
+/// How far to lower the matmul before execution.
+enum class Level { Generic, Accel, Axirt };
+
+/// Lowers one matmul func to \p L. Returns false (with ADD_FAILURE) on a
+/// pipeline error.
+bool lowerMatMul(func::FuncOp Func, Level L,
+                 const parser::AcceleratorDesc &Accel) {
+  std::string Error;
+  if (failed(transforms::convertNamedToGeneric(Func, Error))) {
+    ADD_FAILURE() << Error;
+    return false;
+  }
+  if (L == Level::Generic)
+    return true;
+  transforms::LoweringOptions Options;
+  Options.EnableCpuTiling = false;
+  if (failed(transforms::matchAndAnnotate(Func, Accel, Error)) ||
+      failed(transforms::lowerToAccel(Func, Options, Error))) {
+    ADD_FAILURE() << Error;
+    return false;
+  }
+  if (L == Level::Axirt &&
+      failed(transforms::convertAccelToRuntime(Func, Error))) {
+    ADD_FAILURE() << Error;
+    return false;
+  }
+  return true;
+}
+
+/// The full equivalence check for one (level, shape) combination.
+///
+/// Both executors run against the SAME SoC and the SAME argument buffers
+/// (refilled from fixed seeds, counters and cache reset between runs):
+/// the cache simulator is keyed on real host addresses, so distinct
+/// allocations would legitimately produce different line-straddle counts.
+/// A warm-up run first brings the allocator to steady state so staging
+/// buffers allocated mid-execution (pad remainders) recycle identical
+/// addresses for both executors.
+void checkMatMulEquivalence(Level L, int64_t M, int64_t N, int64_t K,
+                            int64_t AccelSize,
+                            sim::ElemKind Kind = sim::ElemKind::I32) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = buildMatMulFunc(Builder, M, N, K, Kind);
+  OwningOpRef Owner(Func.getOperation());
+  parser::AcceleratorDesc Accel = parseSingleAccelerator(
+      makeMatMulConfigJson(V::V3, AccelSize, "Ns", 0, 0, 0,
+                           Kind == sim::ElemKind::F32 ? "float32" : "int32"));
+  if (!lowerMatMul(Func, L, Accel))
+    return;
+
+  auto Soc = L == Level::Generic
+                 ? sim::makeCpuOnlySoC()
+                 : sim::makeMatMulSoC(V::V3, AccelSize, Kind);
+  std::unique_ptr<runtime::DmaRuntime> Runtime;
+  if (L != Level::Generic)
+    Runtime = std::make_unique<runtime::DmaRuntime>(*Soc);
+
+  MemRefDesc A = MemRefDesc::alloc({M, K}, Kind);
+  MemRefDesc B = MemRefDesc::alloc({K, N}, Kind);
+  MemRefDesc C = MemRefDesc::alloc({M, N}, Kind);
+
+  auto runOnce = [&](bool UseCompiledPlan) -> sim::PerfReport {
+    fillRandom(A, 21);
+    fillRandom(B, 22);
+    fillRandom(C, 23);
+    Soc->resetCounters();
+    Interpreter Interp(*Soc, Runtime.get(), UseCompiledPlan);
+    std::string Error;
+    EXPECT_TRUE(succeeded(Interp.run(Func, {A, B, C}, Error))) << Error;
+    return Soc->report();
+  };
+
+  runOnce(/*UseCompiledPlan=*/false); // allocator warm-up
+  sim::PerfReport Walker = runOnce(/*UseCompiledPlan=*/false);
+  MemRefDesc WalkerC = cloneMemRef(C);
+  sim::PerfReport Plan = runOnce(/*UseCompiledPlan=*/true);
+  EXPECT_TRUE(memrefEquals(WalkerC, C));
+  expectIdenticalReports(Walker, Plan);
+}
+
+//===----------------------------------------------------------------------===//
+// The three abstraction levels (acceptance criterion)
+//===----------------------------------------------------------------------===//
+
+TEST(ExecPlan, GenericLevelEquivalence) {
+  checkMatMulEquivalence(Level::Generic, 12, 20, 16, 8);
+}
+
+TEST(ExecPlan, GenericLevelEquivalenceF32) {
+  checkMatMulEquivalence(Level::Generic, 8, 10, 12, 8, sim::ElemKind::F32);
+}
+
+TEST(ExecPlan, AccelLevelEquivalence) {
+  checkMatMulEquivalence(Level::Accel, 16, 16, 16, 8);
+}
+
+TEST(ExecPlan, AxirtLevelEquivalence) {
+  checkMatMulEquivalence(Level::Axirt, 32, 16, 24, 8);
+}
+
+/// Non-divisible extents force the pad remainder path: alloc + staged
+/// memref.copy + masked accumulate through the shared strided-copy engine
+/// in both executors.
+TEST(ExecPlan, AxirtPartialTileEquivalence) {
+  checkMatMulEquivalence(Level::Axirt, 10, 12, 9, 8);
+}
+
+/// Strided-convolution generics exercise the non-projected affine-map
+/// fallback of the compiled plan (d2*s + d5 indexing).
+TEST(ExecPlan, GenericConvEquivalence) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func =
+      buildConvFunc(Builder, 1, 3, 9, 2, 3, 2, sim::ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  std::string Error;
+  ASSERT_TRUE(succeeded(transforms::convertNamedToGeneric(Func, Error)))
+      << Error;
+
+  auto Soc = sim::makeCpuOnlySoC();
+  MemRefDesc I = MemRefDesc::alloc({1, 3, 9, 9});
+  MemRefDesc W = MemRefDesc::alloc({2, 3, 3, 3});
+  MemRefDesc O = MemRefDesc::alloc({1, 2, 4, 4});
+  auto runOnce = [&](bool UseCompiledPlan) -> sim::PerfReport {
+    fillRandom(I, 31);
+    fillRandom(W, 32);
+    fillRandom(O, 33);
+    Soc->resetCounters();
+    Interpreter Interp(*Soc, nullptr, UseCompiledPlan);
+    EXPECT_TRUE(succeeded(Interp.run(Func, {I, W, O}, Error))) << Error;
+    return Soc->report();
+  };
+  sim::PerfReport Walker = runOnce(false);
+  MemRefDesc WalkerO = cloneMemRef(O);
+  sim::PerfReport Plan = runOnce(true);
+  EXPECT_TRUE(memrefEquals(WalkerO, O));
+  expectIdenticalReports(Walker, Plan);
+}
+
+//===----------------------------------------------------------------------===//
+// Plan mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(ExecPlan, CompilesToFlatProgram) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = buildMatMulFunc(Builder, 8, 8, 8, sim::ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  std::string Error;
+  ASSERT_TRUE(succeeded(transforms::convertNamedToGeneric(Func, Error)));
+  auto Plan = ExecPlan::compile(Func, Error);
+  ASSERT_NE(Plan, nullptr) << Error;
+  EXPECT_EQ(Plan->numArguments(), 3u);
+  EXPECT_GT(Plan->numInstructions(), 0u);
+  EXPECT_GE(Plan->numSlots(), 3u);
+}
+
+TEST(ExecPlan, ReusedAcrossRunsWithIdenticalCounters) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = buildMatMulFunc(Builder, 6, 6, 6, sim::ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  std::string Error;
+  ASSERT_TRUE(succeeded(transforms::convertNamedToGeneric(Func, Error)));
+  auto Plan = ExecPlan::compile(Func, Error);
+  ASSERT_NE(Plan, nullptr) << Error;
+
+  // Two executions of one plan on fresh systems: independent, identical.
+  sim::PerfReport Reports[2];
+  for (int Run = 0; Run < 2; ++Run) {
+    auto Soc = sim::makeCpuOnlySoC();
+    MemRefDesc A = MemRefDesc::alloc({6, 6});
+    MemRefDesc B = MemRefDesc::alloc({6, 6});
+    MemRefDesc C = MemRefDesc::alloc({6, 6});
+    fillRandom(A, 1);
+    fillRandom(B, 2);
+    fillRandom(C, 3);
+    MemRefDesc Expected = cloneMemRef(C);
+    referenceMatMul(A, B, Expected);
+    ASSERT_TRUE(succeeded(Plan->run(*Soc, nullptr, {A, B, C}, Error)))
+        << Error;
+    EXPECT_TRUE(memrefEquals(Expected, C));
+    Reports[Run] = Soc->report();
+  }
+  expectIdenticalReports(Reports[0], Reports[1]);
+}
+
+TEST(ExecPlan, DiagnosticsMatchWalker) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = func::FuncOp::create(Builder, "f", {});
+  OwningOpRef Owner(Func.getOperation());
+  Builder.setInsertionPointToEnd(&Func.getBody());
+  Builder.create("mystery.op");
+  func::ReturnOp::create(Builder);
+
+  std::string PlanError;
+  EXPECT_EQ(ExecPlan::compile(Func, PlanError), nullptr);
+  EXPECT_NE(PlanError.find("mystery.op"), std::string::npos);
+
+  auto Soc = sim::makeCpuOnlySoC();
+  std::string WalkerError;
+  Interpreter Walker(*Soc, nullptr, /*UseCompiledPlan=*/false);
+  EXPECT_TRUE(failed(Walker.run(Func, {}, WalkerError)));
+  EXPECT_EQ(PlanError, WalkerError);
+}
+
+} // namespace

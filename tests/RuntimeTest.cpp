@@ -6,6 +6,7 @@
 
 #include "exec/Reference.h"
 #include "runtime/DmaRuntime.h"
+#include "runtime/StridedCopy.h"
 
 #include <gtest/gtest.h>
 
@@ -25,6 +26,25 @@ accel::DmaInitConfig bigRegions() {
   Config.InputBufferSize = 1 << 16;
   Config.OutputBufferSize = 1 << 16;
   return Config;
+}
+
+TEST(StridedCopy, ZeroSizedOuterDimIsANoOp) {
+  SoCParams Params;
+  HostPerfModel Perf(Params);
+  // Scalar mode with a zero leading dimension: nothing to copy, nothing
+  // charged (the buffers are empty — any element access would be OOB).
+  MemRefDesc Src2 = MemRefDesc::alloc({0, 4});
+  MemRefDesc Dst2 = MemRefDesc::alloc({0, 4});
+  stridedCopy(Perf, makeCopyRequest(Src2, Dst2, /*RowMemcpy=*/false));
+  // Row mode, rank 3, zero outermost dimension: no row block may run.
+  MemRefDesc Src3 = MemRefDesc::alloc({0, 2, 4});
+  MemRefDesc Dst3 = MemRefDesc::alloc({0, 2, 4});
+  stridedCopy(Perf, makeCopyRequest(Src3, Dst3, /*RowMemcpy=*/true));
+  PerfReport R = Perf.report();
+  EXPECT_EQ(R.Instructions, 0u);
+  EXPECT_EQ(R.Loads, 0u);
+  EXPECT_EQ(R.Stores, 0u);
+  EXPECT_EQ(R.L1DAccesses, 0u);
 }
 
 TEST(MemRefDesc, AllocSubviewIndexing) {
