@@ -71,21 +71,77 @@ void BM_CacheSimAccess(benchmark::State &State) {
   }
 }
 
+/// One full v1 tile through the production burst datapath (what the DMA
+/// engine drives): opcode + A|B burst in, C tile drained out.
 void BM_MatMulAcceleratorTile(benchmark::State &State) {
   SoCParams Params;
   MatMulAccelerator Accel(MatMulAccelerator::Version::V1, State.range(0),
                           ElemKind::I32, Params);
   int64_t Words = 2 * State.range(0) * State.range(0);
+  std::vector<uint32_t> Stream(static_cast<size_t>(Words) + 1, 1);
+  Stream[0] = opcodes::MM_SASBCCRC;
+  std::vector<uint32_t> Out(
+      static_cast<size_t>(State.range(0) * State.range(0)));
   for (auto _ : State) {
-    Accel.consumeWord(opcodes::MM_SASBCCRC);
-    for (int64_t I = 0; I < Words; ++I)
-      Accel.consumeWord(1);
-    benchmark::DoNotOptimize(
-        Accel.drainOutput(State.range(0) * State.range(0)));
+    Accel.consumeBurst(Stream.data(), Stream.size());
+    benchmark::DoNotOptimize(Accel.drainOutputInto(Out.data(), Out.size()));
     Accel.takeComputeCycles();
   }
   State.SetItemsProcessed(State.iterations() * State.range(0) *
                           State.range(0) * State.range(0));
+}
+
+/// Word-at-a-time reference path of the same tile, kept measurable so the
+/// burst fast path's advantage stays visible.
+void BM_MatMulAcceleratorTileWordwise(benchmark::State &State) {
+  SoCParams Params;
+  MatMulAccelerator Accel(MatMulAccelerator::Version::V1, State.range(0),
+                          ElemKind::I32, Params);
+  int64_t Words = 2 * State.range(0) * State.range(0);
+  std::vector<uint32_t> Out(
+      static_cast<size_t>(State.range(0) * State.range(0)));
+  for (auto _ : State) {
+    Accel.consumeWord(opcodes::MM_SASBCCRC);
+    for (int64_t I = 0; I < Words; ++I)
+      Accel.consumeWord(1);
+    benchmark::DoNotOptimize(Accel.drainOutputInto(Out.data(), Out.size()));
+    Accel.takeComputeCycles();
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0) *
+                          State.range(0) * State.range(0));
+}
+
+/// One conv output slice through the burst datapath: configure, load a
+/// filter, stream State.range(0) windows, drain the slice.
+void BM_ConvAcceleratorTile(benchmark::State &State) {
+  SoCParams Params;
+  ConvAccelerator Accel(ElemKind::I32, Params);
+  constexpr int64_t InChannels = 8, FilterSize = 3;
+  const size_t WindowWords = InChannels * FilterSize * FilterSize;
+  int64_t Windows = State.range(0);
+
+  std::vector<uint32_t> Cfg = {opcodes::CONV_SET_FS,
+                               static_cast<uint32_t>(FilterSize),
+                               opcodes::CONV_SET_IC,
+                               static_cast<uint32_t>(InChannels)};
+  Accel.consumeBurst(Cfg.data(), Cfg.size());
+
+  // Filter burst + all window bursts + the emit opcode as one stream.
+  std::vector<uint32_t> Stream;
+  Stream.push_back(opcodes::CONV_SF);
+  Stream.insert(Stream.end(), WindowWords, 2);
+  for (int64_t W = 0; W < Windows; ++W) {
+    Stream.push_back(opcodes::CONV_SICO);
+    Stream.insert(Stream.end(), WindowWords, 3);
+  }
+  Stream.push_back(opcodes::CONV_RO);
+  std::vector<uint32_t> Out(static_cast<size_t>(Windows));
+  for (auto _ : State) {
+    Accel.consumeBurst(Stream.data(), Stream.size());
+    benchmark::DoNotOptimize(Accel.drainOutputInto(Out.data(), Out.size()));
+    Accel.takeComputeCycles();
+  }
+  State.SetItemsProcessed(State.iterations() * Windows * WindowWords);
 }
 
 //===----------------------------------------------------------------------===//
@@ -136,47 +192,68 @@ void BM_InterpretMatMulCpuCompiled(benchmark::State &State) {
   interpretMatMulCpu(State, /*UseCompiledPlan=*/true);
 }
 
+/// Shared fixture for the axirt-level benches: one matmul func lowered
+/// through the full pipeline to axirt.* calls, plus the simulated board
+/// and filled argument buffers. Keeping this in one place guarantees the
+/// walker/compiled/fused/unfused variants all measure the same pipeline.
+struct AxirtMatMulFixture {
+  MLIRContext Context;
+  OwningOpRef Owner;
+  func::FuncOp Func;
+  std::unique_ptr<SoC> Soc;
+  std::unique_ptr<runtime::DmaRuntime> Runtime;
+  MemRefDesc A, B, C;
+
+  /// Returns false (after SkipWithError) on a pipeline failure.
+  bool init(benchmark::State &State) {
+    int64_t Dims = State.range(0);
+    registerAllDialects(Context);
+    OpBuilder Builder(&Context);
+    Func = exec::buildMatMulFunc(Builder, Dims, Dims, Dims, ElemKind::I32);
+    Owner = OwningOpRef(Func.getOperation());
+    parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
+        exec::makeMatMulConfigJson(MatMulAccelerator::Version::V3, 16,
+                                   "Ns"));
+    std::string Error;
+    transforms::LoweringOptions Options;
+    Options.EnableCpuTiling = false;
+    if (failed(transforms::convertNamedToGeneric(Func, Error)) ||
+        failed(transforms::matchAndAnnotate(Func, Accel, Error)) ||
+        failed(transforms::lowerToAccel(Func, Options, Error)) ||
+        failed(transforms::convertAccelToRuntime(Func, Error))) {
+      State.SkipWithError(Error.c_str());
+      return false;
+    }
+    Soc = makeMatMulSoC(MatMulAccelerator::Version::V3, 16);
+    Runtime =
+        std::make_unique<runtime::DmaRuntime>(*Soc, /*SpecializeCopies=*/true);
+    A = MemRefDesc::alloc({Dims, Dims});
+    B = MemRefDesc::alloc({Dims, Dims});
+    C = MemRefDesc::alloc({Dims, Dims});
+    exec::fillRandom(A, 1);
+    exec::fillRandom(B, 2);
+    exec::fillRandom(C, 3);
+    return true;
+  }
+};
+
 /// Fully lowered axirt form: scf loop nests driving batched DMA staging
 /// copies — the host-driver hot path the paper measures (Sec. IV-B).
 void interpretMatMulAxirt(benchmark::State &State, bool UseCompiledPlan) {
-  int64_t Dims = State.range(0);
-  MLIRContext Context;
-  registerAllDialects(Context);
-  OpBuilder Builder(&Context);
-  func::FuncOp Func =
-      exec::buildMatMulFunc(Builder, Dims, Dims, Dims, ElemKind::I32);
-  OwningOpRef Owner(Func.getOperation());
-  parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
-      exec::makeMatMulConfigJson(MatMulAccelerator::Version::V3, 16, "Ns"));
-  std::string Error;
-  transforms::LoweringOptions Options;
-  Options.EnableCpuTiling = false;
-  if (failed(transforms::convertNamedToGeneric(Func, Error)) ||
-      failed(transforms::matchAndAnnotate(Func, Accel, Error)) ||
-      failed(transforms::lowerToAccel(Func, Options, Error)) ||
-      failed(transforms::convertAccelToRuntime(Func, Error))) {
-    State.SkipWithError(Error.c_str());
+  AxirtMatMulFixture F;
+  if (!F.init(State))
     return;
-  }
-
-  auto Soc = makeMatMulSoC(MatMulAccelerator::Version::V3, 16);
-  runtime::DmaRuntime Runtime(*Soc, /*SpecializeCopies=*/true);
-  MemRefDesc A = MemRefDesc::alloc({Dims, Dims});
-  MemRefDesc B = MemRefDesc::alloc({Dims, Dims});
-  MemRefDesc C = MemRefDesc::alloc({Dims, Dims});
-  exec::fillRandom(A, 1);
-  exec::fillRandom(B, 2);
-  exec::fillRandom(C, 3);
-
-  exec::Interpreter Interp(*Soc, &Runtime, UseCompiledPlan);
+  std::string Error;
+  exec::Interpreter Interp(*F.Soc, F.Runtime.get(), UseCompiledPlan);
   for (auto _ : State) {
-    Soc->resetCounters();
-    if (failed(Interp.run(Func, {A, B, C}, Error))) {
+    F.Soc->resetCounters();
+    if (failed(Interp.run(F.Func, {F.A, F.B, F.C}, Error))) {
       State.SkipWithError(Error.c_str());
       break;
     }
   }
-  State.SetItemsProcessed(State.iterations() * Dims * Dims * Dims);
+  State.SetItemsProcessed(State.iterations() * State.range(0) *
+                          State.range(0) * State.range(0));
 }
 
 void BM_InterpretMatMulAxirtWalker(benchmark::State &State) {
@@ -184,6 +261,39 @@ void BM_InterpretMatMulAxirtWalker(benchmark::State &State) {
 }
 void BM_InterpretMatMulAxirtCompiled(benchmark::State &State) {
   interpretMatMulAxirt(State, /*UseCompiledPlan=*/true);
+}
+
+/// Send/wait fusion ablation: the same axirt-lowered matmul executed from
+/// a plan with and without the compile-time fusion of adjacent
+/// start_send+wait_send / start_recv+wait_recv pairs. Modeled counters
+/// are identical (ExecPlanTest proves it); the delta is pure host-side
+/// dispatch on the DMA-heavy sequence.
+void interpretMatMulAxirtPlan(benchmark::State &State, bool FusePairs) {
+  AxirtMatMulFixture F;
+  if (!F.init(State))
+    return;
+  std::string Error;
+  auto Plan = exec::ExecPlan::compile(F.Func, Error, FusePairs);
+  if (!Plan) {
+    State.SkipWithError(Error.c_str());
+    return;
+  }
+  for (auto _ : State) {
+    F.Soc->resetCounters();
+    if (failed(Plan->run(*F.Soc, F.Runtime.get(), {F.A, F.B, F.C}, Error))) {
+      State.SkipWithError(Error.c_str());
+      break;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0) *
+                          State.range(0) * State.range(0));
+}
+
+void BM_ExecPlanAxirtUnfused(benchmark::State &State) {
+  interpretMatMulAxirtPlan(State, /*FusePairs=*/false);
+}
+void BM_ExecPlanAxirtFused(benchmark::State &State) {
+  interpretMatMulAxirtPlan(State, /*FusePairs=*/true);
 }
 
 /// Plan compilation itself (paid once per function, amortized over runs).
@@ -210,10 +320,14 @@ BENCHMARK(BM_CopyToDmaGeneric)->Arg(8)->Arg(16)->Arg(64);
 BENCHMARK(BM_CopyToDmaSpecialized)->Arg(8)->Arg(16)->Arg(64);
 BENCHMARK(BM_CacheSimAccess);
 BENCHMARK(BM_MatMulAcceleratorTile)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_MatMulAcceleratorTileWordwise)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_ConvAcceleratorTile)->Arg(4)->Arg(16);
 BENCHMARK(BM_InterpretMatMulCpuWalker)->Arg(16)->Arg(32);
 BENCHMARK(BM_InterpretMatMulCpuCompiled)->Arg(16)->Arg(32);
 BENCHMARK(BM_InterpretMatMulAxirtWalker)->Arg(32)->Arg(64);
 BENCHMARK(BM_InterpretMatMulAxirtCompiled)->Arg(32)->Arg(64);
+BENCHMARK(BM_ExecPlanAxirtUnfused)->Arg(64);
+BENCHMARK(BM_ExecPlanAxirtFused)->Arg(64);
 BENCHMARK(BM_ExecPlanCompile)->Arg(32);
 
 BENCHMARK_MAIN();

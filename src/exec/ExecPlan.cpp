@@ -393,8 +393,46 @@ LogicalResult ExecPlanBuilder::compileCall(Operation *Op,
   return success();
 }
 
+/// Peephole over the flat program: an axirt start_send immediately
+/// followed by its wait_send (the only shape convert-accel-to-runtime
+/// emits for the blocking driver) collapses into one fused instruction;
+/// likewise for recv. Loop PC targets are remapped; a deleted wait is
+/// never a jump target (it always sits right after its start, which a
+/// LoopBegin/LoopEnd boundary would separate).
+void ExecPlan::fuseTransferPairs(std::vector<ExecPlan::Inst> &Program,
+                                 unsigned &FusedSends, unsigned &FusedRecvs) {
+  std::vector<int32_t> NewIndex(Program.size() + 1, 0);
+  std::vector<ExecPlan::Inst> Out;
+  Out.reserve(Program.size());
+  for (size_t Pc = 0; Pc < Program.size(); ++Pc) {
+    NewIndex[Pc] = static_cast<int32_t>(Out.size());
+    ExecPlan::Inst I = Program[Pc];
+    bool FuseSend = I.Code == Op::CallStartSend &&
+                    Pc + 1 < Program.size() &&
+                    Program[Pc + 1].Code == Op::CallWaitSend;
+    bool FuseRecv = I.Code == Op::CallStartRecv &&
+                    Pc + 1 < Program.size() &&
+                    Program[Pc + 1].Code == Op::CallWaitRecv;
+    if (FuseSend || FuseRecv) {
+      I.Code = FuseSend ? Op::CallSendFused : Op::CallRecvFused;
+      (FuseSend ? FusedSends : FusedRecvs) += 1;
+      Out.push_back(I);
+      NewIndex[Pc + 1] = static_cast<int32_t>(Out.size());
+      ++Pc; // the wait is absorbed
+      continue;
+    }
+    Out.push_back(I);
+  }
+  NewIndex[Program.size()] = static_cast<int32_t>(Out.size());
+  for (ExecPlan::Inst &I : Out)
+    if (I.Code == Op::LoopBegin || I.Code == Op::LoopEnd)
+      I.Aux = NewIndex[I.Aux];
+  Program = std::move(Out);
+}
+
 std::unique_ptr<ExecPlan> ExecPlan::compile(func::FuncOp Func,
-                                            std::string &Error) {
+                                            std::string &Error,
+                                            bool FuseTransferPairs) {
   std::unique_ptr<ExecPlan> Plan(new ExecPlan());
   ExecPlanBuilder Builder(*Plan);
   Plan->FuncName = Func.getFuncName();
@@ -409,6 +447,8 @@ std::unique_ptr<ExecPlan> ExecPlan::compile(func::FuncOp Func,
                                   : Builder.Error;
     return nullptr;
   }
+  if (FuseTransferPairs)
+    fuseTransferPairs(Plan->Program, Plan->FusedSends, Plan->FusedRecvs);
   return Plan;
 }
 
@@ -685,7 +725,9 @@ LogicalResult ExecPlan::runSpan(const std::vector<Inst> &Code,
     case Op::CallWaitSend:
     case Op::CallStartRecv:
     case Op::CallWaitRecv:
-    case Op::CallCopyFromDma: {
+    case Op::CallCopyFromDma:
+    case Op::CallSendFused:
+    case Op::CallRecvFused: {
       if (!S.Runtime)
         return S.fail("runtime call executed without a DMA runtime");
       runtime::DmaRuntime &Rt = *S.Runtime;
@@ -718,6 +760,16 @@ LogicalResult ExecPlan::runSpan(const std::vector<Inst> &Code,
         Rt.dmaStartRecv(S.Cells[I.A].I, S.Cells[I.B].I);
         break;
       case Op::CallWaitRecv:
+        Rt.dmaWaitRecvCompletion();
+        break;
+      case Op::CallSendFused:
+        // One dispatch for the blocking start+wait pair; the runtime calls
+        // (and thus every perf charge) are unchanged and in order.
+        Rt.dmaStartSend(S.Cells[I.A].I - S.Cells[I.B].I, S.Cells[I.B].I);
+        Rt.dmaWaitSendCompletion();
+        break;
+      case Op::CallRecvFused:
+        Rt.dmaStartRecv(S.Cells[I.A].I, S.Cells[I.B].I);
         Rt.dmaWaitRecvCompletion();
         break;
       case Op::CallCopyFromDma:

@@ -54,9 +54,16 @@ struct ExecPlanBuilder;
 class ExecPlan {
 public:
   /// Compiles \p Func. Returns nullptr and sets \p Error on unsupported
-  /// IR (same diagnostics the walker would produce).
+  /// IR (same diagnostics the walker would produce). With
+  /// \p FuseTransferPairs (the default), adjacent axirt
+  /// start_send+wait_send / start_recv+wait_recv instruction pairs — the
+  /// shape convert-accel-to-runtime always emits for the blocking driver —
+  /// are fused into single opcodes, halving dispatch on the DMA-heavy
+  /// sequences. Fusion charges the exact same perf events in the same
+  /// order; the toggle exists for the fused-vs-unfused micro-benchmarks.
   static std::unique_ptr<ExecPlan> compile(func::FuncOp Func,
-                                           std::string &Error);
+                                           std::string &Error,
+                                           bool FuseTransferPairs = true);
 
   /// Executes the plan against \p Soc, binding \p Arguments to the
   /// function's memref parameters. \p Runtime may be null for CPU-only
@@ -69,6 +76,9 @@ public:
   unsigned numSlots() const { return NumSlots; }
   unsigned numArguments() const { return NumArgs; }
   const std::string &funcName() const { return FuncName; }
+  /// Number of start+wait pairs fused at compile time.
+  unsigned numFusedSends() const { return FusedSends; }
+  unsigned numFusedRecvs() const { return FusedRecvs; }
 
 private:
   ExecPlan() = default;
@@ -103,6 +113,10 @@ private:
     CallStartRecv,
     CallWaitRecv,
     CallCopyFromDma,
+    /// Fused start_send+wait_send / start_recv+wait_recv pairs (one
+    /// dispatch, identical perf charges in identical order).
+    CallSendFused,
+    CallRecvFused,
   };
 
   /// Binary-op kinds packed into Inst::Sub (bit 3 = float result type).
@@ -164,12 +178,16 @@ private:
 
   struct ExecState;
 
+  static void fuseTransferPairs(std::vector<Inst> &Program,
+                                unsigned &FusedSends, unsigned &FusedRecvs);
   LogicalResult runSpan(const std::vector<Inst> &Code, ExecState &S) const;
   LogicalResult runGeneric(const GenericPlan &G, ExecState &S) const;
 
   std::string FuncName;
   unsigned NumArgs = 0;
   unsigned NumSlots = 0;
+  unsigned FusedSends = 0;
+  unsigned FusedRecvs = 0;
   std::vector<Inst> Program;
   std::vector<int32_t> SlotPool;
   std::vector<AllocPlan> Allocs;

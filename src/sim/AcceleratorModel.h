@@ -12,6 +12,16 @@
 /// stream ordering, stationarity/reuse, buffer capacities and Table I
 /// throughput.
 ///
+/// Two ingest granularities are exposed. consumeWord() is the semantic
+/// reference: one FSM step per 32-bit stream word. consumeBurst() is the
+/// production datapath the DMA engine drives: whole AXI-Stream bursts
+/// absorbed at line rate (data words memcpy'd straight into the internal
+/// buffers, one FSM step per opcode instead of per word). Both must be
+/// observationally identical — same output FIFO contents, same modeled
+/// compute cycles, same error behaviour for the same stream, regardless of
+/// how the stream is split into bursts. StreamEquivalenceTest enforces
+/// this contract for every model.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AXI4MLIR_SIM_ACCELERATORMODEL_H
@@ -19,8 +29,9 @@
 
 #include "sim/CostModel.h"
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -53,15 +64,22 @@ inline constexpr uint32_t CONV_SICO = 70;   ///< input window in; compute
 } // namespace opcodes
 
 /// Base class of all accelerator behavioural models. The DMA engine feeds
-/// consumeWord() with each streamed word and collects results from the
+/// whole bursts through consumeBurst() and collects results from the
 /// output FIFO. Compute time is accumulated in fabric cycles and harvested
 /// by the DMA engine via takeComputeCycles().
 class AcceleratorModel {
 public:
   virtual ~AcceleratorModel();
 
-  /// Consumes one input-stream word (opcode or data).
+  /// Consumes one input-stream word (opcode or data). The word-at-a-time
+  /// semantic reference.
   virtual void consumeWord(uint32_t Word) = 0;
+
+  /// Consumes \p Count stream words as one burst. The default forwards
+  /// word by word; models override it with a fast path that absorbs data
+  /// bursts at memcpy speed. Words after a protocol error are dropped,
+  /// exactly as consumeWord() drops them.
+  virtual void consumeBurst(const uint32_t *Words, size_t Count);
 
   /// Human-readable model name for diagnostics ("matmul_v3_16", ...).
   virtual std::string getName() const = 0;
@@ -71,7 +89,12 @@ public:
 
   /// Pops up to \p MaxWords words from the output FIFO.
   std::vector<uint32_t> drainOutput(size_t MaxWords);
-  size_t outputAvailable() const { return OutputFifo.size(); }
+
+  /// Pops up to \p MaxWords words from the output FIFO directly into
+  /// \p Dst (no intermediate allocation). Returns the words copied.
+  size_t drainOutputInto(uint32_t *Dst, size_t MaxWords);
+
+  size_t outputAvailable() const { return OutputFifo.size() - OutputHead; }
 
   /// Compute cycles accumulated since the last call.
   double takeComputeCycles() {
@@ -87,6 +110,9 @@ public:
 
 protected:
   void pushOutput(uint32_t Word) { OutputFifo.push_back(Word); }
+  void reserveOutput(size_t Words) {
+    OutputFifo.reserve(OutputFifo.size() + Words);
+  }
   void chargeCompute(double Cycles) { PendingComputeCycles += Cycles; }
   void signalError(const std::string &Message) {
     ErrorFlag = true;
@@ -94,11 +120,31 @@ protected:
       ErrorText = Message;
   }
 
-  std::deque<uint32_t> OutputFifo;
+  /// Output FIFO as a flat vector + head cursor (a deque paid a chunked
+  /// indirection per word). Drained storage is recycled: freed outright
+  /// once fully drained, compacted once the dead prefix dominates — so
+  /// persistent partial drains cannot grow the FIFO without bound.
+  void recycleDrained() {
+    if (OutputHead == OutputFifo.size()) {
+      OutputFifo.clear();
+      OutputHead = 0;
+    } else if (OutputHead >= 1024 && OutputHead >= OutputFifo.size() / 2) {
+      OutputFifo.erase(OutputFifo.begin(),
+                       OutputFifo.begin() +
+                           static_cast<std::ptrdiff_t>(OutputHead));
+      OutputHead = 0;
+    }
+  }
+
+  std::vector<uint32_t> OutputFifo;
+  size_t OutputHead = 0;
   double PendingComputeCycles = 0;
   bool ErrorFlag = false;
   std::string ErrorText;
 };
+
+/// Formats an opcode word the way protocol dumps spell it ("0x21").
+std::string formatOpcode(uint32_t Opcode);
 
 /// Bit-level conversions between stream words and element values.
 inline float wordToFloat(uint32_t Word) {
@@ -110,6 +156,15 @@ inline uint32_t floatToWord(float Value) {
   uint32_t Result;
   __builtin_memcpy(&Result, &Value, sizeof(Result));
   return Result;
+}
+
+/// Element value -> stream word, matching the reference emission path.
+template <ElemKind Kind> inline uint32_t valueToWord(double Value) {
+  if constexpr (Kind == ElemKind::F32)
+    return floatToWord(static_cast<float>(Value));
+  else
+    return static_cast<uint32_t>(
+        static_cast<int32_t>(static_cast<int64_t>(Value)));
 }
 
 } // namespace sim

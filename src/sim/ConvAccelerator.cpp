@@ -6,6 +6,7 @@
 
 #include "sim/ConvAccelerator.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace axi4mlir;
@@ -23,9 +24,10 @@ void ConvAccelerator::reset() {
   InputChannels = 1;
   FilterSize = 1;
   Filter.clear();
+  Window.clear();
   OutputAcc.clear();
   St = State::Idle;
-  Burst.clear();
+  BurstFill = 0;
   BurstExpected = 0;
   WindowsComputed = 0;
 }
@@ -50,16 +52,39 @@ void ConvAccelerator::consumeWord(uint32_t Word) {
     St = State::Idle;
     return;
   case State::ReadFilter:
-  case State::ReadWindow:
-    Burst.push_back(Word);
-    if (Burst.size() == BurstExpected)
+  case State::ReadWindow: {
+    uint32_t *Dst = St == State::ReadFilter ? Filter.data() : Window.data();
+    Dst[BurstFill] = Word;
+    if (++BurstFill == BurstExpected)
       finishBurst();
     return;
+  }
+  }
+}
+
+void ConvAccelerator::consumeBurst(const uint32_t *Words, size_t Count) {
+  while (Count > 0) {
+    if (ErrorFlag)
+      return; // drop the rest, like the word path
+    if (St != State::ReadFilter && St != State::ReadWindow) {
+      // Opcodes and single-word configuration states step the FSM.
+      consumeWord(*Words++);
+      --Count;
+      continue;
+    }
+    // Filter/window data bursts stream straight into the buffer.
+    size_t Take = std::min(Count, BurstExpected - BurstFill);
+    uint32_t *Dst = St == State::ReadFilter ? Filter.data() : Window.data();
+    std::memcpy(Dst + BurstFill, Words, Take * sizeof(uint32_t));
+    Words += Take;
+    Count -= Take;
+    if ((BurstFill += Take) == BurstExpected)
+      finishBurst();
   }
 }
 
 void ConvAccelerator::startOpcode(uint32_t Opcode) {
-  Burst.clear();
+  BurstFill = 0;
   switch (Opcode) {
   case CONV_SET_FS:
     St = State::ReadFilterSize;
@@ -70,55 +95,72 @@ void ConvAccelerator::startOpcode(uint32_t Opcode) {
   case CONV_SF:
     St = State::ReadFilter;
     BurstExpected = static_cast<size_t>(windowWords());
+    Filter.resize(BurstExpected);
     // Loading a new filter starts a new output slice.
     OutputAcc.clear();
     return;
   case CONV_SICO:
     St = State::ReadWindow;
     BurstExpected = static_cast<size_t>(windowWords());
+    Window.resize(BurstExpected);
     return;
   case CONV_RO: {
-    for (double Value : OutputAcc) {
-      if (Kind == ElemKind::F32)
-        pushOutput(floatToWord(static_cast<float>(Value)));
-      else
-        pushOutput(static_cast<uint32_t>(
-            static_cast<int32_t>(static_cast<int64_t>(Value))));
-    }
+    reserveOutput(OutputAcc.size());
+    if (Kind == ElemKind::F32)
+      for (double Value : OutputAcc)
+        pushOutput(valueToWord<ElemKind::F32>(Value));
+    else
+      for (double Value : OutputAcc)
+        pushOutput(valueToWord<ElemKind::I32>(Value));
     OutputAcc.clear();
     St = State::Idle;
     return;
   }
   default:
-    signalError("conv2d: unsupported opcode " + std::to_string(Opcode));
+    signalError("conv2d: unsupported opcode " + formatOpcode(Opcode));
     return;
+  }
+}
+
+template <ElemKind K> double ConvAccelerator::windowDot() const {
+  // Inner product of the window against the filter -> one output value.
+  // f32 adds products in stream order; i32 accumulates exactly in 64-bit
+  // integers (SIMD-friendly; exact wherever the double-rounded reference
+  // sum was representable).
+  const uint32_t *W = Window.data();
+  const uint32_t *F = Filter.data();
+  size_t E = Window.size();
+  if constexpr (K == ElemKind::F32) {
+    double Sum = 0;
+    for (size_t I = 0; I < E; ++I)
+      Sum += static_cast<double>(wordToFloat(W[I])) *
+             static_cast<double>(wordToFloat(F[I]));
+    return Sum;
+  } else {
+    uint64_t Sum = 0;
+    for (size_t I = 0; I < E; ++I)
+      Sum += static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int32_t>(W[I])) *
+          static_cast<int64_t>(static_cast<int32_t>(F[I])));
+    return static_cast<double>(static_cast<int64_t>(Sum));
   }
 }
 
 void ConvAccelerator::finishBurst() {
   if (St == State::ReadFilter) {
-    Filter = Burst;
+    // The filter streamed straight into place; nothing to commit.
   } else {
     assert(St == State::ReadWindow && "unexpected burst state");
-    if (Filter.size() != Burst.size()) {
+    if (Filter.size() != Window.size()) {
       signalError("conv2d: window size does not match loaded filter");
     } else {
-      // Inner product of the window against the filter -> one output value.
-      double Sum = 0;
-      for (size_t I = 0, E = Burst.size(); I < E; ++I) {
-        if (Kind == ElemKind::F32)
-          Sum += static_cast<double>(wordToFloat(Burst[I])) *
-                 static_cast<double>(wordToFloat(Filter[I]));
-        else
-          Sum += static_cast<double>(static_cast<int32_t>(Burst[I])) *
-                 static_cast<double>(static_cast<int32_t>(Filter[I]));
-      }
-      OutputAcc.push_back(Sum);
+      OutputAcc.push_back(Kind == ElemKind::F32 ? windowDot<ElemKind::F32>()
+                                                : windowDot<ElemKind::I32>());
       chargeCompute(2.0 * static_cast<double>(windowWords()) /
                     convOpsPerCycle());
       ++WindowsComputed;
     }
   }
-  Burst.clear();
+  BurstFill = 0;
   St = State::Idle;
 }

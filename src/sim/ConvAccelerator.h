@@ -15,6 +15,9 @@
 ///   SICO, <iC*fH*fW input words>  (one window -> one output value)
 ///   RO                            (emit all accumulated output values)
 ///
+/// Filter and window bursts land directly in the internal buffers; the
+/// consumeBurst fast path absorbs them at memcpy speed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AXI4MLIR_SIM_CONVACCELERATOR_H
@@ -32,6 +35,7 @@ public:
                   int64_t MaxWindowWords = 256 * 7 * 7);
 
   void consumeWord(uint32_t Word) override;
+  void consumeBurst(const uint32_t *Words, size_t Count) override;
   std::string getName() const override { return "conv2d"; }
   void reset() override;
 
@@ -42,6 +46,7 @@ public:
 private:
   void startOpcode(uint32_t Opcode);
   void finishBurst();
+  template <ElemKind K> double windowDot() const;
   int64_t windowWords() const {
     return InputChannels * FilterSize * FilterSize;
   }
@@ -54,12 +59,13 @@ private:
   int64_t FilterSize = 1;
 
   std::vector<uint32_t> Filter;
+  std::vector<uint32_t> Window;  // input window being received
   std::vector<double> OutputAcc; // output slice values, in emission order
 
   enum class State { Idle, ReadFilterSize, ReadInputChannels, ReadFilter,
                      ReadWindow };
   State St = State::Idle;
-  std::vector<uint32_t> Burst;
+  size_t BurstFill = 0;
   size_t BurstExpected = 0;
 
   uint64_t WindowsComputed = 0;

@@ -37,8 +37,8 @@ void DmaEngine::startSend(size_t Words, size_t OffsetWords) {
         static_cast<double>(Words * 4) /
             static_cast<double>(Perf->params().BytesPerFabricCycle));
   }
-  for (size_t I = 0; I < Words; ++I)
-    Accel->consumeWord(InputRegion[OffsetWords + I]);
+  // The whole staged region streams as one AXI burst at line rate.
+  Accel->consumeBurst(InputRegion.data() + OffsetWords, Words);
   // The blocking driver waits for the accelerator to absorb the burst, so
   // compute triggered by this burst lands on the same timeline.
   if (Perf)
@@ -70,9 +70,8 @@ void DmaEngine::startRecv(size_t Words, size_t OffsetWords) {
     signalError("dma: accelerator produced fewer words than requested");
     return;
   }
-  std::vector<uint32_t> Data = Accel->drainOutput(Words);
-  for (size_t I = 0; I < Words; ++I)
-    OutputRegion[OffsetWords + I] = Data[I];
+  // Results drain straight into the staging region, no intermediate copy.
+  Accel->drainOutputInto(OutputRegion.data() + OffsetWords, Words);
 }
 
 void DmaEngine::waitRecvCompletion() {

@@ -6,6 +6,7 @@
 
 #include "sim/MatMulAccelerator.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace axi4mlir;
@@ -14,22 +15,44 @@ using namespace axi4mlir::sim::opcodes;
 
 AcceleratorModel::~AcceleratorModel() = default;
 
+void AcceleratorModel::consumeBurst(const uint32_t *Words, size_t Count) {
+  for (size_t I = 0; I < Count; ++I)
+    consumeWord(Words[I]);
+}
+
 void AcceleratorModel::reset() {
   OutputFifo.clear();
+  OutputHead = 0;
   PendingComputeCycles = 0;
   ErrorFlag = false;
   ErrorText.clear();
 }
 
 std::vector<uint32_t> AcceleratorModel::drainOutput(size_t MaxWords) {
-  std::vector<uint32_t> Result;
-  size_t Count = std::min(MaxWords, OutputFifo.size());
-  Result.reserve(Count);
-  for (size_t I = 0; I < Count; ++I) {
-    Result.push_back(OutputFifo.front());
-    OutputFifo.pop_front();
-  }
+  size_t Count = std::min(MaxWords, outputAvailable());
+  std::vector<uint32_t> Result(OutputFifo.begin() + OutputHead,
+                               OutputFifo.begin() + OutputHead + Count);
+  OutputHead += Count;
+  recycleDrained();
   return Result;
+}
+
+size_t AcceleratorModel::drainOutputInto(uint32_t *Dst, size_t MaxWords) {
+  size_t Count = std::min(MaxWords, outputAvailable());
+  std::memcpy(Dst, OutputFifo.data() + OutputHead, Count * sizeof(uint32_t));
+  OutputHead += Count;
+  recycleDrained();
+  return Count;
+}
+
+std::string axi4mlir::sim::formatOpcode(uint32_t Opcode) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Hex;
+  do {
+    Hex.insert(Hex.begin(), Digits[Opcode & 0xF]);
+    Opcode >>= 4;
+  } while (Opcode != 0);
+  return "0x" + Hex;
 }
 
 MatMulAccelerator::MatMulAccelerator(Version Ver, int64_t Size, ElemKind Kind,
@@ -70,7 +93,7 @@ void MatMulAccelerator::reset() {
   BufB.assign(static_cast<size_t>(TileK * TileN), 0);
   AccC.assign(static_cast<size_t>(TileM * TileN), 0.0);
   St = State::Idle;
-  Burst.clear();
+  BurstFill = 0;
   BurstExpected = 0;
   TilesComputed = 0;
 }
@@ -101,42 +124,83 @@ bool MatMulAccelerator::supportsOpcode(uint32_t Opcode) const {
 void MatMulAccelerator::consumeWord(uint32_t Word) {
   if (ErrorFlag)
     return;
-  switch (St) {
-  case State::Idle:
+  if (St == State::Idle) {
     startOpcode(Word);
     return;
-  case State::ReadCfg:
-  case State::ReadA:
-  case State::ReadB:
-  case State::ReadAThenB:
-    Burst.push_back(Word);
-    if (Burst.size() == BurstExpected)
+  }
+  copyIn(&Word, 1);
+  if (++BurstFill == BurstExpected)
+    finishBurst();
+}
+
+void MatMulAccelerator::consumeBurst(const uint32_t *Words, size_t Count) {
+  while (Count > 0) {
+    if (ErrorFlag)
+      return; // drop the rest, like the word path
+    if (St == State::Idle) {
+      startOpcode(*Words++);
+      --Count;
+      continue;
+    }
+    // Absorb as much of the pending data burst as this transfer holds in
+    // one shot: no per-word FSM step, no staging copy.
+    size_t Take = std::min(Count, BurstExpected - BurstFill);
+    copyIn(Words, Take);
+    Words += Take;
+    Count -= Take;
+    if ((BurstFill += Take) == BurstExpected)
       finishBurst();
+  }
+}
+
+void MatMulAccelerator::copyIn(const uint32_t *Words, size_t Count) {
+  size_t Pos = BurstFill;
+  switch (St) {
+  case State::ReadCfg:
+    std::memcpy(CfgWords + Pos, Words, Count * sizeof(uint32_t));
+    return;
+  case State::ReadA:
+    std::memcpy(BufA.data() + Pos, Words, Count * sizeof(uint32_t));
+    return;
+  case State::ReadB:
+    std::memcpy(BufB.data() + Pos, Words, Count * sizeof(uint32_t));
+    return;
+  case State::ReadAThenB: {
+    // The v1 combined burst: A's words first, B's words after.
+    size_t ASize = static_cast<size_t>(TileM * TileK);
+    if (Pos < ASize) {
+      size_t ToA = std::min(Count, ASize - Pos);
+      std::memcpy(BufA.data() + Pos, Words, ToA * sizeof(uint32_t));
+      Words += ToA;
+      Count -= ToA;
+      Pos = ASize;
+    }
+    if (Count > 0)
+      std::memcpy(BufB.data() + (Pos - ASize), Words,
+                  Count * sizeof(uint32_t));
+    return;
+  }
+  case State::Idle:
+    assert(false && "copyIn in Idle state");
     return;
   }
 }
 
 void MatMulAccelerator::startOpcode(uint32_t Opcode) {
   if (!supportsOpcode(Opcode)) {
-    signalError(getName() + ": unsupported opcode 0x" +
-                std::to_string(Opcode));
+    signalError(getName() + ": unsupported opcode " + formatOpcode(Opcode));
     return;
   }
   CurrentOpcode = Opcode;
-  Burst.clear();
+  BurstFill = 0;
   switch (Opcode) {
-  case MM_RESET: {
+  case MM_RESET:
     // Clear data but keep the error state machinery.
-    int64_t M = TileM, N = TileN, K = TileK;
-    (void)M;
-    (void)N;
-    (void)K;
     BufA.assign(BufA.size(), 0);
     BufB.assign(BufB.size(), 0);
     AccC.assign(AccC.size(), 0.0);
     St = State::Idle;
     return;
-  }
   case MM_CFG:
     St = State::ReadCfg;
     BurstExpected = 3; // tM, tK, tN.
@@ -177,9 +241,9 @@ void MatMulAccelerator::startOpcode(uint32_t Opcode) {
 void MatMulAccelerator::finishBurst() {
   switch (St) {
   case State::ReadCfg: {
-    int64_t NewM = static_cast<int32_t>(Burst[0]);
-    int64_t NewK = static_cast<int32_t>(Burst[1]);
-    int64_t NewN = static_cast<int32_t>(Burst[2]);
+    int64_t NewM = static_cast<int32_t>(CfgWords[0]);
+    int64_t NewK = static_cast<int32_t>(CfgWords[1]);
+    int64_t NewN = static_cast<int32_t>(CfgWords[2]);
     if (NewM <= 0 || NewK <= 0 || NewN <= 0 ||
         NewM * NewK > BufferCapacityWords ||
         NewK * NewN > BufferCapacityWords ||
@@ -196,22 +260,18 @@ void MatMulAccelerator::finishBurst() {
     break;
   }
   case State::ReadA:
-    BufA.assign(Burst.begin(), Burst.end());
     if (CurrentOpcode == MM_SA_CC_RC) {
       compute();
       emitC();
     }
     break;
   case State::ReadB:
-    BufB.assign(Burst.begin(), Burst.end());
     if (CurrentOpcode == MM_SB_CC_RC) {
       compute();
       emitC();
     }
     break;
   case State::ReadAThenB:
-    BufA.assign(Burst.begin(), Burst.begin() + TileM * TileK);
-    BufB.assign(Burst.begin() + TileM * TileK, Burst.end());
     compute();
     emitC();
     break;
@@ -219,28 +279,54 @@ void MatMulAccelerator::finishBurst() {
     assert(false && "finishBurst in Idle state");
     break;
   }
-  Burst.clear();
+  BurstFill = 0;
   St = State::Idle;
 }
 
-void MatMulAccelerator::compute() {
-  // C[m][n] += sum_k A[m][k] * B[k][n], elementwise on the configured tile.
+template <ElemKind K> void MatMulAccelerator::computeTile() {
+  // C[m][n] += sum_k A[m][k] * B[k][n], elementwise on the configured
+  // tile, in M-K-N order over a per-row accumulator so the inner loop
+  // sweeps both B and the accumulator contiguously (SIMD-friendly).
+  //
+  // Each output element still receives its products in k order with one
+  // final add into AccC — the identical FP operation sequence as the
+  // per-element reference loop, so results stay bit-identical; the
+  // interleaving across N merely lets the compiler vectorize the inner
+  // sweep (contiguous loads, element-type conversion hoisted per kind
+  // instead of branch-tested per MAC).
+  const uint32_t *A = BufA.data();
+  const uint32_t *B = BufB.data();
+  double *C = AccC.data();
+  std::vector<double> &Row = RowAcc;
+  Row.assign(static_cast<size_t>(TileN), 0.0);
   for (int64_t M = 0; M < TileM; ++M) {
-    for (int64_t N = 0; N < TileN; ++N) {
-      double Sum = 0;
-      for (int64_t K = 0; K < TileK; ++K) {
-        uint32_t AWord = BufA[static_cast<size_t>(M * TileK + K)];
-        uint32_t BWord = BufB[static_cast<size_t>(K * TileN + N)];
-        if (Kind == ElemKind::F32)
-          Sum += static_cast<double>(wordToFloat(AWord)) *
-                 static_cast<double>(wordToFloat(BWord));
-        else
-          Sum += static_cast<double>(static_cast<int32_t>(AWord)) *
-                 static_cast<double>(static_cast<int32_t>(BWord));
+    const uint32_t *ARow = A + M * TileK;
+    for (int64_t Kk = 0; Kk < TileK; ++Kk) {
+      const uint32_t *BRow = B + Kk * TileN;
+      double AVal = K == ElemKind::F32
+                        ? static_cast<double>(wordToFloat(ARow[Kk]))
+                        : static_cast<double>(static_cast<int32_t>(ARow[Kk]));
+      if constexpr (K == ElemKind::F32) {
+        for (int64_t N = 0; N < TileN; ++N)
+          Row[N] += AVal * static_cast<double>(wordToFloat(BRow[N]));
+      } else {
+        for (int64_t N = 0; N < TileN; ++N)
+          Row[N] +=
+              AVal * static_cast<double>(static_cast<int32_t>(BRow[N]));
       }
-      AccC[static_cast<size_t>(M * TileN + N)] += Sum;
+    }
+    for (int64_t N = 0; N < TileN; ++N) {
+      C[M * TileN + N] += Row[N];
+      Row[N] = 0.0;
     }
   }
+}
+
+void MatMulAccelerator::compute() {
+  if (Kind == ElemKind::F32)
+    computeTile<ElemKind::F32>();
+  else
+    computeTile<ElemKind::I32>();
   // Table I throughput: 2*M*N*K OPs at OPsPerCycle.
   double Ops = 2.0 * static_cast<double>(TileM) *
                static_cast<double>(TileN) * static_cast<double>(TileK);
@@ -248,17 +334,18 @@ void MatMulAccelerator::compute() {
   ++TilesComputed;
 }
 
+template <ElemKind K> void MatMulAccelerator::emitCImpl() {
+  size_t Elements = static_cast<size_t>(TileM * TileN);
+  reserveOutput(Elements);
+  for (size_t I = 0; I < Elements; ++I)
+    pushOutput(valueToWord<K>(AccC[I]));
+}
+
 void MatMulAccelerator::emitC() {
-  for (int64_t M = 0; M < TileM; ++M) {
-    for (int64_t N = 0; N < TileN; ++N) {
-      double Value = AccC[static_cast<size_t>(M * TileN + N)];
-      if (Kind == ElemKind::F32)
-        pushOutput(floatToWord(static_cast<float>(Value)));
-      else
-        pushOutput(static_cast<uint32_t>(
-            static_cast<int32_t>(static_cast<int64_t>(Value))));
-    }
-  }
+  if (Kind == ElemKind::F32)
+    emitCImpl<ElemKind::F32>();
+  else
+    emitCImpl<ElemKind::I32>();
   // Delivering C clears the accumulator (partial results are accumulated
   // host-side via accel.recv {mode="accumulate"}).
   AccC.assign(AccC.size(), 0.0);

@@ -15,7 +15,9 @@
 ///
 /// All versions share the word-level protocol; versions differ in which
 /// opcodes they accept (reuse capability) and whether tile dimensions are
-/// runtime-configurable (v4, paper Sec. IV-C).
+/// runtime-configurable (v4, paper Sec. IV-C). Data bursts land directly
+/// in the internal operand buffers (word-at-a-time through the FSM, or
+/// memcpy'd whole via the consumeBurst fast path).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +41,7 @@ public:
                     const SoCParams &Params);
 
   void consumeWord(uint32_t Word) override;
+  void consumeBurst(const uint32_t *Words, size_t Count) override;
   std::string getName() const override;
   void reset() override;
 
@@ -52,9 +55,15 @@ public:
 private:
   bool supportsOpcode(uint32_t Opcode) const;
   void startOpcode(uint32_t Opcode);
+  /// Copies \p Count burst words into the receive target of the current
+  /// state at position BurstFill (BufA/BufB, split A-then-B, or the cfg
+  /// staging words).
+  void copyIn(const uint32_t *Words, size_t Count);
   void finishBurst();
   void compute();
+  template <ElemKind K> void computeTile();
   void emitC();
+  template <ElemKind K> void emitCImpl();
 
   Version Ver;
   int64_t BaseSize;
@@ -66,11 +75,15 @@ private:
 
   std::vector<uint32_t> BufA, BufB;
   std::vector<double> AccC; // accumulator (double covers i32 & f32 exactly)
+  /// Scratch row accumulator for computeTile (persists across tiles to
+  /// avoid per-compute allocation).
+  std::vector<double> RowAcc;
 
   enum class State { Idle, ReadCfg, ReadA, ReadB, ReadAThenB };
   State St = State::Idle;
   uint32_t CurrentOpcode = 0;
-  std::vector<uint32_t> Burst; // words of the burst being received
+  uint32_t CfgWords[3] = {0, 0, 0}; // tM, tK, tN staging
+  size_t BurstFill = 0;             // words of the burst received so far
   size_t BurstExpected = 0;
 
   uint64_t TilesComputed = 0;

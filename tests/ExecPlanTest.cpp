@@ -241,6 +241,58 @@ TEST(ExecPlan, ReusedAcrossRunsWithIdenticalCounters) {
   expectIdenticalReports(Reports[0], Reports[1]);
 }
 
+/// Send/wait fusion: the axirt lowering emits every start_send/start_recv
+/// immediately followed by its wait, so the fused plan must collapse all
+/// of them — and stay observably identical (same output buffer, bit-equal
+/// perf counters) to the unfused plan.
+TEST(ExecPlan, FusesSendWaitPairs) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = buildMatMulFunc(Builder, 16, 16, 16, sim::ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  parser::AcceleratorDesc Accel =
+      parseSingleAccelerator(makeMatMulConfigJson(V::V3, 8, "Ns"));
+  ASSERT_TRUE(lowerMatMul(Func, Level::Axirt, Accel));
+
+  std::string Error;
+  auto Unfused = ExecPlan::compile(Func, Error, /*FuseTransferPairs=*/false);
+  ASSERT_NE(Unfused, nullptr) << Error;
+  auto Fused = ExecPlan::compile(Func, Error);
+  ASSERT_NE(Fused, nullptr) << Error;
+
+  EXPECT_EQ(Unfused->numFusedSends(), 0u);
+  EXPECT_EQ(Unfused->numFusedRecvs(), 0u);
+  EXPECT_GT(Fused->numFusedSends(), 0u);
+  EXPECT_GT(Fused->numFusedRecvs(), 0u);
+  // Each fused pair removes exactly one instruction.
+  EXPECT_EQ(Fused->numInstructions() + Fused->numFusedSends() +
+                Fused->numFusedRecvs(),
+            Unfused->numInstructions());
+
+  auto Soc = sim::makeMatMulSoC(V::V3, 8);
+  runtime::DmaRuntime Runtime(*Soc);
+  MemRefDesc A = MemRefDesc::alloc({16, 16});
+  MemRefDesc B = MemRefDesc::alloc({16, 16});
+  MemRefDesc C = MemRefDesc::alloc({16, 16});
+  auto runOnce = [&](const ExecPlan &Plan) -> sim::PerfReport {
+    fillRandom(A, 41);
+    fillRandom(B, 42);
+    fillRandom(C, 43);
+    Soc->resetCounters();
+    std::string RunError;
+    EXPECT_TRUE(succeeded(Plan.run(*Soc, &Runtime, {A, B, C}, RunError)))
+        << RunError;
+    return Soc->report();
+  };
+  runOnce(*Unfused); // allocator warm-up (see checkMatMulEquivalence)
+  sim::PerfReport UnfusedReport = runOnce(*Unfused);
+  MemRefDesc UnfusedC = cloneMemRef(C);
+  sim::PerfReport FusedReport = runOnce(*Fused);
+  EXPECT_TRUE(memrefEquals(UnfusedC, C));
+  expectIdenticalReports(UnfusedReport, FusedReport);
+}
+
 TEST(ExecPlan, DiagnosticsMatchWalker) {
   MLIRContext Context;
   registerAllDialects(Context);

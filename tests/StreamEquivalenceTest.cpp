@@ -1,0 +1,337 @@
+//===- StreamEquivalenceTest.cpp - word vs. burst ingest equivalence ------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The accelerator models' burst contract: consuming one opcode+data
+/// stream word-at-a-time, as one giant burst, or split into arbitrary
+/// randomized bursts must be observationally identical — same output FIFO
+/// contents, same modeled compute cycles (bit-equal doubles), same error
+/// behaviour. This is what licenses the DMA engine driving the memcpy
+/// fast path instead of the word-level reference FSM.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/SoC.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+using namespace axi4mlir;
+using namespace axi4mlir::sim;
+using namespace axi4mlir::sim::opcodes;
+
+namespace {
+
+using ModelFactory = std::function<std::unique_ptr<AcceleratorModel>()>;
+
+/// Observable state after a stream has been consumed.
+struct Observation {
+  std::vector<uint32_t> Output;
+  double ComputeCycles;
+  bool HadError;
+  std::string ErrorText;
+};
+
+Observation observe(AcceleratorModel &Model) {
+  Observation Obs;
+  Obs.Output = Model.drainOutput(Model.outputAvailable());
+  Obs.ComputeCycles = Model.takeComputeCycles();
+  Obs.HadError = Model.hadError();
+  Obs.ErrorText = Model.errorMessage();
+  return Obs;
+}
+
+void expectSameObservation(const Observation &Ref, const Observation &Got,
+                           const std::string &What) {
+  EXPECT_EQ(Ref.Output, Got.Output) << What;
+  EXPECT_EQ(Ref.ComputeCycles, Got.ComputeCycles) << What; // bit-equal
+  EXPECT_EQ(Ref.HadError, Got.HadError) << What;
+  EXPECT_EQ(Ref.ErrorText, Got.ErrorText) << What;
+}
+
+/// Runs \p Stream through fresh models word-at-a-time (the semantic
+/// reference), as one burst, and in randomized burst splits, and asserts
+/// identical observable behaviour.
+void checkStreamEquivalence(const ModelFactory &Make,
+                            const std::vector<uint32_t> &Stream) {
+  auto WordModel = Make();
+  for (uint32_t Word : Stream)
+    WordModel->consumeWord(Word);
+  Observation Ref = observe(*WordModel);
+
+  auto OneBurst = Make();
+  OneBurst->consumeBurst(Stream.data(), Stream.size());
+  expectSameObservation(Ref, observe(*OneBurst), "single burst");
+
+  // Randomized splits, biased toward small bursts so opcode/data
+  // boundaries land everywhere (deterministic seeds).
+  for (uint32_t Seed = 0; Seed < 8; ++Seed) {
+    std::mt19937 Rng(Seed);
+    std::uniform_int_distribution<size_t> Len(1, 1 + Stream.size() / 3);
+    auto Split = Make();
+    size_t Pos = 0;
+    while (Pos < Stream.size()) {
+      size_t Take = std::min(Len(Rng), Stream.size() - Pos);
+      Split->consumeBurst(Stream.data() + Pos, Take);
+      Pos += Take;
+    }
+    expectSameObservation(Ref, observe(*Split),
+                          "split seed " + std::to_string(Seed));
+  }
+}
+
+/// Deterministic data words (interpreted as i32 or f32 by the model).
+uint32_t dataWord(std::mt19937 &Rng, ElemKind Kind) {
+  std::uniform_int_distribution<int32_t> Dist(-4, 4);
+  int32_t V = Dist(Rng);
+  return Kind == ElemKind::F32 ? floatToWord(static_cast<float>(V))
+                               : static_cast<uint32_t>(V);
+}
+
+void appendData(std::vector<uint32_t> &Stream, size_t Count,
+                std::mt19937 &Rng, ElemKind Kind) {
+  for (size_t I = 0; I < Count; ++I)
+    Stream.push_back(dataWord(Rng, Kind));
+}
+
+ModelFactory matmulFactory(MatMulAccelerator::Version Ver, int64_t Size,
+                           ElemKind Kind) {
+  return [=] {
+    SoCParams Params;
+    return std::make_unique<MatMulAccelerator>(Ver, Size, Kind, Params);
+  };
+}
+
+//===----------------------------------------------------------------------===//
+// MatMul v1..v4
+//===----------------------------------------------------------------------===//
+
+TEST(StreamEquivalence, MatMulV1) {
+  std::mt19937 Rng(100);
+  std::vector<uint32_t> Stream;
+  for (int Tile = 0; Tile < 3; ++Tile) {
+    Stream.push_back(MM_SASBCCRC);
+    appendData(Stream, 2 * 8 * 8, Rng, ElemKind::I32);
+  }
+  Stream.push_back(MM_RESET);
+  Stream.push_back(MM_SASBCCRC);
+  appendData(Stream, 2 * 8 * 8, Rng, ElemKind::I32);
+  checkStreamEquivalence(
+      matmulFactory(MatMulAccelerator::Version::V1, 8, ElemKind::I32),
+      Stream);
+}
+
+TEST(StreamEquivalence, MatMulV2) {
+  std::mt19937 Rng(101);
+  std::vector<uint32_t> Stream;
+  Stream.push_back(MM_SA);
+  appendData(Stream, 4 * 4, Rng, ElemKind::I32);
+  for (int Round = 0; Round < 2; ++Round) {
+    Stream.push_back(MM_SB);
+    appendData(Stream, 4 * 4, Rng, ElemKind::I32);
+    Stream.push_back(MM_CC_RC);
+  }
+  checkStreamEquivalence(
+      matmulFactory(MatMulAccelerator::Version::V2, 4, ElemKind::I32),
+      Stream);
+}
+
+TEST(StreamEquivalence, MatMulV3AllOpcodes) {
+  std::mt19937 Rng(102);
+  std::vector<uint32_t> Stream;
+  Stream.push_back(MM_SA);
+  appendData(Stream, 8 * 8, Rng, ElemKind::I32);
+  Stream.push_back(MM_SB);
+  appendData(Stream, 8 * 8, Rng, ElemKind::I32);
+  Stream.push_back(MM_CC);
+  Stream.push_back(MM_CC); // output stationary: accumulate twice
+  Stream.push_back(MM_RC);
+  Stream.push_back(MM_SB_CC_RC);
+  appendData(Stream, 8 * 8, Rng, ElemKind::I32);
+  Stream.push_back(MM_SA_CC_RC);
+  appendData(Stream, 8 * 8, Rng, ElemKind::I32);
+  checkStreamEquivalence(
+      matmulFactory(MatMulAccelerator::Version::V3, 8, ElemKind::I32),
+      Stream);
+}
+
+TEST(StreamEquivalence, MatMulV3F32) {
+  std::mt19937 Rng(103);
+  std::vector<uint32_t> Stream;
+  Stream.push_back(MM_SA);
+  appendData(Stream, 8 * 8, Rng, ElemKind::F32);
+  Stream.push_back(MM_SB);
+  appendData(Stream, 8 * 8, Rng, ElemKind::F32);
+  Stream.push_back(MM_CC_RC);
+  checkStreamEquivalence(
+      matmulFactory(MatMulAccelerator::Version::V3, 8, ElemKind::F32),
+      Stream);
+}
+
+/// v4 with a mid-stream MM_CFG resize: burst lengths change with the
+/// configured tile, so split boundaries must track the new geometry.
+TEST(StreamEquivalence, MatMulV4CfgResize) {
+  std::mt19937 Rng(104);
+  std::vector<uint32_t> Stream;
+  auto tile = [&](int64_t M, int64_t Kk, int64_t N) {
+    Stream.push_back(MM_CFG);
+    Stream.push_back(static_cast<uint32_t>(M));
+    Stream.push_back(static_cast<uint32_t>(Kk));
+    Stream.push_back(static_cast<uint32_t>(N));
+    Stream.push_back(MM_SA);
+    appendData(Stream, static_cast<size_t>(M * Kk), Rng, ElemKind::I32);
+    Stream.push_back(MM_SB);
+    appendData(Stream, static_cast<size_t>(Kk * N), Rng, ElemKind::I32);
+    Stream.push_back(MM_CC);
+    Stream.push_back(MM_RC);
+  };
+  tile(8, 32, 4);
+  tile(16, 16, 16);
+  tile(4, 4, 64);
+  checkStreamEquivalence(
+      matmulFactory(MatMulAccelerator::Version::V4, 16, ElemKind::I32),
+      Stream);
+}
+
+/// Errors mid-stream: every path must stop at the same word and drop the
+/// rest, reporting the same message.
+TEST(StreamEquivalence, MatMulErrorBehaviour) {
+  std::mt19937 Rng(105);
+  std::vector<uint32_t> Stream;
+  Stream.push_back(MM_SA);
+  appendData(Stream, 4 * 4, Rng, ElemKind::I32);
+  Stream.push_back(MM_CFG); // unsupported on v3 -> error
+  Stream.push_back(MM_SB);  // dropped
+  appendData(Stream, 4 * 4, Rng, ElemKind::I32);
+  checkStreamEquivalence(
+      matmulFactory(MatMulAccelerator::Version::V3, 4, ElemKind::I32),
+      Stream);
+
+  // v4 cfg that does not fit the buffers errors inside a burst.
+  std::vector<uint32_t> CfgStream = {MM_CFG, 10000, 10000, 10000, MM_SA, 1};
+  checkStreamEquivalence(
+      matmulFactory(MatMulAccelerator::Version::V4, 16, ElemKind::I32),
+      CfgStream);
+}
+
+//===----------------------------------------------------------------------===//
+// Conv2D
+//===----------------------------------------------------------------------===//
+
+ModelFactory convFactory(ElemKind Kind, int64_t MaxWindowWords = 256 * 7 * 7) {
+  return [=] {
+    SoCParams Params;
+    return std::make_unique<ConvAccelerator>(Kind, Params, MaxWindowWords);
+  };
+}
+
+TEST(StreamEquivalence, ConvSlices) {
+  std::mt19937 Rng(200);
+  std::vector<uint32_t> Stream;
+  Stream.push_back(CONV_SET_FS);
+  Stream.push_back(3);
+  Stream.push_back(CONV_SET_IC);
+  Stream.push_back(4);
+  const size_t WindowWords = 4 * 3 * 3;
+  for (int Slice = 0; Slice < 2; ++Slice) {
+    Stream.push_back(CONV_SF);
+    appendData(Stream, WindowWords, Rng, ElemKind::I32);
+    for (int W = 0; W < 3; ++W) {
+      Stream.push_back(CONV_SICO);
+      appendData(Stream, WindowWords, Rng, ElemKind::I32);
+    }
+    Stream.push_back(CONV_RO);
+  }
+  checkStreamEquivalence(convFactory(ElemKind::I32), Stream);
+}
+
+TEST(StreamEquivalence, ConvF32Reconfigure) {
+  std::mt19937 Rng(201);
+  std::vector<uint32_t> Stream;
+  auto slice = [&](uint32_t FS, uint32_t IC, int Windows) {
+    Stream.push_back(CONV_SET_FS);
+    Stream.push_back(FS);
+    Stream.push_back(CONV_SET_IC);
+    Stream.push_back(IC);
+    size_t WindowWords = static_cast<size_t>(IC) * FS * FS;
+    Stream.push_back(CONV_SF);
+    appendData(Stream, WindowWords, Rng, ElemKind::F32);
+    for (int W = 0; W < Windows; ++W) {
+      Stream.push_back(CONV_SICO);
+      appendData(Stream, WindowWords, Rng, ElemKind::F32);
+    }
+    Stream.push_back(CONV_RO);
+  };
+  slice(2, 3, 2);
+  slice(1, 8, 4); // fHW == 1 layers (paper Sec. IV-D)
+  checkStreamEquivalence(convFactory(ElemKind::F32), Stream);
+}
+
+TEST(StreamEquivalence, ConvErrorBehaviour) {
+  std::mt19937 Rng(202);
+  // Unknown opcode mid-stream.
+  std::vector<uint32_t> Stream;
+  Stream.push_back(CONV_SET_FS);
+  Stream.push_back(2);
+  Stream.push_back(CONV_SET_IC);
+  Stream.push_back(2);
+  Stream.push_back(CONV_SF);
+  appendData(Stream, 8, Rng, ElemKind::I32);
+  Stream.push_back(0xDEAD); // error; the rest is dropped
+  Stream.push_back(CONV_SICO);
+  appendData(Stream, 8, Rng, ElemKind::I32);
+  checkStreamEquivalence(convFactory(ElemKind::I32), Stream);
+
+  // Window burst that no longer matches the loaded filter (cfg changed
+  // between SF and SICO).
+  std::vector<uint32_t> Mismatch;
+  Mismatch.push_back(CONV_SET_FS);
+  Mismatch.push_back(2);
+  Mismatch.push_back(CONV_SET_IC);
+  Mismatch.push_back(2);
+  Mismatch.push_back(CONV_SF);
+  appendData(Mismatch, 8, Rng, ElemKind::I32);
+  Mismatch.push_back(CONV_SET_IC);
+  Mismatch.push_back(3);
+  Mismatch.push_back(CONV_SICO);
+  appendData(Mismatch, 12, Rng, ElemKind::I32);
+  Mismatch.push_back(CONV_RO); // dropped after the mismatch error
+  checkStreamEquivalence(convFactory(ElemKind::I32), Mismatch);
+}
+
+//===----------------------------------------------------------------------===//
+// drainOutputInto
+//===----------------------------------------------------------------------===//
+
+TEST(StreamEquivalence, DrainOutputIntoMatchesDrainOutput) {
+  SoCParams Params;
+  MatMulAccelerator A(MatMulAccelerator::Version::V1, 4, ElemKind::I32,
+                      Params);
+  MatMulAccelerator B(MatMulAccelerator::Version::V1, 4, ElemKind::I32,
+                      Params);
+  std::mt19937 Rng(300);
+  std::vector<uint32_t> Stream;
+  Stream.push_back(MM_SASBCCRC);
+  appendData(Stream, 2 * 4 * 4, Rng, ElemKind::I32);
+  A.consumeBurst(Stream.data(), Stream.size());
+  B.consumeBurst(Stream.data(), Stream.size());
+
+  // Partial drains interleaved with refills recycle the flat FIFO.
+  std::vector<uint32_t> Ref = A.drainOutput(10);
+  std::vector<uint32_t> Got(16, 0xAAAAAAAA);
+  ASSERT_EQ(B.drainOutputInto(Got.data(), 10), 10u);
+  EXPECT_TRUE(std::equal(Ref.begin(), Ref.end(), Got.begin()));
+  EXPECT_EQ(A.outputAvailable(), B.outputAvailable());
+
+  Ref = A.drainOutput(100); // over-asking caps at what is available
+  ASSERT_EQ(B.drainOutputInto(Got.data(), 100), Ref.size());
+  EXPECT_TRUE(std::equal(Ref.begin(), Ref.end(), Got.begin()));
+  EXPECT_EQ(B.outputAvailable(), 0u);
+}
+
+} // namespace
