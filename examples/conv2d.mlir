@@ -1,0 +1,7 @@
+// 16x16 input, 4->8 channels, 3x3 filter, stride-1 i32 convolution.
+// Run: axi4mlir-opt --config configs/conv2d.json --input examples/conv2d.mlir --run
+func.func() ({
+^bb(%arg0: memref<1x4x16x16xi32>, %arg1: memref<8x4x3x3xi32>, %arg2: memref<1x8x14x14xi32>):
+  linalg.conv_2d_nchw_fchw(%arg0, %arg1, %arg2) {num_inputs = 2, strides = [1, 1]} : (memref<1x4x16x16xi32>, memref<8x4x3x3xi32>, memref<1x8x14x14xi32>) -> ()
+  func.return() : () -> ()
+}) {function_type = (memref<1x4x16x16xi32>, memref<8x4x3x3xi32>, memref<1x8x14x14xi32>) -> (), sym_name = "conv_call"} : () -> ()

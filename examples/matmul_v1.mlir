@@ -1,0 +1,7 @@
+// 16x16x16 i32 matmul workload in the generic textual form.
+// Run: axi4mlir-opt --config configs/matmul_v1_4.json --input examples/matmul_v1.mlir --run
+func.func() ({
+^bb(%arg0: memref<16x16xi32>, %arg1: memref<16x16xi32>, %arg2: memref<16x16xi32>):
+  linalg.matmul(%arg0, %arg1, %arg2) {num_inputs = 2} : (memref<16x16xi32>, memref<16x16xi32>, memref<16x16xi32>) -> ()
+  func.return() : () -> ()
+}) {function_type = (memref<16x16xi32>, memref<16x16xi32>, memref<16x16xi32>) -> (), sym_name = "matmul_call"} : () -> ()

@@ -1,0 +1,7 @@
+// 32x16x24 i32 matmul workload in the generic textual form.
+// Run: axi4mlir-opt --config configs/matmul_v2_4.json --input examples/matmul_v2.mlir --run
+func.func() ({
+^bb(%arg0: memref<32x24xi32>, %arg1: memref<24x16xi32>, %arg2: memref<32x16xi32>):
+  linalg.matmul(%arg0, %arg1, %arg2) {num_inputs = 2} : (memref<32x24xi32>, memref<24x16xi32>, memref<32x16xi32>) -> ()
+  func.return() : () -> ()
+}) {function_type = (memref<32x24xi32>, memref<24x16xi32>, memref<32x16xi32>) -> (), sym_name = "matmul_call"} : () -> ()

@@ -1,0 +1,7 @@
+// 60x72x80 i32 matmul workload in the generic textual form.
+// Run: axi4mlir-opt --config configs/matmul_v3_4.json --input examples/matmul_v3.mlir --run
+func.func() ({
+^bb(%arg0: memref<60x80xi32>, %arg1: memref<80x72xi32>, %arg2: memref<60x72xi32>):
+  linalg.matmul(%arg0, %arg1, %arg2) {num_inputs = 2} : (memref<60x80xi32>, memref<80x72xi32>, memref<60x72xi32>) -> ()
+  func.return() : () -> ()
+}) {function_type = (memref<60x80xi32>, memref<80x72xi32>, memref<60x72xi32>) -> (), sym_name = "matmul_call"} : () -> ()

@@ -1,0 +1,7 @@
+// 64x48x32 i32 matmul workload in the generic textual form.
+// Run: axi4mlir-opt --config configs/matmul_v4_16_flex.json --input examples/matmul_v4.mlir --run
+func.func() ({
+^bb(%arg0: memref<64x32xi32>, %arg1: memref<32x48xi32>, %arg2: memref<64x48xi32>):
+  linalg.matmul(%arg0, %arg1, %arg2) {num_inputs = 2} : (memref<64x32xi32>, memref<32x48xi32>, memref<64x48xi32>) -> ()
+  func.return() : () -> ()
+}) {function_type = (memref<64x32xi32>, memref<32x48xi32>, memref<64x48xi32>) -> (), sym_name = "matmul_call"} : () -> ()

@@ -166,7 +166,17 @@ void AffineMap::print(std::ostream &OS) const {
       OS << ", ";
     OS << "d" << I;
   }
-  OS << ") -> (";
+  OS << ")";
+  if (Impl->NumSymbols > 0) {
+    OS << "[";
+    for (unsigned I = 0; I < Impl->NumSymbols; ++I) {
+      if (I)
+        OS << ", ";
+      OS << "s" << I;
+    }
+    OS << "]";
+  }
+  OS << " -> (";
   interleave(
       Impl->Results, [&](const AffineExpr &Expr) { Expr.print(OS); },
       [&] { OS << ", "; });

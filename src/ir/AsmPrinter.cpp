@@ -12,14 +12,17 @@
 ///     ...
 ///   }) {attr = ...} : (index, index, index) -> ()
 ///
-/// The printer is used for debugging, golden substring tests and the
-/// examples' console output; there is no round-trip parser for full IR
-/// (IR is constructed programmatically, as in the paper's pipeline).
+/// The printed form is the repository's textual IR format: ir/Parser.h
+/// parses exactly this output, and RoundTripTest pins the fixpoint
+/// `print(parse(print(M))) == print(M)` at every pipeline stage. Any
+/// change here must keep the output re-parseable (and the checked-in
+/// examples/*.mlir regenerated if the format legitimately changes).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "ir/Operation.h"
 
+#include <algorithm>
 #include <map>
 #include <ostream>
 
@@ -90,11 +93,17 @@ public:
       }
       OS << ")";
     }
-    // Attributes.
+    // Attributes, name-sorted so structurally equal ops print identically
+    // regardless of the order setAttr calls happened in.
     if (!Op->getAttrs().empty()) {
+      std::vector<NamedAttribute> Sorted = Op->getAttrs();
+      std::stable_sort(Sorted.begin(), Sorted.end(),
+                       [](const NamedAttribute &A, const NamedAttribute &B) {
+                         return A.first < B.first;
+                       });
       OS << " {";
       bool First = true;
-      for (const NamedAttribute &Entry : Op->getAttrs()) {
+      for (const NamedAttribute &Entry : Sorted) {
         if (!First)
           OS << ", ";
         First = false;

@@ -8,7 +8,11 @@
 
 #include "support/STLExtras.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 using namespace axi4mlir;
@@ -209,6 +213,66 @@ const accel::DmaInitConfig &Attribute::getDmaConfigValue() const {
 // Printing
 //===----------------------------------------------------------------------===//
 
+/// Prints \p Value so it re-parses to the identical double: max_digits10
+/// significant digits, and always carrying a '.' or exponent so the literal
+/// stays syntactically distinct from an integer attribute.
+static void printFloat(std::ostream &OS, double Value) {
+  if (std::isnan(Value)) {
+    OS << "nan";
+    return;
+  }
+  if (std::isinf(Value)) {
+    OS << (Value < 0 ? "-inf" : "inf");
+    return;
+  }
+  std::ostringstream Buffer;
+  Buffer << std::setprecision(std::numeric_limits<double>::max_digits10)
+         << Value;
+  std::string Text = Buffer.str();
+  if (Text.find('.') == std::string::npos &&
+      Text.find('e') == std::string::npos &&
+      Text.find('E') == std::string::npos)
+    Text += ".0";
+  OS << Text;
+}
+
+/// Prints \p Text as a double-quoted literal, escaping the characters the
+/// parser's string lexer decodes (\" \\ \n \t \r, \XX hex for the rest of
+/// the non-printable range) so every std::string value round-trips.
+static void printEscapedString(std::ostream &OS, const std::string &Text) {
+  OS << '"';
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default: {
+      auto Byte = static_cast<unsigned char>(C);
+      if (Byte < 0x20 || Byte == 0x7f) {
+        static const char Hex[] = "0123456789ABCDEF";
+        OS << '\\' << Hex[Byte >> 4] << Hex[Byte & 0xf];
+      } else {
+        OS << C;
+      }
+      break;
+    }
+    }
+  }
+  OS << '"';
+}
+
 static void printAction(std::ostream &OS, const accel::OpcodeAction &Action) {
   using AK = accel::OpcodeAction::Kind;
   switch (Action.ActionKind) {
@@ -260,10 +324,10 @@ void Attribute::print(std::ostream &OS) const {
       OS << " : " << Impl->TypeValue;
     return;
   case Kind::Float:
-    OS << Impl->FloatValue;
+    printFloat(OS, Impl->FloatValue);
     return;
   case Kind::String:
-    OS << '"' << Impl->StringValue << '"';
+    printEscapedString(OS, Impl->StringValue);
     return;
   case Kind::Array:
     OS << "[";
@@ -272,10 +336,16 @@ void Attribute::print(std::ostream &OS) const {
         [&] { OS << ", "; });
     OS << "]";
     return;
-  case Kind::Dictionary:
+  case Kind::Dictionary: {
+    // Name-sorted for deterministic output regardless of insertion order.
+    std::vector<std::pair<std::string, Attribute>> Sorted = Impl->DictValue;
+    std::stable_sort(Sorted.begin(), Sorted.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.first < B.first;
+                     });
     OS << "{";
     interleave(
-        Impl->DictValue,
+        Sorted,
         [&](const std::pair<std::string, Attribute> &Entry) {
           OS << Entry.first << " = ";
           Entry.second.print(OS);
@@ -283,6 +353,7 @@ void Attribute::print(std::ostream &OS) const {
         [&] { OS << ", "; });
     OS << "}";
     return;
+  }
   case Kind::Type:
     OS << Impl->TypeValue;
     return;

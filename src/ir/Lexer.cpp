@@ -1,0 +1,332 @@
+//===- Lexer.cpp - Character cursor for the textual IR parser -------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lexer.h"
+
+#include "support/ParseInt.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+using namespace axi4mlir;
+
+void Lexer::advance() {
+  if (Pos >= Source.size())
+    return;
+  if (Source[Pos] == '\n') {
+    ++Loc.Line;
+    Loc.Column = 1;
+  } else {
+    ++Loc.Column;
+  }
+  ++Pos;
+}
+
+void Lexer::skipToSignificant() {
+  while (Pos < Source.size()) {
+    char C = Source[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Source.size() && Source[Pos + 1] == '/') {
+      while (Pos < Source.size() && Source[Pos] != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+SourceLocation Lexer::getLoc() {
+  skipToSignificant();
+  return Loc;
+}
+
+bool Lexer::atEnd() {
+  skipToSignificant();
+  return Pos >= Source.size();
+}
+
+char Lexer::peek() {
+  skipToSignificant();
+  return Pos < Source.size() ? Source[Pos] : '\0';
+}
+
+char Lexer::peekSecond() {
+  skipToSignificant();
+  return Pos + 1 < Source.size() ? Source[Pos + 1] : '\0';
+}
+
+bool Lexer::consumeIf(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+bool Lexer::consumeIf(const char *Punct) {
+  skipToSignificant();
+  size_t Length = std::char_traits<char>::length(Punct);
+  if (Source.compare(Pos, Length, Punct) != 0)
+    return false;
+  for (size_t I = 0; I < Length; ++I)
+    advance();
+  return true;
+}
+
+static bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+         C == '.' || C == '$';
+}
+
+bool Lexer::consumeKeyword(const char *Keyword) {
+  skipToSignificant();
+  size_t Length = std::char_traits<char>::length(Keyword);
+  if (Source.compare(Pos, Length, Keyword) != 0)
+    return false;
+  if (Pos + Length < Source.size() && isIdentChar(Source[Pos + Length]))
+    return false;
+  for (size_t I = 0; I < Length; ++I)
+    advance();
+  return true;
+}
+
+bool Lexer::consumeRawIf(char C) {
+  if (Pos >= Source.size() || Source[Pos] != C)
+    return false;
+  advance();
+  return true;
+}
+
+std::string Lexer::lexIdentifier() {
+  skipToSignificant();
+  if (Pos >= Source.size())
+    return {};
+  char First = Source[Pos];
+  if (!std::isalpha(static_cast<unsigned char>(First)) && First != '_')
+    return {};
+  std::string Result;
+  while (Pos < Source.size() && isIdentChar(Source[Pos])) {
+    Result.push_back(Source[Pos]);
+    advance();
+  }
+  return Result;
+}
+
+std::string Lexer::lexSuffixId() {
+  std::string Result;
+  while (Pos < Source.size() && isIdentChar(Source[Pos])) {
+    Result.push_back(Source[Pos]);
+    advance();
+  }
+  return Result;
+}
+
+FailureOr<int64_t> Lexer::lexInteger(std::string &Error, bool AllowHex) {
+  skipToSignificant();
+  size_t Start = Pos;
+  bool Negative = false;
+  if (Pos < Source.size() && (Source[Pos] == '-' || Source[Pos] == '+')) {
+    Negative = Source[Pos] == '-';
+    advance();
+  }
+  int Base = 10;
+  if (AllowHex && Pos + 1 < Source.size() && Source[Pos] == '0' &&
+      (Source[Pos + 1] == 'x' || Source[Pos + 1] == 'X')) {
+    Base = 16;
+    advance();
+    advance();
+  }
+  size_t DigitsStart = Pos;
+  while (Pos < Source.size() &&
+         (std::isdigit(static_cast<unsigned char>(Source[Pos])) ||
+          (Base == 16 &&
+           std::isxdigit(static_cast<unsigned char>(Source[Pos])))))
+    advance();
+  if (Pos == DigitsStart) {
+    Error = "expected an integer literal";
+    return failure();
+  }
+  int64_t Value = 0;
+  if (!parseCheckedInt64(Source.data() + DigitsStart, Source.data() + Pos,
+                         Negative, Base, Value)) {
+    Error = "integer literal '" + Source.substr(Start, Pos - Start) +
+            "' is out of range";
+    return failure();
+  }
+  return Value;
+}
+
+FailureOr<int64_t> Lexer::lexShapeDim(std::string &Error) {
+  skipToSignificant();
+  size_t DigitsStart = Pos;
+  while (Pos < Source.size() &&
+         std::isdigit(static_cast<unsigned char>(Source[Pos])))
+    advance();
+  if (Pos == DigitsStart) {
+    Error = "expected a dimension size";
+    return failure();
+  }
+  const char *First = Source.data() + DigitsStart;
+  const char *Last = Source.data() + Pos;
+  int64_t Value = 0;
+  auto [End, Errc] = std::from_chars(First, Last, Value, 10);
+  if (Errc != std::errc() || End != Last) {
+    Error = "dimension size '" +
+            Source.substr(DigitsStart, Pos - DigitsStart) +
+            "' is out of range";
+    return failure();
+  }
+  return Value;
+}
+
+FailureOr<NumberLiteral> Lexer::lexNumber(std::string &Error) {
+  skipToSignificant();
+  Checkpoint Start = save();
+  if (Pos < Source.size() && Source[Pos] == '-')
+    advance();
+  size_t DigitsStart = Pos;
+  while (Pos < Source.size() &&
+         std::isdigit(static_cast<unsigned char>(Source[Pos])))
+    advance();
+  if (Pos == DigitsStart) {
+    Error = "expected a numeric literal";
+    restore(Start);
+    return failure();
+  }
+  bool IsFloat = false;
+  if (Pos < Source.size() && Source[Pos] == '.') {
+    IsFloat = true;
+    advance();
+    while (Pos < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(Source[Pos])))
+      advance();
+  }
+  if (Pos < Source.size() && (Source[Pos] == 'e' || Source[Pos] == 'E')) {
+    Checkpoint BeforeExponent = save();
+    advance();
+    if (Pos < Source.size() && (Source[Pos] == '+' || Source[Pos] == '-'))
+      advance();
+    size_t ExpDigits = Pos;
+    while (Pos < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(Source[Pos])))
+      advance();
+    if (Pos == ExpDigits) {
+      // Not an exponent after all (e.g. an identifier like `8elems` would be
+      // malformed anyway); rewind to before the 'e', restoring line/column
+      // so later diagnostics on this line stay accurate.
+      restore(BeforeExponent);
+    } else {
+      IsFloat = true;
+    }
+  }
+  NumberLiteral Literal;
+  Literal.Spelling = Source.substr(Start.Pos, Pos - Start.Pos);
+  Literal.IsFloat = IsFloat;
+  if (IsFloat) {
+    const char *Text = Literal.Spelling.c_str();
+    char *End = nullptr;
+    Literal.FloatValue = std::strtod(Text, &End);
+    if (End != Text + Literal.Spelling.size()) {
+      Error = "malformed float literal '" + Literal.Spelling + "'";
+      return failure();
+    }
+  } else {
+    const char *First = Literal.Spelling.data();
+    const char *Last = First + Literal.Spelling.size();
+    auto [End, Errc] = std::from_chars(First, Last, Literal.IntValue, 10);
+    if (Errc != std::errc() || End != Last) {
+      Error = "integer literal '" + Literal.Spelling + "' is out of range";
+      return failure();
+    }
+  }
+  return Literal;
+}
+
+FailureOr<std::string> Lexer::lexStringLiteral(std::string &Error) {
+  if (!consumeIf('"')) {
+    Error = "expected a string literal";
+    return failure();
+  }
+  std::string Result;
+  while (true) {
+    if (Pos >= Source.size() || Source[Pos] == '\n') {
+      Error = "unterminated string literal";
+      return failure();
+    }
+    char C = Source[Pos];
+    advance();
+    if (C == '"')
+      return Result;
+    if (C != '\\') {
+      Result.push_back(C);
+      continue;
+    }
+    if (Pos >= Source.size()) {
+      Error = "unterminated escape in string literal";
+      return failure();
+    }
+    char E = Source[Pos];
+    advance();
+    switch (E) {
+    case 'n':
+      Result.push_back('\n');
+      break;
+    case 't':
+      Result.push_back('\t');
+      break;
+    case 'r':
+      Result.push_back('\r');
+      break;
+    case '"':
+    case '\\':
+      Result.push_back(E);
+      break;
+    default: {
+      auto hexValue = [](char H) -> int {
+        if (H >= '0' && H <= '9')
+          return H - '0';
+        if (H >= 'a' && H <= 'f')
+          return H - 'a' + 10;
+        if (H >= 'A' && H <= 'F')
+          return H - 'A' + 10;
+        return -1;
+      };
+      int High = hexValue(E);
+      int Low = Pos < Source.size() ? hexValue(Source[Pos]) : -1;
+      if (High < 0 || Low < 0) {
+        Error = std::string("invalid escape '\\") + E +
+                "' in string literal";
+        return failure();
+      }
+      advance();
+      Result.push_back(static_cast<char>(High * 16 + Low));
+      break;
+    }
+    }
+  }
+}
+
+Lexer::Checkpoint Lexer::save() { return {Pos, Loc}; }
+
+void Lexer::restore(Checkpoint C) {
+  Pos = C.Pos;
+  Loc = C.Loc;
+}
+
+FailureOr<std::string> Lexer::captureThrough(char Close, std::string &Error) {
+  size_t End = Source.find(Close, Pos);
+  if (End == std::string::npos) {
+    Error = std::string("expected '") + Close + "'";
+    return failure();
+  }
+  std::string Result = Source.substr(Pos, End + 1 - Pos);
+  while (Pos <= End)
+    advance();
+  return Result;
+}

@@ -1,0 +1,126 @@
+//===- Lexer.h - Character cursor for the textual IR parser -----*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small scannerless lexer for the generic textual IR form: a forward-only
+/// character cursor with line/column tracking, `//` comment skipping, and
+/// on-demand lexing of the token shapes the grammar needs (identifiers,
+/// integer/float literals, escaped string literals). The IR grammar embeds
+/// sub-languages whose tokens would fight a conventional tokenizer (memref
+/// shapes like `16x16xi32` glue integers and identifiers together), so the
+/// parser pulls exactly the token it expects at each point instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_IR_LEXER_H
+#define AXI4MLIR_IR_LEXER_H
+
+#include "support/LogicalResult.h"
+
+#include <cstdint>
+#include <string>
+
+namespace axi4mlir {
+
+/// A 1-based source position, tracked by the lexer for diagnostics.
+struct SourceLocation {
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+/// An integer or floating-point literal. The printer emits floats with a
+/// mandatory '.' or exponent, so the two are syntactically distinct.
+struct NumberLiteral {
+  bool IsFloat = false;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  /// The literal exactly as spelled, for diagnostics.
+  std::string Spelling;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Source(Source) {}
+
+  /// Location of the next significant (non-space, non-comment) character.
+  SourceLocation getLoc();
+
+  /// True when only whitespace/comments remain.
+  bool atEnd();
+
+  /// The next significant character, or '\0' at end of input.
+  char peek();
+  /// The character immediately after the next significant one ('\0' at end).
+  char peekSecond();
+
+  /// Consumes \p C if it is the next significant character.
+  bool consumeIf(char C);
+  /// Consumes the exact punctuation sequence \p Punct (e.g. "->"); the
+  /// sequence itself must be contiguous in the input.
+  bool consumeIf(const char *Punct);
+  /// Consumes \p Keyword only when followed by a non-identifier character.
+  bool consumeKeyword(const char *Keyword);
+
+  /// Raw single-character consume with no whitespace skipping; used between
+  /// the glued tokens of a memref shape (`16x16xi32`).
+  bool consumeRawIf(char C);
+  /// True if the immediately-next raw character is a decimal digit.
+  bool rawDigitAhead() const {
+    return Pos < Source.size() && Source[Pos] >= '0' && Source[Pos] <= '9';
+  }
+
+  /// Lexes `[A-Za-z_][A-Za-z0-9_.$]*` (op names embed dots). Returns an
+  /// empty string when no identifier starts here.
+  std::string lexIdentifier();
+
+  /// Lexes the raw suffix of an SSA (`%0`, `%arg1`) or block (`^bb`) id:
+  /// `[A-Za-z0-9_$.]*` with no whitespace skipping, so the sigil and the
+  /// name must be contiguous.
+  std::string lexSuffixId();
+
+  /// Lexes a decimal (or, when \p AllowHex, 0x-prefixed) integer with a
+  /// strict end-of-token and overflow check.
+  FailureOr<int64_t> lexInteger(std::string &Error, bool AllowHex = false);
+
+  /// Lexes a bare run of decimal digits (no sign, no hex, no float) — the
+  /// shape-dimension token of `memref<16x16xi32>`.
+  FailureOr<int64_t> lexShapeDim(std::string &Error);
+
+  /// Lexes an integer or float literal (floats carry '.' or an exponent;
+  /// `inf`/`nan` spellings are handled by the caller).
+  FailureOr<NumberLiteral> lexNumber(std::string &Error);
+
+  /// Lexes a double-quoted string literal, decoding the printer's escapes
+  /// (\" \\ \n \t \r and \XX hex pairs).
+  FailureOr<std::string> lexStringLiteral(std::string &Error);
+
+  /// Save/restore for the handful of single-token backtracks the attribute
+  /// grammar needs (e.g. identifier-led values that turn out to be types).
+  struct Checkpoint {
+    size_t Pos;
+    SourceLocation Loc;
+  };
+  Checkpoint save();
+  void restore(Checkpoint C);
+
+  /// Captures the raw text from the current position through the first
+  /// occurrence of \p Close (inclusive), advancing past it. Used to hand
+  /// `opcode_map<...>` / `opcode_flow<...>` payloads to their dedicated
+  /// parsers. Fails when \p Close never occurs.
+  FailureOr<std::string> captureThrough(char Close, std::string &Error);
+
+private:
+  void skipToSignificant();
+  void advance();
+
+  const std::string &Source;
+  size_t Pos = 0;
+  SourceLocation Loc;
+};
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_IR_LEXER_H

@@ -1,0 +1,957 @@
+//===- Parser.cpp - Textual IR parsing ------------------------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two-phase recursive descent over the generic printed form:
+///
+///   1. Syntax: the grammar below is parsed into a lightweight AST whose
+///      value references are still names (`%0`, `%arg2`). Attributes and
+///      types are resolved immediately — they contain no SSA references.
+///   2. Build: the AST is lowered front-to-back into Operation/Region/Block
+///      structures, resolving names against a scope map as definitions
+///      appear. Dangling uses, redefinitions, and signature mismatches are
+///      diagnosed here with the source location recorded in phase 1.
+///
+/// Grammar (exactly what AsmPrinter emits, whitespace-insensitive between
+/// tokens, `//` line comments allowed):
+///
+///   op       ::= (ssa-id (`,` ssa-id)* `=`)? bare-id `(` ssa-use-list? `)`
+///                region-list? attr-dict? `:` `(` type-list? `)` `->`
+///                `(` type-list? `)`
+///   region-list ::= `(` region (`,` region)* `)`
+///   region   ::= `{` block* `}`
+///   block    ::= `^` suffix-id `(` (ssa-id `:` type)-list? `)` `:` op*
+///   attr-dict::= `{` (bare-id `=` attr)-list? `}`
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Lexer.h"
+#include "ir/MLIRContext.h"
+#include "ir/Verifier.h"
+#include "parser/OpcodeParser.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+using namespace axi4mlir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// AST
+//===----------------------------------------------------------------------===//
+
+/// A use or definition of a named SSA value, with its location for
+/// diagnostics.
+struct ValueRef {
+  std::string Name;
+  SourceLocation Loc;
+};
+
+struct ParsedOp;
+
+struct ParsedBlock {
+  std::vector<std::pair<ValueRef, Type>> Arguments;
+  std::vector<ParsedOp> Ops;
+};
+
+struct ParsedRegion {
+  std::vector<ParsedBlock> Blocks;
+};
+
+struct ParsedOp {
+  SourceLocation Loc;
+  std::string Name;
+  std::vector<ValueRef> Results;
+  std::vector<ValueRef> Operands;
+  std::vector<ParsedRegion> Regions;
+  std::vector<NamedAttribute> Attributes;
+  SourceLocation SignatureLoc;
+  std::vector<Type> OperandTypes;
+  std::vector<Type> ResultTypes;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  Parser(const std::string &Source, MLIRContext *Context,
+         const ParserOptions &Options)
+      : Lex(Source), Context(Context), Options(Options) {}
+
+  FailureOr<OwningOpRef> parse();
+
+  std::string renderError() const {
+    std::ostringstream OS;
+    OS << Options.BufferName << ":" << ErrorLoc.Line << ":" << ErrorLoc.Column
+       << ": error: " << ErrorMessage;
+    return OS.str();
+  }
+
+private:
+  // Diagnostics. Only the first error is kept.
+  LogicalResult emitError(SourceLocation Loc, const std::string &Message) {
+    if (!HasError) {
+      HasError = true;
+      ErrorLoc = Loc;
+      ErrorMessage = Message;
+    }
+    return failure();
+  }
+  LogicalResult emitError(const std::string &Message) {
+    return emitError(Lex.getLoc(), Message);
+  }
+  /// Expects and consumes \p C, with a uniform diagnostic naming \p What.
+  LogicalResult expect(char C, const char *What) {
+    if (Lex.consumeIf(C))
+      return success();
+    return emitError(std::string("expected '") + C + "' " + What);
+  }
+
+  /// Bounds every recursive production (operations/regions, attribute and
+  /// type nesting) so hostile input exhausts the limit, not the stack —
+  /// axi4mlir-opt feeds untrusted files straight into this parser. The
+  /// limit also bounds the AST, keeping its destructor recursion safe.
+  static constexpr unsigned MaxNestingDepth = 256;
+  struct NestingScope {
+    explicit NestingScope(Parser &P) : P(P) { ++P.Depth; }
+    ~NestingScope() { --P.Depth; }
+    Parser &P;
+  };
+  LogicalResult checkDepth() {
+    if (Depth <= MaxNestingDepth)
+      return success();
+    return emitError("exceeded the maximum nesting depth (" +
+                     std::to_string(MaxNestingDepth) + ")");
+  }
+
+  // Phase 1: syntax.
+  LogicalResult parseValueRef(ValueRef &Out, const char *What);
+  LogicalResult parseOperation(ParsedOp &Out);
+  LogicalResult parseRegion(ParsedRegion &Out);
+  LogicalResult parseBlock(ParsedBlock &Out);
+  LogicalResult parseAttrDict(std::vector<NamedAttribute> &Out,
+                              const char *What);
+  LogicalResult parseAttribute(Attribute &Out);
+  LogicalResult parseType(Type &Out);
+  LogicalResult parseTypeList(std::vector<Type> &Out, const char *What);
+  LogicalResult parseMemRefBody(Type &Out);
+  LogicalResult parseAffineMapBody(AffineMap &Out);
+  LogicalResult parseAffineExpr(AffineExpr &Out,
+                                const std::vector<std::string> &Dims,
+                                const std::vector<std::string> &Symbols);
+  LogicalResult parseAffineMulExpr(AffineExpr &Out,
+                                   const std::vector<std::string> &Dims,
+                                   const std::vector<std::string> &Symbols);
+  LogicalResult parseAffinePrimary(AffineExpr &Out,
+                                   const std::vector<std::string> &Dims,
+                                   const std::vector<std::string> &Symbols);
+  LogicalResult parseDmaConfigAttr(Attribute &Out);
+
+  // Phase 2: build.
+  LogicalResult defineValue(const ValueRef &Ref, Value V);
+  FailureOr<Operation *> buildOperation(const ParsedOp &Parsed);
+
+  Lexer Lex;
+  MLIRContext *Context;
+  const ParserOptions &Options;
+
+  bool HasError = false;
+  SourceLocation ErrorLoc;
+  std::string ErrorMessage;
+  unsigned Depth = 0;
+
+  /// SSA scope. Printed names are unique across one top-level op, so one
+  /// flat map (no shadowing) is exact for printer output and strictly
+  /// rejects ambiguous hand-written input.
+  std::map<std::string, Value> Scope;
+};
+
+//===----------------------------------------------------------------------===//
+// Phase 1: syntax
+//===----------------------------------------------------------------------===//
+
+LogicalResult Parser::parseValueRef(ValueRef &Out, const char *What) {
+  Out.Loc = Lex.getLoc();
+  if (!Lex.consumeIf('%'))
+    return emitError(std::string("expected SSA value (") + What + ")");
+  Out.Name = Lex.lexSuffixId();
+  if (Out.Name.empty())
+    return emitError(Out.Loc, "expected a name after '%'");
+  return success();
+}
+
+LogicalResult Parser::parseOperation(ParsedOp &Out) {
+  NestingScope Scope(*this);
+  if (failed(checkDepth()))
+    return failure();
+  Out.Loc = Lex.getLoc();
+
+  // Optional result list: `%a, %b = `.
+  if (Lex.peek() == '%') {
+    do {
+      ValueRef Result;
+      if (failed(parseValueRef(Result, "operation result")))
+        return failure();
+      Out.Results.push_back(std::move(Result));
+    } while (Lex.consumeIf(','));
+    if (!Lex.consumeIf('='))
+      return emitError("expected '=' after the result list");
+  }
+
+  Out.Name = Lex.lexIdentifier();
+  if (Out.Name.empty())
+    return emitError("expected an operation name");
+
+  if (failed(expect('(', ("to open the operand list of '" + Out.Name + "'")
+                             .c_str())))
+    return failure();
+  if (Lex.peek() != ')') {
+    do {
+      ValueRef Operand;
+      if (failed(parseValueRef(Operand, "operand")))
+        return failure();
+      Out.Operands.push_back(std::move(Operand));
+    } while (Lex.consumeIf(','));
+  }
+  if (failed(expect(')', "to close the operand list")))
+    return failure();
+
+  // Optional region list: `({...}, {...})`.
+  if (Lex.peek() == '(') {
+    Lex.consumeIf('(');
+    do {
+      ParsedRegion TheRegion;
+      if (failed(parseRegion(TheRegion)))
+        return failure();
+      Out.Regions.push_back(std::move(TheRegion));
+    } while (Lex.consumeIf(','));
+    if (failed(expect(')', "to close the region list")))
+      return failure();
+  }
+
+  // Optional attribute dictionary.
+  if (Lex.peek() == '{' &&
+      failed(parseAttrDict(Out.Attributes, "attribute")))
+    return failure();
+
+  // Trailing type signature.
+  Out.SignatureLoc = Lex.getLoc();
+  if (!Lex.consumeIf(':'))
+    return emitError("expected ':' before the type signature of '" +
+                     Out.Name + "'");
+  if (failed(expect('(', "to open the operand types")) ||
+      failed(parseTypeList(Out.OperandTypes, "operand type")) ||
+      failed(expect(')', "to close the operand types")))
+    return failure();
+  if (!Lex.consumeIf("->"))
+    return emitError("expected '->' in the type signature");
+  if (failed(expect('(', "to open the result types")) ||
+      failed(parseTypeList(Out.ResultTypes, "result type")) ||
+      failed(expect(')', "to close the result types")))
+    return failure();
+  return success();
+}
+
+LogicalResult Parser::parseRegion(ParsedRegion &Out) {
+  if (failed(expect('{', "to open a region")))
+    return failure();
+  while (Lex.peek() == '^') {
+    ParsedBlock TheBlock;
+    if (failed(parseBlock(TheBlock)))
+      return failure();
+    Out.Blocks.push_back(std::move(TheBlock));
+  }
+  if (!Lex.consumeIf('}'))
+    return emitError(Out.Blocks.empty()
+                         ? "expected '^' block header or '}' in region"
+                         : "expected '}' closing the region (unbalanced "
+                           "regions?)");
+  return success();
+}
+
+LogicalResult Parser::parseBlock(ParsedBlock &Out) {
+  Lex.consumeIf('^');
+  Lex.lexSuffixId(); // Block label; purely cosmetic in printed IR.
+  if (failed(expect('(', "to open the block argument list")))
+    return failure();
+  if (Lex.peek() != ')') {
+    do {
+      ValueRef Argument;
+      if (failed(parseValueRef(Argument, "block argument")))
+        return failure();
+      if (failed(expect(':', "after the block argument name")))
+        return failure();
+      Type ArgumentType;
+      if (failed(parseType(ArgumentType)))
+        return failure();
+      Out.Arguments.emplace_back(std::move(Argument), ArgumentType);
+    } while (Lex.consumeIf(','));
+  }
+  if (failed(expect(')', "to close the block argument list")) ||
+      failed(expect(':', "after the block header")))
+    return failure();
+
+  while (!Lex.atEnd() && Lex.peek() != '^' && Lex.peek() != '}') {
+    ParsedOp Op;
+    if (failed(parseOperation(Op)))
+      return failure();
+    Out.Ops.push_back(std::move(Op));
+  }
+  return success();
+}
+
+LogicalResult Parser::parseAttrDict(std::vector<NamedAttribute> &Out,
+                                    const char *What) {
+  if (failed(expect('{', "to open the attribute dictionary")))
+    return failure();
+  if (Lex.consumeIf('}'))
+    return success();
+  do {
+    SourceLocation NameLoc = Lex.getLoc();
+    std::string Name = Lex.lexIdentifier();
+    if (Name.empty())
+      return emitError(std::string("expected an ") + What + " name");
+    for (const NamedAttribute &Existing : Out)
+      if (Existing.first == Name)
+        return emitError(NameLoc,
+                         std::string("duplicate ") + What + " '" + Name + "'");
+    if (!Lex.consumeIf('='))
+      return emitError(std::string("expected '=' after ") + What + " '" +
+                       Name + "'");
+    Attribute Value;
+    if (failed(parseAttribute(Value)))
+      return failure();
+    Out.emplace_back(std::move(Name), Value);
+  } while (Lex.consumeIf(','));
+  return expect('}', "to close the attribute dictionary");
+}
+
+LogicalResult Parser::parseAttribute(Attribute &Out) {
+  NestingScope Scope(*this);
+  if (failed(checkDepth()))
+    return failure();
+  char Next = Lex.peek();
+
+  // String attribute.
+  if (Next == '"') {
+    std::string Message;
+    auto Text = Lex.lexStringLiteral(Message);
+    if (failed(Text))
+      return emitError(Message);
+    Out = Attribute::getString(std::move(*Text));
+    return success();
+  }
+
+  // Array attribute.
+  if (Next == '[') {
+    Lex.consumeIf('[');
+    std::vector<Attribute> Elements;
+    if (Lex.peek() != ']') {
+      do {
+        Attribute Element;
+        if (failed(parseAttribute(Element)))
+          return failure();
+        Elements.push_back(Element);
+      } while (Lex.consumeIf(','));
+    }
+    if (failed(expect(']', "to close the array attribute")))
+      return failure();
+    Out = Attribute::getArray(std::move(Elements));
+    return success();
+  }
+
+  // Dictionary attribute.
+  if (Next == '{') {
+    std::vector<NamedAttribute> Entries;
+    if (failed(parseAttrDict(Entries, "dictionary entry")))
+      return failure();
+    Out = Attribute::getDictionary(std::move(Entries));
+    return success();
+  }
+
+  // `(` can only start a function type here.
+  if (Next == '(') {
+    Type FunctionTy;
+    if (failed(parseType(FunctionTy)))
+      return failure();
+    Out = Attribute::getType(FunctionTy);
+    return success();
+  }
+
+  // `-inf` (the only non-numeric '-' spelling the printer emits).
+  if (Next == '-' && Lex.peekSecond() == 'i') {
+    Lex.consumeIf('-');
+    if (!Lex.consumeKeyword("inf"))
+      return emitError("expected 'inf' after '-'");
+    Out = Attribute::getFloat(-std::numeric_limits<double>::infinity());
+    return success();
+  }
+
+  // Integer or float literal.
+  if (Next == '-' || (Next >= '0' && Next <= '9')) {
+    std::string Message;
+    auto Literal = Lex.lexNumber(Message);
+    if (failed(Literal))
+      return emitError(Message);
+    if (Literal->IsFloat) {
+      Out = Attribute::getFloat(Literal->FloatValue);
+      return success();
+    }
+    // Optional ` : type` suffix on integer attributes.
+    if (Lex.peek() == ':') {
+      Lex.consumeIf(':');
+      Type IntegerTy;
+      if (failed(parseType(IntegerTy)))
+        return failure();
+      Out = Attribute::getInteger(Literal->IntValue, IntegerTy);
+      return success();
+    }
+    Out = Attribute::getInteger(Literal->IntValue);
+    return success();
+  }
+
+  // Identifier-led attribute values.
+  SourceLocation KeywordLoc = Lex.getLoc();
+  Lexer::Checkpoint Before = Lex.save();
+  std::string Keyword = Lex.lexIdentifier();
+  if (Keyword.empty())
+    return emitError("expected an attribute value");
+
+  if (Keyword == "unit") {
+    Out = Attribute::getUnit();
+    return success();
+  }
+  if (Keyword == "inf") {
+    Out = Attribute::getFloat(std::numeric_limits<double>::infinity());
+    return success();
+  }
+  if (Keyword == "nan") {
+    Out = Attribute::getFloat(std::numeric_limits<double>::quiet_NaN());
+    return success();
+  }
+  if (Keyword == "affine_map") {
+    if (failed(expect('<', "after 'affine_map'")))
+      return failure();
+    AffineMap Map;
+    if (failed(parseAffineMapBody(Map)))
+      return failure();
+    if (failed(expect('>', "to close 'affine_map'")))
+      return failure();
+    Out = Attribute::getAffineMap(Map);
+    return success();
+  }
+  if (Keyword == "opcode_map" || Keyword == "opcode_flow") {
+    if (Lex.peek() != '<')
+      return emitError(std::string("expected '<' after '") + Keyword + "'");
+    // Neither payload grammar nests angle brackets, so the attribute ends
+    // at the first '>'; hand the bracketed text to the dedicated parser.
+    std::string Message;
+    auto Payload = Lex.captureThrough('>', Message);
+    if (failed(Payload))
+      return emitError(KeywordLoc,
+                       std::string("unterminated '") + Keyword + "' attribute");
+    std::string SubError;
+    if (Keyword == "opcode_map") {
+      auto Map = parser::parseOpcodeMap(*Payload, &SubError);
+      if (failed(Map))
+        return emitError(KeywordLoc, "in opcode_map attribute: " + SubError);
+      Out = Attribute::getOpcodeMap(std::move(*Map));
+    } else {
+      auto Flow = parser::parseOpcodeFlow(*Payload, &SubError);
+      if (failed(Flow))
+        return emitError(KeywordLoc, "in opcode_flow attribute: " + SubError);
+      Out = Attribute::getOpcodeFlow(std::move(*Flow));
+    }
+    return success();
+  }
+  if (Keyword == "dma_config")
+    return parseDmaConfigAttr(Out);
+
+  // Everything else must be a type (`i32`, `memref<...>`, `index`, ...).
+  Lex.restore(Before);
+  Type AttrTy;
+  if (failed(parseType(AttrTy)))
+    return failure();
+  Out = Attribute::getType(AttrTy);
+  return success();
+}
+
+LogicalResult Parser::parseDmaConfigAttr(Attribute &Out) {
+  accel::DmaInitConfig Config;
+  std::string Message;
+  auto parseField = [&](const char *Name, int64_t &Id) -> LogicalResult {
+    if (!Lex.consumeKeyword(Name))
+      return emitError(std::string("expected '") + Name +
+                       "' field in dma_config");
+    if (failed(expect('=', "in dma_config field")))
+      return failure();
+    auto Value = Lex.lexInteger(Message, /*AllowHex=*/true);
+    if (failed(Value))
+      return emitError(Message);
+    Id = *Value;
+    return success();
+  };
+  auto parseRegionField = [&](const char *Name, int64_t &Address,
+                              int64_t &Size) -> LogicalResult {
+    if (failed(parseField(Name, Address)))
+      return failure();
+    if (failed(expect('/', "between dma_config address and size")))
+      return failure();
+    auto Value = Lex.lexInteger(Message, /*AllowHex=*/true);
+    if (failed(Value))
+      return emitError(Message);
+    Size = *Value;
+    return success();
+  };
+  if (failed(expect('<', "after 'dma_config'")) ||
+      failed(parseField("id", Config.DmaId)) ||
+      failed(expect(',', "in dma_config")) ||
+      failed(parseRegionField("in", Config.InputAddress,
+                              Config.InputBufferSize)) ||
+      failed(expect(',', "in dma_config")) ||
+      failed(parseRegionField("out", Config.OutputAddress,
+                              Config.OutputBufferSize)) ||
+      failed(expect('>', "to close 'dma_config'")))
+    return failure();
+  Out = Attribute::getDmaConfig(Config);
+  return success();
+}
+
+LogicalResult Parser::parseType(Type &Out) {
+  NestingScope Scope(*this);
+  if (failed(checkDepth()))
+    return failure();
+  // Function type.
+  if (Lex.peek() == '(') {
+    Lex.consumeIf('(');
+    std::vector<Type> Inputs, Results;
+    if (failed(parseTypeList(Inputs, "function input type")) ||
+        failed(expect(')', "to close the function input types")))
+      return failure();
+    if (!Lex.consumeIf("->"))
+      return emitError("expected '->' in a function type");
+    if (failed(expect('(', "to open the function result types")) ||
+        failed(parseTypeList(Results, "function result type")) ||
+        failed(expect(')', "to close the function result types")))
+      return failure();
+    Out = FunctionType::get(Context, std::move(Inputs), std::move(Results));
+    return success();
+  }
+
+  SourceLocation Loc = Lex.getLoc();
+  std::string Name = Lex.lexIdentifier();
+  if (Name.empty())
+    return emitError("expected a type");
+  if (Name == "index") {
+    Out = Type::getIndex(Context);
+    return success();
+  }
+  if (Name == "none") {
+    Out = Type::getNone(Context);
+    return success();
+  }
+  if (Name == "i1") {
+    Out = Type::getI1(Context);
+    return success();
+  }
+  if (Name == "i8") {
+    Out = Type::getI8(Context);
+    return success();
+  }
+  if (Name == "i16") {
+    Out = Type::getI16(Context);
+    return success();
+  }
+  if (Name == "i32") {
+    Out = Type::getI32(Context);
+    return success();
+  }
+  if (Name == "i64") {
+    Out = Type::getI64(Context);
+    return success();
+  }
+  if (Name == "f32") {
+    Out = Type::getF32(Context);
+    return success();
+  }
+  if (Name == "f64") {
+    Out = Type::getF64(Context);
+    return success();
+  }
+  if (Name == "memref") {
+    if (failed(expect('<', "after 'memref'")))
+      return failure();
+    if (failed(parseMemRefBody(Out)))
+      return failure();
+    return expect('>', "to close 'memref'");
+  }
+  return emitError(Loc, "unknown type '" + Name + "'");
+}
+
+LogicalResult Parser::parseTypeList(std::vector<Type> &Out,
+                                    const char *What) {
+  (void)What;
+  if (Lex.peek() == ')')
+    return success();
+  do {
+    Type Element;
+    if (failed(parseType(Element)))
+      return failure();
+    Out.push_back(Element);
+  } while (Lex.consumeIf(','));
+  return success();
+}
+
+LogicalResult Parser::parseMemRefBody(Type &Out) {
+  // Shape: every dimension, static or `?`, is followed by a glued `x`.
+  std::vector<int64_t> Shape;
+  while (true) {
+    if (Lex.peek() == '?') {
+      Lex.consumeIf('?');
+      Shape.push_back(DynamicSize);
+    } else if (Lex.peek() >= '0' && Lex.peek() <= '9') {
+      std::string Message;
+      auto Dim = Lex.lexShapeDim(Message);
+      if (failed(Dim))
+        return emitError(Message);
+      Shape.push_back(*Dim);
+    } else {
+      break;
+    }
+    if (!Lex.consumeRawIf('x'))
+      return emitError("expected 'x' after a memref dimension");
+  }
+
+  SourceLocation ElementLoc = Lex.getLoc();
+  Type ElementType;
+  if (failed(parseType(ElementType)))
+    return failure();
+  if (ElementType.isa<MemRefType>() || ElementType.isa<FunctionType>())
+    return emitError(ElementLoc,
+                     "memref element type must be a scalar type");
+
+  if (!Lex.consumeIf(',')) {
+    Out = MemRefType::get(Context, std::move(Shape), ElementType);
+    return success();
+  }
+
+  // `, strided<[s0, s1], offset: o>` layout.
+  if (!Lex.consumeKeyword("strided"))
+    return emitError("expected 'strided' after ',' in memref type");
+  if (failed(expect('<', "after 'strided'")) ||
+      failed(expect('[', "to open the stride list")))
+    return failure();
+  std::vector<int64_t> Strides;
+  if (Lex.peek() != ']') {
+    do {
+      std::string Message;
+      auto Stride = Lex.lexInteger(Message);
+      if (failed(Stride))
+        return emitError(Message);
+      Strides.push_back(*Stride);
+    } while (Lex.consumeIf(','));
+  }
+  if (failed(expect(']', "to close the stride list")) ||
+      failed(expect(',', "after the stride list")))
+    return failure();
+  if (!Lex.consumeKeyword("offset"))
+    return emitError("expected 'offset' in strided layout");
+  if (failed(expect(':', "after 'offset'")))
+    return failure();
+  int64_t Offset = 0;
+  if (Lex.consumeIf('?')) {
+    Offset = DynamicSize;
+  } else {
+    std::string Message;
+    auto Value = Lex.lexInteger(Message);
+    if (failed(Value))
+      return emitError(Message);
+    Offset = *Value;
+  }
+  if (failed(expect('>', "to close 'strided'")))
+    return failure();
+  if (Strides.size() != Shape.size())
+    return emitError("strided layout has " + std::to_string(Strides.size()) +
+                     " strides but the memref has rank " +
+                     std::to_string(Shape.size()));
+  Out = MemRefType::getStrided(Context, std::move(Shape), ElementType,
+                               std::move(Strides), Offset);
+  return success();
+}
+
+LogicalResult Parser::parseAffineMapBody(AffineMap &Out) {
+  // `(d0, d1)[s0] -> (expr, ...)`. Dim/symbol names are normally the
+  // canonical d0../s0.. but any identifiers are accepted.
+  std::vector<std::string> Dims, Symbols;
+  if (failed(expect('(', "to open the affine map dimensions")))
+    return failure();
+  if (Lex.peek() != ')') {
+    do {
+      std::string Dim = Lex.lexIdentifier();
+      if (Dim.empty())
+        return emitError("expected an affine dimension name");
+      Dims.push_back(std::move(Dim));
+    } while (Lex.consumeIf(','));
+  }
+  if (failed(expect(')', "to close the affine map dimensions")))
+    return failure();
+  if (Lex.consumeIf('[')) {
+    if (Lex.peek() != ']') {
+      do {
+        std::string Symbol = Lex.lexIdentifier();
+        if (Symbol.empty())
+          return emitError("expected an affine symbol name");
+        Symbols.push_back(std::move(Symbol));
+      } while (Lex.consumeIf(','));
+    }
+    if (failed(expect(']', "to close the affine map symbols")))
+      return failure();
+  }
+  if (!Lex.consumeIf("->"))
+    return emitError("expected '->' in an affine map");
+  if (failed(expect('(', "to open the affine map results")))
+    return failure();
+  std::vector<AffineExpr> Results;
+  if (Lex.peek() != ')') {
+    do {
+      AffineExpr Expr;
+      if (failed(parseAffineExpr(Expr, Dims, Symbols)))
+        return failure();
+      Results.push_back(Expr);
+    } while (Lex.consumeIf(','));
+  }
+  if (failed(expect(')', "to close the affine map results")))
+    return failure();
+  Out = AffineMap::get(static_cast<unsigned>(Dims.size()),
+                       static_cast<unsigned>(Symbols.size()),
+                       std::move(Results));
+  return success();
+}
+
+LogicalResult
+Parser::parseAffineExpr(AffineExpr &Out, const std::vector<std::string> &Dims,
+                        const std::vector<std::string> &Symbols) {
+  if (failed(parseAffineMulExpr(Out, Dims, Symbols)))
+    return failure();
+  while (Lex.consumeIf('+')) {
+    AffineExpr RHS;
+    if (failed(parseAffineMulExpr(RHS, Dims, Symbols)))
+      return failure();
+    Out = AffineExpr::getBinary(AffineExpr::Kind::Add, Out, RHS);
+  }
+  return success();
+}
+
+LogicalResult
+Parser::parseAffineMulExpr(AffineExpr &Out,
+                           const std::vector<std::string> &Dims,
+                           const std::vector<std::string> &Symbols) {
+  if (failed(parseAffinePrimary(Out, Dims, Symbols)))
+    return failure();
+  while (true) {
+    AffineExpr::Kind Kind;
+    if (Lex.consumeIf('*'))
+      Kind = AffineExpr::Kind::Mul;
+    else if (Lex.consumeKeyword("mod"))
+      Kind = AffineExpr::Kind::Mod;
+    else if (Lex.consumeKeyword("floordiv"))
+      Kind = AffineExpr::Kind::FloorDiv;
+    else
+      return success();
+    AffineExpr RHS;
+    if (failed(parseAffinePrimary(RHS, Dims, Symbols)))
+      return failure();
+    Out = AffineExpr::getBinary(Kind, Out, RHS);
+  }
+}
+
+LogicalResult
+Parser::parseAffinePrimary(AffineExpr &Out,
+                           const std::vector<std::string> &Dims,
+                           const std::vector<std::string> &Symbols) {
+  NestingScope Scope(*this);
+  if (failed(checkDepth()))
+    return failure();
+  if (Lex.consumeIf('(')) {
+    if (failed(parseAffineExpr(Out, Dims, Symbols)))
+      return failure();
+    return expect(')', "to close the affine subexpression");
+  }
+  char Next = Lex.peek();
+  if (Next == '-' || (Next >= '0' && Next <= '9')) {
+    std::string Message;
+    auto Value = Lex.lexInteger(Message);
+    if (failed(Value))
+      return emitError(Message);
+    Out = AffineExpr::getConstant(*Value);
+    return success();
+  }
+  SourceLocation Loc = Lex.getLoc();
+  std::string Name = Lex.lexIdentifier();
+  if (Name.empty())
+    return emitError("expected an affine expression");
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    if (Dims[I] == Name) {
+      Out = AffineExpr::getDim(static_cast<unsigned>(I));
+      return success();
+    }
+  }
+  for (size_t I = 0; I < Symbols.size(); ++I) {
+    if (Symbols[I] == Name) {
+      Out = AffineExpr::getSymbol(static_cast<unsigned>(I));
+      return success();
+    }
+  }
+  return emitError(Loc, "unknown affine dimension or symbol '" + Name + "'");
+}
+
+//===----------------------------------------------------------------------===//
+// Phase 2: build
+//===----------------------------------------------------------------------===//
+
+LogicalResult Parser::defineValue(const ValueRef &Ref, Value V) {
+  auto [It, Inserted] = Scope.emplace(Ref.Name, V);
+  (void)It;
+  if (!Inserted)
+    return emitError(Ref.Loc, "redefinition of value '%" + Ref.Name + "'");
+  return success();
+}
+
+FailureOr<Operation *> Parser::buildOperation(const ParsedOp &Parsed) {
+  if (Parsed.Operands.size() != Parsed.OperandTypes.size()) {
+    emitError(Parsed.SignatureLoc,
+              "'" + Parsed.Name + "' has " +
+                  std::to_string(Parsed.Operands.size()) +
+                  " operands but the signature lists " +
+                  std::to_string(Parsed.OperandTypes.size()) + " types");
+    return failure();
+  }
+  if (Parsed.Results.size() != Parsed.ResultTypes.size()) {
+    emitError(Parsed.SignatureLoc,
+              "'" + Parsed.Name + "' defines " +
+                  std::to_string(Parsed.Results.size()) +
+                  " results but the signature lists " +
+                  std::to_string(Parsed.ResultTypes.size()) + " types");
+    return failure();
+  }
+
+  std::vector<Value> Operands;
+  Operands.reserve(Parsed.Operands.size());
+  for (size_t I = 0; I < Parsed.Operands.size(); ++I) {
+    const ValueRef &Use = Parsed.Operands[I];
+    auto It = Scope.find(Use.Name);
+    if (It == Scope.end()) {
+      emitError(Use.Loc, "use of undefined value '%" + Use.Name + "'");
+      return failure();
+    }
+    if (It->second.getType() != Parsed.OperandTypes[I]) {
+      emitError(Use.Loc, "operand #" + std::to_string(I) + " of '" +
+                             Parsed.Name + "' has type " +
+                             It->second.getType().str() +
+                             " but the signature says " +
+                             Parsed.OperandTypes[I].str());
+      return failure();
+    }
+    Operands.push_back(It->second);
+  }
+
+  // Own the op until this builder completes: nested ops are pushed into
+  // their blocks as they are built, so destroying the root on a failure
+  // path reclaims the whole partial tree.
+  OwningOpRef Guard(Operation::create(
+      Context, Parsed.Name, std::move(Operands), Parsed.ResultTypes,
+      Parsed.Attributes, static_cast<unsigned>(Parsed.Regions.size())));
+  Operation *Op = Guard.get();
+
+  for (size_t I = 0; I < Parsed.Results.size(); ++I) {
+    if (failed(defineValue(Parsed.Results[I], Op->getResult(I))))
+      return failure();
+  }
+  for (size_t R = 0; R < Parsed.Regions.size(); ++R) {
+    Region &TheRegion = Op->getRegion(static_cast<unsigned>(R));
+    for (const ParsedBlock &ParsedB : Parsed.Regions[R].Blocks) {
+      Block &TheBlock = TheRegion.emplaceBlock();
+      for (const auto &[ArgRef, ArgType] : ParsedB.Arguments) {
+        Value Argument = TheBlock.addArgument(ArgType);
+        if (failed(defineValue(ArgRef, Argument)))
+          return failure();
+      }
+      for (const ParsedOp &Nested : ParsedB.Ops) {
+        auto Built = buildOperation(Nested);
+        if (failed(Built))
+          return failure();
+        TheBlock.push_back(*Built);
+      }
+    }
+  }
+  return Guard.release();
+}
+
+FailureOr<OwningOpRef> Parser::parse() {
+  ParsedOp TopLevel;
+  if (failed(parseOperation(TopLevel)))
+    return failure();
+  if (!Lex.atEnd()) {
+    emitError("expected a single top-level operation; found trailing input");
+    return failure();
+  }
+
+  auto Built = buildOperation(TopLevel);
+  if (failed(Built))
+    return failure();
+  OwningOpRef Result(*Built);
+
+  if (Options.Verify) {
+    std::string VerifyError;
+    if (failed(verify(Result.get(), VerifyError))) {
+      emitError(TopLevel.Loc, "verification failed: " + VerifyError);
+      return failure();
+    }
+  }
+  return Result;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+FailureOr<OwningOpRef>
+axi4mlir::parseSourceString(const std::string &Source, MLIRContext *Context,
+                            std::string *Error,
+                            const ParserOptions &Options) {
+  Parser TheParser(Source, Context, Options);
+  auto Result = TheParser.parse();
+  if (failed(Result) && Error)
+    *Error = TheParser.renderError();
+  return Result;
+}
+
+FailureOr<OwningOpRef> axi4mlir::parseSourceFile(const std::string &Path,
+                                                 MLIRContext *Context,
+                                                 std::string *Error,
+                                                 ParserOptions Options) {
+  std::ifstream Stream(Path, std::ios::binary);
+  if (!Stream) {
+    if (Error)
+      *Error = "cannot open input file '" + Path + "'";
+    return failure();
+  }
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  if (Options.BufferName == "<string>")
+    Options.BufferName = Path;
+  return parseSourceString(Buffer.str(), Context, Error, Options);
+}

@@ -1,0 +1,71 @@
+//===- Parser.h - Textual IR parsing ----------------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser for the generic textual form AsmPrinter
+/// emits, closing the round-trip `parse(print(M)) == M`:
+///
+///   func.func() ({
+///   ^bb(%arg0: memref<16x16xi32>, ...):
+///     linalg.matmul(%arg0, %arg1, %arg2) {num_inputs = 2}
+///         : (memref<16x16xi32>, ...) -> ()
+///     func.return() : () -> ()
+///   }) {sym_name = "matmul_call", function_type = (...) -> ()} : () -> ()
+///
+/// Supported: SSA result/operand names, block arguments, nested regions,
+/// every builtin attribute kind (unit/int/float/string/array/dict, type,
+/// affine_map) plus the AXI4MLIR attributes (opcode_map, opcode_flow,
+/// dma_config, delegated to parser/OpcodeParser), and the full type grammar
+/// of ir/Types.h (scalars, strided memrefs, function types). Malformed
+/// input produces `<buffer>:<line>:<col>: error: ...` diagnostics.
+///
+/// This is what lets axi4mlir-opt consume `.mlir` files (paper Fig. 4 step
+/// 1 starts from linalg IR in files) instead of only the programmatic
+/// workload builders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_IR_PARSER_H
+#define AXI4MLIR_IR_PARSER_H
+
+#include "ir/Operation.h"
+#include "support/LogicalResult.h"
+
+#include <string>
+
+namespace axi4mlir {
+
+class MLIRContext;
+
+/// Options controlling textual IR parsing.
+struct ParserOptions {
+  /// Run the structural verifier (registry contracts, null operands) over
+  /// the parsed IR and fail on violations.
+  bool Verify = true;
+  /// Buffer name used as the diagnostic prefix (a file path, typically).
+  std::string BufferName = "<string>";
+};
+
+/// Parses \p Source, which must hold exactly one top-level operation in the
+/// generic form, into an owned operation tree. Dialects consulted by the
+/// verifier must already be registered on \p Context. On failure returns
+/// failure and, when \p Error is non-null, fills it with a
+/// `<buffer>:<line>:<col>: error: ...` diagnostic.
+FailureOr<OwningOpRef> parseSourceString(const std::string &Source,
+                                         MLIRContext *Context,
+                                         std::string *Error,
+                                         const ParserOptions &Options = {});
+
+/// Reads the file at \p Path and parses it with \p Options (BufferName
+/// defaults to the path).
+FailureOr<OwningOpRef> parseSourceFile(const std::string &Path,
+                                       MLIRContext *Context,
+                                       std::string *Error,
+                                       ParserOptions Options = {});
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_IR_PARSER_H

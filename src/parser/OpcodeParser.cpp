@@ -6,8 +6,10 @@
 
 #include "parser/OpcodeParser.h"
 
+#include "support/ParseInt.h"
+
 #include <cctype>
-#include <cstdlib>
+#include <cstdint>
 
 using namespace axi4mlir;
 using namespace axi4mlir::accel;
@@ -72,11 +74,17 @@ public:
   }
 
   /// Reads a decimal or 0x-hex integer; returns failure if none present.
-  FailureOr<int64_t> readInteger() {
+  /// A literal that is present but does not fit int64 is an error (reported
+  /// through \p Error, naming the token) rather than a silently clamped or
+  /// zeroed value.
+  FailureOr<int64_t> readInteger(std::string *Error = nullptr) {
     skipSpace();
     size_t Start = Pos;
-    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+    bool Negative = false;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+')) {
+      Negative = Text[Pos] == '-';
       ++Pos;
+    }
     bool IsHex = false;
     if (Pos + 1 < Text.size() && Text[Pos] == '0' &&
         (Text[Pos + 1] == 'x' || Text[Pos + 1] == 'X')) {
@@ -92,8 +100,16 @@ public:
       Pos = Start;
       return failure();
     }
-    return std::strtoll(Text.substr(Start, Pos - Start).c_str(), nullptr,
-                        IsHex ? 16 : 10);
+    int64_t Value = 0;
+    if (!parseCheckedInt64(Text.data() + DigitsStart, Text.data() + Pos,
+                           Negative, IsHex ? 16 : 10, Value)) {
+      if (Error && Error->empty())
+        *Error = "integer literal '" + Text.substr(Start, Pos - Start) +
+                 "' is out of range (at offset " + std::to_string(Start) + ")";
+      Pos = Start;
+      return failure();
+    }
+    return Value;
   }
 
   size_t position() const { return Pos; }
@@ -111,8 +127,10 @@ std::string describe(const std::string &Message, const Cursor &C) {
 FailureOr<int64_t> resolveIndex(Cursor &C,
                                 const std::vector<std::string> *DimNames,
                                 std::string *Error, const char *What) {
-  if (auto IntValue = C.readInteger(); succeeded(IntValue))
+  if (auto IntValue = C.readInteger(Error); succeeded(IntValue))
     return *IntValue;
+  if (Error && !Error->empty())
+    return failure(); // Out-of-range literal, already reported.
   std::string Ident = C.readIdentifier();
   if (!Ident.empty() && DimNames) {
     for (size_t I = 0; I < DimNames->size(); ++I)
@@ -148,7 +166,7 @@ FailureOr<OpcodeAction> parseAction(Cursor &C,
       return failure();
     Action = OpcodeAction::send(*Arg);
   } else if (Keyword == "send_literal") {
-    auto Literal = C.readInteger();
+    auto Literal = C.readInteger(Error);
     if (failed(Literal))
       return fail("expected integer literal in send_literal");
     Action = OpcodeAction::sendLiteral(*Literal);

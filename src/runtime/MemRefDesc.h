@@ -24,6 +24,7 @@
 #define AXI4MLIR_RUNTIME_MEMREFDESC_H
 
 #include "sim/AcceleratorModel.h"
+#include "support/AlignedAlloc.h"
 #include "support/STLExtras.h"
 
 #include <cassert>
@@ -35,38 +36,14 @@
 namespace axi4mlir {
 namespace runtime {
 
-/// Cache-line-aligned storage allocator. The cache simulator is keyed on
-/// real host addresses, so aligning every buffer to a line boundary makes
-/// line-touch counts independent of where the heap happens to place an
-/// allocation — modeled counters stay identical run to run (ExecPlanTest
-/// asserts this for mid-execution staging allocations).
-template <typename T> struct CacheLineAllocator {
-  using value_type = T;
-  static constexpr std::align_val_t Alignment{64};
-
-  CacheLineAllocator() = default;
-  template <typename U>
-  CacheLineAllocator(const CacheLineAllocator<U> &) noexcept {}
-
-  T *allocate(size_t N) {
-    return static_cast<T *>(::operator new(N * sizeof(T), Alignment));
-  }
-  void deallocate(T *P, size_t) noexcept {
-    ::operator delete(P, Alignment);
-  }
-  template <typename U>
-  bool operator==(const CacheLineAllocator<U> &) const noexcept {
-    return true;
-  }
-  template <typename U>
-  bool operator!=(const CacheLineAllocator<U> &) const noexcept {
-    return false;
-  }
-};
+/// Cache-line-aligned allocation (shared with the simulator's DMA staging
+/// regions; see support/AlignedAlloc.h for why alignment matters to the
+/// modeled counters).
+using axi4mlir::CacheLineAllocator;
 
 /// The storage behind one allocation.
 struct MemRefBuffer {
-  std::vector<uint32_t, CacheLineAllocator<uint32_t>> Data;
+  AlignedVector<uint32_t> Data;
   sim::ElemKind Kind = sim::ElemKind::I32;
 
   explicit MemRefBuffer(size_t NumElements,

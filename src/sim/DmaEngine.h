@@ -21,6 +21,7 @@
 #include "ir/AccelTraits.h"
 #include "sim/AcceleratorModel.h"
 #include "sim/PerfModel.h"
+#include "support/AlignedAlloc.h"
 
 #include <memory>
 #include <vector>
@@ -76,8 +77,10 @@ private:
 
   HostPerfModel *Perf;
   AcceleratorModel *Accel;
-  std::vector<uint32_t> InputRegion;
-  std::vector<uint32_t> OutputRegion;
+  // Line-aligned so the cache model's line-touch counts don't depend on
+  // where the heap places the staging regions (support/AlignedAlloc.h).
+  AlignedVector<uint32_t> InputRegion;
+  AlignedVector<uint32_t> OutputRegion;
   bool Initialized = false;
   bool ErrorFlag = false;
   std::string ErrorText;

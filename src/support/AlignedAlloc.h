@@ -1,0 +1,57 @@
+//===- AlignedAlloc.h - Cache-line-aligned allocation -----------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-line-aligned storage allocator, shared by every buffer the cache
+/// simulator can observe. The simulator is keyed on real host addresses,
+/// so aligning a buffer to a line boundary makes line-touch counts
+/// independent of where the heap happens to place the allocation —
+/// modeled counters stay identical run to run (ExecPlanTest asserts this
+/// for mid-execution staging allocations; RoundTripTest relies on it to
+/// compare counters across two executions in one process).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SUPPORT_ALIGNEDALLOC_H
+#define AXI4MLIR_SUPPORT_ALIGNEDALLOC_H
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace axi4mlir {
+
+template <typename T> struct CacheLineAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t Alignment{64};
+
+  CacheLineAllocator() = default;
+  template <typename U>
+  CacheLineAllocator(const CacheLineAllocator<U> &) noexcept {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(::operator new(N * sizeof(T), Alignment));
+  }
+  void deallocate(T *P, size_t) noexcept {
+    ::operator delete(P, Alignment);
+  }
+  template <typename U>
+  bool operator==(const CacheLineAllocator<U> &) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const CacheLineAllocator<U> &) const noexcept {
+    return false;
+  }
+};
+
+/// A std::vector whose storage starts on a cache-line boundary.
+template <typename T>
+using AlignedVector = std::vector<T, CacheLineAllocator<T>>;
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SUPPORT_ALIGNEDALLOC_H

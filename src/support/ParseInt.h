@@ -1,0 +1,49 @@
+//===- ParseInt.h - Checked int64 parsing -----------------------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one overflow-checked signed-64-bit digit parse shared by every
+/// textual frontend (the IR lexer, the opcode grammars): full-consumption
+/// via from_chars, magnitude accumulated unsigned so INT64_MIN
+/// round-trips, and saturation rejected rather than clamped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SUPPORT_PARSEINT_H
+#define AXI4MLIR_SUPPORT_PARSEINT_H
+
+#include <charconv>
+#include <cstdint>
+
+namespace axi4mlir {
+
+/// Parses the digit run [\p First, \p Last) — sign already stripped by the
+/// caller and passed as \p Negative — in base \p Base into \p Out.
+/// Returns false when the run is not fully consumed or the value does not
+/// fit int64 (instead of saturating the way strtoll does).
+inline bool parseCheckedInt64(const char *First, const char *Last,
+                              bool Negative, int Base, int64_t &Out) {
+  uint64_t Magnitude = 0;
+  auto [End, Errc] = std::from_chars(First, Last, Magnitude, Base);
+  uint64_t Limit = Negative
+                       ? static_cast<uint64_t>(
+                             -static_cast<uint64_t>(INT64_MIN))
+                       : static_cast<uint64_t>(INT64_MAX);
+  if (Errc != std::errc() || End != Last || Magnitude > Limit)
+    return false;
+  // INT64_MIN's magnitude cannot be negated in the signed domain.
+  if (Negative)
+    Out = Magnitude == static_cast<uint64_t>(INT64_MAX) + 1
+              ? INT64_MIN
+              : -static_cast<int64_t>(Magnitude);
+  else
+    Out = static_cast<int64_t>(Magnitude);
+  return true;
+}
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SUPPORT_PARSEINT_H

@@ -1,18 +1,27 @@
-//===- ParserTest.cpp - opcode_map / opcode_flow grammar tests ------------===//
+//===- ParserTest.cpp - textual parser tests ------------------------------===//
 //
 // Part of the AXI4MLIR reproduction. MIT licensed.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Tests the Fig. 7 / Fig. 8 grammars against the exact strings the paper
-/// shows (matmul Fig. 6a, conv Fig. 15a) plus malformed-input diagnostics.
+/// Tests the textual parsers: the opcode_map / opcode_flow grammars
+/// (Fig. 7 / Fig. 8, against the exact strings the paper shows) and the
+/// generic-form IR parser (ir/Parser.h) — accepted syntax for every type
+/// and attribute kind, and line/column diagnostics for malformed input
+/// (unbalanced regions, unknown types, dangling SSA uses, overflowed
+/// literals, ...).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "dialects/InitAllDialects.h"
+#include "ir/Parser.h"
 #include "parser/OpcodeParser.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
 
 using namespace axi4mlir;
 using namespace axi4mlir::parser;
@@ -145,6 +154,450 @@ TEST(OpcodeFlowParser, Errors) {
   EXPECT_NE(Error.find("at least one"), std::string::npos);
   Error.clear();
   EXPECT_TRUE(failed(parseOpcodeFlow("(sA) extra", &Error)));
+}
+
+//===----------------------------------------------------------------------===//
+// Generic-form IR parser
+//===----------------------------------------------------------------------===//
+
+/// Parses \p Source without verification (so syntax can be tested with
+/// unregistered op names) and asserts success.
+OwningOpRef parseOk(MLIRContext &Context, const std::string &Source) {
+  ParserOptions Options;
+  Options.Verify = false;
+  std::string Error;
+  auto Result = parseSourceString(Source, &Context, &Error, Options);
+  EXPECT_TRUE(succeeded(Result)) << Error;
+  return succeeded(Result) ? std::move(*Result) : OwningOpRef();
+}
+
+/// Parses \p Source expecting failure; returns the diagnostic.
+std::string parseErr(MLIRContext &Context, const std::string &Source,
+                     bool Verify = false) {
+  ParserOptions Options;
+  Options.Verify = Verify;
+  std::string Error;
+  auto Result = parseSourceString(Source, &Context, &Error, Options);
+  EXPECT_TRUE(failed(Result)) << "unexpected parse success for: " << Source;
+  return Error;
+}
+
+TEST(IRParser, MinimalOperation) {
+  MLIRContext Context;
+  auto Op = parseOk(Context, "test.op() : () -> ()");
+  ASSERT_TRUE(Op);
+  EXPECT_EQ(Op->getName(), "test.op");
+  EXPECT_EQ(Op->getNumOperands(), 0u);
+  EXPECT_EQ(Op->getNumResults(), 0u);
+  EXPECT_EQ(Op->getNumRegions(), 0u);
+}
+
+TEST(IRParser, ResultsOperandsAndUses) {
+  MLIRContext Context;
+  auto Op = parseOk(Context, "test.wrap() ({\n"
+                             "^bb():\n"
+                             "  %0 = test.a() : () -> (i32)\n"
+                             "  %1, %2 = test.b(%0) : (i32) -> (i32, f64)\n"
+                             "  test.c(%2, %1, %0) : (f64, i32, i32) -> ()\n"
+                             "}) : () -> ()");
+  ASSERT_TRUE(Op);
+  Block &Body = Op->getRegion(0).front();
+  ASSERT_EQ(Body.getOperations().size(), 3u);
+  Operation *C = Body.back();
+  EXPECT_EQ(C->getNumOperands(), 3u);
+  // %2 is test.b's second result, %0 test.a's first.
+  Operation *B = *std::next(Body.getOperations().begin());
+  EXPECT_EQ(C->getOperand(0), B->getResult(1));
+  EXPECT_EQ(C->getOperand(2), Body.front()->getResult(0));
+  EXPECT_TRUE(C->getOperand(0).getType().isFloat());
+}
+
+TEST(IRParser, FuncRoundTripAccessors) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  std::string Error;
+  auto Op = parseSourceString(
+      "func.func() ({\n"
+      "^bb(%arg0: memref<4x4xi32>):\n"
+      "  func.return() : () -> ()\n"
+      "}) {function_type = (memref<4x4xi32>) -> (), sym_name = \"f\"} "
+      ": () -> ()",
+      &Context, &Error);
+  ASSERT_TRUE(succeeded(Op)) << Error;
+  func::FuncOp Func((*Op).get());
+  EXPECT_EQ(Func.getFuncName(), "f");
+  ASSERT_EQ(Func.getNumArguments(), 1u);
+  EXPECT_TRUE(Func.getArgument(0).getType().isa<MemRefType>());
+  EXPECT_EQ(Func.getFunctionType().getInputs().size(), 1u);
+}
+
+TEST(IRParser, AllScalarTypesAndTypeAttrs) {
+  MLIRContext Context;
+  auto Op = parseOk(Context,
+                    "test.op() {a = i1, b = i8, c = i16, d = i32, e = i64, "
+                    "f = f32, g = f64, h = index, i = none} : () -> ()");
+  ASSERT_TRUE(Op);
+  EXPECT_EQ(Op->getAttr("a").getTypeValue().getKind(), Type::Kind::I1);
+  EXPECT_EQ(Op->getAttr("e").getTypeValue().getKind(), Type::Kind::I64);
+  EXPECT_EQ(Op->getAttr("g").getTypeValue().getKind(), Type::Kind::F64);
+  EXPECT_EQ(Op->getAttr("h").getTypeValue().getKind(), Type::Kind::Index);
+  EXPECT_EQ(Op->getAttr("i").getTypeValue().getKind(), Type::Kind::None);
+}
+
+TEST(IRParser, MemRefTypes) {
+  MLIRContext Context;
+  auto Op = parseOk(
+      Context,
+      "test.op() {plain = memref<4x8xi32>, scalar = memref<f32>, "
+      "dyn = memref<?x4xf64>, "
+      "strided = memref<4x4xi32, strided<[8, 1], offset: ?>>, "
+      "offs = memref<2x3xf32, strided<[3, 1], offset: 6>>} : () -> ()");
+  ASSERT_TRUE(Op);
+  auto Plain = Op->getAttr("plain").getTypeValue().cast<MemRefType>();
+  EXPECT_EQ(Plain.getShape(), (std::vector<int64_t>{4, 8}));
+  EXPECT_FALSE(Plain.hasExplicitStrides());
+  auto Scalar = Op->getAttr("scalar").getTypeValue().cast<MemRefType>();
+  EXPECT_EQ(Scalar.getRank(), 0u);
+  auto Dyn = Op->getAttr("dyn").getTypeValue().cast<MemRefType>();
+  EXPECT_TRUE(isDynamic(Dyn.getDimSize(0)));
+  auto Strided = Op->getAttr("strided").getTypeValue().cast<MemRefType>();
+  EXPECT_EQ(Strided.getStrides(), (std::vector<int64_t>{8, 1}));
+  EXPECT_TRUE(isDynamic(Strided.getOffset()));
+  auto Offs = Op->getAttr("offs").getTypeValue().cast<MemRefType>();
+  EXPECT_EQ(Offs.getOffset(), 6);
+}
+
+TEST(IRParser, IntegerAttributes) {
+  MLIRContext Context;
+  auto Op = parseOk(Context,
+                    "test.op() {plain = 42, neg = -7, typed = 60 : index, "
+                    "wide = 9223372036854775807, "
+                    "min = -9223372036854775808} : () -> ()");
+  ASSERT_TRUE(Op);
+  EXPECT_EQ(Op->getIntAttr("plain"), 42);
+  EXPECT_EQ(Op->getIntAttr("neg"), -7);
+  EXPECT_EQ(Op->getIntAttr("typed"), 60);
+  EXPECT_TRUE(Op->getAttr("typed").getTypeValue().isIndex());
+  EXPECT_EQ(Op->getIntAttr("wide"), INT64_MAX);
+  // INT64_MIN's magnitude exceeds INT64_MAX; must parse without UB.
+  EXPECT_EQ(Op->getIntAttr("min"), INT64_MIN);
+}
+
+TEST(IRParser, FloatAttributes) {
+  MLIRContext Context;
+  auto Op = parseOk(Context,
+                    "test.op() {a = 1.5, b = -2.25, c = 2.0, "
+                    "d = 1e+20, e = 0.10000000000000001, f = inf, "
+                    "g = -inf, h = nan} : () -> ()");
+  ASSERT_TRUE(Op);
+  EXPECT_EQ(Op->getAttr("a").getFloatValue(), 1.5);
+  EXPECT_EQ(Op->getAttr("b").getFloatValue(), -2.25);
+  // `2.0` must stay a float attribute, not collapse to integer 2.
+  EXPECT_EQ(Op->getAttr("c").getKind(), Attribute::Kind::Float);
+  EXPECT_EQ(Op->getAttr("d").getFloatValue(), 1e+20);
+  EXPECT_EQ(Op->getAttr("e").getFloatValue(), 0.1);
+  EXPECT_TRUE(std::isinf(Op->getAttr("f").getFloatValue()));
+  EXPECT_LT(Op->getAttr("g").getFloatValue(), 0);
+  EXPECT_TRUE(std::isnan(Op->getAttr("h").getFloatValue()));
+}
+
+TEST(IRParser, StringEscapes) {
+  MLIRContext Context;
+  auto Op = parseOk(Context,
+                    "test.op() {s = \"a\\nb\\tc\\\"d\\\\e\\09f\"} "
+                    ": () -> ()");
+  ASSERT_TRUE(Op);
+  EXPECT_EQ(Op->getStringAttr("s"), "a\nb\tc\"d\\e\tf");
+}
+
+TEST(IRParser, ArrayAndDictionaryAttributes) {
+  MLIRContext Context;
+  auto Op = parseOk(Context,
+                    "test.op() {arr = [1, \"two\", [3.5], unit], "
+                    "dict = {inner = {x = 1}, y = [i32]}} : () -> ()");
+  ASSERT_TRUE(Op);
+  const auto &Arr = Op->getAttr("arr").getArrayValue();
+  ASSERT_EQ(Arr.size(), 4u);
+  EXPECT_EQ(Arr[1].getStringValue(), "two");
+  EXPECT_EQ(Arr[2].getArrayValue()[0].getFloatValue(), 3.5);
+  EXPECT_TRUE(Arr[3].isUnit());
+  Attribute Inner = Op->getAttr("dict").getDictionaryEntry("inner");
+  EXPECT_EQ(Inner.getDictionaryEntry("x").getIntValue(), 1);
+}
+
+TEST(IRParser, AffineMapAttributes) {
+  MLIRContext Context;
+  auto Op = parseOk(
+      Context,
+      "test.op() {mm = affine_map<(d0, d1, d2) -> (d0, d2)>, "
+      "conv = affine_map<(d0, d1) -> (((d0 * 2) + d1))>, "
+      "modfd = affine_map<(d0) -> ((d0 mod 4), (d0 floordiv 4))>, "
+      "sym = affine_map<(d0)[s0] -> ((d0 + s0))>, "
+      "cst = affine_map<(d0) -> (7)>} : () -> ()");
+  ASSERT_TRUE(Op);
+  AffineMap MM = Op->getAffineMapAttr("mm");
+  EXPECT_EQ(MM.getNumDims(), 3u);
+  EXPECT_EQ(MM.getNumResults(), 2u);
+  EXPECT_EQ(MM.getResult(1).getPosition(), 2u);
+  AffineMap Conv = Op->getAffineMapAttr("conv");
+  EXPECT_EQ(Conv.eval({5, 1}), (std::vector<int64_t>{11}));
+  AffineMap ModFd = Op->getAffineMapAttr("modfd");
+  EXPECT_EQ(ModFd.eval({13}), (std::vector<int64_t>{1, 3}));
+  AffineMap Sym = Op->getAffineMapAttr("sym");
+  EXPECT_EQ(Sym.getNumSymbols(), 1u);
+  EXPECT_EQ(Sym.eval({2}, {40}), (std::vector<int64_t>{42}));
+  EXPECT_EQ(Op->getAffineMapAttr("cst").eval({0}),
+            (std::vector<int64_t>{7}));
+}
+
+TEST(IRParser, AccelAttributes) {
+  MLIRContext Context;
+  auto Op = parseOk(
+      Context,
+      "test.op() {map = opcode_map<sA = [send_literal(34), send(0)]>, "
+      "flow = opcode_flow<(sA (sB))>, "
+      "dma = dma_config<id = 1, in = 0x1000/4096, out = 0x2000/512>} "
+      ": () -> ()");
+  ASSERT_TRUE(Op);
+  const auto &Map = Op->getAttr("map").getOpcodeMapValue();
+  ASSERT_EQ(Map.Entries.size(), 1u);
+  EXPECT_EQ(Map.Entries[0].Actions[0].Literal, 34);
+  const auto &Flow = Op->getAttr("flow").getOpcodeFlowValue();
+  EXPECT_EQ(Flow.allTokens(), (std::vector<std::string>{"sA", "sB"}));
+  const auto &Dma = Op->getAttr("dma").getDmaConfigValue();
+  EXPECT_EQ(Dma.DmaId, 1);
+  EXPECT_EQ(Dma.InputAddress, 0x1000);
+  EXPECT_EQ(Dma.InputBufferSize, 4096);
+  EXPECT_EQ(Dma.OutputAddress, 0x2000);
+  EXPECT_EQ(Dma.OutputBufferSize, 512);
+}
+
+TEST(IRParser, RegionsBlocksAndComments) {
+  MLIRContext Context;
+  auto Op = parseOk(Context,
+                    "// leading comment\n"
+                    "test.two() ({\n"
+                    "^bb(%a: index):  // trailing comment\n"
+                    "  test.x(%a) : (index) -> ()\n"
+                    "}, {\n"
+                    "^bb():\n"
+                    "}) : () -> ()\n"
+                    "// trailing file comment\n");
+  ASSERT_TRUE(Op);
+  ASSERT_EQ(Op->getNumRegions(), 2u);
+  EXPECT_EQ(Op->getRegion(0).front().getNumArguments(), 1u);
+  EXPECT_TRUE(Op->getRegion(1).front().empty());
+  // The block argument feeds the nested op.
+  Block &First = Op->getRegion(0).front();
+  EXPECT_EQ(First.front()->getOperand(0), First.getArgument(0));
+}
+
+TEST(IRParser, FunctionTypeAttr) {
+  MLIRContext Context;
+  auto Op = parseOk(Context,
+                    "test.op() {ft = (i32, f32) -> (index)} : () -> ()");
+  ASSERT_TRUE(Op);
+  auto Ft = Op->getAttr("ft").getTypeValue().cast<FunctionType>();
+  ASSERT_EQ(Ft.getInputs().size(), 2u);
+  EXPECT_TRUE(Ft.getInputs()[1].isFloat());
+  ASSERT_EQ(Ft.getResults().size(), 1u);
+  EXPECT_TRUE(Ft.getResults()[0].isIndex());
+}
+
+//===----------------------------------------------------------------------===//
+// IR parser diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(IRParserDiag, UnbalancedRegion) {
+  MLIRContext Context;
+  std::string Error =
+      parseErr(Context, "test.op() ({\n^bb():\n  test.x() : () -> ()\n");
+  EXPECT_NE(Error.find("unbalanced"), std::string::npos) << Error;
+  EXPECT_EQ(Error.rfind("<string>:4:", 0), 0u) << Error;
+}
+
+TEST(IRParserDiag, UnknownType) {
+  MLIRContext Context;
+  std::string Error =
+      parseErr(Context, "%0 = test.op() : () -> (wat)");
+  EXPECT_NE(Error.find("unknown type 'wat'"), std::string::npos) << Error;
+  EXPECT_EQ(Error.rfind("<string>:1:25", 0), 0u) << Error;
+}
+
+TEST(IRParserDiag, DanglingUse) {
+  MLIRContext Context;
+  std::string Error = parseErr(
+      Context, "test.op() ({\n^bb():\n  test.x(%ghost) : (i32) -> ()\n}) "
+               ": () -> ()");
+  EXPECT_NE(Error.find("use of undefined value '%ghost'"),
+            std::string::npos)
+      << Error;
+  EXPECT_EQ(Error.rfind("<string>:3:10", 0), 0u) << Error;
+}
+
+TEST(IRParserDiag, Redefinition) {
+  MLIRContext Context;
+  std::string Error = parseErr(
+      Context, "test.op() ({\n^bb():\n  %0 = test.a() : () -> (i32)\n"
+               "  %0 = test.b() : () -> (i32)\n}) : () -> ()");
+  EXPECT_NE(Error.find("redefinition of value '%0'"), std::string::npos)
+      << Error;
+}
+
+TEST(IRParserDiag, SignatureCountMismatches) {
+  MLIRContext Context;
+  std::string Error = parseErr(
+      Context, "test.op() ({\n^bb(%a: i32):\n  test.x(%a) : () -> ()\n}) "
+               ": () -> ()");
+  EXPECT_NE(Error.find("1 operands but the signature lists 0"),
+            std::string::npos)
+      << Error;
+  Error = parseErr(Context, "%0 = test.op() : () -> ()");
+  EXPECT_NE(Error.find("defines 1 results but the signature lists 0"),
+            std::string::npos)
+      << Error;
+}
+
+TEST(IRParserDiag, OperandTypeMismatch) {
+  MLIRContext Context;
+  std::string Error = parseErr(
+      Context, "test.op() ({\n^bb(%a: i32):\n  test.x(%a) : (f32) -> ()\n"
+               "}) : () -> ()");
+  EXPECT_NE(Error.find("has type i32 but the signature says f32"),
+            std::string::npos)
+      << Error;
+}
+
+TEST(IRParserDiag, TrailingInput) {
+  MLIRContext Context;
+  std::string Error =
+      parseErr(Context, "test.op() : () -> ()\ntest.other() : () -> ()");
+  EXPECT_NE(Error.find("single top-level operation"), std::string::npos)
+      << Error;
+}
+
+TEST(IRParserDiag, UnterminatedString) {
+  MLIRContext Context;
+  std::string Error =
+      parseErr(Context, "test.op() {s = \"oops} : () -> ()");
+  EXPECT_NE(Error.find("unterminated string"), std::string::npos) << Error;
+}
+
+TEST(IRParserDiag, IntegerOverflow) {
+  MLIRContext Context;
+  std::string Error = parseErr(
+      Context, "test.op() {v = 99999999999999999999} : () -> ()");
+  EXPECT_NE(Error.find("out of range"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("99999999999999999999"), std::string::npos) << Error;
+}
+
+TEST(IRParserDiag, DuplicateAttribute) {
+  MLIRContext Context;
+  std::string Error =
+      parseErr(Context, "test.op() {a = 1, a = 2} : () -> ()");
+  EXPECT_NE(Error.find("duplicate attribute 'a'"), std::string::npos)
+      << Error;
+}
+
+TEST(IRParserDiag, UnknownAffineDimension) {
+  MLIRContext Context;
+  std::string Error = parseErr(
+      Context, "test.op() {m = affine_map<(d0) -> (d7)>} : () -> ()");
+  EXPECT_NE(Error.find("unknown affine dimension or symbol 'd7'"),
+            std::string::npos)
+      << Error;
+}
+
+TEST(IRParserDiag, StridedRankMismatch) {
+  MLIRContext Context;
+  std::string Error = parseErr(
+      Context,
+      "test.op() {t = memref<4x4xi32, strided<[1], offset: 0>>} : () -> ()");
+  EXPECT_NE(Error.find("1 strides but the memref has rank 2"),
+            std::string::npos)
+      << Error;
+}
+
+TEST(IRParserDiag, MissingArrow) {
+  MLIRContext Context;
+  std::string Error = parseErr(Context, "test.op() : () ()");
+  EXPECT_NE(Error.find("expected '->'"), std::string::npos) << Error;
+}
+
+TEST(IRParserDiag, VerifierRejectsUnregisteredOps) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  std::string Error =
+      parseErr(Context, "test.unknown() : () -> ()", /*Verify=*/true);
+  EXPECT_NE(Error.find("unregistered operation 'test.unknown'"),
+            std::string::npos)
+      << Error;
+}
+
+TEST(IRParserDiag, BadEscape) {
+  MLIRContext Context;
+  std::string Error =
+      parseErr(Context, "test.op() {s = \"a\\qb\"} : () -> ()");
+  EXPECT_NE(Error.find("invalid escape"), std::string::npos) << Error;
+}
+
+TEST(IRParserDiag, OpcodeMapErrorsPropagate) {
+  MLIRContext Context;
+  std::string Error = parseErr(
+      Context, "test.op() {m = opcode_map<sA = [explode(1)]>} : () -> ()");
+  EXPECT_NE(Error.find("opcode_map"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("explode"), std::string::npos) << Error;
+}
+
+TEST(IRParserDiag, EmptyInput) {
+  MLIRContext Context;
+  std::string Error = parseErr(Context, "  // nothing here\n");
+  EXPECT_NE(Error.find("expected an operation name"), std::string::npos)
+      << Error;
+}
+
+TEST(IRParserDiag, NestingDepthIsBounded) {
+  MLIRContext Context;
+  // 100k nested array attributes must exhaust the limit, not the stack.
+  std::string Source = "test.op() {a = ";
+  Source.append(100000, '[');
+  Source += "1";
+  Source.append(100000, ']');
+  Source += "} : () -> ()";
+  std::string Error = parseErr(Context, Source);
+  EXPECT_NE(Error.find("maximum nesting depth"), std::string::npos) << Error;
+  // Same for nested regions.
+  std::string Regions;
+  for (int I = 0; I < 100000; ++I)
+    Regions += "test.op() ({\n^bb():\n";
+  Error = parseErr(Context, Regions);
+  EXPECT_NE(Error.find("maximum nesting depth"), std::string::npos) << Error;
+}
+
+TEST(IRParserDiag, ColumnsStayAccurateAfterNumberBacktrack) {
+  MLIRContext Context;
+  // Lexing `2e` tentatively consumes the 'e' and backtracks; the follow-on
+  // diagnostic must still point at the 'e' (column 17), which only holds
+  // if the backtrack restores line/column alongside the position.
+  std::string Error = parseErr(Context, "test.op() {a = 2e} : () -> ()");
+  EXPECT_EQ(Error.rfind("<string>:1:17", 0), 0u) << Error;
+}
+
+TEST(IRParserDiag, MissingFile) {
+  MLIRContext Context;
+  std::string Error;
+  auto Result = parseSourceFile("/nonexistent/nope.mlir", &Context, &Error);
+  EXPECT_TRUE(failed(Result));
+  EXPECT_NE(Error.find("cannot open"), std::string::npos) << Error;
+}
+
+TEST(OpcodeMapParser, OverflowedLiteralIsDiagnosed) {
+  std::string Error;
+  auto Map =
+      parseOpcodeMap("sA = [send_literal(99999999999999999999)]", &Error);
+  EXPECT_TRUE(failed(Map));
+  EXPECT_NE(Error.find("out of range"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("99999999999999999999"), std::string::npos) << Error;
 }
 
 TEST(FlowValidation, AgainstMap) {

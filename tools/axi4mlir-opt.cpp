@@ -16,6 +16,13 @@
 ///                [--flow As] [--emit ir|c|both] [--no-cpu-tiling]
 ///                [--no-specialize] [--remainder pad|peel|reject] [--run]
 ///   axi4mlir-opt --config configs/conv2d.json --conv 58x64x3x128x2 --run
+///   axi4mlir-opt --config configs/matmul_v1_4.json
+///                --input examples/matmul_v1.mlir --run
+///
+/// With --input the workload comes from a textual-IR file (one func.func
+/// holding a linalg.matmul or linalg.conv_2d_nchw_fchw) instead of the
+/// built-in workload builders; the problem shape and element type are read
+/// off the kernel's memref types.
 ///
 /// Problem extents need not divide the accelerator tile: partial tiles
 /// are padded (default) or peeled per --remainder. When the config file
@@ -29,8 +36,11 @@
 #include "exec/Interpreter.h"
 #include "exec/Pipeline.h"
 #include "exec/Reference.h"
+#include "ir/Parser.h"
 #include "parser/ConfigParser.h"
 
+#include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -43,6 +53,7 @@ namespace {
 
 struct CliOptions {
   std::string ConfigPath;
+  std::string InputPath;
   std::string Emit = "both";
   bool CpuTiling = true;
   bool Specialize = true;
@@ -61,26 +72,107 @@ void printUsage() {
   std::fprintf(
       stderr,
       "usage: axi4mlir-opt --config FILE (--matmul MxNxK | --conv "
-      "iHWxiCxfHWxoCxS)\n"
+      "iHWxiCxfHWxoCxS | --input FILE.mlir)\n"
       "                    [--flow NAME] [--emit ir|c|both] [--run]\n"
       "                    [--no-cpu-tiling] [--no-specialize]\n"
       "                    [--remainder pad|peel|reject]\n");
 }
 
+/// Parses `MxNxK`-style shape lists strictly: every piece must be a fully
+/// consumed positive decimal integer, so `8xx8`, `abc` or `8a` are rejected
+/// with a diagnostic naming the bad token instead of silently becoming 0.
 bool parseDims(const std::string &Text, std::vector<int64_t> &Out) {
   size_t Pos = 0;
-  while (Pos < Text.size()) {
+  while (true) {
     size_t Next = Text.find('x', Pos);
     std::string Piece = Text.substr(
         Pos, Next == std::string::npos ? std::string::npos : Next - Pos);
-    if (Piece.empty())
+    int64_t Value = 0;
+    auto [End, Errc] =
+        std::from_chars(Piece.data(), Piece.data() + Piece.size(), Value, 10);
+    if (Errc != std::errc() || End != Piece.data() + Piece.size() ||
+        Value <= 0) {
+      std::fprintf(stderr,
+                   "error: invalid dimension '%s' in '%s' (expected "
+                   "positive integers separated by 'x')\n",
+                   Piece.c_str(), Text.c_str());
       return false;
-    Out.push_back(std::strtoll(Piece.c_str(), nullptr, 10));
+    }
+    Out.push_back(Value);
     if (Next == std::string::npos)
       break;
     Pos = Next + 1;
   }
   return true;
+}
+
+/// Resolves the simulated MatMul engine version from an anchored `_vN`
+/// token in the accelerator name (e.g. `matmul_v4_16`): the digits must be
+/// terminated by `_` or the end of the name, so `matmul_v12` is version 12
+/// (rejected as unsupported) rather than a silent `v1` substring match.
+bool matmulVersionFromName(const std::string &Name,
+                           sim::MatMulAccelerator::Version &Out) {
+  using V = sim::MatMulAccelerator::Version;
+  int64_t Found = -1;
+  for (size_t Pos = Name.find("_v"); Pos != std::string::npos;
+       Pos = Name.find("_v", Pos + 1)) {
+    size_t DigitsStart = Pos + 2;
+    size_t DigitsEnd = DigitsStart;
+    while (DigitsEnd < Name.size() &&
+           std::isdigit(static_cast<unsigned char>(Name[DigitsEnd])))
+      ++DigitsEnd;
+    if (DigitsEnd == DigitsStart)
+      continue; // `_v` not followed by digits.
+    if (DigitsEnd < Name.size() && Name[DigitsEnd] != '_')
+      continue; // Not an anchored token (e.g. `_v4x`).
+    int64_t Version = 0;
+    auto [End, Errc] = std::from_chars(Name.data() + DigitsStart,
+                                       Name.data() + DigitsEnd, Version, 10);
+    if (Errc != std::errc() || End != Name.data() + DigitsEnd) {
+      std::fprintf(stderr,
+                   "error: version token '%s' in accelerator name '%s' is "
+                   "out of range\n",
+                   Name.substr(Pos + 1, DigitsEnd - Pos - 1).c_str(),
+                   Name.c_str());
+      return false;
+    }
+    if (Found >= 0 && Found != Version) {
+      std::fprintf(stderr,
+                   "error: accelerator name '%s' carries conflicting "
+                   "_vN version tokens\n",
+                   Name.c_str());
+      return false;
+    }
+    Found = Version;
+  }
+  if (Found < 0) {
+    std::fprintf(stderr,
+                 "error: cannot infer the engine version from accelerator "
+                 "name '%s' (expected an anchored _vN token, e.g. "
+                 "'matmul_v3_16')\n",
+                 Name.c_str());
+    return false;
+  }
+  switch (Found) {
+  case 1:
+    Out = V::V1;
+    return true;
+  case 2:
+    Out = V::V2;
+    return true;
+  case 3:
+    Out = V::V3;
+    return true;
+  case 4:
+    Out = V::V4;
+    return true;
+  default:
+    std::fprintf(stderr,
+                 "error: accelerator name '%s' requests unsupported "
+                 "version v%lld (supported: v1-v4)\n",
+                 Name.c_str(), static_cast<long long>(Found));
+    return false;
+  }
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
@@ -111,6 +203,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       if (!V)
         return false;
       Options.ConfigPath = V;
+    } else if (Arg == "--input") {
+      const char *V = next();
+      if (!V)
+        return false;
+      Options.InputPath = V;
     } else if (Arg == "--matmul") {
       const char *V = next();
       std::vector<int64_t> Dims;
@@ -172,12 +269,188 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       return false;
     }
   }
-  return !Options.ConfigPath.empty() &&
-         (Options.IsMatMul != Options.IsConv);
+  // Exactly one workload source: --matmul, --conv, or --input.
+  int Sources = (Options.IsMatMul ? 1 : 0) + (Options.IsConv ? 1 : 0) +
+                (Options.InputPath.empty() ? 0 : 1);
+  return !Options.ConfigPath.empty() && Sources == 1;
 }
 
-int runTool(const CliOptions &Options) {
+/// Derives the workload description (kind, shape, element type) from a
+/// parsed `--input` function by locating its single named linalg kernel.
+/// Fills the same CliOptions fields the --matmul/--conv flags set.
+bool describeInputWorkload(func::FuncOp Func, CliOptions &Options,
+                           sim::ElemKind &Kind) {
+  Operation *Kernel = nullptr;
+  int KernelCount = 0;
+  Func.getOperation()->walk([&](Operation *Op) {
+    if (Op->getName() == linalg::MatmulOp::OpName ||
+        Op->getName() == linalg::Conv2DNchwFchwOp::OpName) {
+      Kernel = Op;
+      ++KernelCount;
+    }
+  });
+  if (KernelCount != 1) {
+    std::fprintf(stderr,
+                 "error: --input file must contain exactly one "
+                 "linalg.matmul or linalg.conv_2d_nchw_fchw kernel "
+                 "(found %d)\n",
+                 KernelCount);
+    return false;
+  }
+  auto memrefOf = [&](unsigned Index) {
+    return Kernel->getOperand(Index).getType().dyn_cast<MemRefType>();
+  };
+  MemRefType A = memrefOf(0), B = memrefOf(1), C = memrefOf(2);
+  if (!A || !B || !C) {
+    std::fprintf(stderr, "error: kernel operands must be memrefs\n");
+    return false;
+  }
+  // Match the CLI path's strictness: every extent must be a positive
+  // static size (this also rejects dynamic '?' dimensions).
+  for (const MemRefType &T : {A, B, C}) {
+    for (int64_t Dim : T.getShape()) {
+      if (isDynamic(Dim) || Dim < 1) {
+        std::fprintf(stderr,
+                     "error: kernel memref %s must have positive static "
+                     "extents\n",
+                     T.str().c_str());
+        return false;
+      }
+    }
+  }
+  Type Elem = A.getElementType();
+  if (Elem != B.getElementType() || Elem != C.getElementType()) {
+    std::fprintf(stderr,
+                 "error: kernel operands disagree on the element type\n");
+    return false;
+  }
+  switch (Elem.getKind()) {
+  case Type::Kind::I32:
+    Kind = sim::ElemKind::I32;
+    break;
+  case Type::Kind::F32:
+    Kind = sim::ElemKind::F32;
+    break;
+  default:
+    std::fprintf(stderr,
+                 "error: unsupported kernel element type %s (expected "
+                 "i32 or f32)\n",
+                 Elem.str().c_str());
+    return false;
+  }
+
+  if (Kernel->getName() == linalg::MatmulOp::OpName) {
+    if (A.getRank() != 2 || B.getRank() != 2 || C.getRank() != 2 ||
+        A.getDimSize(1) != B.getDimSize(0) ||
+        A.getDimSize(0) != C.getDimSize(0) ||
+        B.getDimSize(1) != C.getDimSize(1)) {
+      std::fprintf(stderr,
+                   "error: linalg.matmul operand shapes are inconsistent "
+                   "(%s, %s, %s)\n",
+                   A.str().c_str(), B.str().c_str(), C.str().c_str());
+      return false;
+    }
+    Options.IsMatMul = true;
+    Options.M = A.getDimSize(0);
+    Options.K = A.getDimSize(1);
+    Options.N = B.getDimSize(1);
+    return true;
+  }
+
+  // Conv: I = {1, iC, iHW, iHW}, W = {oC, iC, fHW, fHW}. Validate the
+  // strides attribute before the typed accessors dereference it.
+  Attribute StridesAttr = Kernel->getAttr("strides");
+  if (!StridesAttr || !StridesAttr.isArray() ||
+      StridesAttr.getArrayValue().size() != 2 ||
+      !StridesAttr.getArrayValue()[0].isInteger() ||
+      !StridesAttr.getArrayValue()[1].isInteger()) {
+    std::fprintf(stderr,
+                 "error: linalg.conv_2d_nchw_fchw requires a "
+                 "'strides = [sH, sW]' integer-array attribute\n");
+    return false;
+  }
+  int64_t StrideH = StridesAttr.getArrayValue()[0].getIntValue();
+  int64_t StrideW = StridesAttr.getArrayValue()[1].getIntValue();
+  if (A.getRank() != 4 || B.getRank() != 4 || C.getRank() != 4 ||
+      A.getDimSize(2) != A.getDimSize(3) ||
+      B.getDimSize(2) != B.getDimSize(3) ||
+      A.getDimSize(1) != B.getDimSize(1)) {
+    std::fprintf(stderr,
+                 "error: linalg.conv_2d_nchw_fchw operand shapes are "
+                 "inconsistent (%s, %s)\n",
+                 A.str().c_str(), B.str().c_str());
+    return false;
+  }
+  if (A.getDimSize(0) != 1) {
+    std::fprintf(stderr,
+                 "error: --input convolutions must have batch 1 (got %lld)\n",
+                 static_cast<long long>(A.getDimSize(0)));
+    return false;
+  }
+  if (StrideH != StrideW || StrideH < 1) {
+    std::fprintf(stderr,
+                 "error: --input convolutions must have equal positive "
+                 "H/W strides (got [%lld, %lld])\n",
+                 static_cast<long long>(StrideH),
+                 static_cast<long long>(StrideW));
+    return false;
+  }
+  // The output shape must agree with what I, W and the strides imply —
+  // the interpreter drives loop bounds from C's type, so an oversized C
+  // in the file would write past the --run-allocated buffer.
+  int64_t OutHW = (A.getDimSize(2) - B.getDimSize(2)) / StrideH + 1;
+  if (OutHW < 1 || C.getDimSize(0) != 1 ||
+      C.getDimSize(1) != B.getDimSize(0) || C.getDimSize(2) != OutHW ||
+      C.getDimSize(3) != OutHW) {
+    std::fprintf(stderr,
+                 "error: linalg.conv_2d_nchw_fchw output shape %s is "
+                 "inconsistent with input %s, filter %s and stride %lld "
+                 "(expected memref<1x%lldx%lldx%lld...>)\n",
+                 C.str().c_str(), A.str().c_str(), B.str().c_str(),
+                 static_cast<long long>(StrideH),
+                 static_cast<long long>(B.getDimSize(0)),
+                 static_cast<long long>(OutHW),
+                 static_cast<long long>(OutHW));
+    return false;
+  }
+  Options.IsConv = true;
+  Options.InC = A.getDimSize(1);
+  Options.InHW = A.getDimSize(2);
+  Options.OutC = B.getDimSize(0);
+  Options.FilterHW = B.getDimSize(2);
+  Options.Stride = StrideH;
+  return true;
+}
+
+int runTool(CliOptions Options) {
   std::string Error;
+  MLIRContext Context;
+  registerAllDialects(Context);
+
+  // With --input the workload (kind, shape, element type) comes from the
+  // parsed file rather than the built-in builders.
+  OwningOpRef ParsedModule;
+  sim::ElemKind InputKind = sim::ElemKind::I32;
+  if (!Options.InputPath.empty()) {
+    auto Parsed = parseSourceFile(Options.InputPath, &Context, &Error);
+    if (failed(Parsed)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 1;
+    }
+    ParsedModule = std::move(*Parsed);
+    if (ParsedModule->getName() != func::FuncOp::OpName) {
+      std::fprintf(stderr,
+                   "error: expected a top-level func.func in '%s', got "
+                   "'%s'\n",
+                   Options.InputPath.c_str(),
+                   ParsedModule->getName().c_str());
+      return 1;
+    }
+    if (!describeInputWorkload(func::FuncOp(ParsedModule.get()), Options,
+                               InputKind))
+      return 1;
+  }
+
   auto Config = parser::parseSystemConfigFile(Options.ConfigPath, &Error);
   if (failed(Config)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
@@ -222,20 +495,34 @@ int runTool(const CliOptions &Options) {
     }
   }
 
-  MLIRContext Context;
-  registerAllDialects(Context);
-  OpBuilder Builder(&Context);
   sim::ElemKind Kind = Candidates.front().DataType == "f32"
                            ? sim::ElemKind::F32
                            : sim::ElemKind::I32;
-  func::FuncOp Func =
-      Options.IsMatMul
-          ? exec::buildMatMulFunc(Builder, Options.M, Options.N, Options.K,
-                                  Kind)
-          : exec::buildConvFunc(Builder, 1, Options.InC, Options.InHW,
-                                Options.OutC, Options.FilterHW,
-                                Options.Stride, Kind);
-  OwningOpRef Owner(Func.getOperation());
+  OwningOpRef Owner;
+  func::FuncOp Func;
+  if (ParsedModule) {
+    if (InputKind != Kind) {
+      std::fprintf(stderr,
+                   "error: '%s' uses element type %s but config '%s' "
+                   "declares data_type '%s'\n",
+                   Options.InputPath.c_str(),
+                   InputKind == sim::ElemKind::F32 ? "f32" : "i32",
+                   Options.ConfigPath.c_str(),
+                   Candidates.front().DataType.c_str());
+      return 1;
+    }
+    Owner = std::move(ParsedModule);
+    Func = func::FuncOp(Owner.get());
+  } else {
+    OpBuilder Builder(&Context);
+    Func = Options.IsMatMul
+               ? exec::buildMatMulFunc(Builder, Options.M, Options.N,
+                                       Options.K, Kind)
+               : exec::buildConvFunc(Builder, 1, Options.InC, Options.InHW,
+                                     Options.OutC, Options.FilterHW,
+                                     Options.Stride, Kind);
+    Owner = OwningOpRef(Func.getOperation());
+  }
 
   transforms::LoweringOptions Lowering;
   Lowering.EnableCpuTiling = Options.CpuTiling;
@@ -278,11 +565,9 @@ int runTool(const CliOptions &Options) {
   // Build the matching simulated board from the accelerator name.
   std::unique_ptr<sim::SoC> Soc;
   if (Options.IsMatMul) {
-    using V = sim::MatMulAccelerator::Version;
-    V Version = Accel.Name.find("v1") != std::string::npos   ? V::V1
-                : Accel.Name.find("v2") != std::string::npos ? V::V2
-                : Accel.Name.find("v4") != std::string::npos ? V::V4
-                                                             : V::V3;
+    sim::MatMulAccelerator::Version Version;
+    if (!matmulVersionFromName(Accel.Name, Version))
+      return 1;
     // Size the simulated engine from the selected accelerator's largest
     // tile (a floor of 8 here used to break --run for 4-tile configs).
     int64_t Size = 0;
