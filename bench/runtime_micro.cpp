@@ -19,6 +19,7 @@
 #include "exec/Interpreter.h"
 #include "exec/Pipeline.h"
 #include "exec/Reference.h"
+#include "exec/opt/PlanOpt.h"
 #include "runtime/DmaRuntime.h"
 #include "sim/SoC.h"
 #include "transforms/Passes.h"
@@ -205,15 +206,16 @@ struct AxirtMatMulFixture {
   MemRefDesc A, B, C;
 
   /// Returns false (after SkipWithError) on a pipeline failure.
-  bool init(benchmark::State &State) {
+  bool init(benchmark::State &State, const char *Flow = "Ns",
+            MatMulAccelerator::Version Version =
+                MatMulAccelerator::Version::V3) {
     int64_t Dims = State.range(0);
     registerAllDialects(Context);
     OpBuilder Builder(&Context);
     Func = exec::buildMatMulFunc(Builder, Dims, Dims, Dims, ElemKind::I32);
     Owner = OwningOpRef(Func.getOperation());
     parser::AcceleratorDesc Accel = exec::parseSingleAccelerator(
-        exec::makeMatMulConfigJson(MatMulAccelerator::Version::V3, 16,
-                                   "Ns"));
+        exec::makeMatMulConfigJson(Version, 16, Flow));
     std::string Error;
     transforms::LoweringOptions Options;
     Options.EnableCpuTiling = false;
@@ -224,7 +226,7 @@ struct AxirtMatMulFixture {
       State.SkipWithError(Error.c_str());
       return false;
     }
-    Soc = makeMatMulSoC(MatMulAccelerator::Version::V3, 16);
+    Soc = makeMatMulSoC(Version, 16);
     Runtime =
         std::make_unique<runtime::DmaRuntime>(*Soc, /*SpecializeCopies=*/true);
     A = MemRefDesc::alloc({Dims, Dims});
@@ -296,6 +298,54 @@ void BM_ExecPlanAxirtFused(benchmark::State &State) {
   interpretMatMulAxirtPlan(State, /*FusePairs=*/true);
 }
 
+/// Plan-optimizer ablation (src/exec/opt): the A-stationary driver — the
+/// data-stationary Fig. 11/12 flow with the most hoistable staging — run
+/// from the unoptimized plan vs. the full fold+licm+coalesce+dce
+/// pipeline. Wall-clock measures the host-dispatch saving; the modeled
+/// counters are exported alongside so record_bench.sh captures the
+/// ablation (instruction and DMA-transfer reduction) in
+/// BENCH_runtime_micro.json.
+void interpretMatMulAxirtPlanOpt(benchmark::State &State,
+                                 const char *Spec) {
+  AxirtMatMulFixture F;
+  if (!F.init(State, /*Flow=*/"As", MatMulAccelerator::Version::V4))
+    return;
+  std::string Error;
+  auto Plan = exec::ExecPlan::compile(F.Func, Error);
+  if (!Plan) {
+    State.SkipWithError(Error.c_str());
+    return;
+  }
+  exec::opt::PlanOptOptions Options;
+  if (failed(exec::opt::parsePlanOptSpec(Spec, Options, Error))) {
+    State.SkipWithError(Error.c_str());
+    return;
+  }
+  exec::opt::PlanOptStats Stats = exec::opt::optimizePlan(*Plan, Options);
+  for (auto _ : State) {
+    F.Soc->resetCounters();
+    if (failed(Plan->run(*F.Soc, F.Runtime.get(), {F.A, F.B, F.C}, Error))) {
+      State.SkipWithError(Error.c_str());
+      break;
+    }
+  }
+  PerfReport Report = F.Soc->report();
+  State.counters["modeled_insts"] =
+      static_cast<double>(Report.Instructions);
+  State.counters["modeled_dma_transfers"] =
+      static_cast<double>(Report.DmaTransfers);
+  State.counters["opt_rewrites"] = static_cast<double>(Stats.total());
+  State.SetItemsProcessed(State.iterations() * State.range(0) *
+                          State.range(0) * State.range(0));
+}
+
+void BM_ExecPlanAxirtPlanOptNone(benchmark::State &State) {
+  interpretMatMulAxirtPlanOpt(State, "none");
+}
+void BM_ExecPlanAxirtOptimized(benchmark::State &State) {
+  interpretMatMulAxirtPlanOpt(State, "fold,dce,licm,coalesce");
+}
+
 /// Plan compilation itself (paid once per function, amortized over runs).
 void BM_ExecPlanCompile(benchmark::State &State) {
   int64_t Dims = State.range(0);
@@ -328,6 +378,8 @@ BENCHMARK(BM_InterpretMatMulAxirtWalker)->Arg(32)->Arg(64);
 BENCHMARK(BM_InterpretMatMulAxirtCompiled)->Arg(32)->Arg(64);
 BENCHMARK(BM_ExecPlanAxirtUnfused)->Arg(64);
 BENCHMARK(BM_ExecPlanAxirtFused)->Arg(64);
+BENCHMARK(BM_ExecPlanAxirtPlanOptNone)->Arg(64);
+BENCHMARK(BM_ExecPlanAxirtOptimized)->Arg(64);
 BENCHMARK(BM_ExecPlanCompile)->Arg(32);
 
 BENCHMARK_MAIN();

@@ -16,6 +16,8 @@
 
 #include <cassert>
 #include <map>
+#include <ostream>
+#include <sstream>
 
 using namespace axi4mlir;
 using namespace axi4mlir::exec;
@@ -450,6 +452,187 @@ std::unique_ptr<ExecPlan> ExecPlan::compile(func::FuncOp Func,
   if (FuseTransferPairs)
     fuseTransferPairs(Plan->Program, Plan->FusedSends, Plan->FusedRecvs);
   return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// Disassembly
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Binary-op mnemonic for Inst::Sub.
+const char *binName(uint8_t Sub) {
+  switch (Sub & 0x7) {
+  case 0:
+    return "add";
+  case 1:
+    return "mul";
+  case 2:
+    return "sub";
+  case 3:
+    return "div";
+  case 4:
+    return "max";
+  default:
+    return "bin?";
+  }
+}
+
+void printIndexList(std::ostream &OS, const std::vector<int32_t> &Pool,
+                    int32_t Offset, uint32_t Count) {
+  OS << '[';
+  for (uint32_t K = 0; K < Count; ++K) {
+    if (K)
+      OS << ", ";
+    OS << '%' << Pool[static_cast<size_t>(Offset) + K];
+  }
+  OS << ']';
+}
+
+} // namespace
+
+void ExecPlan::print(std::ostream &OS) const {
+  OS << "plan @" << FuncName << " args=" << NumArgs << " slots=" << NumSlots
+     << " insts=" << Program.size() << "\n";
+  for (size_t Pc = 0; Pc < Program.size(); ++Pc) {
+    const Inst &I = Program[Pc];
+    OS << "  ";
+    // Fixed-width PC keeps goldens aligned without depending on locale.
+    if (Pc < 10)
+      OS << ' ';
+    if (Pc < 100)
+      OS << ' ';
+    OS << Pc << ": ";
+    switch (I.Code) {
+    case Op::ConstInt:
+      OS << '%' << I.Dst << " = const.i " << I.Imm;
+      break;
+    case Op::ConstFloat: {
+      std::ostringstream Tmp;
+      Tmp << I.FImm;
+      OS << '%' << I.Dst << " = const.f " << Tmp.str();
+      break;
+    }
+    case Op::Binary:
+      OS << '%' << I.Dst << " = " << binName(I.Sub)
+         << ((I.Sub & BinFloatResult) ? ".f %" : ".i %") << I.A << ", %"
+         << I.B;
+      break;
+    case Op::IndexCast:
+      OS << '%' << I.Dst << " = index_cast %" << I.A;
+      break;
+    case Op::LoopBegin:
+      OS << "loop %" << I.Dst << " = [%" << I.A << ", %" << I.B << ") step %"
+         << I.C << " -> @" << I.Aux;
+      break;
+    case Op::LoopEnd:
+      OS << "end -> @" << I.Aux;
+      break;
+    case Op::Alloc: {
+      const AllocPlan &Info = Allocs[I.Aux];
+      OS << '%' << I.Dst << " = alloc ";
+      for (int64_t Dim : Info.Shape)
+        OS << Dim << 'x';
+      OS << (Info.Kind == sim::ElemKind::F32 ? "f32" : "i32");
+      break;
+    }
+    case Op::Dealloc:
+      OS << "dealloc";
+      break;
+    case Op::Load:
+      OS << '%' << I.Dst << " = load %" << I.A;
+      printIndexList(OS, SlotPool, I.Aux, I.Sub);
+      break;
+    case Op::Store:
+      OS << "store %" << I.A << " -> %" << I.B;
+      printIndexList(OS, SlotPool, I.Aux, I.Sub);
+      break;
+    case Op::Copy:
+      OS << "copy %" << I.A << " -> %" << I.B;
+      break;
+    case Op::SubView: {
+      const SubViewPlan &Info = SubViews[I.Aux];
+      OS << '%' << I.Dst << " = subview %" << I.A;
+      printIndexList(OS, SlotPool, Info.PoolOffset, Info.NumOffsets);
+      OS << " sizes=[";
+      for (size_t K = 0; K < Info.StaticSizes.size(); ++K)
+        OS << (K ? ", " : "") << Info.StaticSizes[K];
+      OS << ']';
+      break;
+    }
+    case Op::Generic: {
+      const GenericPlan &G = Generics[I.Aux];
+      OS << "generic ranges=[";
+      for (size_t K = 0; K < G.Ranges.size(); ++K)
+        OS << (K ? ", " : "") << G.Ranges[K];
+      OS << "] operands=[";
+      for (size_t K = 0; K < G.Operands.size(); ++K)
+        OS << (K ? ", " : "") << '%' << G.Operands[K].Slot;
+      OS << "] body=" << G.Body.size();
+      break;
+    }
+    case Op::AccelDmaInit:
+      OS << "accel.dma_init #" << I.Aux;
+      break;
+    case Op::AccelSendLiteral:
+      OS << '%' << I.Dst << " = accel.send_literal " << I.Imm << " @ %"
+         << I.A;
+      break;
+    case Op::AccelSend:
+      OS << '%' << I.Dst << " = accel.send %" << I.A << " @ %" << I.B;
+      break;
+    case Op::AccelSendDim:
+      OS << '%' << I.Dst << " = accel.send_dim %" << I.A
+         << (I.Sub ? " size=" : " dim=") << I.Imm << " @ %" << I.B;
+      break;
+    case Op::AccelSendIdx:
+      OS << '%' << I.Dst << " = accel.send_idx %" << I.A << " @ %" << I.B;
+      break;
+    case Op::AccelRecv:
+      OS << '%' << I.Dst << " = accel.recv %" << I.A
+         << (I.Sub ? " accumulate" : "");
+      break;
+    case Op::CallDmaInit:
+      OS << "dma_init #" << I.Aux;
+      break;
+    case Op::CallCopyToDma:
+      OS << '%' << I.Dst << " = copy_to_dma %" << I.A << " @ %" << I.B;
+      break;
+    case Op::CallCopyLiteralToDma:
+      OS << '%' << I.Dst << " = copy_literal_to_dma %" << I.A << " @ %"
+         << I.B;
+      break;
+    case Op::CallStartSend:
+      OS << "start_send end=%" << I.A << " off=%" << I.B;
+      break;
+    case Op::CallWaitSend:
+      OS << "wait_send";
+      break;
+    case Op::CallStartRecv:
+      OS << "start_recv len=%" << I.A << " off=%" << I.B;
+      break;
+    case Op::CallWaitRecv:
+      OS << "wait_recv";
+      break;
+    case Op::CallCopyFromDma:
+      OS << "copy_from_dma %" << I.A << " @ %" << I.B
+         << (I.Sub ? " accumulate" : "");
+      break;
+    case Op::CallSendFused:
+      OS << "send end=%" << I.A << " off=%" << I.B;
+      break;
+    case Op::CallRecvFused:
+      OS << "recv len=%" << I.A << " off=%" << I.B;
+      break;
+    }
+    OS << "\n";
+  }
+}
+
+std::string ExecPlan::printToString() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
 }
 
 //===----------------------------------------------------------------------===//

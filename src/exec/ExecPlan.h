@@ -41,6 +41,7 @@
 #include "runtime/DmaRuntime.h"
 #include "support/LogicalResult.h"
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,6 +50,10 @@ namespace axi4mlir {
 namespace exec {
 
 struct ExecPlanBuilder;
+
+namespace opt {
+class PlanOptimizer;
+} // namespace opt
 
 /// One function compiled to a flat instruction program.
 class ExecPlan {
@@ -80,9 +85,17 @@ public:
   unsigned numFusedSends() const { return FusedSends; }
   unsigned numFusedRecvs() const { return FusedRecvs; }
 
+  /// Prints a stable textual disassembly of the program (one instruction
+  /// per line, slots as %N, loop targets as @PC). Golden tests pin this
+  /// output before/after each optimizer pass.
+  void print(std::ostream &OS) const;
+  std::string printToString() const;
+
 private:
   ExecPlan() = default;
   friend struct ExecPlanBuilder;
+  /// The plan optimizer (src/exec/opt) rewrites Program/SlotPool in place.
+  friend class opt::PlanOptimizer;
 
   /// Instruction opcodes (the former string-compare chains).
   enum class Op : uint8_t {

@@ -27,6 +27,12 @@ Interpreter::Interpreter(sim::SoC &Soc, runtime::DmaRuntime *Runtime,
 
 Interpreter::~Interpreter() = default;
 
+void Interpreter::setPlanOptions(const opt::PlanOptOptions &Options) {
+  PlanOptions = Options;
+  CachedPlan.reset();
+  CachedPlanFor = nullptr;
+}
+
 LogicalResult Interpreter::run(func::FuncOp Func,
                                const std::vector<MemRefDesc> &Arguments,
                                std::string &Error) {
@@ -64,6 +70,7 @@ LogicalResult Interpreter::run(func::FuncOp Func,
       CachedPlan = ExecPlan::compile(Func, Error);
       if (!CachedPlan)
         return failure();
+      OptStats = opt::optimizePlan(*CachedPlan, PlanOptions);
       CachedPlanFor = Func.getOperation();
       CachedPlanTopLevelOps = TopLevelOps;
       CachedPlanArgTypes.clear();

@@ -22,6 +22,7 @@
 #define AXI4MLIR_EXEC_INTERPRETER_H
 
 #include "dialects/Func.h"
+#include "exec/opt/PlanOpt.h"
 #include "runtime/DmaRuntime.h"
 #include "support/LogicalResult.h"
 
@@ -51,6 +52,14 @@ public:
   /// Both produce identical output buffers and perf counters.
   void setUseCompiledPlan(bool Enabled) { UseCompiledPlan = Enabled; }
   bool usesCompiledPlan() const { return UseCompiledPlan; }
+
+  /// Enables plan-optimizer passes (src/exec/opt) for subsequent runs.
+  /// Off by default to preserve the bit-identical plan-vs-walker counter
+  /// guarantee. Invalidates the plan cache.
+  void setPlanOptions(const opt::PlanOptOptions &Options);
+  const opt::PlanOptOptions &planOptions() const { return PlanOptions; }
+  /// What the optimizer did to the most recently compiled plan.
+  const opt::PlanOptStats &planOptStats() const { return OptStats; }
 
   /// Runs \p Func with memref arguments bound to \p Arguments. The
   /// compiled plan is cached: repeated runs of the same (unmodified)
@@ -107,6 +116,8 @@ private:
   sim::SoC &Soc;
   runtime::DmaRuntime *Runtime;
   bool UseCompiledPlan;
+  opt::PlanOptOptions PlanOptions;
+  opt::PlanOptStats OptStats;
   /// Plan cache for the compiled executor. The fingerprint (op address,
   /// name, structural argument types, top-level op count) invalidates on
   /// the realistic staleness cases; callers mutating a function body in

@@ -133,6 +133,13 @@ RunResult exec::runMatMulAxi4mlir(const MatMulRunConfig &Config) {
   runtime::DmaRuntime Runtime(*Soc, Config.SpecializeCopies);
   MatMulData Data = makeMatMulData(Config);
   Interpreter Interp(*Soc, &Runtime);
+  if (!Config.PlanOpt.empty()) {
+    opt::PlanOptOptions OptOptions;
+    if (failed(opt::parsePlanOptSpec(Config.PlanOpt, OptOptions,
+                                     Result.Error)))
+      return Result;
+    Interp.setPlanOptions(OptOptions);
+  }
   if (failed(Interp.run(Func, {Data.A, Data.B, Data.C}, Result.Error)))
     return Result;
 
@@ -271,6 +278,13 @@ RunResult exec::runConvAxi4mlir(const ConvRunConfig &Config) {
   runtime::DmaRuntime Runtime(*Soc, Config.SpecializeCopies);
   ConvData Data = makeConvData(Config);
   Interpreter Interp(*Soc, &Runtime);
+  if (!Config.PlanOpt.empty()) {
+    opt::PlanOptOptions OptOptions;
+    if (failed(opt::parsePlanOptSpec(Config.PlanOpt, OptOptions,
+                                     Result.Error)))
+      return Result;
+    Interp.setPlanOptions(OptOptions);
+  }
   if (failed(Interp.run(Func, {Data.Input, Data.Filter, Data.Output},
                         Result.Error)))
     return Result;

@@ -49,6 +49,9 @@ struct MatMulRunConfig {
   /// reference execution; disable in large sweeps).
   bool Validate = true;
   uint32_t Seed = 7;
+  /// Plan-optimizer spec for the compiled executor: "none" (default),
+  /// "all", or a comma list of fold/dce/licm/coalesce.
+  std::string PlanOpt;
 };
 
 /// Result of one experiment run.
@@ -93,6 +96,8 @@ struct ConvRunConfig {
   sim::SoCParams Params;
   bool Validate = true;
   uint32_t Seed = 11;
+  /// Plan-optimizer spec (see MatMulRunConfig::PlanOpt).
+  std::string PlanOpt;
 };
 
 RunResult runConvAxi4mlir(const ConvRunConfig &Config);

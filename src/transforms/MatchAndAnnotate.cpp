@@ -226,6 +226,19 @@ static LogicalResult annotateGeneric(linalg::GenericOp Generic,
   return success();
 }
 
+transforms::GenericKernelKind
+transforms::classifyGenericKernel(Operation *Op, int64_t &StrideH,
+                                  int64_t &StrideW) {
+  if (!Op || Op->getName() != linalg::GenericOp::OpName)
+    return GenericKernelKind::None;
+  linalg::GenericOp Generic(Op);
+  if (matchesMatmul(Generic))
+    return GenericKernelKind::MatMul;
+  if (matchesConv(Generic, StrideH, StrideW))
+    return GenericKernelKind::Conv2D;
+  return GenericKernelKind::None;
+}
+
 /// True if \p Generic structurally matches the kernel \p Accel implements.
 static bool matchesKernel(linalg::GenericOp Generic,
                           const parser::AcceleratorDesc &Accel) {

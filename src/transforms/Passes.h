@@ -61,6 +61,16 @@ LogicalResult matchAndAnnotate(func::FuncOp Func,
                                std::string &Error,
                                unsigned *NumAnnotated = nullptr);
 
+/// Structural classification of a linalg.generic against the kernels the
+/// accelerators implement — the same matcher matchAndAnnotate uses, exposed
+/// so tools can accept already-generic kernels in their inputs.
+enum class GenericKernelKind { None, MatMul, Conv2D };
+
+/// Classifies \p Op. For Conv2D the window strides extracted from the
+/// indexing maps are returned through \p StrideH / \p StrideW.
+GenericKernelKind classifyGenericKernel(Operation *Op, int64_t &StrideH,
+                                        int64_t &StrideW);
+
 /// Derives a loop permutation from an opcode flow: dimensions used by send
 /// tokens of outer scopes become outer loops (stationary operands' indices
 /// go outermost); remaining dimensions are appended in ascending order.

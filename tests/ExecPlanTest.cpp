@@ -20,6 +20,7 @@
 #include "exec/Interpreter.h"
 #include "exec/Pipeline.h"
 #include "exec/Reference.h"
+#include "exec/opt/PlanOpt.h"
 
 #include <gtest/gtest.h>
 
@@ -312,6 +313,293 @@ TEST(ExecPlan, DiagnosticsMatchWalker) {
   Interpreter Walker(*Soc, nullptr, /*UseCompiledPlan=*/false);
   EXPECT_TRUE(failed(Walker.run(Func, {}, WalkerError)));
   EXPECT_EQ(PlanError, WalkerError);
+}
+
+//===----------------------------------------------------------------------===//
+// Golden disassembly: ExecPlan::print pinned before/after each optimizer
+// pass (src/exec/opt) on one matmul and one conv driver.
+//===----------------------------------------------------------------------===//
+
+/// Asserts that \p Needles occur in \p Haystack in the given order.
+void expectInOrder(const std::string &Haystack,
+                   const std::vector<std::string> &Needles) {
+  size_t Position = 0;
+  for (const std::string &Needle : Needles) {
+    size_t Found = Haystack.find(Needle, Position);
+    ASSERT_NE(Found, std::string::npos)
+        << "missing (in order): '" << Needle << "'\nafter offset "
+        << Position << " in:\n"
+        << Haystack;
+    Position = Found + Needle.size();
+  }
+}
+
+/// Lowers one small driver end to end (axirt level, no CPU tiling) and
+/// compiles the plan. Matmul: 8x8x8 on the v3/4 As-flow accelerator.
+/// Conv: 5x5x2 -> 3x3x2 on the conv2d_os engine.
+std::unique_ptr<ExecPlan> compileGoldenDriver(MLIRContext &Context,
+                                              OwningOpRef &Owner,
+                                              bool Conv) {
+  OpBuilder Builder(&Context);
+  func::FuncOp Func =
+      Conv ? buildConvFunc(Builder, 1, 2, 5, 2, 3, 1, sim::ElemKind::I32)
+           : buildMatMulFunc(Builder, 8, 8, 8, sim::ElemKind::I32);
+  Owner = OwningOpRef(Func.getOperation());
+  parser::AcceleratorDesc Accel = parseSingleAccelerator(
+      Conv ? makeConvConfigJson() : makeMatMulConfigJson(V::V3, 4, "As"));
+  transforms::LoweringOptions Options;
+  Options.EnableCpuTiling = false;
+  transforms::PassManager Pipeline = transforms::buildPipeline(
+      std::vector<parser::AcceleratorDesc>{Accel}, Options);
+  std::string Error;
+  if (failed(Pipeline.run(Func, Error))) {
+    ADD_FAILURE() << Error;
+    return nullptr;
+  }
+  auto Plan = ExecPlan::compile(Func, Error);
+  EXPECT_NE(Plan, nullptr) << Error;
+  return Plan;
+}
+
+opt::PlanOptOptions onlyPass(const std::string &Spec) {
+  opt::PlanOptOptions Options;
+  std::string Error;
+  EXPECT_TRUE(succeeded(opt::parsePlanOptSpec(Spec, Options, Error)))
+      << Error;
+  return Options;
+}
+
+TEST(PlanDisassembly, MatMulUnoptimized) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OwningOpRef Owner;
+  auto Plan = compileGoldenDriver(Context, Owner, /*Conv=*/false);
+  ASSERT_NE(Plan, nullptr);
+  expectInOrder(Plan->printToString(),
+                {"plan @matmul_call args=3 slots=35 insts=41",
+                 "dma_init #0",
+                 "%5 = copy_literal_to_dma %4 @ %3",
+                 "send end=%5 off=%3",
+                 "loop %9 = [%6, %7) step %8 -> @41",
+                 "loop %13 = [%10, %11) step %12 -> @40",
+                 "%18 = const.i 34",
+                 "%19 = copy_literal_to_dma %18 @ %17",
+                 "%20 = subview %0[%9, %13] sizes=[4, 4]",
+                 "%21 = copy_to_dma %20 @ %19",
+                 "send end=%21 off=%17",
+                 "loop %22 = [%14, %15) step %16 -> @39",
+                 "%24 = const.i 35",
+                 "%26 = subview %1[%13, %22] sizes=[4, 4]",
+                 "%28 = const.i 240",
+                 "%30 = const.i 36",
+                 "send end=%31 off=%23",
+                 "%32 = subview %2[%9, %22] sizes=[4, 4]",
+                 "recv len=%33 off=%34",
+                 "copy_from_dma %32 @ %34 accumulate",
+                 "end -> @23",
+                 "end -> @13",
+                 "end -> @9"});
+}
+
+/// fold rewrites operand references to canonical constants without
+/// moving or removing a single instruction: loop bounds, staging
+/// offsets, and recv offsets all read the earliest dominating constant.
+TEST(PlanDisassembly, MatMulAfterFold) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OwningOpRef Owner;
+  auto Plan = compileGoldenDriver(Context, Owner, /*Conv=*/false);
+  ASSERT_NE(Plan, nullptr);
+  opt::PlanOptStats Stats = opt::optimizePlan(*Plan, onlyPass("fold"));
+  EXPECT_EQ(Stats.FoldedOperands, 5u);
+  EXPECT_FALSE(Stats.changedCounters());
+  EXPECT_EQ(Stats.RemovedUnchargedInsts, 0u);
+  expectInOrder(Plan->printToString(),
+                {"plan @matmul_call args=3 slots=35 insts=41",
+                 "loop %9 = [%3, %7) step %8 -> @41",
+                 "%19 = copy_literal_to_dma %18 @ %14",
+                 "send end=%21 off=%14",
+                 "recv len=%33 off=%23",
+                 "copy_from_dma %32 @ %23 accumulate"});
+}
+
+/// Every constant in this driver is read, so dce finds nothing: the
+/// disassembly must be byte-identical to the unoptimized plan. Same for
+/// coalesce — the As-flow v3 driver has no fused-send adjacency or
+/// single-trip loops.
+TEST(PlanDisassembly, MatMulDceAndCoalesceAreNoOps) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OwningOpRef Owner;
+  auto Plan = compileGoldenDriver(Context, Owner, /*Conv=*/false);
+  ASSERT_NE(Plan, nullptr);
+  std::string Before = Plan->printToString();
+
+  opt::PlanOptStats Stats = opt::optimizePlan(*Plan, onlyPass("dce"));
+  EXPECT_EQ(Stats.total(), 0u);
+  EXPECT_EQ(Plan->printToString(), Before);
+
+  Stats = opt::optimizePlan(*Plan, onlyPass("coalesce"));
+  EXPECT_EQ(Stats.total(), 0u);
+  EXPECT_EQ(Plan->printToString(), Before);
+}
+
+/// licm drains the loop-invariant constants into the preheader and
+/// hoists the sB-opcode staging literal (charged) out of the inner loop;
+/// the IV-dependent subviews and copies must stay put.
+TEST(PlanDisassembly, MatMulAfterLicm) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OwningOpRef Owner;
+  auto Plan = compileGoldenDriver(Context, Owner, /*Conv=*/false);
+  ASSERT_NE(Plan, nullptr);
+  opt::PlanOptStats Stats = opt::optimizePlan(*Plan, onlyPass("licm"));
+  EXPECT_EQ(Stats.HoistedUnchargedInsts, 31u);
+  EXPECT_EQ(Stats.HoistedChargedInsts, 1u);
+  EXPECT_TRUE(Stats.changedCounters());
+  expectInOrder(Plan->printToString(),
+                {"plan @matmul_call args=3 slots=35 insts=41",
+                 // Preheader: all loop constants, deepest last.
+                 "%18 = const.i 34", "%24 = const.i 35",
+                 "%28 = const.i 240", "%30 = const.i 36",
+                 "%33 = const.i 16",
+                 // Then the loop nest with only the real work inside.
+                 "loop %9 = [%6, %7) step %8",
+                 "loop %13 = [%10, %11) step %12",
+                 "%19 = copy_literal_to_dma %18 @ %17",
+                 "%20 = subview %0[%9, %13] sizes=[4, 4]",
+                 "send end=%21 off=%17",
+                 // The hoisted charged staging literal sits between the
+                 // middle loop header and the inner loop.
+                 "%25 = copy_literal_to_dma %24 @ %23",
+                 "loop %22 = [%14, %15) step %16",
+                 "%26 = subview %1[%13, %22] sizes=[4, 4]",
+                 "send end=%31 off=%23",
+                 "copy_from_dma %32 @ %34 accumulate"});
+}
+
+/// The full pipeline composes fold + licm, then dce deletes the
+/// constants made dead by folding: 41 -> 31 instructions.
+TEST(PlanDisassembly, MatMulAfterFullPipeline) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OwningOpRef Owner;
+  auto Plan = compileGoldenDriver(Context, Owner, /*Conv=*/false);
+  ASSERT_NE(Plan, nullptr);
+  opt::PlanOptStats Stats =
+      opt::optimizePlan(*Plan, opt::PlanOptOptions::all());
+  EXPECT_EQ(Stats.FoldedOperands, 17u);
+  EXPECT_EQ(Stats.RemovedUnchargedInsts, 10u);
+  EXPECT_EQ(Stats.HoistedUnchargedInsts, 31u);
+  EXPECT_EQ(Stats.HoistedChargedInsts, 1u);
+  expectInOrder(Plan->printToString(),
+                {"plan @matmul_call args=3 slots=35 insts=31",
+                 "send end=%5 off=%3",
+                 "%33 = const.i 16",
+                 "loop %9 = [%3, %7) step %8 -> @31",
+                 "loop %13 = [%3, %7) step %8 -> @30",
+                 "%19 = copy_literal_to_dma %18 @ %3",
+                 "send end=%21 off=%3",
+                 "%25 = copy_literal_to_dma %24 @ %3",
+                 "loop %22 = [%3, %7) step %8 -> @29",
+                 "send end=%31 off=%3",
+                 "recv len=%33 off=%3",
+                 "copy_from_dma %32 @ %3 accumulate"});
+}
+
+TEST(PlanDisassembly, ConvUnoptimized) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OwningOpRef Owner;
+  auto Plan = compileGoldenDriver(Context, Owner, /*Conv=*/true);
+  ASSERT_NE(Plan, nullptr);
+  expectInOrder(Plan->printToString(),
+                {"plan @conv_call args=3 slots=48 insts=55",
+                 "dma_init #0",
+                 // cfg group: four chained literals, one send.
+                 "%5 = copy_literal_to_dma %4 @ %3",
+                 "%7 = copy_literal_to_dma %6 @ %5",
+                 "%9 = copy_literal_to_dma %8 @ %7",
+                 "%11 = copy_literal_to_dma %10 @ %9",
+                 "send end=%11 off=%3",
+                 // Output-channel loop: weights sent once per filter.
+                 "loop %15 = [%12, %13) step %14 -> @55",
+                 "%25 = subview %1[%15, %22, %23, %24] sizes=[1, 2, 3, 3]",
+                 "send end=%26 off=%19",
+                 // Spatial loops streaming input windows.
+                 "loop %27 = [%16, %17) step %18 -> @42",
+                 "loop %31 = [%28, %29) step %30 -> @41",
+                 "%37 = subview %0[%35, %36, %27, %31] sizes=[1, 2, 3, 3]",
+                 "send end=%38 off=%32",
+                 "end -> @32", "end -> @28",
+                 "recv len=%46 off=%47",
+                 "copy_from_dma %45 @ %47 accumulate",
+                 "end -> @15"});
+}
+
+/// Per-pass stats pins on the conv driver; dce and coalesce leave it
+/// untouched, fold and licm each fire without changing the other's
+/// domain.
+TEST(PlanDisassembly, ConvPerPassStats) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+
+  struct Expectation {
+    const char *Spec;
+    size_t Folded, RemovedU, HoistedU, HoistedC;
+  } Cases[] = {
+      {"fold", 21, 0, 0, 0},
+      {"dce", 0, 0, 0, 0},
+      {"licm", 0, 0, 33, 2},
+      {"coalesce", 0, 0, 0, 0},
+  };
+  for (const Expectation &E : Cases) {
+    SCOPED_TRACE(E.Spec);
+    OwningOpRef Owner;
+    auto Plan = compileGoldenDriver(Context, Owner, /*Conv=*/true);
+    ASSERT_NE(Plan, nullptr);
+    std::string Before = Plan->printToString();
+    opt::PlanOptStats Stats = opt::optimizePlan(*Plan, onlyPass(E.Spec));
+    EXPECT_EQ(Stats.FoldedOperands, E.Folded);
+    EXPECT_EQ(Stats.RemovedUnchargedInsts, E.RemovedU);
+    EXPECT_EQ(Stats.HoistedUnchargedInsts, E.HoistedU);
+    EXPECT_EQ(Stats.HoistedChargedInsts, E.HoistedC);
+    EXPECT_EQ(Stats.RemovedChargedInsts, 0u);
+    EXPECT_EQ(Stats.CoalescedSends, 0u);
+    if (Stats.total() == 0) {
+      EXPECT_EQ(Plan->printToString(), Before);
+    }
+  }
+}
+
+TEST(PlanDisassembly, ConvAfterFullPipeline) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OwningOpRef Owner;
+  auto Plan = compileGoldenDriver(Context, Owner, /*Conv=*/true);
+  ASSERT_NE(Plan, nullptr);
+  opt::PlanOptStats Stats =
+      opt::optimizePlan(*Plan, opt::PlanOptOptions::all());
+  EXPECT_EQ(Stats.FoldedOperands, 47u);
+  EXPECT_EQ(Stats.RemovedUnchargedInsts, 21u);
+  EXPECT_EQ(Stats.HoistedUnchargedInsts, 33u);
+  EXPECT_EQ(Stats.HoistedChargedInsts, 2u);
+  expectInOrder(Plan->printToString(),
+                {"plan @conv_call args=3 slots=48 insts=34",
+                 "send end=%11 off=%3",
+                 "loop %15 = [%3, %10) step %14 -> @34",
+                 // Weight staging (IV-dependent) stays in the oC loop...
+                 "%25 = subview %1[%15, %3, %3, %3] sizes=[1, 2, 3, 3]",
+                 "send end=%26 off=%3",
+                 // ...with the rC-opcode literal hoisted above the
+                 // spatial nest.
+                 "%34 = copy_literal_to_dma %33 @ %3",
+                 "loop %27 = [%3, %6) step %14 -> @28",
+                 "loop %31 = [%3, %6) step %14 -> @27",
+                 "%37 = subview %0[%3, %3, %27, %31] sizes=[1, 2, 3, 3]",
+                 "send end=%38 off=%3",
+                 "recv len=%46 off=%3",
+                 "copy_from_dma %45 @ %3 accumulate"});
 }
 
 } // namespace

@@ -15,8 +15,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "dialects/InitAllDialects.h"
+#include "exec/Pipeline.h"
 #include "ir/Parser.h"
 #include "parser/OpcodeParser.h"
+#include "transforms/Passes.h"
 
 #include <gtest/gtest.h>
 
@@ -611,6 +613,72 @@ TEST(FlowValidation, AgainstMap) {
   std::string Error;
   EXPECT_TRUE(failed(validateFlowAgainstMap(*Bad, *Map, &Error)));
   EXPECT_NE(Error.find("sX"), std::string::npos);
+}
+
+/// axi4mlir-opt --input accepts kernels already in linalg.generic form:
+/// print a converted generic kernel, parse it back, and classify the
+/// parsed op (the tool's workload-detection path).
+TEST(GenericKernelDetection, ParsedGenericMatmulAndConv) {
+  struct Case {
+    bool Conv;
+    transforms::GenericKernelKind Kind;
+    int64_t StrideH, StrideW;
+  } Cases[] = {
+      {false, transforms::GenericKernelKind::MatMul, 0, 0},
+      {true, transforms::GenericKernelKind::Conv2D, 2, 2},
+  };
+  for (const Case &C : Cases) {
+    SCOPED_TRACE(C.Conv ? "conv" : "matmul");
+    MLIRContext Context;
+    registerAllDialects(Context);
+    OpBuilder Builder(&Context);
+    func::FuncOp Func =
+        C.Conv ? exec::buildConvFunc(Builder, 1, 3, 9, 2, 3, C.StrideH,
+                                     sim::ElemKind::I32)
+               : exec::buildMatMulFunc(Builder, 8, 8, 8, sim::ElemKind::I32);
+    OwningOpRef Owner(Func.getOperation());
+    std::string Error;
+    ASSERT_TRUE(succeeded(transforms::convertNamedToGeneric(Func, Error)))
+        << Error;
+
+    // Through the text round-trip, as --input receives it.
+    MLIRContext FreshContext;
+    registerAllDialects(FreshContext);
+    auto Parsed = parseSourceString(Owner->str(), &FreshContext, &Error);
+    ASSERT_TRUE(succeeded(Parsed)) << Error;
+
+    int Generics = 0;
+    Parsed->get()->walk([&](Operation *Op) {
+      int64_t StrideH = 0, StrideW = 0;
+      transforms::GenericKernelKind Kind =
+          transforms::classifyGenericKernel(Op, StrideH, StrideW);
+      if (Kind == transforms::GenericKernelKind::None)
+        return;
+      ++Generics;
+      EXPECT_EQ(Kind, C.Kind);
+      if (Kind == transforms::GenericKernelKind::Conv2D) {
+        EXPECT_EQ(StrideH, C.StrideH);
+        EXPECT_EQ(StrideW, C.StrideW);
+      }
+    });
+    EXPECT_EQ(Generics, 1);
+  }
+}
+
+/// Non-kernel generics (wrong arity, wrong body) classify as None rather
+/// than being misdetected.
+TEST(GenericKernelDetection, RejectsNonKernels) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  int64_t StrideH = 0, StrideW = 0;
+  EXPECT_EQ(transforms::classifyGenericKernel(nullptr, StrideH, StrideW),
+            transforms::GenericKernelKind::None);
+  OpBuilder Builder(&Context);
+  Operation *NotGeneric = Builder.create("arith.constant");
+  OwningOpRef Owner(NotGeneric);
+  EXPECT_EQ(
+      transforms::classifyGenericKernel(NotGeneric, StrideH, StrideW),
+      transforms::GenericKernelKind::None);
 }
 
 } // namespace

@@ -1,0 +1,4 @@
+func.func() ({
+^bb:
+  func.return() : () -> ()
+}) {sym_name = "f", function_type = () -> (), m = affine_map<(d0, d1) -> (d0 + )>} : () -> ()

@@ -1,0 +1,8 @@
+func.func() ({
+^bb:
+  "linalg.generic"() ({
+^bb0(%a: i32):
+  linalg.yield(%a) : (i32) -> ()
+}) {indexing_maps = [], iterator_types = [3.5], operand_segment_sizes = "no"} : () -> ()
+  func.return() : () -> ()
+}) {sym_name = "f", function_type = () -> ()} : () -> ()

@@ -1,0 +1,6 @@
+func.func() ({
+^bb:
+  %0 = arith.constant() {value = 1 : index} : () -> index
+  %0 = arith.constant() {value = 2 : index} : () -> index
+  func.return() : () -> ()
+}) {sym_name = "f", function_type = () -> ()} : () -> ()

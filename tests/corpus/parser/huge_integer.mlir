@@ -1,0 +1,4 @@
+func.func() ({
+^bb:
+  func.return() : () -> ()
+}) {sym_name = "f", function_type = () -> (), x = 99999999999999999999999999999999999} : () -> ()

@@ -1,0 +1,4 @@
+func.func() ({
+^bb:
+  func.return() : () -> ()
+]) {sym_name = "f"} : () -> ()

@@ -1,0 +1,4 @@
+func.func() ({
+^bb(%arg0: memref<-4x0xi32>):
+  func.return() : () -> ()
+}) {sym_name = "f", function_type = (memref<-4x0xi32>) -> ()} : () -> ()

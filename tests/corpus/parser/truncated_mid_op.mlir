@@ -1,0 +1,3 @@
+func.func() ({
+^bb(%arg0: memref<4x4xi32>):
+  linalg.matmul(%arg0

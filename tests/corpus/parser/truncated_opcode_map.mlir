@@ -1,0 +1,4 @@
+func.func() ({
+^bb:
+  func.return() : () -> ()
+}) {sym_name = "f", function_type = () -> (), accel_opcode_map = opcode_map<sA = [op_send(0), op_recv(>} : () -> ()

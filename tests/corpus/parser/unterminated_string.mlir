@@ -1,0 +1,1 @@
+func.func() ({}) {sym_name = "f, function_type = () -> ()} : () -> ()

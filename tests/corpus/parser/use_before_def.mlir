@@ -1,0 +1,5 @@
+func.func() ({
+^bb:
+  "axirt.copy_to_dma"(%99) : (memref<4xi32>) -> ()
+  func.return() : () -> ()
+}) {sym_name = "f", function_type = () -> ()} : () -> ()

@@ -20,9 +20,10 @@
 ///                --input examples/matmul_v1.mlir --run
 ///
 /// With --input the workload comes from a textual-IR file (one func.func
-/// holding a linalg.matmul or linalg.conv_2d_nchw_fchw) instead of the
-/// built-in workload builders; the problem shape and element type are read
-/// off the kernel's memref types.
+/// holding a linalg.matmul, linalg.conv_2d_nchw_fchw, or an equivalent
+/// already-lowered linalg.generic) instead of the built-in workload
+/// builders; the problem shape and element type are read off the kernel's
+/// memref types.
 ///
 /// Problem extents need not divide the accelerator tile: partial tiles
 /// are padded (default) or peeled per --remainder. When the config file
@@ -59,6 +60,9 @@ struct CliOptions {
   bool Specialize = true;
   bool Run = false;
   std::string Flow; // override selected_flow
+  /// ExecPlan optimizer passes for --run ("none", "all" or a comma list
+  /// of fold/dce/licm/coalesce).
+  exec::opt::PlanOptOptions PlanOpt;
   transforms::RemainderMode Remainder = transforms::RemainderMode::Pad;
   // MatMul problem.
   bool IsMatMul = false;
@@ -75,7 +79,8 @@ void printUsage() {
       "iHWxiCxfHWxoCxS | --input FILE.mlir)\n"
       "                    [--flow NAME] [--emit ir|c|both] [--run]\n"
       "                    [--no-cpu-tiling] [--no-specialize]\n"
-      "                    [--remainder pad|peel|reject]\n");
+      "                    [--remainder pad|peel|reject]\n"
+      "                    [--plan-opt none|all|fold,dce,licm,coalesce]\n");
 }
 
 /// Parses `MxNxK`-style shape lists strictly: every piece must be a fully
@@ -256,6 +261,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
         return false;
       }
       Options.Remainder = *Mode;
+    } else if (Arg == "--plan-opt") {
+      const char *V = next();
+      if (!V)
+        return false;
+      std::string SpecError;
+      if (failed(exec::opt::parsePlanOptSpec(V, Options.PlanOpt,
+                                             SpecError))) {
+        std::fprintf(stderr, "error: %s\n", SpecError.c_str());
+        return false;
+      }
     } else if (Arg == "--run") {
       Options.Run = true;
     } else if (Arg == "--no-cpu-tiling") {
@@ -282,18 +297,46 @@ bool describeInputWorkload(func::FuncOp Func, CliOptions &Options,
                            sim::ElemKind &Kind) {
   Operation *Kernel = nullptr;
   int KernelCount = 0;
+  bool KernelIsMatMul = false;
+  int64_t GenericStrideH = 1, GenericStrideW = 1;
+  bool KernelIsGeneric = false;
   Func.getOperation()->walk([&](Operation *Op) {
     if (Op->getName() == linalg::MatmulOp::OpName ||
         Op->getName() == linalg::Conv2DNchwFchwOp::OpName) {
       Kernel = Op;
+      KernelIsMatMul = Op->getName() == linalg::MatmulOp::OpName;
+      KernelIsGeneric = false;
       ++KernelCount;
+      return;
+    }
+    // Already-lowered linalg.generic kernels are accepted when they
+    // structurally match one of the canonical kernels (the same matcher
+    // the annotation pass uses).
+    int64_t StrideH = 1, StrideW = 1;
+    switch (transforms::classifyGenericKernel(Op, StrideH, StrideW)) {
+    case transforms::GenericKernelKind::MatMul:
+      Kernel = Op;
+      KernelIsMatMul = true;
+      KernelIsGeneric = true;
+      ++KernelCount;
+      break;
+    case transforms::GenericKernelKind::Conv2D:
+      Kernel = Op;
+      KernelIsMatMul = false;
+      KernelIsGeneric = true;
+      GenericStrideH = StrideH;
+      GenericStrideW = StrideW;
+      ++KernelCount;
+      break;
+    case transforms::GenericKernelKind::None:
+      break;
     }
   });
   if (KernelCount != 1) {
     std::fprintf(stderr,
                  "error: --input file must contain exactly one "
-                 "linalg.matmul or linalg.conv_2d_nchw_fchw kernel "
-                 "(found %d)\n",
+                 "linalg.matmul, linalg.conv_2d_nchw_fchw, or equivalent "
+                 "linalg.generic kernel (found %d)\n",
                  KernelCount);
     return false;
   }
@@ -339,7 +382,7 @@ bool describeInputWorkload(func::FuncOp Func, CliOptions &Options,
     return false;
   }
 
-  if (Kernel->getName() == linalg::MatmulOp::OpName) {
+  if (KernelIsMatMul) {
     if (A.getRank() != 2 || B.getRank() != 2 || C.getRank() != 2 ||
         A.getDimSize(1) != B.getDimSize(0) ||
         A.getDimSize(0) != C.getDimSize(0) ||
@@ -357,20 +400,25 @@ bool describeInputWorkload(func::FuncOp Func, CliOptions &Options,
     return true;
   }
 
-  // Conv: I = {1, iC, iHW, iHW}, W = {oC, iC, fHW, fHW}. Validate the
-  // strides attribute before the typed accessors dereference it.
-  Attribute StridesAttr = Kernel->getAttr("strides");
-  if (!StridesAttr || !StridesAttr.isArray() ||
-      StridesAttr.getArrayValue().size() != 2 ||
-      !StridesAttr.getArrayValue()[0].isInteger() ||
-      !StridesAttr.getArrayValue()[1].isInteger()) {
-    std::fprintf(stderr,
-                 "error: linalg.conv_2d_nchw_fchw requires a "
-                 "'strides = [sH, sW]' integer-array attribute\n");
-    return false;
+  // Conv: I = {1, iC, iHW, iHW}, W = {oC, iC, fHW, fHW}. Named kernels
+  // carry the strides as an attribute (validated before the typed
+  // accessors dereference it); generic kernels encode them in the
+  // indexing maps, already extracted by the classifier.
+  int64_t StrideH = GenericStrideH, StrideW = GenericStrideW;
+  if (!KernelIsGeneric) {
+    Attribute StridesAttr = Kernel->getAttr("strides");
+    if (!StridesAttr || !StridesAttr.isArray() ||
+        StridesAttr.getArrayValue().size() != 2 ||
+        !StridesAttr.getArrayValue()[0].isInteger() ||
+        !StridesAttr.getArrayValue()[1].isInteger()) {
+      std::fprintf(stderr,
+                   "error: linalg.conv_2d_nchw_fchw requires a "
+                   "'strides = [sH, sW]' integer-array attribute\n");
+      return false;
+    }
+    StrideH = StridesAttr.getArrayValue()[0].getIntValue();
+    StrideW = StridesAttr.getArrayValue()[1].getIntValue();
   }
-  int64_t StrideH = StridesAttr.getArrayValue()[0].getIntValue();
-  int64_t StrideW = StridesAttr.getArrayValue()[1].getIntValue();
   if (A.getRank() != 4 || B.getRank() != 4 || C.getRank() != 4 ||
       A.getDimSize(2) != A.getDimSize(3) ||
       B.getDimSize(2) != B.getDimSize(3) ||
@@ -609,6 +657,7 @@ int runTool(CliOptions Options) {
                           Options.Stride);
 
   exec::Interpreter Interp(*Soc, &Runtime);
+  Interp.setPlanOptions(Options.PlanOpt);
   if (failed(Interp.run(Func, Args, Error))) {
     std::fprintf(stderr, "execution error: %s\n", Error.c_str());
     return 1;
