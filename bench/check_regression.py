@@ -84,6 +84,7 @@ def main():
     current = median_times(load_run(args.current))
 
     regressions = []
+    improvements = []
     print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} {'delta':>8}")
     for name in sorted(current):
         if name not in baseline:
@@ -97,6 +98,16 @@ def main():
         )
         if delta_pct > args.threshold:
             regressions.append((name, delta_pct))
+        elif delta_pct < 0:
+            improvements.append((name, baseline[name] / current[name]))
+
+    # Improvements are reported (never gated): a speedup PR's CI log is
+    # its own before/after record.
+    if improvements:
+        improvements.sort(key=lambda entry: -entry[1])
+        print(f"\nmedian improvements ({len(improvements)} benchmark(s)):")
+        for name, speedup in improvements:
+            print(f"  {name}: {speedup:.2f}x faster")
 
     if regressions:
         print(

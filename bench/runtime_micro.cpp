@@ -16,6 +16,7 @@
 #include "dialects/InitAllDialects.h"
 #include "exec/AccelConfigs.h"
 #include "exec/ExecPlan.h"
+#include "exec/ExecPlanRun.h"
 #include "exec/Interpreter.h"
 #include "exec/Pipeline.h"
 #include "exec/Reference.h"
@@ -151,9 +152,9 @@ void BM_ConvAcceleratorTile(benchmark::State &State) {
 
 /// CPU-level linalg.generic matmul (the mlir_CPU baseline): every point of
 /// the M*N*K space runs through the executor, so executor overhead
-/// dominates. The IR is built and lowered once; the compiled variant also
-/// builds its plan once (cached inside the Interpreter).
-void interpretMatMulCpu(benchmark::State &State, bool UseCompiledPlan) {
+/// dominates. The IR is built and lowered once; the compiled variants also
+/// build their plan once (cached inside the Interpreter).
+void interpretMatMulCpu(benchmark::State &State, exec::ExecMode Mode) {
   int64_t Dims = State.range(0);
   MLIRContext Context;
   registerAllDialects(Context);
@@ -175,7 +176,7 @@ void interpretMatMulCpu(benchmark::State &State, bool UseCompiledPlan) {
   exec::fillRandom(B, 2);
   exec::fillRandom(C, 3);
 
-  exec::Interpreter Interp(*Soc, nullptr, UseCompiledPlan);
+  exec::Interpreter Interp(*Soc, nullptr, Mode);
   for (auto _ : State) {
     Soc->resetCounters();
     if (failed(Interp.run(Func, {A, B, C}, Error))) {
@@ -187,10 +188,13 @@ void interpretMatMulCpu(benchmark::State &State, bool UseCompiledPlan) {
 }
 
 void BM_InterpretMatMulCpuWalker(benchmark::State &State) {
-  interpretMatMulCpu(State, /*UseCompiledPlan=*/false);
+  interpretMatMulCpu(State, exec::ExecMode::Walker);
 }
 void BM_InterpretMatMulCpuCompiled(benchmark::State &State) {
-  interpretMatMulCpu(State, /*UseCompiledPlan=*/true);
+  interpretMatMulCpu(State, exec::ExecMode::Plan);
+}
+void BM_InterpretMatMulCpuThreaded(benchmark::State &State) {
+  interpretMatMulCpu(State, exec::ExecMode::Threaded);
 }
 
 /// Shared fixture for the axirt-level benches: one matmul func lowered
@@ -241,12 +245,12 @@ struct AxirtMatMulFixture {
 
 /// Fully lowered axirt form: scf loop nests driving batched DMA staging
 /// copies — the host-driver hot path the paper measures (Sec. IV-B).
-void interpretMatMulAxirt(benchmark::State &State, bool UseCompiledPlan) {
+void interpretMatMulAxirt(benchmark::State &State, exec::ExecMode Mode) {
   AxirtMatMulFixture F;
   if (!F.init(State))
     return;
   std::string Error;
-  exec::Interpreter Interp(*F.Soc, F.Runtime.get(), UseCompiledPlan);
+  exec::Interpreter Interp(*F.Soc, F.Runtime.get(), Mode);
   for (auto _ : State) {
     F.Soc->resetCounters();
     if (failed(Interp.run(F.Func, {F.A, F.B, F.C}, Error))) {
@@ -259,10 +263,13 @@ void interpretMatMulAxirt(benchmark::State &State, bool UseCompiledPlan) {
 }
 
 void BM_InterpretMatMulAxirtWalker(benchmark::State &State) {
-  interpretMatMulAxirt(State, /*UseCompiledPlan=*/false);
+  interpretMatMulAxirt(State, exec::ExecMode::Walker);
 }
 void BM_InterpretMatMulAxirtCompiled(benchmark::State &State) {
-  interpretMatMulAxirt(State, /*UseCompiledPlan=*/true);
+  interpretMatMulAxirt(State, exec::ExecMode::Plan);
+}
+void BM_InterpretMatMulAxirtThreaded(benchmark::State &State) {
+  interpretMatMulAxirt(State, exec::ExecMode::Threaded);
 }
 
 /// Send/wait fusion ablation: the same axirt-lowered matmul executed from
@@ -346,6 +353,143 @@ void BM_ExecPlanAxirtOptimized(benchmark::State &State) {
   interpretMatMulAxirtPlanOpt(State, "fold,dce,licm,coalesce");
 }
 
+//===----------------------------------------------------------------------===//
+// Threaded-dispatch executor ablation: the same compiled plan run through
+// the PR-3 plan interpreter (one switch per instruction, generic odometer)
+// vs. the pre-decoded threaded engine (computed-goto dispatch, specialized
+// micro-kernels). Modeled counters are bit-identical by contract
+// (PlanEquivalenceFuzzTest); the delta is pure host wall-clock.
+//===----------------------------------------------------------------------===//
+
+/// CPU-path matmul: one linalg.generic, M*N*K points through the
+/// executor — the odometer-vs-specialized-kernel comparison.
+void execPlanCpuMatMul(benchmark::State &State, bool Threaded) {
+  int64_t Dims = State.range(0);
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func =
+      exec::buildMatMulFunc(Builder, Dims, Dims, Dims, ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  std::string Error;
+  if (failed(transforms::convertNamedToGeneric(Func, Error))) {
+    State.SkipWithError(Error.c_str());
+    return;
+  }
+  auto Plan = exec::ExecPlan::compile(Func, Error);
+  if (!Plan) {
+    State.SkipWithError(Error.c_str());
+    return;
+  }
+  auto Decoded = exec::DecodedPlan::decode(*Plan);
+
+  auto Soc = makeCpuOnlySoC();
+  MemRefDesc A = MemRefDesc::alloc({Dims, Dims});
+  MemRefDesc B = MemRefDesc::alloc({Dims, Dims});
+  MemRefDesc C = MemRefDesc::alloc({Dims, Dims});
+  exec::fillRandom(A, 1);
+  exec::fillRandom(B, 2);
+  exec::fillRandom(C, 3);
+
+  for (auto _ : State) {
+    Soc->resetCounters();
+    LogicalResult Result =
+        Threaded ? Decoded->run(*Soc, nullptr, {A, B, C}, Error)
+                 : Plan->run(*Soc, nullptr, {A, B, C}, Error);
+    if (failed(Result)) {
+      State.SkipWithError(Error.c_str());
+      break;
+    }
+  }
+  State.counters["specialized_kernels"] =
+      static_cast<double>(Decoded->numSpecializedKernels());
+  State.SetItemsProcessed(State.iterations() * Dims * Dims * Dims);
+}
+
+void BM_ExecPlanCpuMatMul(benchmark::State &State) {
+  execPlanCpuMatMul(State, /*Threaded=*/false);
+}
+void BM_ExecPlanCpuMatMulThreaded(benchmark::State &State) {
+  execPlanCpuMatMul(State, /*Threaded=*/true);
+}
+
+/// CPU-path conv2d: the strided input map exercises the linear-fold
+/// indexing (d2*s + d5) in the specialized kernel.
+void execPlanCpuConv(benchmark::State &State, bool Threaded) {
+  int64_t HW = State.range(0);
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func =
+      exec::buildConvFunc(Builder, 1, 4, HW, 4, 3, 1, ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  std::string Error;
+  if (failed(transforms::convertNamedToGeneric(Func, Error))) {
+    State.SkipWithError(Error.c_str());
+    return;
+  }
+  auto Plan = exec::ExecPlan::compile(Func, Error);
+  if (!Plan) {
+    State.SkipWithError(Error.c_str());
+    return;
+  }
+  auto Decoded = exec::DecodedPlan::decode(*Plan);
+
+  auto Soc = makeCpuOnlySoC();
+  int64_t OutHW = HW - 3 + 1;
+  MemRefDesc In = MemRefDesc::alloc({1, 4, HW, HW});
+  MemRefDesc Filter = MemRefDesc::alloc({4, 4, 3, 3});
+  MemRefDesc Out = MemRefDesc::alloc({1, 4, OutHW, OutHW});
+  exec::fillRandom(In, 1);
+  exec::fillRandom(Filter, 2);
+  exec::fillRandom(Out, 3);
+
+  for (auto _ : State) {
+    Soc->resetCounters();
+    LogicalResult Result =
+        Threaded ? Decoded->run(*Soc, nullptr, {In, Filter, Out}, Error)
+                 : Plan->run(*Soc, nullptr, {In, Filter, Out}, Error);
+    if (failed(Result)) {
+      State.SkipWithError(Error.c_str());
+      break;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * 4 * OutHW * OutHW * 4 * 3 *
+                          3);
+}
+
+void BM_ExecPlanCpuConv(benchmark::State &State) {
+  execPlanCpuConv(State, /*Threaded=*/false);
+}
+void BM_ExecPlanCpuConvThreaded(benchmark::State &State) {
+  execPlanCpuConv(State, /*Threaded=*/true);
+}
+
+/// Axirt-path threaded run (the DMA-heavy driver): dispatch is a smaller
+/// share here, so the gain is bounded by the runtime-call work.
+void BM_ExecPlanAxirtThreaded(benchmark::State &State) {
+  AxirtMatMulFixture F;
+  if (!F.init(State))
+    return;
+  std::string Error;
+  auto Plan = exec::ExecPlan::compile(F.Func, Error);
+  if (!Plan) {
+    State.SkipWithError(Error.c_str());
+    return;
+  }
+  auto Decoded = exec::DecodedPlan::decode(*Plan);
+  for (auto _ : State) {
+    F.Soc->resetCounters();
+    if (failed(Decoded->run(*F.Soc, F.Runtime.get(), {F.A, F.B, F.C},
+                            Error))) {
+      State.SkipWithError(Error.c_str());
+      break;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0) *
+                          State.range(0) * State.range(0));
+}
+
 /// Plan compilation itself (paid once per function, amortized over runs).
 void BM_ExecPlanCompile(benchmark::State &State) {
   int64_t Dims = State.range(0);
@@ -374,12 +518,19 @@ BENCHMARK(BM_MatMulAcceleratorTileWordwise)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_ConvAcceleratorTile)->Arg(4)->Arg(16);
 BENCHMARK(BM_InterpretMatMulCpuWalker)->Arg(16)->Arg(32);
 BENCHMARK(BM_InterpretMatMulCpuCompiled)->Arg(16)->Arg(32);
+BENCHMARK(BM_InterpretMatMulCpuThreaded)->Arg(16)->Arg(32);
 BENCHMARK(BM_InterpretMatMulAxirtWalker)->Arg(32)->Arg(64);
 BENCHMARK(BM_InterpretMatMulAxirtCompiled)->Arg(32)->Arg(64);
+BENCHMARK(BM_InterpretMatMulAxirtThreaded)->Arg(32)->Arg(64);
+BENCHMARK(BM_ExecPlanCpuMatMul)->Arg(16)->Arg(32);
+BENCHMARK(BM_ExecPlanCpuMatMulThreaded)->Arg(16)->Arg(32);
+BENCHMARK(BM_ExecPlanCpuConv)->Arg(16)->Arg(32);
+BENCHMARK(BM_ExecPlanCpuConvThreaded)->Arg(16)->Arg(32);
 BENCHMARK(BM_ExecPlanAxirtUnfused)->Arg(64);
 BENCHMARK(BM_ExecPlanAxirtFused)->Arg(64);
 BENCHMARK(BM_ExecPlanAxirtPlanOptNone)->Arg(64);
 BENCHMARK(BM_ExecPlanAxirtOptimized)->Arg(64);
+BENCHMARK(BM_ExecPlanAxirtThreaded)->Arg(64);
 BENCHMARK(BM_ExecPlanCompile)->Arg(32);
 
 BENCHMARK_MAIN();

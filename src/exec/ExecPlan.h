@@ -50,6 +50,8 @@ namespace axi4mlir {
 namespace exec {
 
 struct ExecPlanBuilder;
+class DecodedPlan;
+struct DecodedProgram;
 
 namespace opt {
 class PlanOptimizer;
@@ -96,6 +98,10 @@ private:
   friend struct ExecPlanBuilder;
   /// The plan optimizer (src/exec/opt) rewrites Program/SlotPool in place.
   friend class opt::PlanOptimizer;
+  /// The threaded-dispatch engine (ExecPlanRun) pre-decodes the program
+  /// into its own dispatch-ready representation.
+  friend class DecodedPlan;
+  friend struct DecodedProgram;
 
   /// Instruction opcodes (the former string-compare chains).
   enum class Op : uint8_t {

@@ -1,0 +1,1572 @@
+//===- ExecPlanRun.cpp - Threaded-dispatch ExecPlan executor --------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// Decode stage + token-threaded dispatch loop + specialized odometer
+// micro-kernels. The contract with ExecPlan::run is exact: identical
+// buffers, identical diagnostics, and an identical sequence of
+// HostPerfModel charges (same events, same order, same addresses), so
+// every modeled counter is bit-identical. PlanEquivalenceFuzzTest pins
+// this differentially for every fuzz case.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecPlanRun.h"
+
+#include "runtime/StridedCopy.h"
+
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+using namespace axi4mlir;
+using namespace axi4mlir::exec;
+using runtime::MemRefDesc;
+
+/// Dispatch backend selection: computed goto is a GNU extension available
+/// on GCC and Clang; everything else (or a build with
+/// AXI4MLIR_FORCE_SWITCH_DISPATCH defined) uses the portable switch loop.
+#if defined(AXI4MLIR_FORCE_SWITCH_DISPATCH) || \
+    !(defined(__GNUC__) || defined(__clang__))
+#define AXI4MLIR_SWITCH_DISPATCH 1
+#else
+#define AXI4MLIR_SWITCH_DISPATCH 0
+#endif
+
+//===----------------------------------------------------------------------===//
+// ExecMode
+//===----------------------------------------------------------------------===//
+
+namespace axi4mlir {
+namespace exec {
+
+LogicalResult parseExecMode(const std::string &Text, ExecMode &Mode,
+                            std::string &Error) {
+  if (Text == "walker") {
+    Mode = ExecMode::Walker;
+    return success();
+  }
+  if (Text == "plan") {
+    Mode = ExecMode::Plan;
+    return success();
+  }
+  if (Text == "threaded") {
+    Mode = ExecMode::Threaded;
+    return success();
+  }
+  Error = "unknown exec mode '" + Text + "' (expected walker|plan|threaded)";
+  return failure();
+}
+
+const char *toString(ExecMode Mode) {
+  switch (Mode) {
+  case ExecMode::Walker:
+    return "walker";
+  case ExecMode::Plan:
+    return "plan";
+  case ExecMode::Threaded:
+    return "threaded";
+  }
+  return "?";
+}
+
+} // namespace exec
+} // namespace axi4mlir
+
+//===----------------------------------------------------------------------===//
+// Word <-> dynamic value conversions (same trick as ExecPlan.cpp: templated
+// so this file can name ExecPlan's private Cell type through deduction).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <typename CellT>
+inline void wordToCellImpl(uint32_t Word, bool IsF32, CellT &C) {
+  if (IsF32) {
+    C.Tag = CellT::Kind::Float;
+    C.F = static_cast<double>(sim::wordToFloat(Word));
+  } else {
+    C.Tag = CellT::Kind::Int;
+    C.I = static_cast<int32_t>(Word);
+  }
+}
+
+template <typename CellT>
+inline uint32_t cellToWordImpl(const CellT &C, bool IsF32) {
+  if (IsF32)
+    return sim::floatToWord(static_cast<float>(
+        C.Tag == CellT::Kind::Float ? C.F : static_cast<double>(C.I)));
+  return static_cast<uint32_t>(static_cast<int32_t>(
+      C.Tag == CellT::Kind::Float ? static_cast<int64_t>(C.F) : C.I));
+}
+
+/// Decomposes \p Expr into Const + sum_d Coef[d]*d over the loop dims.
+/// Returns false (kernel specialization illegal, generic odometer stays)
+/// for Mod/FloorDiv/Symbol or products of two dim-carrying terms.
+bool linearizeExpr(const AffineExpr &Expr, unsigned NumLoops, int64_t &Const,
+                   std::vector<int64_t> &Coef) {
+  switch (Expr.getKind()) {
+  case AffineExpr::Kind::Constant:
+    Const += Expr.getConstantValue();
+    return true;
+  case AffineExpr::Kind::Dim: {
+    unsigned Pos = Expr.getPosition();
+    if (Pos >= NumLoops)
+      return false;
+    Coef[Pos] += 1;
+    return true;
+  }
+  case AffineExpr::Kind::Add:
+    return linearizeExpr(Expr.getLHS(), NumLoops, Const, Coef) &&
+           linearizeExpr(Expr.getRHS(), NumLoops, Const, Coef);
+  case AffineExpr::Kind::Mul: {
+    int64_t CL = 0, CR = 0;
+    std::vector<int64_t> L(NumLoops, 0), R(NumLoops, 0);
+    if (!linearizeExpr(Expr.getLHS(), NumLoops, CL, L) ||
+        !linearizeExpr(Expr.getRHS(), NumLoops, CR, R))
+      return false;
+    auto AllZero = [](const std::vector<int64_t> &V) {
+      for (int64_t X : V)
+        if (X)
+          return false;
+      return true;
+    };
+    if (AllZero(L)) {
+      Const += CL * CR;
+      for (unsigned D = 0; D < NumLoops; ++D)
+        Coef[D] += CL * R[D];
+      return true;
+    }
+    if (AllZero(R)) {
+      Const += CL * CR;
+      for (unsigned D = 0; D < NumLoops; ++D)
+        Coef[D] += CR * L[D];
+      return true;
+    }
+    return false; // d_i * d_j: not linear
+  }
+  default:
+    return false; // Mod, FloorDiv, Symbol
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// DecodedProgram
+//===----------------------------------------------------------------------===//
+
+namespace axi4mlir {
+namespace exec {
+
+struct DecodedProgram {
+  using Inst = ExecPlan::Inst;
+  using Cell = ExecPlan::Cell;
+  using AllocPlan = ExecPlan::AllocPlan;
+  using SubViewPlan = ExecPlan::SubViewPlan;
+  using GenericPlan = ExecPlan::GenericPlan;
+  using OperandPlan = ExecPlan::OperandPlan;
+  using BinKind = ExecPlan::BinKind;
+  using PlanOp = ExecPlan::Op;
+
+  /// Dispatch-ready opcodes: ExecPlan's opcodes (same numeric values) plus
+  /// the specialized generic kernels and the span-end sentinel. The
+  /// computed-goto jump table is indexed by this value, so the handler
+  /// order in exec() must match this order exactly.
+  enum class DOp : uint8_t {
+    ConstInt,
+    ConstFloat,
+    Binary,
+    IndexCast,
+    LoopBegin,
+    LoopEnd,
+    Alloc,
+    Dealloc,
+    Load,
+    Store,
+    Copy,
+    SubView,
+    Generic,
+    AccelDmaInit,
+    AccelSendLiteral,
+    AccelSend,
+    AccelSendDim,
+    AccelSendIdx,
+    AccelRecv,
+    CallDmaInit,
+    CallCopyToDma,
+    CallCopyLiteralToDma,
+    CallStartSend,
+    CallWaitSend,
+    CallStartRecv,
+    CallWaitRecv,
+    CallCopyFromDma,
+    CallSendFused,
+    CallRecvFused,
+    /// linalg.generic bodies bound to specialized micro-kernels.
+    GenericMulAdd,
+    GenericCopy,
+    GenericEltwise,
+    /// End of a span (appended to the program and every generic body).
+    Return,
+  };
+  static constexpr unsigned NumDOps = static_cast<unsigned>(DOp::Return) + 1;
+
+  /// One dispatch-ready instruction: the original operand slots plus
+  /// pre-resolved side-table and slot-pool pointers (no per-dispatch
+  /// indexing through the plan's tables).
+  struct DInst {
+    DOp Code = DOp::Return;
+    uint8_t Sub = 0;
+    int32_t Dst = -1;
+    int32_t A = -1;
+    int32_t B = -1;
+    int32_t C = -1;
+    int32_t Aux = -1;
+    int64_t Imm = 0;
+    double FImm = 0;
+    const void *Side = nullptr;  ///< Alloc/SubView/Generic/DmaConfig entry.
+    const int32_t *Pool = nullptr; ///< Load/Store index-slot list.
+  };
+
+  /// Per-operand linear decomposition of the indexing map: map result r
+  /// equals Consts[r] + sum_d Coef[r][d] * d. Folded against the runtime
+  /// strides once per kernel execution.
+  struct LinFold {
+    bool Linear = false;
+    std::vector<int64_t> Consts;            ///< One per map result.
+    std::vector<std::vector<int64_t>> Coef; ///< [result][loop dim].
+  };
+
+  enum class GKind : uint8_t { Odometer, MulAdd, CopyK, Eltwise };
+
+  /// Decode-time classification of one linalg.generic site.
+  struct DecodedGeneric {
+    const GenericPlan *G = nullptr; ///< Our copy in Generics.
+    GKind Kind = GKind::Odometer;
+    std::vector<LinFold> Lin;   ///< Per operand (valid when all Linear).
+    std::vector<DInst> BodyCode; ///< Decoded payload span (+ Return).
+    // MulAdd: t = mul(V[MulArgA], V[MulArgB]); y = add with t on the
+    // recorded side and V[AddArg] on the other; yield y.
+    uint8_t MulArgA = 0, MulArgB = 0, AddArg = 0;
+    bool AddTOnLhs = false;
+    uint8_t MulSub = 0, AddSub = 0;
+    // Eltwise: y = bin(V[EltArgA], V[EltArgB]); yield y.
+    uint8_t EltArgA = 0, EltArgB = 0, EltSub = 0;
+  };
+
+  //===--------------------------------------------------------------------===//
+  // State
+  //===--------------------------------------------------------------------===//
+
+  std::string FuncName;
+  unsigned NumArgs = 0;
+  unsigned NumSlots = 0;
+  std::vector<int32_t> SlotPool;
+  std::vector<AllocPlan> Allocs;
+  std::vector<SubViewPlan> SubViews;
+  std::vector<GenericPlan> Generics;
+  std::vector<accel::DmaInitConfig> DmaConfigs;
+  std::vector<DecodedGeneric> DGenerics;
+  std::vector<DInst> Code;
+  unsigned NumSpecialized = 0;
+
+  struct RunState {
+    sim::SoC &Soc;
+    runtime::DmaRuntime *Runtime;
+    std::vector<Cell> Cells;
+    std::vector<int64_t> Scratch;
+    std::string Error;
+
+    RunState(sim::SoC &Soc, runtime::DmaRuntime *Runtime)
+        : Soc(Soc), Runtime(Runtime) {}
+
+    LogicalResult fail(std::string Message) {
+      if (Error.empty())
+        Error = std::move(Message);
+      return failure();
+    }
+  };
+
+  //===--------------------------------------------------------------------===//
+  // Entry points (defined below)
+  //===--------------------------------------------------------------------===//
+
+  void decode(const ExecPlan &Plan);
+  LogicalResult run(sim::SoC &Soc, runtime::DmaRuntime *Runtime,
+                    const std::vector<MemRefDesc> &Arguments,
+                    std::string &Error) const;
+  void print(std::ostream &OS) const;
+
+private:
+  void decodeSpan(const std::vector<Inst> &In, std::vector<DInst> &Out);
+  void classifyGeneric(DecodedGeneric &DG);
+  LogicalResult exec(const DInst *Base, RunState &S) const;
+  LogicalResult runOdometer(const DecodedGeneric &DG, RunState &S) const;
+  int classifyKinds(const DecodedGeneric &DG, RunState &S) const;
+  template <bool IsF32>
+  void mulAddKernel(const DecodedGeneric &DG, RunState &S) const;
+  template <bool IsF32>
+  void copyKernel(const DecodedGeneric &DG, RunState &S) const;
+  template <bool IsF32>
+  void eltwiseKernel(const DecodedGeneric &DG, RunState &S) const;
+};
+
+} // namespace exec
+} // namespace axi4mlir
+
+using DOp = DecodedProgram::DOp;
+using DInst = DecodedProgram::DInst;
+
+// Decode relies on ExecPlan::Op values mapping onto the DOp prefix 1:1.
+static_assert(static_cast<uint8_t>(DecodedProgram::PlanOp::ConstInt) ==
+                  static_cast<uint8_t>(DOp::ConstInt),
+              "DOp must begin with ExecPlan's opcodes");
+static_assert(static_cast<uint8_t>(DecodedProgram::PlanOp::Generic) ==
+                  static_cast<uint8_t>(DOp::Generic),
+              "DOp must begin with ExecPlan's opcodes");
+static_assert(static_cast<uint8_t>(DecodedProgram::PlanOp::CallRecvFused) ==
+                  static_cast<uint8_t>(DOp::CallRecvFused),
+              "DOp must begin with ExecPlan's opcodes");
+
+//===----------------------------------------------------------------------===//
+// Decode
+//===----------------------------------------------------------------------===//
+
+void DecodedProgram::decodeSpan(const std::vector<Inst> &In,
+                                std::vector<DInst> &Out) {
+  Out.clear();
+  Out.reserve(In.size() + 1);
+  for (const Inst &I : In) {
+    DInst D;
+    // ExecPlan::Op and the first 29 DOp values coincide numerically.
+    D.Code = static_cast<DOp>(static_cast<uint8_t>(I.Code));
+    D.Sub = I.Sub;
+    D.Dst = I.Dst;
+    D.A = I.A;
+    D.B = I.B;
+    D.C = I.C;
+    D.Aux = I.Aux;
+    D.Imm = I.Imm;
+    D.FImm = I.FImm;
+    switch (I.Code) {
+    case PlanOp::Load:
+    case PlanOp::Store:
+      D.Pool = SlotPool.data() + I.Aux;
+      break;
+    case PlanOp::Alloc:
+      D.Side = &Allocs[I.Aux];
+      break;
+    case PlanOp::SubView:
+      D.Side = &SubViews[I.Aux];
+      break;
+    case PlanOp::Generic: {
+      const DecodedGeneric &DG = DGenerics[I.Aux];
+      D.Side = &DG;
+      switch (DG.Kind) {
+      case GKind::MulAdd:
+        D.Code = DOp::GenericMulAdd;
+        break;
+      case GKind::CopyK:
+        D.Code = DOp::GenericCopy;
+        break;
+      case GKind::Eltwise:
+        D.Code = DOp::GenericEltwise;
+        break;
+      case GKind::Odometer:
+        break;
+      }
+      break;
+    }
+    case PlanOp::AccelDmaInit:
+    case PlanOp::CallDmaInit:
+      D.Side = &DmaConfigs[I.Aux];
+      break;
+    default:
+      break;
+    }
+    Out.push_back(D);
+  }
+  Out.push_back(DInst()); // Return sentinel (also the empty-loop target)
+}
+
+void DecodedProgram::classifyGeneric(DecodedGeneric &DG) {
+  const GenericPlan &G = *DG.G;
+  const unsigned NumLoops = static_cast<unsigned>(G.Ranges.size());
+  DG.Kind = GKind::Odometer;
+
+  // Outputs are single-yield only, and the kernels index body arguments
+  // by operand position, so operands and body args must line up 1:1.
+  if (G.Operands.size() != G.BodyArgSlots.size() ||
+      G.Operands.size() != static_cast<size_t>(G.NumInputs) + 1 ||
+      G.YieldSlots.size() != 1)
+    return;
+
+  // Every operand's indexing map must be linear in the loop dims so the
+  // per-dim stride fold (and thus the hardwired inner-loop increments)
+  // computes exactly the addresses the generic odometer would.
+  DG.Lin.assign(G.Operands.size(), LinFold());
+  for (size_t K = 0; K < G.Operands.size(); ++K) {
+    const OperandPlan &P = G.Operands[K];
+    LinFold &L = DG.Lin[K];
+    size_t NumResults = P.Projected ? P.DimPos.size() : P.Exprs.size();
+    L.Consts.assign(NumResults, 0);
+    L.Coef.assign(NumResults, std::vector<int64_t>(NumLoops, 0));
+    L.Linear = true;
+    if (P.Projected) {
+      for (size_t R = 0; R < P.DimPos.size(); ++R)
+        L.Coef[R][P.DimPos[R]] += 1;
+    } else {
+      for (size_t R = 0; R < P.Exprs.size(); ++R)
+        if (!linearizeExpr(P.Exprs[R], NumLoops, L.Consts[R], L.Coef[R])) {
+          L.Linear = false;
+          break;
+        }
+    }
+    if (!L.Linear)
+      return;
+  }
+
+  auto ArgIndex = [&](int32_t Slot) -> int {
+    for (size_t K = 0; K < G.BodyArgSlots.size(); ++K)
+      if (G.BodyArgSlots[K] == Slot)
+        return static_cast<int>(K);
+    return -1;
+  };
+
+  // Staging copy: empty body yielding the input element.
+  if (G.Body.empty() && G.Operands.size() == 2 &&
+      G.YieldSlots[0] == G.BodyArgSlots[0]) {
+    DG.Kind = GKind::CopyK;
+    return;
+  }
+
+  // Elementwise epilogue: one binary over two body args, yielded.
+  if (G.Body.size() == 1 && G.Body[0].Code == PlanOp::Binary &&
+      G.YieldSlots[0] == G.Body[0].Dst && ArgIndex(G.Body[0].Dst) < 0 &&
+      G.Operands.size() <= 4) {
+    int A = ArgIndex(G.Body[0].A);
+    int B = ArgIndex(G.Body[0].B);
+    if (A >= 0 && B >= 0) {
+      DG.Kind = GKind::Eltwise;
+      DG.EltArgA = static_cast<uint8_t>(A);
+      DG.EltArgB = static_cast<uint8_t>(B);
+      DG.EltSub = G.Body[0].Sub;
+      return;
+    }
+  }
+
+  // Accumulating mul+add (matmul, and conv via the linear fold above):
+  //   t = mul(arg, arg); y = add(arg, t) | add(t, arg); yield y.
+  if (G.Body.size() == 2 && G.Body[0].Code == PlanOp::Binary &&
+      G.Body[1].Code == PlanOp::Binary &&
+      static_cast<BinKind>(G.Body[0].Sub & 0x7) == BinKind::Mul &&
+      static_cast<BinKind>(G.Body[1].Sub & 0x7) == BinKind::Add &&
+      G.Operands.size() == 3 && G.YieldSlots[0] == G.Body[1].Dst &&
+      G.Body[1].Dst != G.Body[0].Dst && ArgIndex(G.Body[0].Dst) < 0) {
+    int MA = ArgIndex(G.Body[0].A);
+    int MB = ArgIndex(G.Body[0].B);
+    if (MA < 0 || MB < 0)
+      return;
+    int32_t T = G.Body[0].Dst;
+    int Other = -1;
+    bool TOnLhs = false;
+    if (G.Body[1].A == T && (Other = ArgIndex(G.Body[1].B)) >= 0)
+      TOnLhs = true;
+    else if (G.Body[1].B == T && (Other = ArgIndex(G.Body[1].A)) >= 0)
+      TOnLhs = false;
+    else
+      return;
+    DG.Kind = GKind::MulAdd;
+    DG.MulArgA = static_cast<uint8_t>(MA);
+    DG.MulArgB = static_cast<uint8_t>(MB);
+    DG.AddArg = static_cast<uint8_t>(Other);
+    DG.AddTOnLhs = TOnLhs;
+    DG.MulSub = G.Body[0].Sub;
+    DG.AddSub = G.Body[1].Sub;
+  }
+}
+
+void DecodedProgram::decode(const ExecPlan &Plan) {
+  // Copy everything first so every Side/Pool pointer built below stays
+  // stable for the life of the decoded program.
+  FuncName = Plan.FuncName;
+  NumArgs = Plan.NumArgs;
+  NumSlots = Plan.NumSlots;
+  SlotPool = Plan.SlotPool;
+  Allocs = Plan.Allocs;
+  SubViews = Plan.SubViews;
+  Generics = Plan.Generics;
+  DmaConfigs = Plan.DmaConfigs;
+
+  DGenerics.resize(Generics.size());
+  for (size_t K = 0; K < Generics.size(); ++K) {
+    DGenerics[K].G = &Generics[K];
+    classifyGeneric(DGenerics[K]);
+    if (DGenerics[K].Kind != GKind::Odometer)
+      ++NumSpecialized;
+  }
+  // Bodies may themselves contain generics, so decode them after every
+  // site is classified.
+  for (size_t K = 0; K < Generics.size(); ++K)
+    decodeSpan(Generics[K].Body, DGenerics[K].BodyCode);
+  decodeSpan(Plan.Program, Code);
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch loop
+//===----------------------------------------------------------------------===//
+
+#if AXI4MLIR_SWITCH_DISPATCH
+#define OP(name) case DOp::name
+#define DISPATCH() continue
+#else
+#define OP(name) H_##name
+#define DISPATCH() goto *JumpTable[static_cast<uint8_t>(Ip->Code)]
+#endif
+
+LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
+  sim::HostPerfModel &Perf = S.Soc.perf();
+  Cell *Cells = S.Cells.data();
+  const DInst *Ip = Base;
+
+#if !AXI4MLIR_SWITCH_DISPATCH
+  // One entry per DOp, in DOp order.
+  static const void *const JumpTable[NumDOps] = {
+      &&H_ConstInt,
+      &&H_ConstFloat,
+      &&H_Binary,
+      &&H_IndexCast,
+      &&H_LoopBegin,
+      &&H_LoopEnd,
+      &&H_Alloc,
+      &&H_Dealloc,
+      &&H_Load,
+      &&H_Store,
+      &&H_Copy,
+      &&H_SubView,
+      &&H_Generic,
+      &&H_AccelDmaInit,
+      &&H_AccelSendLiteral,
+      &&H_AccelSend,
+      &&H_AccelSendDim,
+      &&H_AccelSendIdx,
+      &&H_AccelRecv,
+      &&H_CallDmaInit,
+      &&H_CallCopyToDma,
+      &&H_CallCopyLiteralToDma,
+      &&H_CallStartSend,
+      &&H_CallWaitSend,
+      &&H_CallStartRecv,
+      &&H_CallWaitRecv,
+      &&H_CallCopyFromDma,
+      &&H_CallSendFused,
+      &&H_CallRecvFused,
+      &&H_GenericMulAdd,
+      &&H_GenericCopy,
+      &&H_GenericEltwise,
+      &&H_Return,
+  };
+  DISPATCH();
+#else
+  for (;;) {
+    switch (Ip->Code) {
+#endif
+
+  OP(ConstInt) : {
+    Cell &C = Cells[Ip->Dst];
+    C.Tag = Cell::Kind::Int;
+    C.I = Ip->Imm;
+    ++Ip;
+    DISPATCH();
+  }
+  OP(ConstFloat) : {
+    Cell &C = Cells[Ip->Dst];
+    C.Tag = Cell::Kind::Float;
+    C.F = Ip->FImm;
+    ++Ip;
+    DISPATCH();
+  }
+  OP(Binary) : {
+    const Cell &LHS = Cells[Ip->A];
+    const Cell &RHS = Cells[Ip->B];
+    Perf.onArith(1);
+    // The LHS tag selects the interpretation of both operands, exactly
+    // as in the walker and the plan interpreter.
+    bool IsFloat = LHS.Tag == Cell::Kind::Float;
+    double A = IsFloat ? LHS.F : static_cast<double>(LHS.I);
+    double B = IsFloat ? RHS.F : static_cast<double>(RHS.I);
+    double R = 0;
+    switch (static_cast<BinKind>(Ip->Sub & 0x7)) {
+    case BinKind::Add:
+      R = A + B;
+      break;
+    case BinKind::Mul:
+      R = A * B;
+      break;
+    case BinKind::Sub:
+      R = A - B;
+      break;
+    case BinKind::Div:
+      R = A / B;
+      break;
+    case BinKind::Max:
+      R = A > B ? A : B;
+      break;
+    }
+    Cell &D = Cells[Ip->Dst];
+    if (Ip->Sub & ExecPlan::BinFloatResult) {
+      D.Tag = Cell::Kind::Float;
+      D.F = R;
+    } else {
+      D.Tag = Cell::Kind::Int;
+      D.I = static_cast<int64_t>(R);
+    }
+    ++Ip;
+    DISPATCH();
+  }
+  OP(IndexCast) : {
+    Cells[Ip->Dst] = Cells[Ip->A];
+    ++Ip;
+    DISPATCH();
+  }
+  OP(LoopBegin) : {
+    int64_t LowerBound = Cells[Ip->A].I;
+    int64_t UpperBound = Cells[Ip->B].I;
+    int64_t Step = Cells[Ip->C].I;
+    if (Step <= 0)
+      return S.fail("scf.for requires a positive step");
+    if (LowerBound >= UpperBound) {
+      Ip = Base + Ip->Aux; // continue after LoopEnd
+      DISPATCH();
+    }
+    Perf.onLoopIteration();
+    Cell &Iv = Cells[Ip->Dst];
+    Iv.Tag = Cell::Kind::Int;
+    Iv.I = LowerBound;
+    ++Ip;
+    DISPATCH();
+  }
+  OP(LoopEnd) : {
+    Cell &Iv = Cells[Ip->Dst];
+    int64_t Next = Iv.I + Cells[Ip->C].I;
+    if (Next < Cells[Ip->B].I) {
+      Perf.onLoopIteration();
+      Iv.I = Next;
+      Ip = Base + Ip->Aux; // back to the loop body
+      DISPATCH();
+    }
+    ++Ip;
+    DISPATCH();
+  }
+  OP(Alloc) : {
+    const AllocPlan &Info = *static_cast<const AllocPlan *>(Ip->Side);
+    Perf.onArith(10); // allocator call
+    Cell &C = Cells[Ip->Dst];
+    C.Tag = Cell::Kind::MemRef;
+    C.M = MemRefDesc::alloc(Info.Shape, Info.Kind);
+    ++Ip;
+    DISPATCH();
+  }
+  OP(Dealloc) : {
+    Perf.onArith(10);
+    ++Ip;
+    DISPATCH();
+  }
+  OP(Load) : {
+    const MemRefDesc &Desc = Cells[Ip->A].M;
+    const int32_t *IndexSlots = Ip->Pool;
+    int64_t Linear = Desc.Offset;
+    for (unsigned K = 0; K < Ip->Sub; ++K) {
+      int64_t Index = Cells[IndexSlots[K]].I;
+      assert(Index >= 0 && Index < Desc.Sizes[K] &&
+             "memref index out of bounds");
+      Linear += Index * Desc.Strides[K];
+    }
+    Perf.onArith(Ip->Sub); // address computation
+    Perf.onScalarLoad(Desc.addressOf(Linear), 4);
+    uint32_t Word = Desc.Buffer->Data[static_cast<size_t>(Linear)];
+    wordToCellImpl(Word, Desc.kind() == sim::ElemKind::F32, Cells[Ip->Dst]);
+    ++Ip;
+    DISPATCH();
+  }
+  OP(Store) : {
+    const MemRefDesc &Desc = Cells[Ip->B].M;
+    const int32_t *IndexSlots = Ip->Pool;
+    int64_t Linear = Desc.Offset;
+    for (unsigned K = 0; K < Ip->Sub; ++K) {
+      int64_t Index = Cells[IndexSlots[K]].I;
+      assert(Index >= 0 && Index < Desc.Sizes[K] &&
+             "memref index out of bounds");
+      Linear += Index * Desc.Strides[K];
+    }
+    Perf.onArith(Ip->Sub);
+    Perf.onScalarStore(Desc.addressOf(Linear), 4);
+    Desc.Buffer->Data[static_cast<size_t>(Linear)] =
+        cellToWordImpl(Cells[Ip->A], Desc.kind() == sim::ElemKind::F32);
+    ++Ip;
+    DISPATCH();
+  }
+  OP(Copy) : {
+    const MemRefDesc &Source = Cells[Ip->A].M;
+    const MemRefDesc &Dest = Cells[Ip->B].M;
+    if (Source.Sizes != Dest.Sizes)
+      return S.fail("memref.copy shape mismatch");
+    runtime::stridedCopy(
+        Perf, runtime::makeCopyRequest(Source, Dest,
+                                       Source.innermostContiguous() &&
+                                           Dest.innermostContiguous()));
+    ++Ip;
+    DISPATCH();
+  }
+  OP(SubView) : {
+    const SubViewPlan &Info = *static_cast<const SubViewPlan *>(Ip->Side);
+    const MemRefDesc &Source = Cells[Ip->A].M;
+    S.Scratch.clear();
+    const int32_t *OffsetSlots = SlotPool.data() + Info.PoolOffset;
+    for (unsigned K = 0; K < Info.NumOffsets; ++K)
+      S.Scratch.push_back(Cells[OffsetSlots[K]].I);
+    Perf.onArith(2 * Source.rank()); // descriptor arithmetic
+    Cell &C = Cells[Ip->Dst];
+    C.Tag = Cell::Kind::MemRef;
+    C.M = Source.subview(S.Scratch, Info.StaticSizes);
+    ++Ip;
+    DISPATCH();
+  }
+  OP(Generic) : {
+    const auto &DG = *static_cast<const DecodedGeneric *>(Ip->Side);
+    if (failed(runOdometer(DG, S)))
+      return failure();
+    ++Ip;
+    DISPATCH();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // accel ops (each performs its own staged copy + transfer)
+  //===--------------------------------------------------------------------===//
+  OP(AccelDmaInit) : {
+    if (!S.Runtime)
+      return S.fail("accel op executed without a DMA runtime");
+    S.Runtime->dmaInit(*static_cast<const accel::DmaInitConfig *>(Ip->Side));
+    ++Ip;
+    DISPATCH();
+  }
+  OP(AccelSendLiteral) : {
+    if (!S.Runtime)
+      return S.fail("accel op executed without a DMA runtime");
+    runtime::DmaRuntime &Rt = *S.Runtime;
+    int64_t Offset = Cells[Ip->A].I;
+    int64_t End =
+        Rt.copyLiteralToDmaRegion(static_cast<int32_t>(Ip->Imm), Offset);
+    Rt.dmaStartSend(End - Offset, Offset);
+    Rt.dmaWaitSendCompletion();
+    Cell &C = Cells[Ip->Dst];
+    C.Tag = Cell::Kind::Int;
+    C.I = End;
+    ++Ip;
+    DISPATCH();
+  }
+  OP(AccelSend) : {
+    if (!S.Runtime)
+      return S.fail("accel op executed without a DMA runtime");
+    runtime::DmaRuntime &Rt = *S.Runtime;
+    int64_t Offset = Cells[Ip->B].I;
+    int64_t End = Rt.copyToDmaRegion(Cells[Ip->A].M, Offset);
+    Rt.dmaStartSend(End - Offset, Offset);
+    Rt.dmaWaitSendCompletion();
+    Cell &C = Cells[Ip->Dst];
+    C.Tag = Cell::Kind::Int;
+    C.I = End;
+    ++Ip;
+    DISPATCH();
+  }
+  OP(AccelSendDim) : {
+    if (!S.Runtime)
+      return S.fail("accel op executed without a DMA runtime");
+    runtime::DmaRuntime &Rt = *S.Runtime;
+    int64_t Offset = Cells[Ip->B].I;
+    const MemRefDesc &Desc = Cells[Ip->A].M;
+    int64_t Size =
+        Ip->Sub ? Ip->Imm : Desc.Sizes[static_cast<size_t>(Ip->Imm)];
+    int64_t End =
+        Rt.copyLiteralToDmaRegion(static_cast<int32_t>(Size), Offset);
+    Rt.dmaStartSend(End - Offset, Offset);
+    Rt.dmaWaitSendCompletion();
+    Cell &C = Cells[Ip->Dst];
+    C.Tag = Cell::Kind::Int;
+    C.I = End;
+    ++Ip;
+    DISPATCH();
+  }
+  OP(AccelSendIdx) : {
+    if (!S.Runtime)
+      return S.fail("accel op executed without a DMA runtime");
+    runtime::DmaRuntime &Rt = *S.Runtime;
+    int64_t Offset = Cells[Ip->B].I;
+    int64_t End = Rt.copyLiteralToDmaRegion(
+        static_cast<int32_t>(Cells[Ip->A].I), Offset);
+    Rt.dmaStartSend(End - Offset, Offset);
+    Rt.dmaWaitSendCompletion();
+    Cell &C = Cells[Ip->Dst];
+    C.Tag = Cell::Kind::Int;
+    C.I = End;
+    ++Ip;
+    DISPATCH();
+  }
+  OP(AccelRecv) : {
+    if (!S.Runtime)
+      return S.fail("accel op executed without a DMA runtime");
+    runtime::DmaRuntime &Rt = *S.Runtime;
+    const MemRefDesc &Desc = Cells[Ip->A].M;
+    Rt.dmaStartRecv(Desc.numElements(), 0);
+    Rt.dmaWaitRecvCompletion();
+    Rt.copyFromDmaRegion(Desc, 0, Ip->Sub != 0);
+    Cell &C = Cells[Ip->Dst];
+    C.Tag = Cell::Kind::Int;
+    C.I = 0;
+    ++Ip;
+    DISPATCH();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // axirt runtime calls (batched transfers; the fully lowered form)
+  //===--------------------------------------------------------------------===//
+  OP(CallDmaInit) : {
+    if (!S.Runtime)
+      return S.fail("runtime call executed without a DMA runtime");
+    S.Runtime->dmaInit(*static_cast<const accel::DmaInitConfig *>(Ip->Side));
+    ++Ip;
+    DISPATCH();
+  }
+  OP(CallCopyToDma) : {
+    if (!S.Runtime)
+      return S.fail("runtime call executed without a DMA runtime");
+    int64_t End =
+        S.Runtime->copyToDmaRegion(Cells[Ip->A].M, Cells[Ip->B].I);
+    Cell &C = Cells[Ip->Dst];
+    C.Tag = Cell::Kind::Int;
+    C.I = End;
+    ++Ip;
+    DISPATCH();
+  }
+  OP(CallCopyLiteralToDma) : {
+    if (!S.Runtime)
+      return S.fail("runtime call executed without a DMA runtime");
+    int64_t End = S.Runtime->copyLiteralToDmaRegion(
+        static_cast<int32_t>(Cells[Ip->A].I), Cells[Ip->B].I);
+    Cell &C = Cells[Ip->Dst];
+    C.Tag = Cell::Kind::Int;
+    C.I = End;
+    ++Ip;
+    DISPATCH();
+  }
+  OP(CallStartSend) : {
+    if (!S.Runtime)
+      return S.fail("runtime call executed without a DMA runtime");
+    S.Runtime->dmaStartSend(Cells[Ip->A].I - Cells[Ip->B].I, Cells[Ip->B].I);
+    ++Ip;
+    DISPATCH();
+  }
+  OP(CallWaitSend) : {
+    if (!S.Runtime)
+      return S.fail("runtime call executed without a DMA runtime");
+    S.Runtime->dmaWaitSendCompletion();
+    ++Ip;
+    DISPATCH();
+  }
+  OP(CallStartRecv) : {
+    if (!S.Runtime)
+      return S.fail("runtime call executed without a DMA runtime");
+    S.Runtime->dmaStartRecv(Cells[Ip->A].I, Cells[Ip->B].I);
+    ++Ip;
+    DISPATCH();
+  }
+  OP(CallWaitRecv) : {
+    if (!S.Runtime)
+      return S.fail("runtime call executed without a DMA runtime");
+    S.Runtime->dmaWaitRecvCompletion();
+    ++Ip;
+    DISPATCH();
+  }
+  OP(CallCopyFromDma) : {
+    if (!S.Runtime)
+      return S.fail("runtime call executed without a DMA runtime");
+    S.Runtime->copyFromDmaRegion(Cells[Ip->A].M, Cells[Ip->B].I,
+                                 Ip->Sub != 0);
+    ++Ip;
+    DISPATCH();
+  }
+  OP(CallSendFused) : {
+    if (!S.Runtime)
+      return S.fail("runtime call executed without a DMA runtime");
+    S.Runtime->dmaStartSend(Cells[Ip->A].I - Cells[Ip->B].I, Cells[Ip->B].I);
+    S.Runtime->dmaWaitSendCompletion();
+    ++Ip;
+    DISPATCH();
+  }
+  OP(CallRecvFused) : {
+    if (!S.Runtime)
+      return S.fail("runtime call executed without a DMA runtime");
+    S.Runtime->dmaStartRecv(Cells[Ip->A].I, Cells[Ip->B].I);
+    S.Runtime->dmaWaitRecvCompletion();
+    ++Ip;
+    DISPATCH();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // specialized generic kernels (fall back to the odometer whenever the
+  // runtime element kinds contradict the decode-time classification)
+  //===--------------------------------------------------------------------===//
+  OP(GenericMulAdd) : {
+    const auto &DG = *static_cast<const DecodedGeneric *>(Ip->Side);
+    int F32 = classifyKinds(DG, S);
+    bool WantF = (DG.MulSub & ExecPlan::BinFloatResult) != 0;
+    bool AddF = (DG.AddSub & ExecPlan::BinFloatResult) != 0;
+    if (F32 < 0 || WantF != (F32 == 1) || AddF != (F32 == 1)) {
+      if (failed(runOdometer(DG, S)))
+        return failure();
+    } else if (F32) {
+      mulAddKernel<true>(DG, S);
+    } else {
+      mulAddKernel<false>(DG, S);
+    }
+    ++Ip;
+    DISPATCH();
+  }
+  OP(GenericCopy) : {
+    const auto &DG = *static_cast<const DecodedGeneric *>(Ip->Side);
+    int F32 = classifyKinds(DG, S);
+    if (F32 < 0) {
+      if (failed(runOdometer(DG, S)))
+        return failure();
+    } else if (F32) {
+      copyKernel<true>(DG, S);
+    } else {
+      copyKernel<false>(DG, S);
+    }
+    ++Ip;
+    DISPATCH();
+  }
+  OP(GenericEltwise) : {
+    const auto &DG = *static_cast<const DecodedGeneric *>(Ip->Side);
+    int F32 = classifyKinds(DG, S);
+    bool WantF = (DG.EltSub & ExecPlan::BinFloatResult) != 0;
+    if (F32 < 0 || WantF != (F32 == 1)) {
+      if (failed(runOdometer(DG, S)))
+        return failure();
+    } else if (F32) {
+      eltwiseKernel<true>(DG, S);
+    } else {
+      eltwiseKernel<false>(DG, S);
+    }
+    ++Ip;
+    DISPATCH();
+  }
+
+  OP(Return) : { return success(); }
+
+#if AXI4MLIR_SWITCH_DISPATCH
+    }
+  }
+#endif
+}
+
+#undef OP
+#undef DISPATCH
+
+//===----------------------------------------------------------------------===//
+// Generic odometer fallback (mirrors ExecPlan::runGeneric instruction for
+// instruction; the body span runs through the threaded dispatcher)
+//===----------------------------------------------------------------------===//
+
+LogicalResult DecodedProgram::runOdometer(const DecodedGeneric &DG,
+                                          RunState &S) const {
+  const GenericPlan &G = *DG.G;
+  sim::HostPerfModel &Perf = S.Soc.perf();
+  const unsigned NumLoops = static_cast<unsigned>(G.Ranges.size());
+  const unsigned NumOperands = static_cast<unsigned>(G.Operands.size());
+
+  struct Resolved {
+    const MemRefDesc *Desc;
+    bool IsF32;
+    bool Projected;
+    int64_t DimStride[runtime::detail::MaxCopyRank];
+  };
+  assert(NumLoops <= runtime::detail::MaxCopyRank &&
+         "loop nest beyond plan odometer cap");
+  std::vector<Resolved> Ops(NumOperands);
+  for (unsigned K = 0; K < NumOperands; ++K) {
+    const OperandPlan &P = G.Operands[K];
+    Resolved &R = Ops[K];
+    R.Desc = &S.Cells[P.Slot].M;
+    R.IsF32 = R.Desc->kind() == sim::ElemKind::F32;
+    R.Projected = P.Projected;
+    if (P.Projected) {
+      for (unsigned D = 0; D < NumLoops; ++D)
+        R.DimStride[D] = 0;
+      for (unsigned Idx = 0; Idx < P.DimPos.size(); ++Idx)
+        R.DimStride[P.DimPos[Idx]] += R.Desc->Strides[Idx];
+    }
+  }
+
+  auto LinearAt = [&](unsigned K,
+                      const std::vector<int64_t> &Point) -> int64_t {
+    const Resolved &R = Ops[K];
+    int64_t Linear = R.Desc->Offset;
+    if (R.Projected) {
+      for (unsigned D = 0; D < NumLoops; ++D)
+        Linear += Point[D] * R.DimStride[D];
+      return Linear;
+    }
+    const OperandPlan &P = G.Operands[K];
+    for (unsigned Idx = 0; Idx < P.Exprs.size(); ++Idx) {
+      int64_t Index = P.Exprs[Idx].eval(Point);
+      assert(Index >= 0 && Index < R.Desc->Sizes[Idx] &&
+             "memref index out of bounds");
+      Linear += Index * R.Desc->Strides[Idx];
+    }
+    return Linear;
+  };
+
+  std::vector<int64_t> Point(NumLoops, 0);
+  bool Done = product(G.Ranges) == 0;
+  while (!Done) {
+    Perf.onLoopIteration();
+    Perf.onArith(3); // indexing arithmetic per point
+
+    for (unsigned K = 0; K < NumOperands; ++K) {
+      int64_t Linear = LinearAt(K, Point);
+      Perf.onScalarLoad(Ops[K].Desc->addressOf(Linear), 4);
+      uint32_t Word = Ops[K].Desc->Buffer->Data[static_cast<size_t>(Linear)];
+      wordToCellImpl(Word, Ops[K].IsF32, S.Cells[G.BodyArgSlots[K]]);
+    }
+
+    if (!G.Body.empty() && failed(exec(DG.BodyCode.data(), S)))
+      return failure();
+    for (unsigned O = 0; O < G.YieldSlots.size(); ++O) {
+      unsigned OperandIdx = G.NumInputs + O;
+      int64_t Linear = LinearAt(OperandIdx, Point);
+      Perf.onScalarStore(Ops[OperandIdx].Desc->addressOf(Linear), 4);
+      Ops[OperandIdx].Desc->Buffer->Data[static_cast<size_t>(Linear)] =
+          cellToWordImpl(S.Cells[G.YieldSlots[O]], Ops[OperandIdx].IsF32);
+    }
+
+    Done = true;
+    for (int D = static_cast<int>(NumLoops) - 1; D >= 0; --D) {
+      if (++Point[D] < G.Ranges[D]) {
+        Done = false;
+        break;
+      }
+      Point[D] = 0;
+    }
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// Specialized micro-kernels
+//===----------------------------------------------------------------------===//
+
+/// Runtime legality gate shared by the specialized kernels: every operand
+/// must have the same element kind and an indexing map whose result count
+/// matches the descriptor rank. Returns 1 (f32), 0 (i32), or -1 (run the
+/// generic odometer instead).
+int DecodedProgram::classifyKinds(const DecodedGeneric &DG,
+                                  RunState &S) const {
+  const GenericPlan &G = *DG.G;
+  sim::ElemKind Kind0 = S.Cells[G.Operands[0].Slot].M.kind();
+  for (size_t K = 0; K < G.Operands.size(); ++K) {
+    const MemRefDesc &D = S.Cells[G.Operands[K].Slot].M;
+    if (D.kind() != Kind0)
+      return -1;
+    if (DG.Lin[K].Consts.size() != D.rank())
+      return -1;
+  }
+  return Kind0 == sim::ElemKind::F32 ? 1 : 0;
+}
+
+namespace {
+
+/// Per-operand iteration state for a specialized kernel: the fold of the
+/// decode-time linear decomposition against the runtime strides, giving a
+/// base linear index and one stride per loop dim.
+struct KernelOperand {
+  uint32_t *Buf;
+  int64_t Lin;
+  int64_t DimStride[runtime::detail::MaxCopyRank];
+};
+
+/// Loads one word the way the generic odometer does, as a double.
+template <bool IsF32> inline double wordValue(uint32_t Word) {
+  if (IsF32)
+    return static_cast<double>(sim::wordToFloat(Word));
+  return static_cast<double>(static_cast<int32_t>(Word));
+}
+
+} // namespace
+
+/// Folds DG.Lin against the runtime descriptors. The kernels walk the
+/// iteration space with an outer odometer over dims [0, NumLoops-1) and a
+/// hardwired inner loop over the innermost dim, bumping each operand's
+/// linear index incrementally instead of recomputing the dot product.
+#define AXI4MLIR_KERNEL_PROLOGUE(CAP, NOPS)                                    \
+  const GenericPlan &G = *DG.G;                                                \
+  sim::HostPerfModel &Perf = S.Soc.perf();                                     \
+  const unsigned NumLoops = static_cast<unsigned>(G.Ranges.size());            \
+  KernelOperand Kop[CAP];                                                      \
+  for (unsigned K = 0; K < (NOPS); ++K) {                                      \
+    const MemRefDesc &D = S.Cells[G.Operands[K].Slot].M;                       \
+    const LinFold &L = DG.Lin[K];                                              \
+    Kop[K].Buf = D.Buffer->Data.data();                                        \
+    int64_t Base = D.Offset;                                                   \
+    for (size_t R = 0; R < L.Consts.size(); ++R)                               \
+      Base += L.Consts[R] * D.Strides[R];                                      \
+    Kop[K].Lin = Base;                                                         \
+    for (unsigned Dim = 0; Dim < NumLoops; ++Dim) {                            \
+      int64_t Stride = 0;                                                      \
+      for (size_t R = 0; R < L.Consts.size(); ++R)                             \
+        Stride += L.Coef[R][Dim] * D.Strides[R];                               \
+      Kop[K].DimStride[Dim] = Stride;                                          \
+    }                                                                          \
+  }                                                                            \
+  if (product(G.Ranges) == 0)                                                  \
+    return;                                                                    \
+  const unsigned Inner = NumLoops - 1;                                         \
+  const int64_t InnerN = G.Ranges[Inner];                                      \
+  int64_t Point[runtime::detail::MaxCopyRank] = {0};                           \
+  (void)Point;
+
+/// Advances the outer odometer (dims [0, Inner)) after one inner sweep;
+/// breaks out of the enclosing loop when the space is exhausted.
+#define AXI4MLIR_KERNEL_ADVANCE(NOPS)                                          \
+  {                                                                            \
+    int Dim = static_cast<int>(Inner) - 1;                                     \
+    for (; Dim >= 0; --Dim) {                                                  \
+      for (unsigned K = 0; K < (NOPS); ++K)                                    \
+        Kop[K].Lin += Kop[K].DimStride[Dim];                                   \
+      if (++Point[Dim] < G.Ranges[Dim])                                        \
+        break;                                                                 \
+      for (unsigned K = 0; K < (NOPS); ++K)                                    \
+        Kop[K].Lin -= Kop[K].DimStride[Dim] * G.Ranges[Dim];                   \
+      Point[Dim] = 0;                                                          \
+    }                                                                          \
+    if (Dim < 0)                                                               \
+      break;                                                                   \
+  }
+
+template <bool IsF32>
+void DecodedProgram::mulAddKernel(const DecodedGeneric &DG,
+                                  RunState &S) const {
+  AXI4MLIR_KERNEL_PROLOGUE(3, 3)
+  const int64_t S0 = Kop[0].DimStride[Inner];
+  const int64_t S1 = Kop[1].DimStride[Inner];
+  const int64_t S2 = Kop[2].DimStride[Inner];
+  uint32_t *const B0 = Kop[0].Buf, *const B1 = Kop[1].Buf,
+           *const B2 = Kop[2].Buf;
+  const unsigned MA = DG.MulArgA, MB = DG.MulArgB, AO = DG.AddArg;
+  const bool TL = DG.AddTOnLhs;
+  for (;;) {
+    int64_t L0 = Kop[0].Lin, L1 = Kop[1].Lin, L2 = Kop[2].Lin;
+    for (int64_t J = 0; J < InnerN; ++J) {
+      // Charge order per point matches the generic odometer exactly:
+      // loop iteration, indexing arith, operand loads in operand order,
+      // one arith per body instruction, the yield store.
+      Perf.onLoopIteration();
+      Perf.onArith(3);
+      double V[3];
+      Perf.onScalarLoad(reinterpret_cast<uint64_t>(B0 + L0), 4);
+      V[0] = wordValue<IsF32>(B0[L0]);
+      Perf.onScalarLoad(reinterpret_cast<uint64_t>(B1 + L1), 4);
+      V[1] = wordValue<IsF32>(B1[L1]);
+      Perf.onScalarLoad(reinterpret_cast<uint64_t>(B2 + L2), 4);
+      V[2] = wordValue<IsF32>(B2[L2]);
+      Perf.onArith(1); // mul
+      Perf.onArith(1); // add
+      uint32_t OutWord;
+      if (IsF32) {
+        // Matches the Binary handler's double arithmetic on f32 cells:
+        // the product stays an unrounded double through the add.
+        double T = V[MA] * V[MB];
+        double Y = TL ? T + V[AO] : V[AO] + T;
+        OutWord = sim::floatToWord(static_cast<float>(Y));
+      } else {
+        // i32 path: the product is truncated through int64 (and the sum
+        // computed on doubles of those), exactly as the interpreter's
+        // Cell arithmetic does.
+        int64_t T = static_cast<int64_t>(V[MA] * V[MB]);
+        double A = TL ? static_cast<double>(T) : V[AO];
+        double B = TL ? V[AO] : static_cast<double>(T);
+        int64_t Y = static_cast<int64_t>(A + B);
+        OutWord = static_cast<uint32_t>(static_cast<int32_t>(Y));
+      }
+      Perf.onScalarStore(reinterpret_cast<uint64_t>(B2 + L2), 4);
+      B2[L2] = OutWord;
+      L0 += S0;
+      L1 += S1;
+      L2 += S2;
+    }
+    AXI4MLIR_KERNEL_ADVANCE(3)
+  }
+}
+
+template <bool IsF32>
+void DecodedProgram::copyKernel(const DecodedGeneric &DG, RunState &S) const {
+  AXI4MLIR_KERNEL_PROLOGUE(2, 2)
+  const int64_t S0 = Kop[0].DimStride[Inner];
+  const int64_t S1 = Kop[1].DimStride[Inner];
+  uint32_t *const B0 = Kop[0].Buf, *const B1 = Kop[1].Buf;
+  for (;;) {
+    int64_t L0 = Kop[0].Lin, L1 = Kop[1].Lin;
+    for (int64_t J = 0; J < InnerN; ++J) {
+      Perf.onLoopIteration();
+      Perf.onArith(3);
+      Perf.onScalarLoad(reinterpret_cast<uint64_t>(B0 + L0), 4);
+      uint32_t Word = B0[L0];
+      // The odometer loads the current output element too (its value is
+      // discarded, but the cache sees the access).
+      Perf.onScalarLoad(reinterpret_cast<uint64_t>(B1 + L1), 4);
+      uint32_t OutWord;
+      if (IsF32)
+        OutWord = sim::floatToWord(static_cast<float>(
+            static_cast<double>(sim::wordToFloat(Word))));
+      else
+        OutWord = static_cast<uint32_t>(static_cast<int32_t>(Word));
+      Perf.onScalarStore(reinterpret_cast<uint64_t>(B1 + L1), 4);
+      B1[L1] = OutWord;
+      L0 += S0;
+      L1 += S1;
+    }
+    AXI4MLIR_KERNEL_ADVANCE(2)
+  }
+}
+
+template <bool IsF32>
+void DecodedProgram::eltwiseKernel(const DecodedGeneric &DG,
+                                   RunState &S) const {
+  const unsigned NOps = static_cast<unsigned>(DG.G->Operands.size());
+  assert(NOps <= 4 && "eltwise kernel operand cap enforced at decode time");
+  AXI4MLIR_KERNEL_PROLOGUE(4, NOps)
+  const BinKind Kind = static_cast<BinKind>(DG.EltSub & 0x7);
+  const unsigned EA = DG.EltArgA, EB = DG.EltArgB;
+  const unsigned Out = NOps - 1;
+  for (;;) {
+    int64_t L[4];
+    for (unsigned K = 0; K < NOps; ++K)
+      L[K] = Kop[K].Lin;
+    for (int64_t J = 0; J < InnerN; ++J) {
+      Perf.onLoopIteration();
+      Perf.onArith(3);
+      double V[4] = {0, 0, 0, 0};
+      for (unsigned K = 0; K < NOps; ++K) {
+        Perf.onScalarLoad(reinterpret_cast<uint64_t>(Kop[K].Buf + L[K]), 4);
+        V[K] = wordValue<IsF32>(Kop[K].Buf[L[K]]);
+      }
+      Perf.onArith(1);
+      double A = V[EA], B = V[EB], R = 0;
+      switch (Kind) {
+      case BinKind::Add:
+        R = A + B;
+        break;
+      case BinKind::Mul:
+        R = A * B;
+        break;
+      case BinKind::Sub:
+        R = A - B;
+        break;
+      case BinKind::Div:
+        R = A / B;
+        break;
+      case BinKind::Max:
+        R = A > B ? A : B;
+        break;
+      }
+      uint32_t OutWord;
+      if (IsF32)
+        OutWord = sim::floatToWord(static_cast<float>(R));
+      else
+        OutWord = static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int64_t>(R)));
+      Perf.onScalarStore(reinterpret_cast<uint64_t>(Kop[Out].Buf + L[Out]),
+                         4);
+      Kop[Out].Buf[L[Out]] = OutWord;
+      for (unsigned K = 0; K < NOps; ++K)
+        L[K] += Kop[K].DimStride[Inner];
+    }
+    AXI4MLIR_KERNEL_ADVANCE(NOps)
+  }
+}
+
+#undef AXI4MLIR_KERNEL_PROLOGUE
+#undef AXI4MLIR_KERNEL_ADVANCE
+
+//===----------------------------------------------------------------------===//
+// Run
+//===----------------------------------------------------------------------===//
+
+LogicalResult DecodedProgram::run(sim::SoC &Soc, runtime::DmaRuntime *Runtime,
+                                  const std::vector<MemRefDesc> &Arguments,
+                                  std::string &Error) const {
+  if (Arguments.size() != NumArgs) {
+    Error = "argument count mismatch calling '" + FuncName + "'";
+    return failure();
+  }
+  RunState S(Soc, Runtime);
+  S.Cells.resize(NumSlots);
+  for (unsigned Idx = 0; Idx < NumArgs; ++Idx) {
+    S.Cells[Idx].Tag = Cell::Kind::MemRef;
+    S.Cells[Idx].M = Arguments[Idx];
+  }
+  if (failed(exec(Code.data(), S))) {
+    Error = S.Error.empty() ? "interpreter failure" : S.Error;
+    return failure();
+  }
+  if (Runtime && Runtime->hadError()) {
+    Error = "accelerator/DMA protocol error: " + Runtime->errorMessage();
+    return failure();
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// Disassembly
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *binName(uint8_t Sub) {
+  switch (Sub & 0x7) {
+  case 0:
+    return "add";
+  case 1:
+    return "mul";
+  case 2:
+    return "sub";
+  case 3:
+    return "div";
+  case 4:
+    return "max";
+  default:
+    return "bin?";
+  }
+}
+
+void printIndexList(std::ostream &OS, const int32_t *Pool, uint32_t Count) {
+  OS << '[';
+  for (uint32_t K = 0; K < Count; ++K) {
+    if (K)
+      OS << ", ";
+    OS << '%' << Pool[K];
+  }
+  OS << ']';
+}
+
+} // namespace
+
+void DecodedProgram::print(std::ostream &OS) const {
+  OS << "dplan @" << FuncName << " args=" << NumArgs << " slots=" << NumSlots
+     << " insts=" << (Code.size() - 1) << "+ret kernels=" << NumSpecialized
+     << "\n";
+  for (size_t Pc = 0; Pc < Code.size(); ++Pc) {
+    const DInst &I = Code[Pc];
+    OS << "  ";
+    if (Pc < 10)
+      OS << ' ';
+    if (Pc < 100)
+      OS << ' ';
+    OS << Pc << ": ";
+    switch (I.Code) {
+    case DOp::ConstInt:
+      OS << '%' << I.Dst << " = const.i " << I.Imm;
+      break;
+    case DOp::ConstFloat: {
+      std::ostringstream Tmp;
+      Tmp << I.FImm;
+      OS << '%' << I.Dst << " = const.f " << Tmp.str();
+      break;
+    }
+    case DOp::Binary:
+      OS << '%' << I.Dst << " = " << binName(I.Sub)
+         << ((I.Sub & ExecPlan::BinFloatResult) ? ".f %" : ".i %") << I.A
+         << ", %" << I.B;
+      break;
+    case DOp::IndexCast:
+      OS << '%' << I.Dst << " = index_cast %" << I.A;
+      break;
+    case DOp::LoopBegin:
+      OS << "loop %" << I.Dst << " = [%" << I.A << ", %" << I.B << ") step %"
+         << I.C << " -> @" << I.Aux;
+      break;
+    case DOp::LoopEnd:
+      OS << "end -> @" << I.Aux;
+      break;
+    case DOp::Alloc: {
+      const AllocPlan &Info = *static_cast<const AllocPlan *>(I.Side);
+      OS << '%' << I.Dst << " = alloc ";
+      for (int64_t Dim : Info.Shape)
+        OS << Dim << 'x';
+      OS << (Info.Kind == sim::ElemKind::F32 ? "f32" : "i32");
+      break;
+    }
+    case DOp::Dealloc:
+      OS << "dealloc";
+      break;
+    case DOp::Load:
+      OS << '%' << I.Dst << " = load %" << I.A;
+      printIndexList(OS, I.Pool, I.Sub);
+      break;
+    case DOp::Store:
+      OS << "store %" << I.A << " -> %" << I.B;
+      printIndexList(OS, I.Pool, I.Sub);
+      break;
+    case DOp::Copy:
+      OS << "copy %" << I.A << " -> %" << I.B;
+      break;
+    case DOp::SubView: {
+      const SubViewPlan &Info = *static_cast<const SubViewPlan *>(I.Side);
+      OS << '%' << I.Dst << " = subview %" << I.A;
+      printIndexList(OS, SlotPool.data() + Info.PoolOffset, Info.NumOffsets);
+      OS << " sizes=[";
+      for (size_t K = 0; K < Info.StaticSizes.size(); ++K)
+        OS << (K ? ", " : "") << Info.StaticSizes[K];
+      OS << ']';
+      break;
+    }
+    case DOp::Generic:
+    case DOp::GenericMulAdd:
+    case DOp::GenericCopy:
+    case DOp::GenericEltwise: {
+      const auto &DG = *static_cast<const DecodedGeneric *>(I.Side);
+      const GenericPlan &G = *DG.G;
+      OS << "generic";
+      switch (I.Code) {
+      case DOp::GenericMulAdd:
+        OS << ".muladd";
+        break;
+      case DOp::GenericCopy:
+        OS << ".copy";
+        break;
+      case DOp::GenericEltwise:
+        OS << ".eltwise." << binName(DG.EltSub);
+        break;
+      default:
+        break;
+      }
+      OS << " ranges=[";
+      for (size_t K = 0; K < G.Ranges.size(); ++K)
+        OS << (K ? ", " : "") << G.Ranges[K];
+      OS << "] operands=[";
+      for (size_t K = 0; K < G.Operands.size(); ++K)
+        OS << (K ? ", " : "") << '%' << G.Operands[K].Slot;
+      OS << ']';
+      if (I.Code == DOp::Generic)
+        OS << " body=" << G.Body.size();
+      break;
+    }
+    case DOp::AccelDmaInit:
+      OS << "accel.dma_init #" << I.Aux;
+      break;
+    case DOp::AccelSendLiteral:
+      OS << '%' << I.Dst << " = accel.send_literal " << I.Imm << " @ %"
+         << I.A;
+      break;
+    case DOp::AccelSend:
+      OS << '%' << I.Dst << " = accel.send %" << I.A << " @ %" << I.B;
+      break;
+    case DOp::AccelSendDim:
+      OS << '%' << I.Dst << " = accel.send_dim %" << I.A
+         << (I.Sub ? " size=" : " dim=") << I.Imm << " @ %" << I.B;
+      break;
+    case DOp::AccelSendIdx:
+      OS << '%' << I.Dst << " = accel.send_idx %" << I.A << " @ %" << I.B;
+      break;
+    case DOp::AccelRecv:
+      OS << '%' << I.Dst << " = accel.recv %" << I.A
+         << (I.Sub ? " accumulate" : "");
+      break;
+    case DOp::CallDmaInit:
+      OS << "dma_init #" << I.Aux;
+      break;
+    case DOp::CallCopyToDma:
+      OS << '%' << I.Dst << " = copy_to_dma %" << I.A << " @ %" << I.B;
+      break;
+    case DOp::CallCopyLiteralToDma:
+      OS << '%' << I.Dst << " = copy_literal_to_dma %" << I.A << " @ %"
+         << I.B;
+      break;
+    case DOp::CallStartSend:
+      OS << "start_send end=%" << I.A << " off=%" << I.B;
+      break;
+    case DOp::CallWaitSend:
+      OS << "wait_send";
+      break;
+    case DOp::CallStartRecv:
+      OS << "start_recv len=%" << I.A << " off=%" << I.B;
+      break;
+    case DOp::CallWaitRecv:
+      OS << "wait_recv";
+      break;
+    case DOp::CallCopyFromDma:
+      OS << "copy_from_dma %" << I.A << " @ %" << I.B
+         << (I.Sub ? " accumulate" : "");
+      break;
+    case DOp::CallSendFused:
+      OS << "send end=%" << I.A << " off=%" << I.B;
+      break;
+    case DOp::CallRecvFused:
+      OS << "recv len=%" << I.A << " off=%" << I.B;
+      break;
+    case DOp::Return:
+      OS << "ret";
+      break;
+    }
+    OS << "\n";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DecodedPlan facade
+//===----------------------------------------------------------------------===//
+
+namespace axi4mlir {
+namespace exec {
+
+DecodedPlan::DecodedPlan() = default;
+DecodedPlan::~DecodedPlan() = default;
+
+std::unique_ptr<DecodedPlan> DecodedPlan::decode(const ExecPlan &Plan) {
+  std::unique_ptr<DecodedPlan> Decoded(new DecodedPlan());
+  Decoded->Impl = std::make_unique<DecodedProgram>();
+  Decoded->Impl->decode(Plan);
+  return Decoded;
+}
+
+LogicalResult DecodedPlan::run(sim::SoC &Soc, runtime::DmaRuntime *Runtime,
+                               const std::vector<MemRefDesc> &Arguments,
+                               std::string &Error) const {
+  return Impl->run(Soc, Runtime, Arguments, Error);
+}
+
+void DecodedPlan::print(std::ostream &OS) const { Impl->print(OS); }
+
+std::string DecodedPlan::printToString() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}
+
+unsigned DecodedPlan::numSpecializedKernels() const {
+  return Impl->NumSpecialized;
+}
+
+bool DecodedPlan::usesComputedGoto() {
+#if AXI4MLIR_SWITCH_DISPATCH
+  return false;
+#else
+  return true;
+#endif
+}
+
+} // namespace exec
+} // namespace axi4mlir

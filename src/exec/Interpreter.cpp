@@ -22,15 +22,25 @@ using namespace axi4mlir::exec;
 using runtime::MemRefDesc;
 
 Interpreter::Interpreter(sim::SoC &Soc, runtime::DmaRuntime *Runtime,
+                         ExecMode Mode)
+    : Soc(Soc), Runtime(Runtime), Mode(Mode) {}
+
+Interpreter::Interpreter(sim::SoC &Soc, runtime::DmaRuntime *Runtime,
                          bool UseCompiledPlan)
-    : Soc(Soc), Runtime(Runtime), UseCompiledPlan(UseCompiledPlan) {}
+    : Interpreter(Soc, Runtime,
+                  UseCompiledPlan ? ExecMode::Plan : ExecMode::Walker) {}
 
 Interpreter::~Interpreter() = default;
 
 void Interpreter::setPlanOptions(const opt::PlanOptOptions &Options) {
   PlanOptions = Options;
   CachedPlan.reset();
+  CachedDecoded.reset();
   CachedPlanFor = nullptr;
+}
+
+const DecodedPlan *Interpreter::decodedPlan() const {
+  return CachedDecoded.get();
 }
 
 LogicalResult Interpreter::run(func::FuncOp Func,
@@ -43,7 +53,7 @@ LogicalResult Interpreter::run(func::FuncOp Func,
     Error = "argument count mismatch calling '" + Func.getFuncName() + "'";
     return failure();
   }
-  if (UseCompiledPlan) {
+  if (Mode != ExecMode::Walker) {
     // Compile once, execute many: the plan is reused while run() keeps
     // being called with the same, unmodified function. The fingerprint
     // (address + name + structural argument types + top-level op count)
@@ -67,6 +77,7 @@ LogicalResult Interpreter::run(func::FuncOp Func,
                     sameArgTypes();
     if (!Reusable) {
       CachedPlanFor = nullptr;
+      CachedDecoded.reset();
       CachedPlan = ExecPlan::compile(Func, Error);
       if (!CachedPlan)
         return failure();
@@ -76,6 +87,13 @@ LogicalResult Interpreter::run(func::FuncOp Func,
       CachedPlanArgTypes.clear();
       for (unsigned I = 0; I < Entry.getNumArguments(); ++I)
         CachedPlanArgTypes.push_back(Entry.getArgument(I).getType());
+    }
+    if (Mode == ExecMode::Threaded) {
+      // Decode lazily (after the optimizer has run) so a mode switch on a
+      // warm plan cache still picks up the threaded engine.
+      if (!CachedDecoded)
+        CachedDecoded = DecodedPlan::decode(*CachedPlan);
+      return CachedDecoded->run(Soc, Runtime, Arguments, Error);
     }
     return CachedPlan->run(Soc, Runtime, Arguments, Error);
   }

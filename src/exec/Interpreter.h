@@ -22,6 +22,7 @@
 #define AXI4MLIR_EXEC_INTERPRETER_H
 
 #include "dialects/Func.h"
+#include "exec/ExecPlanRun.h"
 #include "exec/opt/PlanOpt.h"
 #include "runtime/DmaRuntime.h"
 #include "support/LogicalResult.h"
@@ -38,20 +39,31 @@ class ExecPlan;
 
 /// Interprets one func.func against a simulated system. By default the
 /// function is compiled once into an ExecPlan (cached across run() calls
-/// on the same function) and executed at memory speed; the legacy
-/// tree-walking executor stays available behind \p UseCompiledPlan for
-/// the plan-vs-walker equivalence tests.
+/// on the same function), pre-decoded into dispatch-ready form, and
+/// executed through the threaded-dispatch engine. The plan interpreter
+/// (one switch per instruction) and the legacy tree walker stay
+/// selectable through ExecMode for the equivalence tests and ablations;
+/// all three produce identical buffers and perf counters.
 class Interpreter {
 public:
   /// \p Runtime may be null for CPU-only functions (no accel/axirt ops).
   Interpreter(sim::SoC &Soc, runtime::DmaRuntime *Runtime,
-              bool UseCompiledPlan = true);
+              ExecMode Mode = ExecMode::Threaded);
+  /// Legacy selector kept for the walker-vs-plan call sites: true is the
+  /// plan interpreter, false the tree walker.
+  Interpreter(sim::SoC &Soc, runtime::DmaRuntime *Runtime,
+              bool UseCompiledPlan);
   ~Interpreter();
 
-  /// Selects the compiled-plan executor (default) or the legacy walker.
-  /// Both produce identical output buffers and perf counters.
-  void setUseCompiledPlan(bool Enabled) { UseCompiledPlan = Enabled; }
-  bool usesCompiledPlan() const { return UseCompiledPlan; }
+  void setExecMode(ExecMode Mode) { this->Mode = Mode; }
+  ExecMode execMode() const { return Mode; }
+
+  /// Legacy selector: compiled execution (the plan interpreter) vs the
+  /// tree walker. Both produce identical output buffers and counters.
+  void setUseCompiledPlan(bool Enabled) {
+    Mode = Enabled ? ExecMode::Plan : ExecMode::Walker;
+  }
+  bool usesCompiledPlan() const { return Mode != ExecMode::Walker; }
 
   /// Enables plan-optimizer passes (src/exec/opt) for subsequent runs.
   /// Off by default to preserve the bit-identical plan-vs-walker counter
@@ -63,10 +75,15 @@ public:
 
   /// Runs \p Func with memref arguments bound to \p Arguments. The
   /// compiled plan is cached: repeated runs of the same (unmodified)
-  /// function skip recompilation.
+  /// function skip recompilation (and re-decoding in threaded mode).
   LogicalResult run(func::FuncOp Func,
                     const std::vector<runtime::MemRefDesc> &Arguments,
                     std::string &Error);
+
+  /// The pre-decoded program of the cached plan, or null until a
+  /// threaded-mode run() has populated the cache. For introspection
+  /// (disassembly goldens, kernel-specialization counts).
+  const DecodedPlan *decodedPlan() const;
 
 private:
   /// A dynamic value: index/integer, float, or memref.
@@ -115,7 +132,7 @@ private:
 
   sim::SoC &Soc;
   runtime::DmaRuntime *Runtime;
-  bool UseCompiledPlan;
+  ExecMode Mode;
   opt::PlanOptOptions PlanOptions;
   opt::PlanOptStats OptStats;
   /// Plan cache for the compiled executor. The fingerprint (op address,
@@ -123,6 +140,8 @@ private:
   /// the realistic staleness cases; callers mutating a function body in
   /// place without changing any of those must use a fresh Interpreter.
   std::unique_ptr<ExecPlan> CachedPlan;
+  /// Dispatch-ready form of CachedPlan; populated lazily in threaded mode.
+  std::unique_ptr<DecodedPlan> CachedDecoded;
   Operation *CachedPlanFor = nullptr;
   size_t CachedPlanTopLevelOps = 0;
   std::vector<Type> CachedPlanArgTypes;

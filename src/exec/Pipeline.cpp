@@ -132,7 +132,7 @@ RunResult exec::runMatMulAxi4mlir(const MatMulRunConfig &Config) {
                                 Config.Kind, Config.Params);
   runtime::DmaRuntime Runtime(*Soc, Config.SpecializeCopies);
   MatMulData Data = makeMatMulData(Config);
-  Interpreter Interp(*Soc, &Runtime);
+  Interpreter Interp(*Soc, &Runtime, Config.Exec);
   if (!Config.PlanOpt.empty()) {
     opt::PlanOptOptions OptOptions;
     if (failed(opt::parsePlanOptSpec(Config.PlanOpt, OptOptions,
@@ -195,7 +195,7 @@ RunResult exec::runMatMulCpuOnly(const MatMulRunConfig &Config) {
 
   auto Soc = sim::makeCpuOnlySoC(Config.Params);
   MatMulData Data = makeMatMulData(Config);
-  Interpreter Interp(*Soc, /*Runtime=*/nullptr);
+  Interpreter Interp(*Soc, /*Runtime=*/nullptr, Config.Exec);
   if (failed(Interp.run(Func, {Data.A, Data.B, Data.C}, Result.Error)))
     return Result;
 
@@ -277,7 +277,7 @@ RunResult exec::runConvAxi4mlir(const ConvRunConfig &Config) {
   auto Soc = sim::makeConvSoC(Config.Kind, Config.Params);
   runtime::DmaRuntime Runtime(*Soc, Config.SpecializeCopies);
   ConvData Data = makeConvData(Config);
-  Interpreter Interp(*Soc, &Runtime);
+  Interpreter Interp(*Soc, &Runtime, Config.Exec);
   if (!Config.PlanOpt.empty()) {
     opt::PlanOptOptions OptOptions;
     if (failed(opt::parsePlanOptSpec(Config.PlanOpt, OptOptions,

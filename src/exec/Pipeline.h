@@ -16,6 +16,7 @@
 #define AXI4MLIR_EXEC_PIPELINE_H
 
 #include "dialects/Func.h"
+#include "exec/ExecPlanRun.h"
 #include "exec/ManualDrivers.h"
 #include "sim/SoC.h"
 #include "transforms/Passes.h"
@@ -52,6 +53,8 @@ struct MatMulRunConfig {
   /// Plan-optimizer spec for the compiled executor: "none" (default),
   /// "all", or a comma list of fold/dce/licm/coalesce.
   std::string PlanOpt;
+  /// Which execution engine interprets the lowered host code.
+  ExecMode Exec = ExecMode::Threaded;
 };
 
 /// Result of one experiment run.
@@ -98,6 +101,8 @@ struct ConvRunConfig {
   uint32_t Seed = 11;
   /// Plan-optimizer spec (see MatMulRunConfig::PlanOpt).
   std::string PlanOpt;
+  /// Which execution engine interprets the lowered host code.
+  ExecMode Exec = ExecMode::Threaded;
 };
 
 RunResult runConvAxi4mlir(const ConvRunConfig &Config);

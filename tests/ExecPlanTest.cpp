@@ -602,4 +602,113 @@ TEST(PlanDisassembly, ConvAfterFullPipeline) {
                  "copy_from_dma %45 @ %3 accumulate"});
 }
 
+//===----------------------------------------------------------------------===//
+// Golden disassembly of the pre-decoded (dispatch-ready) form: the
+// threaded engine's view of the same programs. Shared opcodes print with
+// the plan-interpreter mnemonics; specialized linalg.generic sites print
+// their bound micro-kernel.
+//===----------------------------------------------------------------------===//
+
+TEST(DecodedDisassembly, AxirtMatMulDriver) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OwningOpRef Owner;
+  auto Plan = compileGoldenDriver(Context, Owner, /*Conv=*/false);
+  ASSERT_NE(Plan, nullptr);
+  auto Decoded = DecodedPlan::decode(*Plan);
+  ASSERT_NE(Decoded, nullptr);
+  // Fully lowered driver: no linalg.generic left, so no kernels bind;
+  // the program is the plan's 41 instructions plus the return sentinel.
+  EXPECT_EQ(Decoded->numSpecializedKernels(), 0u);
+  expectInOrder(Decoded->printToString(),
+                {"dplan @matmul_call args=3 slots=35 insts=41+ret kernels=0",
+                 "  0: dma_init #0",
+                 "  3: %5 = copy_literal_to_dma %4 @ %3",
+                 "  4: send end=%5 off=%3",
+                 "  8: loop %9 = [%6, %7) step %8 -> @41",
+                 " 12: loop %13 = [%10, %11) step %12 -> @40",
+                 " 19: %20 = subview %0[%9, %13] sizes=[4, 4]",
+                 " 21: send end=%21 off=%17",
+                 " 22: loop %22 = [%14, %15) step %16 -> @39",
+                 " 36: recv len=%33 off=%34",
+                 " 37: copy_from_dma %32 @ %34 accumulate",
+                 " 38: end -> @23",
+                 " 39: end -> @13",
+                 " 40: end -> @9",
+                 " 41: ret"});
+}
+
+TEST(DecodedDisassembly, CpuMatMulBindsMulAddKernel) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = buildMatMulFunc(Builder, 4, 4, 4, sim::ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  std::string Error;
+  ASSERT_TRUE(succeeded(transforms::convertNamedToGeneric(Func, Error)))
+      << Error;
+  auto Plan = ExecPlan::compile(Func, Error);
+  ASSERT_NE(Plan, nullptr) << Error;
+  auto Decoded = DecodedPlan::decode(*Plan);
+  EXPECT_EQ(Decoded->numSpecializedKernels(), 1u);
+  EXPECT_EQ(Decoded->printToString(),
+            "dplan @matmul_call args=3 slots=8 insts=1+ret kernels=1\n"
+            "    0: generic.muladd ranges=[4, 4, 4] operands=[%0, %1, %2]\n"
+            "    1: ret\n");
+}
+
+TEST(DecodedDisassembly, CpuConvBindsMulAddKernel) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func =
+      buildConvFunc(Builder, 1, 2, 5, 2, 3, 1, sim::ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  std::string Error;
+  ASSERT_TRUE(succeeded(transforms::convertNamedToGeneric(Func, Error)))
+      << Error;
+  auto Plan = ExecPlan::compile(Func, Error);
+  ASSERT_NE(Plan, nullptr) << Error;
+  auto Decoded = DecodedPlan::decode(*Plan);
+  // Conv's strided input map (d2*s+d5) is linear in the loop dims, so
+  // the same mul+add kernel binds as for matmul.
+  EXPECT_EQ(Decoded->numSpecializedKernels(), 1u);
+  EXPECT_EQ(Decoded->printToString(),
+            "dplan @conv_call args=3 slots=8 insts=1+ret kernels=1\n"
+            "    0: generic.muladd ranges=[1, 2, 3, 3, 2, 3, 3] "
+            "operands=[%0, %1, %2]\n"
+            "    1: ret\n");
+}
+
+/// The Interpreter exposes the pre-decoded program of its cached plan
+/// after a threaded-mode run (null before, and in other modes).
+TEST(DecodedDisassembly, InterpreterExposesDecodedPlan) {
+  MLIRContext Context;
+  registerAllDialects(Context);
+  OpBuilder Builder(&Context);
+  func::FuncOp Func = buildMatMulFunc(Builder, 4, 4, 4, sim::ElemKind::I32);
+  OwningOpRef Owner(Func.getOperation());
+  std::string Error;
+  ASSERT_TRUE(succeeded(transforms::convertNamedToGeneric(Func, Error)))
+      << Error;
+
+  auto Soc = sim::makeCpuOnlySoC();
+  std::vector<MemRefDesc> Args = {MemRefDesc::alloc({4, 4}),
+                                  MemRefDesc::alloc({4, 4}),
+                                  MemRefDesc::alloc({4, 4})};
+  for (size_t I = 0; I < Args.size(); ++I)
+    fillRandom(Args[I], static_cast<uint32_t>(3 + I));
+
+  Interpreter Interp(*Soc, nullptr); // defaults to ExecMode::Threaded
+  EXPECT_EQ(Interp.execMode(), ExecMode::Threaded);
+  EXPECT_EQ(Interp.decodedPlan(), nullptr);
+  ASSERT_TRUE(succeeded(Interp.run(Func, Args, Error))) << Error;
+  ASSERT_NE(Interp.decodedPlan(), nullptr);
+  EXPECT_EQ(Interp.decodedPlan()->numSpecializedKernels(), 1u);
+
+  Interpreter PlanInterp(*Soc, nullptr, ExecMode::Plan);
+  ASSERT_TRUE(succeeded(PlanInterp.run(Func, Args, Error))) << Error;
+  EXPECT_EQ(PlanInterp.decodedPlan(), nullptr);
+}
+
 } // namespace

@@ -5,12 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The equivalence harness pinning src/exec/opt: every driver is executed
-/// by the legacy walker, the unoptimized plan, each optimizer pass on its
-/// own, and the full pipeline — against the SAME simulated SoC and the
-/// SAME argument buffers (refilled from fixed seeds, counters reset
-/// between runs). Output buffers must be bit-identical in every
-/// configuration. Counters are held to the pass contracts (PlanOpt.h):
+/// The equivalence harness pinning src/exec/opt and the threaded engine:
+/// every driver is executed by the legacy walker, the unoptimized plan,
+/// each optimizer pass on its own, and the full pipeline — against the
+/// SAME simulated SoC and the SAME argument buffers (refilled from fixed
+/// seeds, counters reset between runs) — and every configuration runs a
+/// third time through the threaded-dispatch executor, which must match
+/// the plan interpreter's buffers and address-independent counters bit
+/// for bit. Output buffers must be bit-identical in every configuration.
+/// Counters are held to the pass contracts (PlanOpt.h):
 /// a run whose PlanOptStats report no counter-changing rewrites must
 /// reproduce the walker's HostPerfModel/DMA/cache counters bit for bit;
 /// runs with counter-changing rewrites (hoisted/removed charged
@@ -206,11 +209,12 @@ void checkCase(const FuzzCase &Case) {
   // real host addresses, so distinct allocations would legitimately
   // diverge. Bit-identical cache counters additionally require the host
   // heap itself to be in steady state when a driver allocates staging
-  // buffers mid-run (pad remainders): plan compilation and the optimizer
-  // churn the allocator, so each spec is measured as its own
-  // (walker warm-up, spec warm-up, walker, spec) quadruple — the warm-ups
-  // compile the plan and settle the allocator, and the two measured runs
-  // are then execution-only on the same heap.
+  // buffers mid-run (pad remainders): plan compilation, the optimizer and
+  // pre-decode churn the allocator, so each spec is measured as its own
+  // (walker warm-up, plan warm-up, threaded warm-up, walker, plan,
+  // threaded) sextuple — the warm-ups compile/decode and settle the
+  // allocator, and the measured runs are then execution-only on the
+  // same heap.
   auto runOnce = [&](Interpreter &Interp) -> sim::PerfReport {
     for (size_t I = 0; I < Args.size(); ++I)
       fillRandom(Args[I], static_cast<uint32_t>(91 + I));
@@ -267,17 +271,29 @@ void checkCase(const FuzzCase &Case) {
   };
 
   for (const PassSpec &Spec : Specs) {
-    Interpreter WalkerInterp(*Soc, &Runtime, /*UseCompiledPlan=*/false);
-    Interpreter PlanInterp(*Soc, &Runtime, /*UseCompiledPlan=*/true);
+    Interpreter WalkerInterp(*Soc, &Runtime, ExecMode::Walker);
+    Interpreter PlanInterp(*Soc, &Runtime, ExecMode::Plan);
+    Interpreter ThreadedInterp(*Soc, &Runtime, ExecMode::Threaded);
     PlanInterp.setPlanOptions(Spec.Options);
+    ThreadedInterp.setPlanOptions(Spec.Options);
     runOnce(WalkerInterp);
-    runOnce(PlanInterp); // compiles + optimizes; plan cached for measure
+    runOnce(PlanInterp);     // compiles + optimizes; plan cached
+    runOnce(ThreadedInterp); // compiles + optimizes + pre-decodes
     sim::PerfReport Walker = runOnce(WalkerInterp);
     snapshotBuffers();
     sim::PerfReport Optimized = runOnce(PlanInterp);
+    checkBuffers(Spec.Name);
+    // Third column: the threaded engine executes the SAME optimized plan
+    // pre-decoded; its buffers and counters must match the plan
+    // interpreter bit for bit on every case, optimized or not.
+    snapshotBuffers();
+    sim::PerfReport Threaded = runOnce(ThreadedInterp);
+    checkBuffers(std::string(Spec.Name) + " threaded");
+    expectIdenticalReport(Optimized, Threaded,
+                          std::string(Spec.Name) + " threaded-vs-plan",
+                          StableAddresses);
     const opt::PlanOptStats &Stats = PlanInterp.planOptStats();
 
-    checkBuffers(Spec.Name);
     if (Stats.changedCounters())
       expectImprovedReport(Walker, Optimized, Stats, Spec.Name);
     else

@@ -63,6 +63,8 @@ struct CliOptions {
   /// ExecPlan optimizer passes for --run ("none", "all" or a comma list
   /// of fold/dce/licm/coalesce).
   exec::opt::PlanOptOptions PlanOpt;
+  /// Execution engine for --run: walker, plan or threaded (default).
+  exec::ExecMode Exec = exec::ExecMode::Threaded;
   transforms::RemainderMode Remainder = transforms::RemainderMode::Pad;
   // MatMul problem.
   bool IsMatMul = false;
@@ -80,7 +82,8 @@ void printUsage() {
       "                    [--flow NAME] [--emit ir|c|both] [--run]\n"
       "                    [--no-cpu-tiling] [--no-specialize]\n"
       "                    [--remainder pad|peel|reject]\n"
-      "                    [--plan-opt none|all|fold,dce,licm,coalesce]\n");
+      "                    [--plan-opt none|all|fold,dce,licm,coalesce]\n"
+      "                    [--exec walker|plan|threaded]\n");
 }
 
 /// Parses `MxNxK`-style shape lists strictly: every piece must be a fully
@@ -269,6 +272,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       if (failed(exec::opt::parsePlanOptSpec(V, Options.PlanOpt,
                                              SpecError))) {
         std::fprintf(stderr, "error: %s\n", SpecError.c_str());
+        return false;
+      }
+    } else if (Arg == "--exec") {
+      const char *V = next();
+      if (!V)
+        return false;
+      std::string ModeError;
+      if (failed(exec::parseExecMode(V, Options.Exec, ModeError))) {
+        std::fprintf(stderr, "error: %s\n", ModeError.c_str());
         return false;
       }
     } else if (Arg == "--run") {
@@ -656,7 +668,7 @@ int runTool(CliOptions Options) {
     exec::referenceConv2D(Args[0], Args[1], Expected, Options.Stride,
                           Options.Stride);
 
-  exec::Interpreter Interp(*Soc, &Runtime);
+  exec::Interpreter Interp(*Soc, &Runtime, Options.Exec);
   Interp.setPlanOptions(Options.PlanOpt);
   if (failed(Interp.run(Func, Args, Error))) {
     std::fprintf(stderr, "execution error: %s\n", Error.c_str());
