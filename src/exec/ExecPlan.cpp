@@ -865,6 +865,10 @@ LogicalResult ExecPlan::runSpan(const std::vector<Inst> &Code,
         Cell &C = S.Cells[I.Dst];
         C.Tag = Cell::Kind::Int;
         C.I = 0;
+        // Stop issuing work the moment a runtime call fails (recovery has
+        // already absorbed what it could).
+        if (Rt.status() != sim::AccelStatus::Ok)
+          return S.fail(Rt.statusErrorText());
         break;
       }
       int64_t Offset = S.Cells[I.Code == Op::AccelSendLiteral ? I.A : I.B].I;
@@ -895,6 +899,8 @@ LogicalResult ExecPlan::runSpan(const std::vector<Inst> &Code,
       Cell &C = S.Cells[I.Dst];
       C.Tag = Cell::Kind::Int;
       C.I = End;
+      if (Rt.status() != sim::AccelStatus::Ok)
+        return S.fail(Rt.statusErrorText());
       break;
     }
 
@@ -961,6 +967,8 @@ LogicalResult ExecPlan::runSpan(const std::vector<Inst> &Code,
       default:
         break;
       }
+      if (Rt.status() != sim::AccelStatus::Ok)
+        return S.fail(Rt.statusErrorText());
       break;
     }
     }
@@ -1075,8 +1083,10 @@ LogicalResult ExecPlan::run(sim::SoC &Soc, runtime::DmaRuntime *Runtime,
     Error = S.Error.empty() ? "interpreter failure" : S.Error;
     return failure();
   }
-  if (Runtime && Runtime->hadError()) {
-    Error = "accelerator/DMA protocol error: " + Runtime->errorMessage();
+  // Belt-and-braces end-of-run check (the per-call status checks stop the
+  // run early; this catches anything signalled outside a runtime call).
+  if (Runtime && Runtime->status() != sim::AccelStatus::Ok) {
+    Error = Runtime->statusErrorText();
     return failure();
   }
   return success();

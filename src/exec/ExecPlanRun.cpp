@@ -527,6 +527,15 @@ void DecodedProgram::decode(const ExecPlan &Plan) {
 #define DISPATCH() goto *JumpTable[static_cast<uint8_t>(Ip->Code)]
 #endif
 
+// Runtime-facing handlers bounce out the moment a DMA call reports a
+// non-Ok status, with the same failure text as the other two executors
+// (recovery has already absorbed whatever it could by then).
+#define RT_STATUS_CHECK(Rt)                                                    \
+  do {                                                                         \
+    if ((Rt).status() != sim::AccelStatus::Ok)                                 \
+      return S.fail((Rt).statusErrorText());                                   \
+  } while (false)
+
 LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
   sim::HostPerfModel &Perf = S.Soc.perf();
   Cell *Cells = S.Cells.data();
@@ -762,6 +771,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
         Rt.copyLiteralToDmaRegion(static_cast<int32_t>(Ip->Imm), Offset);
     Rt.dmaStartSend(End - Offset, Offset);
     Rt.dmaWaitSendCompletion();
+    RT_STATUS_CHECK(Rt);
     Cell &C = Cells[Ip->Dst];
     C.Tag = Cell::Kind::Int;
     C.I = End;
@@ -776,6 +786,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
     int64_t End = Rt.copyToDmaRegion(Cells[Ip->A].M, Offset);
     Rt.dmaStartSend(End - Offset, Offset);
     Rt.dmaWaitSendCompletion();
+    RT_STATUS_CHECK(Rt);
     Cell &C = Cells[Ip->Dst];
     C.Tag = Cell::Kind::Int;
     C.I = End;
@@ -794,6 +805,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
         Rt.copyLiteralToDmaRegion(static_cast<int32_t>(Size), Offset);
     Rt.dmaStartSend(End - Offset, Offset);
     Rt.dmaWaitSendCompletion();
+    RT_STATUS_CHECK(Rt);
     Cell &C = Cells[Ip->Dst];
     C.Tag = Cell::Kind::Int;
     C.I = End;
@@ -809,6 +821,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
         static_cast<int32_t>(Cells[Ip->A].I), Offset);
     Rt.dmaStartSend(End - Offset, Offset);
     Rt.dmaWaitSendCompletion();
+    RT_STATUS_CHECK(Rt);
     Cell &C = Cells[Ip->Dst];
     C.Tag = Cell::Kind::Int;
     C.I = End;
@@ -823,6 +836,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
     Rt.dmaStartRecv(Desc.numElements(), 0);
     Rt.dmaWaitRecvCompletion();
     Rt.copyFromDmaRegion(Desc, 0, Ip->Sub != 0);
+    RT_STATUS_CHECK(Rt);
     Cell &C = Cells[Ip->Dst];
     C.Tag = Cell::Kind::Int;
     C.I = 0;
@@ -845,6 +859,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
       return S.fail("runtime call executed without a DMA runtime");
     int64_t End =
         S.Runtime->copyToDmaRegion(Cells[Ip->A].M, Cells[Ip->B].I);
+    RT_STATUS_CHECK(*S.Runtime);
     Cell &C = Cells[Ip->Dst];
     C.Tag = Cell::Kind::Int;
     C.I = End;
@@ -856,6 +871,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
       return S.fail("runtime call executed without a DMA runtime");
     int64_t End = S.Runtime->copyLiteralToDmaRegion(
         static_cast<int32_t>(Cells[Ip->A].I), Cells[Ip->B].I);
+    RT_STATUS_CHECK(*S.Runtime);
     Cell &C = Cells[Ip->Dst];
     C.Tag = Cell::Kind::Int;
     C.I = End;
@@ -866,6 +882,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
     if (!S.Runtime)
       return S.fail("runtime call executed without a DMA runtime");
     S.Runtime->dmaStartSend(Cells[Ip->A].I - Cells[Ip->B].I, Cells[Ip->B].I);
+    RT_STATUS_CHECK(*S.Runtime);
     ++Ip;
     DISPATCH();
   }
@@ -873,6 +890,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
     if (!S.Runtime)
       return S.fail("runtime call executed without a DMA runtime");
     S.Runtime->dmaWaitSendCompletion();
+    RT_STATUS_CHECK(*S.Runtime);
     ++Ip;
     DISPATCH();
   }
@@ -880,6 +898,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
     if (!S.Runtime)
       return S.fail("runtime call executed without a DMA runtime");
     S.Runtime->dmaStartRecv(Cells[Ip->A].I, Cells[Ip->B].I);
+    RT_STATUS_CHECK(*S.Runtime);
     ++Ip;
     DISPATCH();
   }
@@ -887,6 +906,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
     if (!S.Runtime)
       return S.fail("runtime call executed without a DMA runtime");
     S.Runtime->dmaWaitRecvCompletion();
+    RT_STATUS_CHECK(*S.Runtime);
     ++Ip;
     DISPATCH();
   }
@@ -895,6 +915,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
       return S.fail("runtime call executed without a DMA runtime");
     S.Runtime->copyFromDmaRegion(Cells[Ip->A].M, Cells[Ip->B].I,
                                  Ip->Sub != 0);
+    RT_STATUS_CHECK(*S.Runtime);
     ++Ip;
     DISPATCH();
   }
@@ -903,6 +924,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
       return S.fail("runtime call executed without a DMA runtime");
     S.Runtime->dmaStartSend(Cells[Ip->A].I - Cells[Ip->B].I, Cells[Ip->B].I);
     S.Runtime->dmaWaitSendCompletion();
+    RT_STATUS_CHECK(*S.Runtime);
     ++Ip;
     DISPATCH();
   }
@@ -911,6 +933,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
       return S.fail("runtime call executed without a DMA runtime");
     S.Runtime->dmaStartRecv(Cells[Ip->A].I, Cells[Ip->B].I);
     S.Runtime->dmaWaitRecvCompletion();
+    RT_STATUS_CHECK(*S.Runtime);
     ++Ip;
     DISPATCH();
   }
@@ -975,6 +998,7 @@ LogicalResult DecodedProgram::exec(const DInst *Base, RunState &S) const {
 
 #undef OP
 #undef DISPATCH
+#undef RT_STATUS_CHECK
 
 //===----------------------------------------------------------------------===//
 // Generic odometer fallback (mirrors ExecPlan::runGeneric instruction for
@@ -1322,8 +1346,10 @@ LogicalResult DecodedProgram::run(sim::SoC &Soc, runtime::DmaRuntime *Runtime,
     Error = S.Error.empty() ? "interpreter failure" : S.Error;
     return failure();
   }
-  if (Runtime && Runtime->hadError()) {
-    Error = "accelerator/DMA protocol error: " + Runtime->errorMessage();
+  // Belt-and-braces end-of-run check (the per-call status checks stop the
+  // run early; this catches anything signalled outside a runtime call).
+  if (Runtime && Runtime->status() != sim::AccelStatus::Ok) {
+    Error = Runtime->statusErrorText();
     return failure();
   }
   return success();

@@ -104,8 +104,10 @@ LogicalResult Interpreter::run(func::FuncOp Func,
     Error = ErrorMessage.empty() ? "interpreter failure" : ErrorMessage;
     return failure();
   }
-  if (Runtime && Runtime->hadError()) {
-    Error = "accelerator/DMA protocol error: " + Runtime->errorMessage();
+  // Belt-and-braces end-of-run check (the per-call status checks stop the
+  // run early; this catches anything signalled outside a runtime call).
+  if (Runtime && Runtime->status() != sim::AccelStatus::Ok) {
+    Error = Runtime->statusErrorText();
     return failure();
   }
   return success();
@@ -276,10 +278,23 @@ LogicalResult Interpreter::executeOp(Operation *Op) {
   //===--------------------------------------------------------------------===//
   if (isa_op<linalg::GenericOp>(Op))
     return executeLinalgGeneric(Op);
-  if (Name.rfind("accel.", 0) == 0)
-    return executeAccelOp(Op);
-  if (Name == "func.call")
-    return executeRuntimeCall(Op);
+  // Runtime-facing ops check the structured DMA status on the way out:
+  // the walker stops issuing work the moment a call comes back non-Ok
+  // (recovery has already absorbed whatever it could by then).
+  if (Name.rfind("accel.", 0) == 0) {
+    if (failed(executeAccelOp(Op)))
+      return failure();
+    if (Runtime && Runtime->status() != sim::AccelStatus::Ok)
+      return fail(Runtime->statusErrorText());
+    return success();
+  }
+  if (Name == "func.call") {
+    if (failed(executeRuntimeCall(Op)))
+      return failure();
+    if (Runtime && Runtime->status() != sim::AccelStatus::Ok)
+      return fail(Runtime->statusErrorText());
+    return success();
+  }
 
   return fail("interpreter: unsupported operation '" + Name + "'");
 }

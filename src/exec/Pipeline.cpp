@@ -130,6 +130,17 @@ RunResult exec::runMatMulAxi4mlir(const MatMulRunConfig &Config) {
   // Execute against the simulated board.
   auto Soc = sim::makeMatMulSoC(Config.Version, Config.AccelSize,
                                 Config.Kind, Config.Params);
+  // Fault injection + self-healing: spares are protocol-identical clones
+  // ranked by the selected plan's modeled cost; the injector outlives the
+  // run (the SoC holds a raw pointer).
+  std::optional<sim::FaultInjector> Injector;
+  if (!Config.Faults.empty() || Config.SpareAccelerators > 0) {
+    double Score = Plans->empty() ? 0.0 : Plans->front().EstimatedCostMs;
+    for (unsigned I = 0; I < Config.SpareAccelerators; ++I)
+      Soc->addSpareAccelerator(Soc->accelerator()->cloneFresh(), Score);
+    Injector.emplace(Config.Faults);
+    Soc->attachFaultInjector(&*Injector);
+  }
   runtime::DmaRuntime Runtime(*Soc, Config.SpecializeCopies);
   MatMulData Data = makeMatMulData(Config);
   Interpreter Interp(*Soc, &Runtime, Config.Exec);
@@ -275,6 +286,14 @@ RunResult exec::runConvAxi4mlir(const ConvRunConfig &Config) {
     Result.SelectedAccelerator = Plans->front().AcceleratorName;
 
   auto Soc = sim::makeConvSoC(Config.Kind, Config.Params);
+  std::optional<sim::FaultInjector> Injector;
+  if (!Config.Faults.empty() || Config.SpareAccelerators > 0) {
+    double Score = Plans->empty() ? 0.0 : Plans->front().EstimatedCostMs;
+    for (unsigned I = 0; I < Config.SpareAccelerators; ++I)
+      Soc->addSpareAccelerator(Soc->accelerator()->cloneFresh(), Score);
+    Injector.emplace(Config.Faults);
+    Soc->attachFaultInjector(&*Injector);
+  }
   runtime::DmaRuntime Runtime(*Soc, Config.SpecializeCopies);
   ConvData Data = makeConvData(Config);
   Interpreter Interp(*Soc, &Runtime, Config.Exec);

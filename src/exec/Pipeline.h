@@ -55,6 +55,12 @@ struct MatMulRunConfig {
   std::string PlanOpt;
   /// Which execution engine interprets the lowered host code.
   ExecMode Exec = ExecMode::Threaded;
+  /// Fault schedule + recovery policy for the run (empty events =
+  /// fault-free; the injection hooks stay cold).
+  sim::FaultPlan Faults;
+  /// Protocol-identical spare accelerators registered as failover targets
+  /// (scored by the TilingPlan modeled cost of the selected plan).
+  unsigned SpareAccelerators = 0;
 };
 
 /// Result of one experiment run.
@@ -103,6 +109,9 @@ struct ConvRunConfig {
   std::string PlanOpt;
   /// Which execution engine interprets the lowered host code.
   ExecMode Exec = ExecMode::Threaded;
+  /// Fault schedule + failover spares (see MatMulRunConfig).
+  sim::FaultPlan Faults;
+  unsigned SpareAccelerators = 0;
 };
 
 RunResult runConvAxi4mlir(const ConvRunConfig &Config);

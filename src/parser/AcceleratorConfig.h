@@ -16,6 +16,7 @@
 #define AXI4MLIR_PARSER_ACCELERATORCONFIG_H
 
 #include "ir/AccelTraits.h"
+#include "sim/FaultInjector.h"
 
 #include <cstdint>
 #include <map>
@@ -95,6 +96,16 @@ struct AcceleratorDesc {
 struct SystemConfig {
   CpuInfo Cpu;
   std::vector<AcceleratorDesc> Accelerators;
+
+  /// Optional `faults` section: a deterministic fault schedule plus the
+  /// recovery policy bounds. Empty events with default policy when absent.
+  sim::FaultPlan Faults;
+  /// Protocol-identical spare accelerators to register as failover
+  /// targets (`faults.spares`).
+  unsigned SpareAccelerators = 0;
+  /// True when the file had a `faults` section at all (a policy-only
+  /// section still arms the injection hooks).
+  bool HasFaults = false;
 
   const AcceleratorDesc *findByKernel(const std::string &Kernel) const {
     for (const AcceleratorDesc &Accel : Accelerators)

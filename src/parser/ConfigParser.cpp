@@ -217,6 +217,113 @@ static LogicalResult parseAccelerator(const json::Value &AccelValue,
   return success();
 }
 
+static LogicalResult parseFaultEvent(const json::Value &EventValue,
+                                     sim::FaultEvent &Event,
+                                     std::string *Error) {
+  if (!EventValue.isObject())
+    return fail(Error, "'faults.events' entries must be objects");
+  std::string Kind = EventValue.getString("kind");
+  if (Kind == "drop")
+    Event.Kind = sim::FaultKind::DropSend;
+  else if (Kind == "truncate")
+    Event.Kind = sim::FaultKind::TruncateSend;
+  else if (Kind == "corrupt")
+    Event.Kind = sim::FaultKind::CorruptWord;
+  else if (Kind == "transient")
+    Event.Kind = sim::FaultKind::TransientError;
+  else if (Kind == "stall")
+    Event.Kind = sim::FaultKind::Stall;
+  else
+    return fail(Error, "unknown fault kind '" + Kind +
+                           "' (expected drop, truncate, corrupt, "
+                           "transient or stall)");
+
+  const json::Value *At = EventValue.get("at");
+  if (!At || !At->isInt() || At->asInt() < 0)
+    return fail(Error, "fault event '" + Kind +
+                           "' needs a non-negative integer 'at' index");
+  Event.At = static_cast<uint64_t>(At->asInt());
+
+  int64_t Attempts = EventValue.getInt("attempts", 1);
+  if (Attempts < 1)
+    return fail(Error, "fault event 'attempts' must be >= 1");
+  Event.Attempts = static_cast<uint32_t>(Attempts);
+  Event.WordIndex = static_cast<uint32_t>(EventValue.getInt("word", 0));
+  Event.XorMask = static_cast<uint32_t>(EventValue.getInt("xor", 1));
+  if (Event.XorMask == 0)
+    return fail(Error, "fault event 'xor' mask must be non-zero");
+  int64_t Steps = EventValue.getInt("steps", 128);
+  if (Steps < 1)
+    return fail(Error, "fault event 'steps' must be >= 1");
+  Event.Steps = static_cast<uint64_t>(Steps);
+  return success();
+}
+
+static LogicalResult parseFaults(const json::Value &Root, SystemConfig &Config,
+                                 std::string *Error) {
+  const json::Value *Faults = Root.get("faults");
+  if (!Faults)
+    return success(); // Optional: absent means fault-free, hooks stay cold.
+  if (!Faults->isObject())
+    return fail(Error, "'faults' must be an object");
+  Config.HasFaults = true;
+
+  if (const json::Value *Events = Faults->get("events")) {
+    if (!Events->isArray())
+      return fail(Error, "'faults.events' must be an array");
+    size_t Index = 0;
+    for (const json::Value &EventValue : Events->array()) {
+      sim::FaultEvent Event;
+      std::string EventError;
+      if (failed(parseFaultEvent(EventValue, Event, &EventError)))
+        return fail(Error, "in faults.events[" + std::to_string(Index) +
+                               "]: " + EventError);
+      Config.Faults.Events.push_back(Event);
+      ++Index;
+    }
+  }
+
+  // Optional deterministic random schedule appended to the explicit events.
+  if (const json::Value *Random = Faults->get("random")) {
+    if (!Random->isObject())
+      return fail(Error, "'faults.random' must be an object");
+    int64_t Count = Random->getInt("count", 1);
+    int64_t Max = Random->getInt("max", 64);
+    if (Count < 1 || Max < 1)
+      return fail(Error, "'faults.random' count and max must be >= 1");
+    sim::FaultPlan Generated = sim::makeRandomFaultPlan(
+        static_cast<uint32_t>(Random->getInt("seed", 0)),
+        static_cast<unsigned>(Count), static_cast<uint64_t>(Max));
+    Config.Faults.Events.insert(Config.Faults.Events.end(),
+                                Generated.Events.begin(),
+                                Generated.Events.end());
+  }
+
+  sim::RecoveryPolicy &Policy = Config.Faults.Recovery;
+  if (const json::Value *Recover = Faults->get("recover")) {
+    if (!Recover->isBool())
+      return fail(Error, "'faults.recover' must be a boolean");
+    Policy.Enabled = Recover->asBool();
+  }
+  int64_t Retries = Faults->getInt("retries", Policy.MaxRetries);
+  int64_t Watchdog = Faults->getInt("watchdog", Policy.WatchdogPolls);
+  int64_t Backoff = Faults->getInt("backoff", Policy.BackoffCycles);
+  int64_t Poll = Faults->getInt("poll", Policy.PollCycles);
+  if (Retries < 0 || Watchdog < 1 || Backoff < 0 || Poll < 1)
+    return fail(Error, "'faults' policy fields out of range (retries/backoff "
+                       ">= 0, watchdog/poll >= 1)");
+  Policy.MaxRetries = static_cast<uint32_t>(Retries);
+  Policy.WatchdogPolls = static_cast<uint64_t>(Watchdog);
+  Policy.BackoffCycles = static_cast<uint64_t>(Backoff);
+  Policy.PollCycles = static_cast<uint64_t>(Poll);
+
+  int64_t Spares = Faults->getInt("spares", 0);
+  if (Spares < 0)
+    return fail(Error, "'faults.spares' must be >= 0");
+  Config.SpareAccelerators = static_cast<unsigned>(Spares);
+  return success();
+}
+
 FailureOr<SystemConfig> parser::parseSystemConfig(const std::string &Text,
                                                   std::string *Error) {
   std::string JsonError;
@@ -230,6 +337,8 @@ FailureOr<SystemConfig> parser::parseSystemConfig(const std::string &Text,
 
   SystemConfig Config;
   if (failed(parseCpu(*Root, Config.Cpu, Error)))
+    return failure();
+  if (failed(parseFaults(*Root, Config, Error)))
     return failure();
 
   const json::Value *Accels = Root->get("accelerators");

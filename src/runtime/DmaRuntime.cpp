@@ -65,7 +65,12 @@ static void contiguousStrides(const std::vector<int64_t> &Sizes,
 
 int64_t DmaRuntime::copyToDmaRegion(const MemRefDesc &Source,
                                     int64_t OffsetWords) {
-  assert(Soc.dma().isInitialized() && "copy before dma_init");
+  // Diagnosable in every build type (was a Release-stripped assert that
+  // left an out-of-bounds write behind).
+  if (!Soc.dma().isInitialized()) {
+    Soc.dma().signalError("dma: copy_to_dma_region before dma_init");
+    return OffsetWords;
+  }
   MemRefDesc Collapsed = collapseUnitDims(Source);
   int64_t RegionStrides[detail::MaxCopyRank];
   contiguousStrides(Collapsed.Sizes, RegionStrides);
@@ -85,30 +90,42 @@ int64_t DmaRuntime::copyToDmaRegion(const MemRefDesc &Source,
 
 int64_t DmaRuntime::copyLiteralToDmaRegion(int32_t Literal,
                                            int64_t OffsetWords) {
-  assert(Soc.dma().isInitialized() && "copy before dma_init");
+  if (!Soc.dma().isInitialized()) {
+    Soc.dma().signalError("dma: copy_literal_to_dma_region before dma_init");
+    return OffsetWords;
+  }
   Soc.dma().inputRegion()[OffsetWords] = static_cast<uint32_t>(Literal);
   Soc.perf().onScalarStore(regionAddress(/*Input=*/true, OffsetWords), 4);
   Soc.perf().onArith(1);
   return OffsetWords + 1;
 }
 
-void DmaRuntime::dmaStartSend(int64_t LengthWords, int64_t OffsetWords) {
-  Soc.dma().startSend(static_cast<size_t>(LengthWords),
-                      static_cast<size_t>(OffsetWords));
+sim::AccelStatus DmaRuntime::dmaStartSend(int64_t LengthWords,
+                                          int64_t OffsetWords) {
+  return Soc.dma().startSend(static_cast<size_t>(LengthWords),
+                             static_cast<size_t>(OffsetWords));
 }
 
-void DmaRuntime::dmaWaitSendCompletion() { Soc.dma().waitSendCompletion(); }
-
-void DmaRuntime::dmaStartRecv(int64_t LengthWords, int64_t OffsetWords) {
-  Soc.dma().startRecv(static_cast<size_t>(LengthWords),
-                      static_cast<size_t>(OffsetWords));
+sim::AccelStatus DmaRuntime::dmaWaitSendCompletion() {
+  return Soc.dma().waitSendCompletion();
 }
 
-void DmaRuntime::dmaWaitRecvCompletion() { Soc.dma().waitRecvCompletion(); }
+sim::AccelStatus DmaRuntime::dmaStartRecv(int64_t LengthWords,
+                                          int64_t OffsetWords) {
+  return Soc.dma().startRecv(static_cast<size_t>(LengthWords),
+                             static_cast<size_t>(OffsetWords));
+}
+
+sim::AccelStatus DmaRuntime::dmaWaitRecvCompletion() {
+  return Soc.dma().waitRecvCompletion();
+}
 
 void DmaRuntime::copyFromDmaRegion(const MemRefDesc &OriginalDest,
                                    int64_t OffsetWords, bool Accumulate) {
-  assert(Soc.dma().isInitialized() && "copy before dma_init");
+  if (!Soc.dma().isInitialized()) {
+    Soc.dma().signalError("dma: copy_from_dma_region before dma_init");
+    return;
+  }
   MemRefDesc Dest = collapseUnitDims(OriginalDest);
   int64_t RegionStrides[detail::MaxCopyRank];
   contiguousStrides(Dest.Sizes, RegionStrides);

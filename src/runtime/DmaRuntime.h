@@ -54,13 +54,16 @@ public:
   int64_t copyLiteralToDmaRegion(int32_t Literal, int64_t OffsetWords);
 
   /// Starts/completes a send of \p LengthWords words from \p OffsetWords.
-  void dmaStartSend(int64_t LengthWords, int64_t OffsetWords);
-  void dmaWaitSendCompletion();
+  /// Every DMA call reports its outcome so the executors can stop issuing
+  /// work immediately; the recovery layer has already absorbed whatever
+  /// faults it could by the time a non-Ok status surfaces here.
+  sim::AccelStatus dmaStartSend(int64_t LengthWords, int64_t OffsetWords);
+  sim::AccelStatus dmaWaitSendCompletion();
 
   /// Starts/completes a receive of \p LengthWords words into
   /// \p OffsetWords.
-  void dmaStartRecv(int64_t LengthWords, int64_t OffsetWords);
-  void dmaWaitRecvCompletion();
+  sim::AccelStatus dmaStartRecv(int64_t LengthWords, int64_t OffsetWords);
+  sim::AccelStatus dmaWaitRecvCompletion();
 
   /// Copies data from the output staging region back into a memref tile.
   /// With \p Accumulate the data is added to the destination (partial
@@ -71,6 +74,18 @@ public:
   bool hadError() const { return Soc.dma().hadError(); }
   const std::string &errorMessage() const {
     return Soc.dma().errorMessage();
+  }
+
+  /// Structured engine state; non-Ok latches on the first unrecovered
+  /// failure. Checked by all three executors after every runtime call.
+  sim::AccelStatus status() const { return Soc.dma().status(); }
+
+  /// The uniform failure text all three executors report, so a fault
+  /// surfaces identically under the walker, the plan interpreter and the
+  /// threaded engine.
+  std::string statusErrorText() const {
+    return std::string("accelerator/DMA ") + sim::toString(status()) +
+           " error: " + errorMessage();
   }
 
   sim::SoC &soc() { return Soc; }

@@ -1,0 +1,54 @@
+//===- AccelStatus.h - Structured accelerator/DMA call status ---*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The status lattice returned by every DMA runtime call. Replaces the old
+/// "run to completion, then inspect a sticky error flag" protocol: the DMA
+/// engine reports the outcome of each send/wait/recv, the recovery layer
+/// absorbs Transient/Timeout when it can, and the executors stop issuing
+/// work the moment a call comes back non-Ok.
+///
+///   Ok        - the call completed; keep issuing work.
+///   Transient - a detected, retryable fault (corrupt/truncated transfer,
+///               accelerator transient-error opcode). Recoverable by
+///               re-issuing the transfer.
+///   Timeout   - the watchdog gave up waiting for accelerator progress
+///               (lost transfer, FSM stall past the poll budget).
+///               Recoverable only by re-staging from a known-good state.
+///   Fatal     - a protocol error that reproduces deterministically
+///               (region overflow, unsupported opcode, retries exhausted
+///               with no failover target). Not recoverable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SIM_ACCELSTATUS_H
+#define AXI4MLIR_SIM_ACCELSTATUS_H
+
+namespace axi4mlir {
+namespace sim {
+
+enum class AccelStatus { Ok, Transient, Timeout, Fatal };
+
+inline const char *toString(AccelStatus Status) {
+  switch (Status) {
+  case AccelStatus::Ok:
+    return "ok";
+  case AccelStatus::Transient:
+    return "transient";
+  case AccelStatus::Timeout:
+    return "timeout";
+  case AccelStatus::Fatal:
+    return "fatal";
+  }
+  return "unknown";
+}
+
+inline bool succeeded(AccelStatus Status) { return Status == AccelStatus::Ok; }
+
+} // namespace sim
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SIM_ACCELSTATUS_H

@@ -27,11 +27,14 @@
 #ifndef AXI4MLIR_SIM_ACCELERATORMODEL_H
 #define AXI4MLIR_SIM_ACCELERATORMODEL_H
 
+#include "sim/AccelStatus.h"
 #include "sim/CostModel.h"
+#include "sim/FaultInjector.h"
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -106,7 +109,53 @@ public:
   /// True after a protocol error (unknown opcode, buffer overflow). Tests
   /// assert this stays false.
   bool hadError() const { return ErrorFlag; }
+  /// First error message of the run (the root cause).
   const std::string &errorMessage() const { return ErrorText; }
+  /// Most recent error message (cascades are debuggable: first + last).
+  const std::string &lastErrorMessage() const { return LastErrorText; }
+  /// Monotone count of errors signalled since the last full reset.
+  uint64_t errorCount() const { return ErrorCount; }
+
+  /// Structured view of the model state: Fatal after a protocol error,
+  /// Transient while a refused opcode awaits retry, Ok otherwise.
+  AccelStatus status() const {
+    if (ErrorFlag)
+      return AccelStatus::Fatal;
+    if (TransientPending)
+      return AccelStatus::Transient;
+    return AccelStatus::Ok;
+  }
+
+  /// Fault-injection hook (zero-cost when no injector is attached): the
+  /// model consults the injector per opcode; the DMA engine harvests the
+  /// resulting transient refusals and stall steps after each burst.
+  void attachFaultInjector(FaultInjector *I) { Injector = I; }
+  FaultInjector *faultInjector() const { return Injector; }
+
+  /// True while the model refuses input after a transient-error fault.
+  bool transientPending() const { return TransientPending; }
+  const std::string &transientMessage() const { return TransientText; }
+  /// Clears the transient refusal and returns how many stream words were
+  /// dropped since it fired (including the refused opcode word) — exactly
+  /// the suffix the DMA engine must re-send.
+  size_t takeTransientDropped() {
+    size_t Dropped = TransientDropped;
+    TransientPending = false;
+    TransientDropped = 0;
+    return Dropped;
+  }
+
+  /// FSM stall steps accrued by injected stall faults since the last call.
+  uint64_t takeStallSteps() {
+    uint64_t Steps = PendingStallSteps;
+    PendingStallSteps = 0;
+    return Steps;
+  }
+
+  /// A fresh, fault-free instance of the same model (same geometry and
+  /// element kind). The recovery layer uses it as the host-executed CPU
+  /// fallback when retries are exhausted and no spare is attached.
+  virtual std::unique_ptr<AcceleratorModel> cloneFresh() const;
 
 protected:
   void pushOutput(uint32_t Word) { OutputFifo.push_back(Word); }
@@ -116,8 +165,30 @@ protected:
   void chargeCompute(double Cycles) { PendingComputeCycles += Cycles; }
   void signalError(const std::string &Message) {
     ErrorFlag = true;
+    ++ErrorCount;
     if (ErrorText.empty())
       ErrorText = Message;
+    LastErrorText = Message;
+  }
+
+  /// Consults the injector for the opcode about to start. Returns true if
+  /// the opcode must be refused (transient-error fault): the model then
+  /// stays in its current state and drops the rest of the stream until the
+  /// DMA engine harvests the refusal — which makes the behaviour identical
+  /// under word-at-a-time and burst delivery.
+  bool opcodeFaultRefusal(uint32_t Opcode);
+
+  /// True when the model is dropping input (sticky error or pending
+  /// transient refusal); counts the dropped words so the engine knows the
+  /// exact suffix to retry.
+  bool droppingInput(size_t Count) {
+    if (ErrorFlag)
+      return true;
+    if (kFaultHooksEnabled && TransientPending) {
+      TransientDropped += Count;
+      return true;
+    }
+    return false;
   }
 
   /// Output FIFO as a flat vector + head cursor (a deque paid a chunked
@@ -141,6 +212,16 @@ protected:
   double PendingComputeCycles = 0;
   bool ErrorFlag = false;
   std::string ErrorText;
+  std::string LastErrorText;
+  uint64_t ErrorCount = 0;
+  // Fault-hook state. The injector pointer survives reset() (the recovery
+  // layer resets the model without forgetting the schedule); the pending
+  // refusal/stall state does not.
+  FaultInjector *Injector = nullptr;
+  bool TransientPending = false;
+  size_t TransientDropped = 0;
+  std::string TransientText;
+  uint64_t PendingStallSteps = 0;
 };
 
 /// Formats an opcode word the way protocol dumps spell it ("0x21").

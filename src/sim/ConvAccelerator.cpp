@@ -33,10 +33,12 @@ void ConvAccelerator::reset() {
 }
 
 void ConvAccelerator::consumeWord(uint32_t Word) {
-  if (ErrorFlag)
+  if (droppingInput(1))
     return;
   switch (St) {
   case State::Idle:
+    if (opcodeFaultRefusal(Word))
+      return;
     startOpcode(Word);
     return;
   case State::ReadFilterSize:
@@ -64,7 +66,7 @@ void ConvAccelerator::consumeWord(uint32_t Word) {
 
 void ConvAccelerator::consumeBurst(const uint32_t *Words, size_t Count) {
   while (Count > 0) {
-    if (ErrorFlag)
+    if (droppingInput(Count))
       return; // drop the rest, like the word path
     if (St != State::ReadFilter && St != State::ReadWindow) {
       // Opcodes and single-word configuration states step the FSM.
@@ -149,8 +151,11 @@ template <ElemKind K> double ConvAccelerator::windowDot() const {
 void ConvAccelerator::finishBurst() {
   if (St == State::ReadFilter) {
     // The filter streamed straight into place; nothing to commit.
+  } else if (St != State::ReadWindow) {
+    // Out-of-protocol use; diagnosable in every build type.
+    signalError("conv2d: finishBurst outside a data burst "
+                "(protocol violation)");
   } else {
-    assert(St == State::ReadWindow && "unexpected burst state");
     if (Filter.size() != Window.size()) {
       signalError("conv2d: window size does not match loaded filter");
     } else {

@@ -38,6 +38,9 @@ public:
   void consumeBurst(const uint32_t *Words, size_t Count) override;
   std::string getName() const override { return "conv2d"; }
   void reset() override;
+  std::unique_ptr<AcceleratorModel> cloneFresh() const override {
+    return std::make_unique<ConvAccelerator>(Kind, Params, MaxWindowWords);
+  }
 
   int64_t getInputChannels() const { return InputChannels; }
   int64_t getFilterSize() const { return FilterSize; }

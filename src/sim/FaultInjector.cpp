@@ -1,0 +1,225 @@
+//===- FaultInjector.cpp - Deterministic SoC fault injection --------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/FaultInjector.h"
+
+#include <charconv>
+#include <random>
+
+using namespace axi4mlir;
+using namespace axi4mlir::sim;
+
+const char *sim::toString(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::DropSend:
+    return "drop";
+  case FaultKind::TruncateSend:
+    return "truncate";
+  case FaultKind::CorruptWord:
+    return "corrupt";
+  case FaultKind::TransientError:
+    return "transient";
+  case FaultKind::Stall:
+    return "stall";
+  }
+  return "unknown";
+}
+
+FaultEvent *FaultInjector::fire(uint64_t Index, bool Dma) {
+  for (FaultEvent &Event : Plan.Events) {
+    if (Event.At != Index || isDmaFault(Event.Kind) != Dma)
+      continue;
+    if (Event.Fired >= Event.Attempts)
+      continue;
+    ++Event.Fired;
+    ++TotalFired;
+    return &Event;
+  }
+  return nullptr;
+}
+
+const FaultEvent *FaultInjector::querySend() {
+  return fire(SendCursor, /*Dma=*/true);
+}
+
+const FaultEvent *FaultInjector::onOpcode() {
+  const FaultEvent *Event = fire(OpcodeCursor, /*Dma=*/false);
+  // A transient-error refusal leaves the cursor in place: the retry
+  // re-presents the same opcode (and re-queries the same event). Stalls
+  // and clean opcodes commit.
+  if (!Event || Event->Kind != FaultKind::TransientError)
+    ++OpcodeCursor;
+  return Event;
+}
+
+std::string sim::describeFault(const FaultEvent &Event) {
+  std::string Text = std::string("injected ") + toString(Event.Kind);
+  switch (Event.Kind) {
+  case FaultKind::DropSend:
+    Text += "-burst fault";
+    break;
+  case FaultKind::TruncateSend:
+    Text += "d-burst fault";
+    break;
+  case FaultKind::CorruptWord:
+    Text += "-word fault (word " + std::to_string(Event.WordIndex) + ")";
+    break;
+  case FaultKind::TransientError:
+    Text += "-error fault";
+    break;
+  case FaultKind::Stall:
+    Text += " fault (" + std::to_string(Event.Steps) + " steps)";
+    break;
+  }
+  return Text;
+}
+
+FaultPlan sim::makeRandomFaultPlan(uint32_t Seed, unsigned Count,
+                                   uint64_t MaxIndex) {
+  FaultPlan Plan;
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<uint64_t> IndexDist(
+      0, MaxIndex ? MaxIndex - 1 : 0);
+  std::uniform_int_distribution<int> KindDist(0, 4);
+  std::uniform_int_distribution<uint64_t> StepsDist(1, 128);
+  std::uniform_int_distribution<uint32_t> WordDist(0, 15);
+  for (unsigned I = 0; I < Count; ++I) {
+    FaultEvent Event;
+    Event.Kind = static_cast<FaultKind>(KindDist(Rng));
+    Event.At = IndexDist(Rng);
+    Event.Steps = StepsDist(Rng);
+    Event.WordIndex = WordDist(Rng);
+    Event.XorMask = 1u << (WordDist(Rng) & 31);
+    Plan.Events.push_back(Event);
+  }
+  return Plan;
+}
+
+namespace {
+
+bool parseUInt(const std::string &Text, uint64_t &Value) {
+  if (Text.empty())
+    return false;
+  auto [Ptr, Ec] = std::from_chars(Text.data(), Text.data() + Text.size(),
+                                   Value);
+  return Ec == std::errc() && Ptr == Text.data() + Text.size();
+}
+
+/// Splits "a@b:c=d" style entries on a delimiter.
+std::vector<std::string> split(const std::string &Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Sep) {
+      Parts.push_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Parts;
+}
+
+} // namespace
+
+LogicalResult sim::parseFaultSpec(const std::string &Spec, FaultPlan &Plan,
+                                  std::string &Error) {
+  auto Fail = [&](const std::string &Message) {
+    Error = "--faults: " + Message;
+    return failure();
+  };
+  for (const std::string &Entry : split(Spec, ',')) {
+    if (Entry.empty())
+      continue;
+    // Policy entries.
+    if (Entry == "norecover") {
+      Plan.Recovery.Enabled = false;
+      continue;
+    }
+    size_t Eq = Entry.find('=');
+    size_t At = Entry.find('@');
+    if (At == std::string::npos && Eq != std::string::npos) {
+      std::string Key = Entry.substr(0, Eq);
+      uint64_t Value = 0;
+      if (Key == "rand") {
+        // rand=SEED:n=COUNT[:max=M]
+        std::vector<std::string> Parts = split(Entry, ':');
+        uint64_t Seed = 0, Count = 0, Max = 64;
+        if (!parseUInt(Parts[0].substr(Eq + 1), Seed))
+          return Fail("bad seed in '" + Entry + "'");
+        for (size_t I = 1; I < Parts.size(); ++I) {
+          size_t E = Parts[I].find('=');
+          if (E == std::string::npos)
+            return Fail("expected key=value in '" + Entry + "'");
+          std::string K = Parts[I].substr(0, E);
+          uint64_t V = 0;
+          if (!parseUInt(Parts[I].substr(E + 1), V))
+            return Fail("bad number in '" + Entry + "'");
+          if (K == "n")
+            Count = V;
+          else if (K == "max")
+            Max = V;
+          else
+            return Fail("unknown key '" + K + "' in '" + Entry + "'");
+        }
+        FaultPlan Random = makeRandomFaultPlan(
+            static_cast<uint32_t>(Seed), static_cast<unsigned>(Count), Max);
+        Plan.Events.insert(Plan.Events.end(), Random.Events.begin(),
+                           Random.Events.end());
+        continue;
+      }
+      if (!parseUInt(Entry.substr(Eq + 1), Value))
+        return Fail("bad number in '" + Entry + "'");
+      if (Key == "retries")
+        Plan.Recovery.MaxRetries = static_cast<uint32_t>(Value);
+      else if (Key == "watchdog")
+        Plan.Recovery.WatchdogPolls = Value;
+      else if (Key == "backoff")
+        Plan.Recovery.BackoffCycles = Value;
+      else
+        return Fail("unknown policy key '" + Key + "'");
+      continue;
+    }
+    // Event entries: kind@INDEX[:key=value...]
+    if (At == std::string::npos)
+      return Fail("expected kind@index in '" + Entry + "'");
+    std::vector<std::string> Parts = split(Entry, ':');
+    std::string Kind = Parts[0].substr(0, At);
+    FaultEvent Event;
+    if (Kind == "drop")
+      Event.Kind = FaultKind::DropSend;
+    else if (Kind == "truncate")
+      Event.Kind = FaultKind::TruncateSend;
+    else if (Kind == "corrupt")
+      Event.Kind = FaultKind::CorruptWord;
+    else if (Kind == "transient")
+      Event.Kind = FaultKind::TransientError;
+    else if (Kind == "stall")
+      Event.Kind = FaultKind::Stall;
+    else
+      return Fail("unknown fault kind '" + Kind + "'");
+    if (!parseUInt(Parts[0].substr(At + 1), Event.At))
+      return Fail("bad index in '" + Entry + "'");
+    Event.Steps = 128; // default stall length: past the default watchdog
+    for (size_t I = 1; I < Parts.size(); ++I) {
+      size_t E = Parts[I].find('=');
+      if (E == std::string::npos)
+        return Fail("expected key=value in '" + Entry + "'");
+      std::string K = Parts[I].substr(0, E);
+      uint64_t V = 0;
+      if (!parseUInt(Parts[I].substr(E + 1), V))
+        return Fail("bad number in '" + Entry + "'");
+      if (K == "word")
+        Event.WordIndex = static_cast<uint32_t>(V);
+      else if (K == "attempts")
+        Event.Attempts = static_cast<uint32_t>(V);
+      else if (K == "steps")
+        Event.Steps = V;
+      else
+        return Fail("unknown key '" + K + "' in '" + Entry + "'");
+    }
+    Plan.Events.push_back(Event);
+  }
+  return success();
+}

@@ -26,6 +26,35 @@ void AcceleratorModel::reset() {
   PendingComputeCycles = 0;
   ErrorFlag = false;
   ErrorText.clear();
+  LastErrorText.clear();
+  ErrorCount = 0;
+  // Pending fault state clears; the attached injector (and its logical
+  // cursors) survives, so a recovery reset does not forget the schedule.
+  TransientPending = false;
+  TransientDropped = 0;
+  TransientText.clear();
+  PendingStallSteps = 0;
+}
+
+std::unique_ptr<AcceleratorModel> AcceleratorModel::cloneFresh() const {
+  return nullptr;
+}
+
+bool AcceleratorModel::opcodeFaultRefusal(uint32_t Opcode) {
+  if (!kFaultHooksEnabled || !Injector)
+    return false;
+  const FaultEvent *Event = Injector->onOpcode();
+  if (!Event)
+    return false;
+  if (Event->Kind == FaultKind::Stall) {
+    PendingStallSteps += Event->Steps;
+    return false;
+  }
+  TransientPending = true;
+  TransientDropped = 1; // the refused opcode word itself
+  TransientText = getName() + ": " + describeFault(*Event) +
+                  " refused opcode " + formatOpcode(Opcode);
+  return true;
 }
 
 std::vector<uint32_t> AcceleratorModel::drainOutput(size_t MaxWords) {
@@ -86,6 +115,10 @@ std::string MatMulAccelerator::getName() const {
   return Name + "_" + std::to_string(BaseSize);
 }
 
+std::unique_ptr<AcceleratorModel> MatMulAccelerator::cloneFresh() const {
+  return std::make_unique<MatMulAccelerator>(Ver, BaseSize, Kind, Params);
+}
+
 void MatMulAccelerator::reset() {
   AcceleratorModel::reset();
   TileM = TileN = TileK = BaseSize;
@@ -122,9 +155,11 @@ bool MatMulAccelerator::supportsOpcode(uint32_t Opcode) const {
 }
 
 void MatMulAccelerator::consumeWord(uint32_t Word) {
-  if (ErrorFlag)
+  if (droppingInput(1))
     return;
   if (St == State::Idle) {
+    if (opcodeFaultRefusal(Word))
+      return;
     startOpcode(Word);
     return;
   }
@@ -135,9 +170,14 @@ void MatMulAccelerator::consumeWord(uint32_t Word) {
 
 void MatMulAccelerator::consumeBurst(const uint32_t *Words, size_t Count) {
   while (Count > 0) {
-    if (ErrorFlag)
+    if (droppingInput(Count))
       return; // drop the rest, like the word path
     if (St == State::Idle) {
+      if (opcodeFaultRefusal(*Words)) {
+        ++Words; // refused opcode: already counted as dropped
+        --Count;
+        continue;
+      }
       startOpcode(*Words++);
       --Count;
       continue;
@@ -181,7 +221,9 @@ void MatMulAccelerator::copyIn(const uint32_t *Words, size_t Count) {
     return;
   }
   case State::Idle:
-    assert(false && "copyIn in Idle state");
+    // Out-of-protocol use; diagnosable in every build type (was a
+    // Release-stripped assert).
+    signalError(getName() + ": copyIn in Idle state (protocol violation)");
     return;
   }
 }
@@ -276,7 +318,8 @@ void MatMulAccelerator::finishBurst() {
     emitC();
     break;
   case State::Idle:
-    assert(false && "finishBurst in Idle state");
+    signalError(getName() +
+                ": finishBurst in Idle state (protocol violation)");
     break;
   }
   BurstFill = 0;

@@ -44,6 +44,7 @@ public:
   void consumeBurst(const uint32_t *Words, size_t Count) override;
   std::string getName() const override;
   void reset() override;
+  std::unique_ptr<AcceleratorModel> cloneFresh() const override;
 
   int64_t getTileM() const { return TileM; }
   int64_t getTileN() const { return TileN; }
@@ -52,14 +53,19 @@ public:
   int64_t getBufferCapacityWords() const { return BufferCapacityWords; }
   uint64_t getTilesComputed() const { return TilesComputed; }
 
-private:
-  bool supportsOpcode(uint32_t Opcode) const;
-  void startOpcode(uint32_t Opcode);
+protected:
+  /// The burst plumbing is protected (not private) so tests can pin the
+  /// out-of-protocol paths: calling either in Idle state must signal a
+  /// diagnosable error, never Release-mode UB.
   /// Copies \p Count burst words into the receive target of the current
   /// state at position BurstFill (BufA/BufB, split A-then-B, or the cfg
   /// staging words).
   void copyIn(const uint32_t *Words, size_t Count);
   void finishBurst();
+
+private:
+  bool supportsOpcode(uint32_t Opcode) const;
+  void startOpcode(uint32_t Opcode);
   void compute();
   template <ElemKind K> void computeTile();
   void emitC();

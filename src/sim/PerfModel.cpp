@@ -18,6 +18,13 @@ std::string PerfReport::summary() const {
      << CacheReferences << " | cache-misses " << CacheMisses
      << " | dma-transfers " << DmaTransfers << " (" << DmaBytesMoved
      << " B)";
+  // Recovery telemetry only appears on faulted runs: fault-free summaries
+  // stay byte-identical to the pre-fault-injection format.
+  if (FaultsInjected > 0) {
+    OS << " | faults " << FaultsInjected << " (retries " << RecoveryRetries
+       << ", failovers " << FailoverEvents << ", cpu-fallbacks "
+       << CpuFallbackEvents << ")";
+  }
   return OS.str();
 }
 
@@ -79,7 +86,22 @@ PerfReport HostPerfModel::report() const {
   Report.FabricCycles = FabricCycles;
   Report.DmaTransfers = DmaTransfers;
   Report.DmaBytesMoved = DmaBytesMoved;
-  Report.TaskClockMs = Params.taskClockMs(HostCycles, FabricCycles);
+  Report.FaultsInjected = FaultsInjected;
+  Report.RecoveryRetries = RecoveryRetries;
+  Report.RecoveryBackoffCycles = RecoveryBackoffCycles;
+  Report.WatchdogPollCycles = WatchdogPollCycles;
+  Report.RecoveryReplayCycles = RecoveryReplayCycles;
+  Report.FailoverEvents = FailoverEvents;
+  Report.CpuFallbackEvents = CpuFallbackEvents;
+  Report.CpuFallbackCycles = CpuFallbackCycles;
+  // Recovery work extends the modeled wall clock: backoff, polling and
+  // CPU-fallback compute run on the host; replayed staging runs on the
+  // fabric. All four are zero on fault-free runs, leaving TaskClockMs
+  // bit-identical there.
+  Report.TaskClockMs = Params.taskClockMs(
+      HostCycles + RecoveryBackoffCycles + WatchdogPollCycles +
+          CpuFallbackCycles,
+      FabricCycles + RecoveryReplayCycles);
   return Report;
 }
 

@@ -42,6 +42,20 @@ struct PerfReport {
   uint64_t DmaBytesMoved = 0;
   double TaskClockMs = 0;
 
+  // Fault-injection / recovery counters (all zero on fault-free runs, so
+  // the pre-existing counters above stay bit-identical when no injector
+  // is attached). Retry work is charged here, NOT to the counters above:
+  // HostCycles/FabricCycles/DmaTransfers keep describing the fault-free
+  // logical transfer sequence.
+  uint64_t FaultsInjected = 0;       ///< injector events that fired
+  uint64_t RecoveryRetries = 0;      ///< bounded per-transfer retries
+  double RecoveryBackoffCycles = 0;  ///< modeled host backoff (host domain)
+  double WatchdogPollCycles = 0;     ///< watchdog polling (host domain)
+  double RecoveryReplayCycles = 0;   ///< re-staged compute (fabric domain)
+  uint64_t FailoverEvents = 0;       ///< switches to the spare accelerator
+  uint64_t CpuFallbackEvents = 0;    ///< switches to host CPU execution
+  double CpuFallbackCycles = 0;      ///< fallback compute (host domain)
+
   std::string summary() const;
 };
 
@@ -124,6 +138,23 @@ public:
   }
 
   //===------------------------------------------------------------------===//
+  // Fault-injection / recovery events (DmaEngine recovery layer). These
+  // charge dedicated counters so fault-free runs keep every pre-existing
+  // counter bit-identical.
+  //===------------------------------------------------------------------===//
+
+  void onFaultsInjected(uint64_t Count) { FaultsInjected += Count; }
+  void onRecoveryRetry(double BackoffCycles) {
+    ++RecoveryRetries;
+    RecoveryBackoffCycles += BackoffCycles;
+  }
+  void onWatchdogPolls(double Cycles) { WatchdogPollCycles += Cycles; }
+  void onRecoveryReplay(double Cycles) { RecoveryReplayCycles += Cycles; }
+  void onFailover() { ++FailoverEvents; }
+  void onCpuFallbackEvent() { ++CpuFallbackEvents; }
+  void onCpuFallbackCycles(double Cycles) { CpuFallbackCycles += Cycles; }
+
+  //===------------------------------------------------------------------===//
   // Reporting
   //===------------------------------------------------------------------===//
 
@@ -149,6 +180,14 @@ private:
   double FabricCycles = 0;
   uint64_t DmaTransfers = 0;
   uint64_t DmaBytesMoved = 0;
+  uint64_t FaultsInjected = 0;
+  uint64_t RecoveryRetries = 0;
+  double RecoveryBackoffCycles = 0;
+  double WatchdogPollCycles = 0;
+  double RecoveryReplayCycles = 0;
+  uint64_t FailoverEvents = 0;
+  uint64_t CpuFallbackEvents = 0;
+  double CpuFallbackCycles = 0;
 };
 
 } // namespace sim

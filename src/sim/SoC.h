@@ -19,6 +19,7 @@
 #include "sim/MatMulAccelerator.h"
 
 #include <memory>
+#include <vector>
 
 namespace axi4mlir {
 namespace sim {
@@ -43,10 +44,31 @@ public:
   PerfReport report() const { return Perf.report(); }
   void resetCounters() { Perf.reset(); }
 
+  /// Binds \p Injector (caller-owned, may be nullptr to detach) to the DMA
+  /// engine and the accelerator model, re-arming the recovery layer for a
+  /// fresh run.
+  void attachFaultInjector(FaultInjector *Injector) {
+    Dma.attachFaultInjector(Injector);
+    if (Accel)
+      Accel->attachFaultInjector(Injector);
+  }
+
+  /// Takes ownership of a failover target. \p Score ranks it against other
+  /// spares (lower is better — pass the TilingPlan modeled cost). The
+  /// spare must be protocol-identical to the primary: the compiled
+  /// driver's opcode stream is re-staged onto it verbatim after failover.
+  void addSpareAccelerator(std::unique_ptr<AcceleratorModel> Spare,
+                           double Score) {
+    Dma.addSpare(Spare.get(), Score);
+    SpareAccels.push_back(std::move(Spare));
+  }
+  size_t spareAcceleratorCount() const { return SpareAccels.size(); }
+
 private:
   SoCParams Params;
   HostPerfModel Perf;
   std::unique_ptr<AcceleratorModel> Accel;
+  std::vector<std::unique_ptr<AcceleratorModel>> SpareAccels;
   DmaEngine Dma;
 };
 

@@ -226,6 +226,105 @@ TEST(ConfigParser, LibraryConvConfigParses) {
             (std::vector<std::string>{"rst"}));
 }
 
+/// Minimal valid accelerator body reused by the faults-section tests.
+std::string withFaults(const std::string &FaultsSection) {
+  return "{ " + FaultsSection + R"json(
+    "accelerators": [
+      { "name": "mm", "kernel": "linalg.matmul", "accel_size": 4,
+        "opcode_map": "opcode_map< s = [send_literal(0x21), send(0), send(1), recv(2)] >",
+        "opcode_flow_map": { "Ns": "(s)" } } ] })json";
+}
+
+TEST(ConfigParser, FaultsSectionParses) {
+  std::string Error;
+  auto Config = parseSystemConfig(withFaults(R"json(
+    "faults": {
+      "events": [
+        { "kind": "transient", "at": 2 },
+        { "kind": "corrupt", "at": 5, "word": 3, "xor": 0xFF },
+        { "kind": "stall", "at": 4, "steps": 32 },
+        { "kind": "drop", "at": 7, "attempts": 9 }
+      ],
+      "retries": 2, "watchdog": 48, "backoff": 100, "poll": 5,
+      "recover": true, "spares": 1
+    },)json"),
+                                  &Error);
+  ASSERT_TRUE(succeeded(Config)) << Error;
+  EXPECT_TRUE(Config->HasFaults);
+  ASSERT_EQ(Config->Faults.Events.size(), 4u);
+  EXPECT_EQ(Config->Faults.Events[0].Kind, sim::FaultKind::TransientError);
+  EXPECT_EQ(Config->Faults.Events[0].At, 2u);
+  EXPECT_EQ(Config->Faults.Events[1].Kind, sim::FaultKind::CorruptWord);
+  EXPECT_EQ(Config->Faults.Events[1].WordIndex, 3u);
+  EXPECT_EQ(Config->Faults.Events[1].XorMask, 0xFFu);
+  EXPECT_EQ(Config->Faults.Events[2].Kind, sim::FaultKind::Stall);
+  EXPECT_EQ(Config->Faults.Events[2].Steps, 32u);
+  EXPECT_EQ(Config->Faults.Events[3].Attempts, 9u);
+  EXPECT_EQ(Config->Faults.Recovery.MaxRetries, 2u);
+  EXPECT_EQ(Config->Faults.Recovery.WatchdogPolls, 48u);
+  EXPECT_EQ(Config->Faults.Recovery.BackoffCycles, 100u);
+  EXPECT_EQ(Config->Faults.Recovery.PollCycles, 5u);
+  EXPECT_TRUE(Config->Faults.Recovery.Enabled);
+  EXPECT_EQ(Config->SpareAccelerators, 1u);
+}
+
+TEST(ConfigParser, FaultsRandomScheduleAppends) {
+  std::string Error;
+  auto Config = parseSystemConfig(withFaults(R"json(
+    "faults": {
+      "events": [ { "kind": "drop", "at": 1 } ],
+      "random": { "seed": 7, "count": 3, "max": 16 },
+      "recover": false
+    },)json"),
+                                  &Error);
+  ASSERT_TRUE(succeeded(Config)) << Error;
+  EXPECT_EQ(Config->Faults.Events.size(), 4u); // 1 explicit + 3 random
+  EXPECT_FALSE(Config->Faults.Recovery.Enabled);
+  // The random tail is reproducible: same seed, same events.
+  sim::FaultPlan Again = sim::makeRandomFaultPlan(7, 3, 16);
+  for (size_t I = 0; I < 3; ++I) {
+    EXPECT_EQ(Config->Faults.Events[1 + I].Kind, Again.Events[I].Kind);
+    EXPECT_EQ(Config->Faults.Events[1 + I].At, Again.Events[I].At);
+  }
+}
+
+TEST(ConfigParser, AbsentFaultsSectionStaysCold) {
+  std::string Error;
+  auto Config = parseSystemConfig(withFaults(""), &Error);
+  ASSERT_TRUE(succeeded(Config)) << Error;
+  EXPECT_FALSE(Config->HasFaults);
+  EXPECT_TRUE(Config->Faults.empty());
+  EXPECT_EQ(Config->SpareAccelerators, 0u);
+}
+
+TEST(ConfigParser, FaultsDiagnostics) {
+  auto expectError = [](const std::string &Section,
+                        const std::string &Needle) {
+    std::string Error;
+    EXPECT_TRUE(failed(parseSystemConfig(withFaults(Section), &Error)))
+        << Section;
+    EXPECT_NE(Error.find(Needle), std::string::npos) << Error;
+  };
+  expectError(R"("faults": { "events": [ { "kind": "bogus", "at": 1 } ] },)",
+              "unknown fault kind 'bogus'");
+  expectError(R"("faults": { "events": [ { "kind": "drop" } ] },)",
+              "needs a non-negative integer 'at'");
+  expectError(R"("faults": { "events": [ { "kind": "drop", "at": 1,
+                                           "attempts": 0 } ] },)",
+              "'attempts' must be >= 1");
+  expectError(R"("faults": { "retries": -1 },)", "out of range");
+  expectError(R"("faults": { "recover": 1 },)", "must be a boolean");
+  expectError(R"("faults": { "spares": -2 },)", "'faults.spares'");
+  expectError(R"("faults": [],)", "'faults' must be an object");
+  // The failing event is named by index.
+  std::string Error;
+  EXPECT_TRUE(failed(parseSystemConfig(
+      withFaults(R"("faults": { "events": [ { "kind": "drop", "at": 1 },
+                                            { "kind": "nope", "at": 2 } ] },)"),
+      &Error)));
+  EXPECT_NE(Error.find("faults.events[1]"), std::string::npos) << Error;
+}
+
 TEST(ConfigParser, MissingFileFails) {
   std::string Error;
   EXPECT_TRUE(failed(

@@ -355,6 +355,79 @@ TEST(DmaEngine, TransfersAndAccounting) {
   EXPECT_GT(R.FabricCycles, 0.0);
 }
 
+// Formerly Release-stripped asserts: using the DMA engine before
+// dma_init must surface as a diagnosable Fatal error in every build type.
+TEST(DmaEngine, UseBeforeInitSignalsError) {
+  auto Soc = makeMatMulSoC(MatMulAccelerator::Version::V1, 4);
+  ASSERT_FALSE(Soc->dma().isInitialized());
+  EXPECT_EQ(Soc->dma().startSend(4, 0), AccelStatus::Fatal);
+  EXPECT_TRUE(Soc->dma().hadError());
+  EXPECT_EQ(Soc->dma().errorMessage(),
+            "dma: dma_start_send before dma_init");
+
+  auto Soc2 = makeMatMulSoC(MatMulAccelerator::Version::V1, 4);
+  EXPECT_EQ(Soc2->dma().startRecv(4, 0), AccelStatus::Fatal);
+  EXPECT_TRUE(Soc2->dma().hadError());
+  EXPECT_EQ(Soc2->dma().errorMessage(),
+            "dma: dma_start_recv before dma_init");
+}
+
+// The burst plumbing is protected so the defensive protocol-violation
+// paths (formerly Release-invisible asserts) stay pinned.
+struct ProbeMatMul : MatMulAccelerator {
+  using MatMulAccelerator::MatMulAccelerator;
+  using MatMulAccelerator::copyIn;
+  using MatMulAccelerator::finishBurst;
+};
+
+TEST(MatMulAccel, CopyInInIdleSignalsError) {
+  SoCParams Params;
+  ProbeMatMul Accel(MatMulAccelerator::Version::V3, 4, ElemKind::I32,
+                    Params);
+  uint32_t Word = 7;
+  Accel.copyIn(&Word, 1);
+  EXPECT_TRUE(Accel.hadError());
+  EXPECT_EQ(Accel.status(), AccelStatus::Fatal);
+  EXPECT_NE(Accel.errorMessage().find("copyIn in Idle state"),
+            std::string::npos)
+      << Accel.errorMessage();
+}
+
+TEST(MatMulAccel, FinishBurstInIdleSignalsError) {
+  SoCParams Params;
+  ProbeMatMul Accel(MatMulAccelerator::Version::V3, 4, ElemKind::I32,
+                    Params);
+  Accel.finishBurst();
+  EXPECT_TRUE(Accel.hadError());
+  EXPECT_NE(Accel.errorMessage().find("finishBurst in Idle state"),
+            std::string::npos)
+      << Accel.errorMessage();
+}
+
+// Error bookkeeping: the count is monotone and both the first (root
+// cause) and most recent message survive a cascade.
+TEST(MatMulAccel, ErrorCountRetainsFirstAndLastMessage) {
+  SoCParams Params;
+  ProbeMatMul Accel(MatMulAccelerator::Version::V3, 4, ElemKind::I32,
+                    Params);
+  EXPECT_EQ(Accel.errorCount(), 0u);
+  uint32_t Word = 7;
+  Accel.copyIn(&Word, 1); // first error
+  Accel.finishBurst();    // cascading second error
+  EXPECT_EQ(Accel.errorCount(), 2u);
+  EXPECT_NE(Accel.errorMessage().find("copyIn in Idle state"),
+            std::string::npos)
+      << Accel.errorMessage();
+  EXPECT_NE(Accel.lastErrorMessage().find("finishBurst in Idle state"),
+            std::string::npos)
+      << Accel.lastErrorMessage();
+  // A full reset clears the bookkeeping.
+  Accel.reset();
+  EXPECT_EQ(Accel.errorCount(), 0u);
+  EXPECT_TRUE(Accel.errorMessage().empty());
+  EXPECT_TRUE(Accel.lastErrorMessage().empty());
+}
+
 TEST(DmaEngine, OverflowAndUnderflowErrors) {
   auto Soc = makeMatMulSoC(MatMulAccelerator::Version::V1, 4);
   accel::DmaInitConfig Config;

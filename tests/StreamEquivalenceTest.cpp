@@ -334,4 +334,159 @@ TEST(StreamEquivalence, DrainOutputIntoMatchesDrainOutput) {
   EXPECT_EQ(B.outputAvailable(), 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// Injected faults: a mid-stream fault must be observed identically under
+// word-at-a-time, single-burst and split-burst delivery — same AccelStatus,
+// same message, same dropped-suffix count. This is what lets the DMA
+// engine's recovery loop reason about the retry suffix without knowing how
+// the stream was chunked.
+//===----------------------------------------------------------------------===//
+
+struct FaultObservation {
+  AccelStatus Status = AccelStatus::Ok;
+  std::string Message;
+  size_t Dropped = 0;
+  uint64_t StallSteps = 0;
+  std::vector<uint32_t> Output;
+  double ComputeCycles = 0;
+};
+
+FaultObservation observeFault(AcceleratorModel &Model) {
+  FaultObservation Obs;
+  Obs.Status = Model.status();
+  Obs.Message = Model.transientMessage();
+  Obs.StallSteps = Model.takeStallSteps();
+  Obs.Dropped = Model.takeTransientDropped();
+  Obs.Output = Model.drainOutput(Model.outputAvailable());
+  Obs.ComputeCycles = Model.takeComputeCycles();
+  return Obs;
+}
+
+void expectSameFaultObservation(const FaultObservation &Ref,
+                                const FaultObservation &Got,
+                                const std::string &What) {
+  EXPECT_EQ(Ref.Status, Got.Status) << What;
+  EXPECT_EQ(Ref.Message, Got.Message) << What;
+  EXPECT_EQ(Ref.Dropped, Got.Dropped) << What;
+  EXPECT_EQ(Ref.StallSteps, Got.StallSteps) << What;
+  EXPECT_EQ(Ref.Output, Got.Output) << What;
+  EXPECT_EQ(Ref.ComputeCycles, Got.ComputeCycles) << What; // bit-equal
+}
+
+/// Streams \p Stream into fresh models carrying a fresh injector built
+/// from \p Plan, under every delivery shape, asserting identical
+/// fault observations.
+void checkFaultEquivalence(const ModelFactory &Make,
+                           const std::vector<uint32_t> &Stream,
+                           const FaultPlan &Plan) {
+  auto WordModel = Make();
+  FaultInjector WordInjector(Plan);
+  WordModel->attachFaultInjector(&WordInjector);
+  for (uint32_t Word : Stream)
+    WordModel->consumeWord(Word);
+  FaultObservation Ref = observeFault(*WordModel);
+
+  auto OneBurst = Make();
+  FaultInjector BurstInjector(Plan);
+  OneBurst->attachFaultInjector(&BurstInjector);
+  OneBurst->consumeBurst(Stream.data(), Stream.size());
+  expectSameFaultObservation(Ref, observeFault(*OneBurst), "single burst");
+  EXPECT_EQ(WordInjector.faultsFired(), BurstInjector.faultsFired());
+
+  for (uint32_t Seed = 0; Seed < 8; ++Seed) {
+    std::mt19937 Rng(Seed);
+    std::uniform_int_distribution<size_t> Len(1, 1 + Stream.size() / 3);
+    auto Split = Make();
+    FaultInjector SplitInjector(Plan);
+    Split->attachFaultInjector(&SplitInjector);
+    size_t Pos = 0;
+    while (Pos < Stream.size()) {
+      size_t Take = std::min(Len(Rng), Stream.size() - Pos);
+      Split->consumeBurst(Stream.data() + Pos, Take);
+      Pos += Take;
+    }
+    expectSameFaultObservation(Ref, observeFault(*Split),
+                               "split seed " + std::to_string(Seed));
+    EXPECT_EQ(WordInjector.faultsFired(), SplitInjector.faultsFired());
+  }
+}
+
+TEST(StreamEquivalence, TransientFaultSameUnderAnyDelivery) {
+  std::mt19937 Rng(400);
+  std::vector<uint32_t> Stream;
+  Stream.push_back(MM_SA);
+  appendData(Stream, 4 * 4, Rng, ElemKind::I32);
+  Stream.push_back(MM_SB); // opcode index 1: refused
+  appendData(Stream, 4 * 4, Rng, ElemKind::I32);
+  Stream.push_back(MM_CC_RC); // dropped with the rest of the stream
+
+  FaultPlan Plan;
+  FaultEvent Event;
+  Event.Kind = FaultKind::TransientError;
+  Event.At = 1;
+  Plan.Events.push_back(Event);
+
+  checkFaultEquivalence(
+      matmulFactory(MatMulAccelerator::Version::V3, 4, ElemKind::I32),
+      Stream, Plan);
+
+  // The reference observation itself: Transient status, dropped suffix =
+  // refused opcode + 16 data words + trailing opcode.
+  SoCParams Params;
+  MatMulAccelerator Model(MatMulAccelerator::Version::V3, 4, ElemKind::I32,
+                          Params);
+  FaultInjector Injector(Plan);
+  Model.attachFaultInjector(&Injector);
+  Model.consumeBurst(Stream.data(), Stream.size());
+  EXPECT_EQ(Model.status(), AccelStatus::Transient);
+  EXPECT_NE(Model.transientMessage().find("injected transient-error fault"),
+            std::string::npos)
+      << Model.transientMessage();
+  EXPECT_FALSE(Model.hadError()); // transient, not fatal
+  EXPECT_EQ(Model.takeTransientDropped(), size_t(1 + 16 + 1));
+  EXPECT_EQ(Model.status(), AccelStatus::Ok); // harvest clears it
+}
+
+TEST(StreamEquivalence, StallFaultSameUnderAnyDelivery) {
+  std::mt19937 Rng(401);
+  std::vector<uint32_t> Stream;
+  Stream.push_back(MM_SA);
+  appendData(Stream, 4 * 4, Rng, ElemKind::I32);
+  Stream.push_back(MM_SB); // opcode index 1: stalls, then proceeds
+  appendData(Stream, 4 * 4, Rng, ElemKind::I32);
+  Stream.push_back(MM_CC_RC);
+
+  FaultPlan Plan;
+  FaultEvent Event;
+  Event.Kind = FaultKind::Stall;
+  Event.At = 1;
+  Event.Steps = 48;
+  Plan.Events.push_back(Event);
+
+  checkFaultEquivalence(
+      matmulFactory(MatMulAccelerator::Version::V3, 4, ElemKind::I32),
+      Stream, Plan);
+}
+
+TEST(StreamEquivalence, ConvTransientFaultSameUnderAnyDelivery) {
+  std::mt19937 Rng(402);
+  std::vector<uint32_t> Stream;
+  Stream.push_back(CONV_SET_FS);
+  Stream.push_back(2);
+  Stream.push_back(CONV_SET_IC);
+  Stream.push_back(1);
+  Stream.push_back(CONV_SF); // opcode index 2: refused
+  appendData(Stream, 2 * 2, Rng, ElemKind::I32);
+  Stream.push_back(CONV_SICO);
+  appendData(Stream, 2 * 2, Rng, ElemKind::I32);
+
+  FaultPlan Plan;
+  FaultEvent Event;
+  Event.Kind = FaultKind::TransientError;
+  Event.At = 2;
+  Plan.Events.push_back(Event);
+
+  checkFaultEquivalence(convFactory(ElemKind::I32), Stream, Plan);
+}
+
 } // namespace

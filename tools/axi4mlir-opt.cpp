@@ -45,6 +45,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,10 @@ struct CliOptions {
   /// Execution engine for --run: walker, plan or threaded (default).
   exec::ExecMode Exec = exec::ExecMode::Threaded;
   transforms::RemainderMode Remainder = transforms::RemainderMode::Pad;
+  /// --faults spec merged over the config file's `faults` section.
+  std::string FaultSpec;
+  /// --spares override (config `faults.spares` when unset).
+  int64_t Spares = -1;
   // MatMul problem.
   bool IsMatMul = false;
   int64_t M = 0, N = 0, K = 0;
@@ -83,7 +88,11 @@ void printUsage() {
       "                    [--no-cpu-tiling] [--no-specialize]\n"
       "                    [--remainder pad|peel|reject]\n"
       "                    [--plan-opt none|all|fold,dce,licm,coalesce]\n"
-      "                    [--exec walker|plan|threaded]\n");
+      "                    [--exec walker|plan|threaded]\n"
+      "                    [--faults SPEC] [--spares N]\n"
+      "  --faults SPEC: comma-separated fault schedule / recovery policy,\n"
+      "    e.g. 'transient@2,corrupt@5:word=3,retries=2' or\n"
+      "    'rand=7:n=4,norecover' (see docs/CONFIG.md)\n");
 }
 
 /// Parses `MxNxK`-style shape lists strictly: every piece must be a fully
@@ -283,6 +292,25 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
         std::fprintf(stderr, "error: %s\n", ModeError.c_str());
         return false;
       }
+    } else if (Arg == "--faults") {
+      const char *V = next();
+      if (!V)
+        return false;
+      Options.FaultSpec = V;
+    } else if (Arg == "--spares") {
+      const char *V = next();
+      int64_t Value = 0;
+      if (!V)
+        return false;
+      auto [End, Errc] = std::from_chars(V, V + std::strlen(V), Value, 10);
+      if (Errc != std::errc() || End != V + std::strlen(V) || Value < 0) {
+        std::fprintf(stderr,
+                     "error: --spares needs a non-negative integer "
+                     "(got '%s')\n",
+                     V);
+        return false;
+      }
+      Options.Spares = Value;
     } else if (Arg == "--run") {
       Options.Run = true;
     } else if (Arg == "--no-cpu-tiling") {
@@ -517,6 +545,21 @@ int runTool(CliOptions Options) {
     return 1;
   }
 
+  // Fault schedule: the config file's `faults` section, with --faults
+  // entries appended and --spares overriding the spare count.
+  sim::FaultPlan FaultPlan = Config->Faults;
+  bool FaultsArmed = Config->HasFaults;
+  unsigned Spares = Config->SpareAccelerators;
+  if (!Options.FaultSpec.empty()) {
+    if (failed(sim::parseFaultSpec(Options.FaultSpec, FaultPlan, Error))) {
+      std::fprintf(stderr, "error: in --faults: %s\n", Error.c_str());
+      return 1;
+    }
+    FaultsArmed = true;
+  }
+  if (Options.Spares >= 0)
+    Spares = static_cast<unsigned>(Options.Spares);
+
   // Every accelerator implementing the requested kernel is a dispatch
   // candidate; the planning layer selects the cheapest per problem shape.
   const char *Kernel =
@@ -639,6 +682,26 @@ int runTool(CliOptions Options) {
   } else {
     Soc = sim::makeConvSoC(Kind);
   }
+  // Arm the fault injector and register spare failover units (protocol-
+  // identical clones, scored like the dispatched plan). The injector must
+  // outlive the run: the engine keeps a raw pointer to it.
+  std::optional<sim::FaultInjector> Injector;
+  if (FaultsArmed || Spares > 0) {
+    for (unsigned I = 0; I < Spares; ++I) {
+      auto Spare = Soc->accelerator()->cloneFresh();
+      if (!Spare) {
+        std::fprintf(stderr,
+                     "error: accelerator '%s' cannot provide spare units\n",
+                     Accel.Name.c_str());
+        return 1;
+      }
+      Soc->addSpareAccelerator(std::move(Spare),
+                               Plans->front().EstimatedCostMs);
+    }
+    Injector.emplace(FaultPlan);
+    Soc->attachFaultInjector(&*Injector);
+  }
+
   runtime::DmaRuntime Runtime(*Soc, Options.Specialize);
 
   std::vector<runtime::MemRefDesc> Args;
