@@ -34,13 +34,19 @@ Interpreter::~Interpreter() = default;
 
 void Interpreter::setPlanOptions(const opt::PlanOptOptions &Options) {
   PlanOptions = Options;
-  CachedPlan.reset();
-  CachedDecoded.reset();
-  CachedPlanFor = nullptr;
+  PlanCache.clear();
+}
+
+void Interpreter::setPlanCacheCapacity(size_t Capacity) {
+  PlanCacheCapacity = Capacity < 1 ? 1 : Capacity;
+  while (PlanCache.size() > PlanCacheCapacity) {
+    PlanCache.pop_back();
+    Soc.perf().onPlanCacheEviction();
+  }
 }
 
 const DecodedPlan *Interpreter::decodedPlan() const {
-  return CachedDecoded.get();
+  return PlanCache.empty() ? nullptr : PlanCache.front().Decoded.get();
 }
 
 LogicalResult Interpreter::run(func::FuncOp Func,
@@ -54,48 +60,66 @@ LogicalResult Interpreter::run(func::FuncOp Func,
     return failure();
   }
   if (Mode != ExecMode::Walker) {
-    // Compile once, execute many: the plan is reused while run() keeps
-    // being called with the same, unmodified function. The fingerprint
+    // Compile once, execute many: plans are reused while run() keeps
+    // being called with the same, unmodified functions. The fingerprint
     // (address + name + structural argument types + top-level op count)
     // catches the realistic staleness cases — a recycled heap address,
     // different workload shapes, or a pass rewriting the function in
     // place — but a caller that mutates the body without changing any
     // of those must use a fresh Interpreter (or compile an ExecPlan
-    // directly).
+    // directly). The cache is a bounded LRU so a driver alternating over
+    // many functions neither thrashes on two of them (the old
+    // single-entry behaviour) nor grows without limit.
     size_t TopLevelOps = Entry.getOperations().size();
-    auto sameArgTypes = [&] {
-      if (CachedPlanArgTypes.size() != Entry.getNumArguments())
+    auto matches = [&](const PlanCacheEntry &Cached) {
+      if (Cached.For != Func.getOperation() ||
+          Cached.TopLevelOps != TopLevelOps ||
+          Cached.Plan->funcName() != Func.getFuncName() ||
+          Cached.ArgTypes.size() != Entry.getNumArguments())
         return false;
       for (unsigned I = 0; I < Entry.getNumArguments(); ++I)
-        if (!(CachedPlanArgTypes[I] == Entry.getArgument(I).getType()))
+        if (!(Cached.ArgTypes[I] == Entry.getArgument(I).getType()))
           return false;
       return true;
     };
-    bool Reusable = CachedPlan && CachedPlanFor == Func.getOperation() &&
-                    CachedPlanTopLevelOps == TopLevelOps &&
-                    CachedPlan->funcName() == Func.getFuncName() &&
-                    sameArgTypes();
-    if (!Reusable) {
-      CachedPlanFor = nullptr;
-      CachedDecoded.reset();
-      CachedPlan = ExecPlan::compile(Func, Error);
-      if (!CachedPlan)
-        return failure();
-      OptStats = opt::optimizePlan(*CachedPlan, PlanOptions);
-      CachedPlanFor = Func.getOperation();
-      CachedPlanTopLevelOps = TopLevelOps;
-      CachedPlanArgTypes.clear();
-      for (unsigned I = 0; I < Entry.getNumArguments(); ++I)
-        CachedPlanArgTypes.push_back(Entry.getArgument(I).getType());
+    auto Hit = PlanCache.end();
+    for (auto It = PlanCache.begin(); It != PlanCache.end(); ++It) {
+      if (matches(*It)) {
+        Hit = It;
+        break;
+      }
     }
+    if (Hit != PlanCache.end()) {
+      Soc.perf().onPlanCacheHit();
+      PlanCache.splice(PlanCache.begin(), PlanCache, Hit);
+      OptStats = PlanCache.front().Stats;
+    } else {
+      Soc.perf().onPlanCacheMiss();
+      PlanCacheEntry Fresh;
+      Fresh.Plan = ExecPlan::compile(Func, Error);
+      if (!Fresh.Plan)
+        return failure();
+      Fresh.Stats = opt::optimizePlan(*Fresh.Plan, PlanOptions);
+      OptStats = Fresh.Stats;
+      Fresh.For = Func.getOperation();
+      Fresh.TopLevelOps = TopLevelOps;
+      for (unsigned I = 0; I < Entry.getNumArguments(); ++I)
+        Fresh.ArgTypes.push_back(Entry.getArgument(I).getType());
+      PlanCache.push_front(std::move(Fresh));
+      while (PlanCache.size() > PlanCacheCapacity) {
+        PlanCache.pop_back();
+        Soc.perf().onPlanCacheEviction();
+      }
+    }
+    PlanCacheEntry &Active = PlanCache.front();
     if (Mode == ExecMode::Threaded) {
       // Decode lazily (after the optimizer has run) so a mode switch on a
       // warm plan cache still picks up the threaded engine.
-      if (!CachedDecoded)
-        CachedDecoded = DecodedPlan::decode(*CachedPlan);
-      return CachedDecoded->run(Soc, Runtime, Arguments, Error);
+      if (!Active.Decoded)
+        Active.Decoded = DecodedPlan::decode(*Active.Plan);
+      return Active.Decoded->run(Soc, Runtime, Arguments, Error);
     }
-    return CachedPlan->run(Soc, Runtime, Arguments, Error);
+    return Active.Plan->run(Soc, Runtime, Arguments, Error);
   }
   for (unsigned I = 0; I < Arguments.size(); ++I)
     Env[Entry.getArgument(I).getImpl()] =

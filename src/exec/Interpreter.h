@@ -27,6 +27,7 @@
 #include "runtime/DmaRuntime.h"
 #include "support/LogicalResult.h"
 
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
@@ -73,15 +74,25 @@ public:
   /// What the optimizer did to the most recently compiled plan.
   const opt::PlanOptStats &planOptStats() const { return OptStats; }
 
-  /// Runs \p Func with memref arguments bound to \p Arguments. The
-  /// compiled plan is cached: repeated runs of the same (unmodified)
-  /// function skip recompilation (and re-decoding in threaded mode).
+  /// Bounds the LRU plan cache (entries, >= 1). Shrinking below the
+  /// current population evicts least-recently-used entries immediately
+  /// (charged to the SoC's PlanCacheEvictions counter).
+  void setPlanCacheCapacity(size_t Capacity);
+  size_t planCacheCapacity() const { return PlanCacheCapacity; }
+  size_t planCacheSize() const { return PlanCache.size(); }
+
+  /// Runs \p Func with memref arguments bound to \p Arguments. Compiled
+  /// plans are held in a per-Interpreter LRU cache keyed by function
+  /// identity, so alternating across several functions skips
+  /// recompilation (and re-decoding in threaded mode) until the capacity
+  /// bound evicts them. Hits/misses/evictions are charged to the SoC's
+  /// HostPerfModel plan-cache counters (counters only, no cycles).
   LogicalResult run(func::FuncOp Func,
                     const std::vector<runtime::MemRefDesc> &Arguments,
                     std::string &Error);
 
-  /// The pre-decoded program of the cached plan, or null until a
-  /// threaded-mode run() has populated the cache. For introspection
+  /// The pre-decoded program of the most recently used cache entry, or
+  /// null until a threaded-mode run() has populated it. For introspection
   /// (disassembly goldens, kernel-specialization counts).
   const DecodedPlan *decodedPlan() const;
 
@@ -135,16 +146,24 @@ private:
   ExecMode Mode;
   opt::PlanOptOptions PlanOptions;
   opt::PlanOptStats OptStats;
-  /// Plan cache for the compiled executor. The fingerprint (op address,
-  /// name, structural argument types, top-level op count) invalidates on
-  /// the realistic staleness cases; callers mutating a function body in
-  /// place without changing any of those must use a fresh Interpreter.
-  std::unique_ptr<ExecPlan> CachedPlan;
-  /// Dispatch-ready form of CachedPlan; populated lazily in threaded mode.
-  std::unique_ptr<DecodedPlan> CachedDecoded;
-  Operation *CachedPlanFor = nullptr;
-  size_t CachedPlanTopLevelOps = 0;
-  std::vector<Type> CachedPlanArgTypes;
+  /// One compiled function in the LRU plan cache. The fingerprint (op
+  /// address, name, structural argument types, top-level op count)
+  /// invalidates on the realistic staleness cases; callers mutating a
+  /// function body in place without changing any of those must use a
+  /// fresh Interpreter.
+  struct PlanCacheEntry {
+    std::unique_ptr<ExecPlan> Plan;
+    /// Dispatch-ready form; populated lazily in threaded mode.
+    std::unique_ptr<DecodedPlan> Decoded;
+    Operation *For = nullptr;
+    size_t TopLevelOps = 0;
+    std::vector<Type> ArgTypes;
+    opt::PlanOptStats Stats;
+  };
+  /// Most-recently-used entry at the front; evicted from the back once
+  /// the population exceeds PlanCacheCapacity.
+  std::list<PlanCacheEntry> PlanCache;
+  size_t PlanCacheCapacity = 8;
   std::map<detail::ValueImpl *, RuntimeValue> Env;
   std::string ErrorMessage;
 };

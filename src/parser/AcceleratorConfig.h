@@ -92,6 +92,43 @@ struct AcceleratorDesc {
   }
 };
 
+/// The `serve` section of a configuration file: sizing and robustness
+/// policy for the multi-tenant accelerator service (src/serve). All
+/// bounds are validated at parse time so the server never has to guard
+/// against zero-sized queues or empty pools.
+struct ServeSection {
+  /// Simulated SoC instances in the pool. Instance i hosts
+  /// accelerators[i % count] from this file's accelerator list.
+  unsigned Instances = 2;
+  /// Bounded admission queue depth; submissions beyond it are shed with
+  /// a structured Overloaded status (never blocked).
+  unsigned QueueDepth = 16;
+  /// Total execution attempts per admitted job (first try + re-routes).
+  unsigned MaxAttempts = 3;
+  /// Consecutive attempt failures that trip an instance's circuit
+  /// breaker open.
+  unsigned BreakerThreshold = 3;
+  /// Routing decisions an open breaker skips before allowing one
+  /// half-open probe job.
+  unsigned BreakerCooldown = 4;
+  /// Shared compiled-plan LRU capacity (kernel x shape x accelerator).
+  unsigned PlanCacheCapacity = 32;
+  /// Worker threads; 0 selects the deterministic single-thread scheduler
+  /// (jobs run on the caller's thread at drain points).
+  unsigned Threads = 0;
+  /// Default modeled-latency budget per job in milliseconds (0 = none).
+  double DefaultDeadlineMs = 0;
+  /// Allow host-CPU fallback when no healthy instance remains.
+  bool CpuFallback = true;
+  /// Pool instance the file's `faults` schedule is assigned to (-1 =
+  /// faults stay a global per-run schedule, the pre-serve behaviour).
+  int64_t FaultyInstance = -1;
+  /// How many of the faulty instance's first jobs see the schedule
+  /// (0 = every job; a finite count lets half-open probes find a healed
+  /// instance).
+  unsigned FaultyJobs = 0;
+};
+
 /// The full parsed configuration file.
 struct SystemConfig {
   CpuInfo Cpu;
@@ -106,6 +143,10 @@ struct SystemConfig {
   /// True when the file had a `faults` section at all (a policy-only
   /// section still arms the injection hooks).
   bool HasFaults = false;
+
+  /// Optional `serve` section (defaults when absent).
+  ServeSection Serve;
+  bool HasServe = false;
 
   const AcceleratorDesc *findByKernel(const std::string &Kernel) const {
     for (const AcceleratorDesc &Accel : Accelerators)

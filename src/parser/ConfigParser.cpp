@@ -283,22 +283,6 @@ static LogicalResult parseFaults(const json::Value &Root, SystemConfig &Config,
     }
   }
 
-  // Optional deterministic random schedule appended to the explicit events.
-  if (const json::Value *Random = Faults->get("random")) {
-    if (!Random->isObject())
-      return fail(Error, "'faults.random' must be an object");
-    int64_t Count = Random->getInt("count", 1);
-    int64_t Max = Random->getInt("max", 64);
-    if (Count < 1 || Max < 1)
-      return fail(Error, "'faults.random' count and max must be >= 1");
-    sim::FaultPlan Generated = sim::makeRandomFaultPlan(
-        static_cast<uint32_t>(Random->getInt("seed", 0)),
-        static_cast<unsigned>(Count), static_cast<uint64_t>(Max));
-    Config.Faults.Events.insert(Config.Faults.Events.end(),
-                                Generated.Events.begin(),
-                                Generated.Events.end());
-  }
-
   sim::RecoveryPolicy &Policy = Config.Faults.Recovery;
   if (const json::Value *Recover = Faults->get("recover")) {
     if (!Recover->isBool())
@@ -321,6 +305,98 @@ static LogicalResult parseFaults(const json::Value &Root, SystemConfig &Config,
   if (Spares < 0)
     return fail(Error, "'faults.spares' must be >= 0");
   Config.SpareAccelerators = static_cast<unsigned>(Spares);
+
+  // Two explicit events with the same kind-domain and index would race
+  // for the same logical slot: the second can only fire on retries of the
+  // first, which is never what a schedule author means. Diagnose instead
+  // of silently accepting (the generated `random` schedule is exempt — it
+  // models environmental noise and is appended after this check).
+  for (size_t I = 0; I < Config.Faults.Events.size(); ++I) {
+    for (size_t J = I + 1; J < Config.Faults.Events.size(); ++J) {
+      const sim::FaultEvent &A = Config.Faults.Events[I];
+      const sim::FaultEvent &B = Config.Faults.Events[J];
+      if (A.At == B.At && sim::isDmaFault(A.Kind) == sim::isDmaFault(B.Kind))
+        return fail(Error,
+                    "'faults.events' entries " + std::to_string(I) + " and " +
+                        std::to_string(J) + " both target " +
+                        (sim::isDmaFault(A.Kind) ? "send" : "opcode") +
+                        " index " + std::to_string(A.At) +
+                        " (merge them or use 'attempts')");
+    }
+  }
+
+  // Optional deterministic random schedule appended to the explicit events.
+  if (const json::Value *Random = Faults->get("random")) {
+    if (!Random->isObject())
+      return fail(Error, "'faults.random' must be an object");
+    int64_t Count = Random->getInt("count", 1);
+    int64_t Max = Random->getInt("max", 64);
+    if (Count < 1 || Max < 1)
+      return fail(Error, "'faults.random' count and max must be >= 1");
+    sim::FaultPlan Generated = sim::makeRandomFaultPlan(
+        static_cast<uint32_t>(Random->getInt("seed", 0)),
+        static_cast<unsigned>(Count), static_cast<uint64_t>(Max));
+    Config.Faults.Events.insert(Config.Faults.Events.end(),
+                                Generated.Events.begin(),
+                                Generated.Events.end());
+  }
+  return success();
+}
+
+static LogicalResult parseServe(const json::Value &Root, SystemConfig &Config,
+                                std::string *Error) {
+  const json::Value *Serve = Root.get("serve");
+  if (!Serve)
+    return success(); // Optional: defaults apply when absent.
+  if (!Serve->isObject())
+    return fail(Error, "'serve' must be an object");
+  Config.HasServe = true;
+  ServeSection &S = Config.Serve;
+
+  int64_t Instances = Serve->getInt("instances", S.Instances);
+  int64_t QueueDepth = Serve->getInt("queue_depth", S.QueueDepth);
+  int64_t MaxAttempts = Serve->getInt("max_attempts", S.MaxAttempts);
+  int64_t Threshold = Serve->getInt("breaker_threshold", S.BreakerThreshold);
+  int64_t Cooldown = Serve->getInt("breaker_cooldown", S.BreakerCooldown);
+  int64_t PlanCache = Serve->getInt("plan_cache", S.PlanCacheCapacity);
+  int64_t Threads = Serve->getInt("threads", S.Threads);
+  if (Instances < 1 || QueueDepth < 1 || MaxAttempts < 1 || Threshold < 1)
+    return fail(Error, "'serve' instances/queue_depth/max_attempts/"
+                       "breaker_threshold must be >= 1");
+  if (Cooldown < 0 || Threads < 0 || PlanCache < 1)
+    return fail(Error, "'serve' breaker_cooldown/threads must be >= 0 and "
+                       "plan_cache >= 1");
+  S.Instances = static_cast<unsigned>(Instances);
+  S.QueueDepth = static_cast<unsigned>(QueueDepth);
+  S.MaxAttempts = static_cast<unsigned>(MaxAttempts);
+  S.BreakerThreshold = static_cast<unsigned>(Threshold);
+  S.BreakerCooldown = static_cast<unsigned>(Cooldown);
+  S.PlanCacheCapacity = static_cast<unsigned>(PlanCache);
+  S.Threads = static_cast<unsigned>(Threads);
+
+  if (const json::Value *Deadline = Serve->get("deadline_ms")) {
+    if ((!Deadline->isDouble() && !Deadline->isInt()) ||
+        Deadline->asDouble() < 0)
+      return fail(Error, "'serve.deadline_ms' must be a non-negative number");
+    S.DefaultDeadlineMs = Deadline->asDouble();
+  }
+  if (const json::Value *Fallback = Serve->get("cpu_fallback")) {
+    if (!Fallback->isBool())
+      return fail(Error, "'serve.cpu_fallback' must be a boolean");
+    S.CpuFallback = Fallback->asBool();
+  }
+  int64_t Faulty = Serve->getInt("faulty_instance", -1);
+  if (Faulty < -1 || Faulty >= Instances)
+    return fail(Error, "'serve.faulty_instance' must name a pool instance "
+                       "(0 <= index < instances, or -1 for none)");
+  S.FaultyInstance = Faulty;
+  if (Faulty >= 0 && !Config.HasFaults)
+    return fail(Error, "'serve.faulty_instance' requires a 'faults' section "
+                       "supplying the schedule to assign");
+  int64_t FaultyJobs = Serve->getInt("faulty_jobs", 0);
+  if (FaultyJobs < 0)
+    return fail(Error, "'serve.faulty_jobs' must be >= 0");
+  S.FaultyJobs = static_cast<unsigned>(FaultyJobs);
   return success();
 }
 
@@ -371,6 +447,17 @@ FailureOr<SystemConfig> parser::parseSystemConfig(const std::string &Text,
         return (void)fail(Error, "duplicate accelerator name '" +
                                      Config.Accelerators[I].Name + "'"),
                failure();
+  // Spares are per-primary clones: asking for more spares than configured
+  // accelerators cannot be honoured and previously degraded silently.
+  if (Config.SpareAccelerators > Config.Accelerators.size())
+    return (void)fail(Error,
+                      "'faults.spares' (" +
+                          std::to_string(Config.SpareAccelerators) +
+                          ") exceeds the number of configured accelerators (" +
+                          std::to_string(Config.Accelerators.size()) + ")"),
+           failure();
+  if (failed(parseServe(*Root, Config, Error)))
+    return failure();
   return Config;
 }
 

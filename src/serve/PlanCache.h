@@ -1,0 +1,117 @@
+//===- PlanCache.h - Shared LRU cache of compiled ExecPlans -----*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, LRU-bounded cache of compiled kernels keyed by
+/// (kernel, shape, element type, accelerator). The serve layer compiles a
+/// job's driver once per key and then executes the pre-decoded plan on
+/// every pool instance hosting that accelerator; entries are handed out as
+/// shared_ptr so an eviction never invalidates an execution already in
+/// flight. DecodedPlan owns copies of everything it needs, so the IR and
+/// MLIRContext used during compilation are discarded immediately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SERVE_PLANCACHE_H
+#define AXI4MLIR_SERVE_PLANCACHE_H
+
+#include "exec/ExecPlanRun.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace axi4mlir {
+namespace serve {
+
+/// One compiled job driver: the dispatch-ready plan plus the TilingPlan
+/// modeled cost of the kernel on its accelerator (0 for host-CPU plans).
+struct CompiledKernel {
+  std::shared_ptr<const exec::DecodedPlan> Decoded;
+  double EstimatedCostMs = 0;
+  /// Accelerator the plan was lowered for (empty = host-CPU fallback).
+  std::string Accelerator;
+};
+
+/// The shared cache. All methods are thread-safe; concurrent misses on the
+/// same key may both compile (deterministically identical plans) and the
+/// second insert wins — cheaper than a per-key latch and harmless.
+class PlanCache {
+public:
+  explicit PlanCache(size_t Capacity) : Capacity(Capacity < 1 ? 1 : Capacity) {}
+
+  /// Returns the cached kernel for \p Key (refreshing its recency) or null.
+  /// Counts a hit or a miss.
+  std::shared_ptr<const CompiledKernel> lookup(const std::string &Key) {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    auto It = Index.find(Key);
+    if (It == Index.end()) {
+      ++Misses;
+      return nullptr;
+    }
+    ++Hits;
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return Lru.front().second;
+  }
+
+  /// Inserts (or refreshes) \p Kernel under \p Key, evicting the least
+  /// recently used entries beyond capacity.
+  void insert(const std::string &Key,
+              std::shared_ptr<const CompiledKernel> Kernel) {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      It->second->second = std::move(Kernel);
+      Lru.splice(Lru.begin(), Lru, It->second);
+      return;
+    }
+    Lru.emplace_front(Key, std::move(Kernel));
+    Index[Key] = Lru.begin();
+    while (Lru.size() > Capacity) {
+      Index.erase(Lru.back().first);
+      Lru.pop_back();
+      ++Evictions;
+    }
+  }
+
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    return {Hits, Misses, Evictions};
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    return Lru.size();
+  }
+  size_t capacity() const { return Capacity; }
+
+private:
+  mutable std::mutex Mutex;
+  size_t Capacity;
+  /// MRU at the front.
+  std::list<std::pair<std::string, std::shared_ptr<const CompiledKernel>>> Lru;
+  std::unordered_map<
+      std::string,
+      std::list<std::pair<std::string,
+                          std::shared_ptr<const CompiledKernel>>>::iterator>
+      Index;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace serve
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SERVE_PLANCACHE_H

@@ -393,3 +393,54 @@ void MatMulAccelerator::emitC() {
   // host-side via accel.recv {mode="accumulate"}).
   AccC.assign(AccC.size(), 0.0);
 }
+
+FailureOr<MatMulAccelerator::Version>
+MatMulAccelerator::versionFromName(const std::string &Name,
+                                   std::string &Error) {
+  int64_t Found = -1;
+  for (size_t Pos = Name.find("_v"); Pos != std::string::npos;
+       Pos = Name.find("_v", Pos + 1)) {
+    size_t DigitsStart = Pos + 2;
+    size_t DigitsEnd = DigitsStart;
+    while (DigitsEnd < Name.size() && Name[DigitsEnd] >= '0' &&
+           Name[DigitsEnd] <= '9')
+      ++DigitsEnd;
+    if (DigitsEnd == DigitsStart)
+      continue; // `_v` not followed by digits.
+    if (DigitsEnd < Name.size() && Name[DigitsEnd] != '_')
+      continue; // Not an anchored token (e.g. `_v4x`).
+    if (DigitsEnd - DigitsStart > 9) {
+      Error = "version token '" + Name.substr(Pos + 1, DigitsEnd - Pos - 1) +
+              "' in accelerator name '" + Name + "' is out of range";
+      return failure();
+    }
+    int64_t Version = 0;
+    for (size_t I = DigitsStart; I < DigitsEnd; ++I)
+      Version = Version * 10 + (Name[I] - '0');
+    if (Found >= 0 && Found != Version) {
+      Error = "accelerator name '" + Name +
+              "' carries conflicting _vN version tokens";
+      return failure();
+    }
+    Found = Version;
+  }
+  if (Found < 0) {
+    Error = "cannot infer the engine version from accelerator name '" +
+            Name + "' (expected an anchored _vN token, e.g. 'matmul_v3_16')";
+    return failure();
+  }
+  switch (Found) {
+  case 1:
+    return Version::V1;
+  case 2:
+    return Version::V2;
+  case 3:
+    return Version::V3;
+  case 4:
+    return Version::V4;
+  default:
+    Error = "accelerator name '" + Name + "' requests unsupported version v" +
+            std::to_string(Found) + " (supported: v1-v4)";
+    return failure();
+  }
+}

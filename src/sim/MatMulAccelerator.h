@@ -40,6 +40,15 @@ public:
   MatMulAccelerator(Version Ver, int64_t Size, ElemKind Kind,
                     const SoCParams &Params);
 
+  /// Resolves the engine version from an anchored `_vN` token in an
+  /// accelerator name (e.g. `matmul_v3_16`): the digits must be terminated
+  /// by `_` or the end of the name, so `matmul_v12` is version 12 (rejected
+  /// as unsupported) rather than a silent `v1` substring match. Conflicting
+  /// tokens, missing tokens and unsupported versions fail with \p Error.
+  /// Shared by axi4mlir-opt --run and the serve layer's SoC pool builder.
+  static FailureOr<Version> versionFromName(const std::string &Name,
+                                            std::string &Error);
+
   void consumeWord(uint32_t Word) override;
   void consumeBurst(const uint32_t *Words, size_t Count) override;
   std::string getName() const override;

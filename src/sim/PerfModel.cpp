@@ -25,6 +25,13 @@ std::string PerfReport::summary() const {
        << ", failovers " << FailoverEvents << ", cpu-fallbacks "
        << CpuFallbackEvents << ")";
   }
+  // Plan-cache telemetry likewise only appears once a cache has been
+  // consulted, keeping legacy summaries byte-identical.
+  if (PlanCacheHits + PlanCacheMisses > 0) {
+    OS << " | plan-cache " << PlanCacheHits << "/"
+       << (PlanCacheHits + PlanCacheMisses) << " hits (evictions "
+       << PlanCacheEvictions << ")";
+  }
   return OS.str();
 }
 
@@ -94,6 +101,9 @@ PerfReport HostPerfModel::report() const {
   Report.FailoverEvents = FailoverEvents;
   Report.CpuFallbackEvents = CpuFallbackEvents;
   Report.CpuFallbackCycles = CpuFallbackCycles;
+  Report.PlanCacheHits = PlanCacheHits;
+  Report.PlanCacheMisses = PlanCacheMisses;
+  Report.PlanCacheEvictions = PlanCacheEvictions;
   // Recovery work extends the modeled wall clock: backoff, polling and
   // CPU-fallback compute run on the host; replayed staging runs on the
   // fabric. All four are zero on fault-free runs, leaving TaskClockMs

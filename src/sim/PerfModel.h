@@ -56,6 +56,13 @@ struct PerfReport {
   uint64_t CpuFallbackEvents = 0;    ///< switches to host CPU execution
   double CpuFallbackCycles = 0;      ///< fallback compute (host domain)
 
+  // ExecPlan-cache telemetry (Interpreter LRU + the serve layer's shared
+  // cache). Pure counters: they charge no cycles, so runs with identical
+  // work keep identical TaskClockMs regardless of cache behaviour.
+  uint64_t PlanCacheHits = 0;      ///< compiled plan reused
+  uint64_t PlanCacheMisses = 0;    ///< plan compiled (cold or invalidated)
+  uint64_t PlanCacheEvictions = 0; ///< LRU entry dropped at capacity
+
   std::string summary() const;
 };
 
@@ -155,6 +162,15 @@ public:
   void onCpuFallbackCycles(double Cycles) { CpuFallbackCycles += Cycles; }
 
   //===------------------------------------------------------------------===//
+  // Plan-cache events (Interpreter / serve plan caches). Counters only —
+  // no cycle charges, so cache behaviour never perturbs modeled time.
+  //===------------------------------------------------------------------===//
+
+  void onPlanCacheHit() { ++PlanCacheHits; }
+  void onPlanCacheMiss() { ++PlanCacheMisses; }
+  void onPlanCacheEviction() { ++PlanCacheEvictions; }
+
+  //===------------------------------------------------------------------===//
   // Reporting
   //===------------------------------------------------------------------===//
 
@@ -188,6 +204,9 @@ private:
   uint64_t FailoverEvents = 0;
   uint64_t CpuFallbackEvents = 0;
   double CpuFallbackCycles = 0;
+  uint64_t PlanCacheHits = 0;
+  uint64_t PlanCacheMisses = 0;
+  uint64_t PlanCacheEvictions = 0;
 };
 
 } // namespace sim

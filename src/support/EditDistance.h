@@ -1,0 +1,67 @@
+//===- EditDistance.h - Levenshtein distance for CLI suggestions -*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain Levenshtein edit distance plus a "did you mean" helper used by the
+/// command-line tools: an unknown `--flag` is matched against the valid
+/// flag set and the closest candidate (within a sane distance budget) is
+/// suggested in the diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_SUPPORT_EDITDISTANCE_H
+#define AXI4MLIR_SUPPORT_EDITDISTANCE_H
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace axi4mlir {
+
+/// Classic O(|A|*|B|) Levenshtein distance (unit insert/delete/substitute
+/// costs) with a rolling single-row table.
+inline size_t editDistance(const std::string &A, const std::string &B) {
+  if (A.empty())
+    return B.size();
+  if (B.empty())
+    return A.size();
+  std::vector<size_t> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    size_t Diagonal = Row[0];
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      size_t Substitute = Diagonal + (A[I - 1] == B[J - 1] ? 0 : 1);
+      Diagonal = Row[J];
+      Row[J] = std::min({Row[J] + 1, Row[J - 1] + 1, Substitute});
+    }
+  }
+  return Row[B.size()];
+}
+
+/// Returns the candidate closest to \p Unknown when its distance is at
+/// most \p MaxDistance (ties break towards the earlier candidate), or an
+/// empty string when nothing is close enough to be a plausible typo.
+inline std::string
+closestSpelling(const std::string &Unknown,
+                const std::vector<std::string> &Candidates,
+                size_t MaxDistance = 3) {
+  std::string Best;
+  size_t BestDistance = MaxDistance + 1;
+  for (const std::string &Candidate : Candidates) {
+    size_t Distance = editDistance(Unknown, Candidate);
+    if (Distance < BestDistance) {
+      BestDistance = Distance;
+      Best = Candidate;
+    }
+  }
+  return Best;
+}
+
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_SUPPORT_EDITDISTANCE_H

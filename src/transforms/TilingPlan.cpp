@@ -289,12 +289,20 @@ transforms::planTiling(linalg::GenericOp Generic,
     Error = "cannot infer static loop ranges for the planned generic";
     return failure();
   }
+  return planKernelDispatch(LoopRanges, Generic.getIndexingMaps(), Accels,
+                            Options, Error);
+}
+
+FailureOr<TilingPlan> transforms::planKernelDispatch(
+    const std::vector<int64_t> &LoopRanges,
+    const std::vector<AffineMap> &Maps,
+    const std::vector<parser::AcceleratorDesc> &Accels,
+    const PlanningOptions &Options, std::string &Error) {
   if (Accels.empty()) {
     Error = "no candidate accelerators to plan against";
     return failure();
   }
 
-  std::vector<AffineMap> Maps = Generic.getIndexingMaps();
   bool Found = false;
   TilingPlan Best;
   double BestCost = std::numeric_limits<double>::max();

@@ -151,6 +151,18 @@ FailureOr<TilingPlan> planTiling(linalg::GenericOp Generic,
                                  const PlanningOptions &Options,
                                  std::string &Error);
 
+/// IR-free planning entry: identical selection semantics to planTiling but
+/// over a kernel described directly by its canonical loop ranges and
+/// indexing maps (`linalg::getMatmulIndexingMaps` /
+/// `linalg::getConvIndexingMaps` build them without an MLIRContext). This
+/// is the routing signal of the serve layer: the accelerator pool scores a
+/// job's shape against every healthy instance without constructing IR.
+FailureOr<TilingPlan>
+planKernelDispatch(const std::vector<int64_t> &LoopRanges,
+                   const std::vector<AffineMap> &IndexingMaps,
+                   const std::vector<parser::AcceleratorDesc> &Accels,
+                   const PlanningOptions &Options, std::string &Error);
+
 /// Plan attribute names (attached next to the Fig. 6a trait attributes).
 inline constexpr const char *RemainderModeAttrName = "accel.remainder_mode";
 inline constexpr const char *PlanRemaindersAttrName = "accel.plan_remainders";

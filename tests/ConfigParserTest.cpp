@@ -325,6 +325,143 @@ TEST(ConfigParser, FaultsDiagnostics) {
   EXPECT_NE(Error.find("faults.events[1]"), std::string::npos) << Error;
 }
 
+TEST(ConfigParser, DuplicateFaultEventIndicesDiagnosed) {
+  auto expectError = [](const std::string &Section,
+                        const std::string &Needle) {
+    std::string Error;
+    EXPECT_TRUE(failed(parseSystemConfig(withFaults(Section), &Error)))
+        << Section;
+    EXPECT_NE(Error.find(Needle), std::string::npos) << Error;
+  };
+  // Two DMA-domain events racing for send index 1.
+  expectError(R"("faults": { "events": [ { "kind": "drop", "at": 1 },
+                                          { "kind": "corrupt", "at": 1 } ] },)",
+              "both target send index 1");
+  // Two accelerator-domain events racing for opcode index 2.
+  expectError(R"("faults": { "events": [ { "kind": "transient", "at": 2 },
+                                          { "kind": "stall", "at": 2 } ] },)",
+              "both target opcode index 2");
+  // Same index across *different* domains is two distinct slots: fine.
+  std::string Error;
+  auto Config = parseSystemConfig(
+      withFaults(R"("faults": { "events": [ { "kind": "drop", "at": 1 },
+                                            { "kind": "transient", "at": 1 } ] },)"),
+      &Error);
+  ASSERT_TRUE(succeeded(Config)) << Error;
+  EXPECT_EQ(Config->Faults.Events.size(), 2u);
+}
+
+TEST(ConfigParser, RandomScheduleExemptFromDuplicateCheck) {
+  // The generated tail models environmental noise and may legitimately
+  // collide with explicit events (or itself); only author-written events
+  // are cross-checked.
+  std::string Error;
+  auto Config = parseSystemConfig(withFaults(R"json(
+    "faults": {
+      "events": [ { "kind": "drop", "at": 1 } ],
+      "random": { "seed": 3, "count": 8, "max": 2 }
+    },)json"),
+                                  &Error);
+  ASSERT_TRUE(succeeded(Config)) << Error;
+  EXPECT_EQ(Config->Faults.Events.size(), 9u);
+}
+
+TEST(ConfigParser, SparesBeyondPoolDiagnosed) {
+  // withFaults() configures exactly one accelerator; 2 spares can't be
+  // honoured as per-primary clones.
+  std::string Error;
+  EXPECT_TRUE(failed(
+      parseSystemConfig(withFaults(R"("faults": { "spares": 2 },)"), &Error)));
+  EXPECT_NE(Error.find("'faults.spares' (2) exceeds"), std::string::npos)
+      << Error;
+  // One spare for one accelerator is fine.
+  auto Config =
+      parseSystemConfig(withFaults(R"("faults": { "spares": 1 },)"), &Error);
+  ASSERT_TRUE(succeeded(Config)) << Error;
+  EXPECT_EQ(Config->SpareAccelerators, 1u);
+}
+
+/// Valid serve section reused by the serve tests (faults supply the
+/// schedule that `faulty_instance` assigns).
+std::string withServe(const std::string &ServeSection) {
+  return "{ " + ServeSection + R"json(
+    "faults": { "events": [ { "kind": "transient", "at": 1 } ],
+                "recover": false },
+    "accelerators": [
+      { "name": "mm", "kernel": "linalg.matmul", "accel_size": 4,
+        "opcode_map": "opcode_map< s = [send_literal(0x21), send(0), send(1), recv(2)] >",
+        "opcode_flow_map": { "Ns": "(s)" } } ] })json";
+}
+
+TEST(ConfigParser, ServeSectionParses) {
+  std::string Error;
+  auto Config = parseSystemConfig(withServe(R"json(
+    "serve": {
+      "instances": 4, "queue_depth": 32, "max_attempts": 2,
+      "breaker_threshold": 5, "breaker_cooldown": 6, "plan_cache": 8,
+      "threads": 3, "deadline_ms": 12.5, "cpu_fallback": false,
+      "faulty_instance": 1, "faulty_jobs": 7
+    },)json"),
+                                  &Error);
+  ASSERT_TRUE(succeeded(Config)) << Error;
+  EXPECT_TRUE(Config->HasServe);
+  const ServeSection &S = Config->Serve;
+  EXPECT_EQ(S.Instances, 4u);
+  EXPECT_EQ(S.QueueDepth, 32u);
+  EXPECT_EQ(S.MaxAttempts, 2u);
+  EXPECT_EQ(S.BreakerThreshold, 5u);
+  EXPECT_EQ(S.BreakerCooldown, 6u);
+  EXPECT_EQ(S.PlanCacheCapacity, 8u);
+  EXPECT_EQ(S.Threads, 3u);
+  EXPECT_DOUBLE_EQ(S.DefaultDeadlineMs, 12.5);
+  EXPECT_FALSE(S.CpuFallback);
+  EXPECT_EQ(S.FaultyInstance, 1);
+  EXPECT_EQ(S.FaultyJobs, 7u);
+}
+
+TEST(ConfigParser, AbsentServeSectionKeepsDefaults) {
+  std::string Error;
+  auto Config = parseSystemConfig(withServe(""), &Error);
+  ASSERT_TRUE(succeeded(Config)) << Error;
+  EXPECT_FALSE(Config->HasServe);
+  EXPECT_EQ(Config->Serve.Instances, 2u);
+  EXPECT_EQ(Config->Serve.FaultyInstance, -1);
+  EXPECT_TRUE(Config->Serve.CpuFallback);
+}
+
+TEST(ConfigParser, ServeDiagnostics) {
+  auto expectError = [](const std::string &Section,
+                        const std::string &Needle) {
+    std::string Error;
+    EXPECT_TRUE(failed(parseSystemConfig(withServe(Section), &Error)))
+        << Section;
+    EXPECT_NE(Error.find(Needle), std::string::npos) << Error;
+  };
+  expectError(R"("serve": [],)", "'serve' must be an object");
+  expectError(R"("serve": { "instances": 0 },)", "must be >= 1");
+  expectError(R"("serve": { "queue_depth": -4 },)", "must be >= 1");
+  expectError(R"("serve": { "plan_cache": 0 },)", "plan_cache >= 1");
+  expectError(R"("serve": { "deadline_ms": -1 },)",
+              "'serve.deadline_ms' must be a non-negative number");
+  expectError(R"("serve": { "cpu_fallback": "yes" },)",
+              "'serve.cpu_fallback' must be a boolean");
+  expectError(R"("serve": { "faulty_instance": 2 },)",
+              "'serve.faulty_instance' must name a pool instance");
+  expectError(R"("serve": { "faulty_jobs": -1 },)",
+              "'serve.faulty_jobs' must be >= 0");
+  // faulty_instance without a faults section has no schedule to assign.
+  std::string Error;
+  EXPECT_TRUE(failed(parseSystemConfig(R"json({
+    "serve": { "faulty_instance": 0 },
+    "accelerators": [
+      { "name": "mm", "kernel": "linalg.matmul", "accel_size": 4,
+        "opcode_map": "opcode_map< s = [send_literal(0x21), send(0), send(1), recv(2)] >",
+        "opcode_flow_map": { "Ns": "(s)" } } ] })json",
+                                       &Error)));
+  EXPECT_NE(Error.find("requires a 'faults' section"), std::string::npos)
+      << Error;
+}
+
 TEST(ConfigParser, MissingFileFails) {
   std::string Error;
   EXPECT_TRUE(failed(

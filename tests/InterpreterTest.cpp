@@ -184,6 +184,70 @@ TEST(Interpreter, ErrorsOnBadInput) {
   EXPECT_NE(Error.find("runtime"), std::string::npos);
 }
 
+/// Builds a trivial "store 7 into every element" function over a buffer
+/// of \p Size elements, named \p Name. Distinct functions give the plan
+/// cache distinct keys.
+func::FuncOp makeFillFunc(InterpFixture &F, const char *Name, int64_t Size) {
+  MemRefType Ty =
+      MemRefType::get(&F.Context, {Size}, Type::getI32(&F.Context));
+  func::FuncOp Func = func::FuncOp::create(F.Builder, Name, {Ty});
+  F.Builder.setInsertionPointToEnd(&Func.getBody());
+  Value C0 = arith::ConstantOp::createIndex(F.Builder, 0).getResult();
+  Value End = arith::ConstantOp::createIndex(F.Builder, Size).getResult();
+  Value C1 = arith::ConstantOp::createIndex(F.Builder, 1).getResult();
+  Value C7 =
+      arith::ConstantOp::createInt(F.Builder, 7, F.Builder.getI32Type())
+          .getResult();
+  scf::ForOp Loop = scf::ForOp::create(F.Builder, C0, End, C1);
+  {
+    OpBuilder::InsertPoint Saved = F.Builder.saveInsertionPoint();
+    F.Builder.setInsertionPoint(Loop.getBodyTerminator());
+    memref::StoreOp::create(F.Builder, C7, Func.getArgument(0),
+                            {Loop.getInductionVar()});
+    F.Builder.restoreInsertionPoint(Saved);
+  }
+  func::ReturnOp::create(F.Builder);
+  return Func;
+}
+
+TEST(Interpreter, PlanCacheLruBoundsAndCounters) {
+  InterpFixture F;
+  func::FuncOp A = makeFillFunc(F, "a", 8);
+  OwningOpRef OwnA(A.getOperation());
+  func::FuncOp B = makeFillFunc(F, "b", 9);
+  OwningOpRef OwnB(B.getOperation());
+  func::FuncOp C = makeFillFunc(F, "c", 10);
+  OwningOpRef OwnC(C.getOperation());
+
+  Interpreter Interp(*F.Soc, nullptr);
+  Interp.setPlanCacheCapacity(2);
+  EXPECT_EQ(Interp.planCacheCapacity(), 2u);
+
+  auto run = [&](func::FuncOp Func, int64_t Size) {
+    MemRefDesc Buffer = MemRefDesc::alloc({Size});
+    std::string Error;
+    ASSERT_TRUE(succeeded(Interp.run(Func, {Buffer}, Error))) << Error;
+    for (int64_t I = 0; I < Size; ++I)
+      EXPECT_EQ(Buffer.Buffer->Data[size_t(I)], 7u);
+  };
+  run(A, 8); // miss (cold)
+  run(A, 8); // hit
+  run(B, 9); // miss
+  run(C, 10); // miss, evicts LRU "a" (capacity 2)
+  run(A, 8); // miss again: proves "a" was evicted; evicts "b"
+  EXPECT_EQ(Interp.planCacheSize(), 2u);
+
+  sim::PerfReport Report = F.Soc->report();
+  EXPECT_EQ(Report.PlanCacheHits, 1u);
+  EXPECT_EQ(Report.PlanCacheMisses, 4u);
+  EXPECT_EQ(Report.PlanCacheEvictions, 2u);
+
+  // Shrinking below the population evicts immediately.
+  Interp.setPlanCacheCapacity(1);
+  EXPECT_EQ(Interp.planCacheSize(), 1u);
+  EXPECT_EQ(F.Soc->report().PlanCacheEvictions, 3u);
+}
+
 TEST(Interpreter, UnknownOpIsDiagnosed) {
   InterpFixture F;
   func::FuncOp Func = func::FuncOp::create(F.Builder, "f", {});

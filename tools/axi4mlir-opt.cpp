@@ -39,6 +39,7 @@
 #include "exec/Reference.h"
 #include "ir/Parser.h"
 #include "parser/ConfigParser.h"
+#include "support/EditDistance.h"
 
 #include <cctype>
 #include <charconv>
@@ -54,6 +55,8 @@ using namespace axi4mlir;
 namespace {
 
 struct CliOptions {
+  /// --help / -h: print usage and exit 0.
+  bool Help = false;
   std::string ConfigPath;
   std::string InputPath;
   std::string Emit = "both";
@@ -79,9 +82,9 @@ struct CliOptions {
   int64_t InHW = 0, InC = 0, FilterHW = 0, OutC = 0, Stride = 1;
 };
 
-void printUsage() {
+void printUsage(std::FILE *Out) {
   std::fprintf(
-      stderr,
+      Out,
       "usage: axi4mlir-opt --config FILE (--matmul MxNxK | --conv "
       "iHWxiCxfHWxoCxS | --input FILE.mlir)\n"
       "                    [--flow NAME] [--emit ir|c|both] [--run]\n"
@@ -123,73 +126,14 @@ bool parseDims(const std::string &Text, std::vector<int64_t> &Out) {
   return true;
 }
 
-/// Resolves the simulated MatMul engine version from an anchored `_vN`
-/// token in the accelerator name (e.g. `matmul_v4_16`): the digits must be
-/// terminated by `_` or the end of the name, so `matmul_v12` is version 12
-/// (rejected as unsupported) rather than a silent `v1` substring match.
-bool matmulVersionFromName(const std::string &Name,
-                           sim::MatMulAccelerator::Version &Out) {
-  using V = sim::MatMulAccelerator::Version;
-  int64_t Found = -1;
-  for (size_t Pos = Name.find("_v"); Pos != std::string::npos;
-       Pos = Name.find("_v", Pos + 1)) {
-    size_t DigitsStart = Pos + 2;
-    size_t DigitsEnd = DigitsStart;
-    while (DigitsEnd < Name.size() &&
-           std::isdigit(static_cast<unsigned char>(Name[DigitsEnd])))
-      ++DigitsEnd;
-    if (DigitsEnd == DigitsStart)
-      continue; // `_v` not followed by digits.
-    if (DigitsEnd < Name.size() && Name[DigitsEnd] != '_')
-      continue; // Not an anchored token (e.g. `_v4x`).
-    int64_t Version = 0;
-    auto [End, Errc] = std::from_chars(Name.data() + DigitsStart,
-                                       Name.data() + DigitsEnd, Version, 10);
-    if (Errc != std::errc() || End != Name.data() + DigitsEnd) {
-      std::fprintf(stderr,
-                   "error: version token '%s' in accelerator name '%s' is "
-                   "out of range\n",
-                   Name.substr(Pos + 1, DigitsEnd - Pos - 1).c_str(),
-                   Name.c_str());
-      return false;
-    }
-    if (Found >= 0 && Found != Version) {
-      std::fprintf(stderr,
-                   "error: accelerator name '%s' carries conflicting "
-                   "_vN version tokens\n",
-                   Name.c_str());
-      return false;
-    }
-    Found = Version;
-  }
-  if (Found < 0) {
-    std::fprintf(stderr,
-                 "error: cannot infer the engine version from accelerator "
-                 "name '%s' (expected an anchored _vN token, e.g. "
-                 "'matmul_v3_16')\n",
-                 Name.c_str());
-    return false;
-  }
-  switch (Found) {
-  case 1:
-    Out = V::V1;
-    return true;
-  case 2:
-    Out = V::V2;
-    return true;
-  case 3:
-    Out = V::V3;
-    return true;
-  case 4:
-    Out = V::V4;
-    return true;
-  default:
-    std::fprintf(stderr,
-                 "error: accelerator name '%s' requests unsupported "
-                 "version v%lld (supported: v1-v4)\n",
-                 Name.c_str(), static_cast<long long>(Found));
-    return false;
-  }
+/// Every flag parseArgs understands, for did-you-mean suggestions.
+const std::vector<std::string> &knownFlags() {
+  static const std::vector<std::string> Flags = {
+      "--config",    "--input",         "--matmul",        "--conv",
+      "--flow",      "--emit",          "--remainder",     "--plan-opt",
+      "--exec",      "--faults",        "--spares",        "--run",
+      "--no-cpu-tiling", "--no-specialize", "--help"};
+  return Flags;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
@@ -318,9 +262,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
     } else if (Arg == "--no-specialize") {
       Options.Specialize = false;
     } else if (Arg == "--help" || Arg == "-h") {
-      return false;
+      Options.Help = true;
+      return true;
     } else {
-      std::fprintf(stderr, "unknown argument '%s'\n", Arg.c_str());
+      std::string Suggestion = closestSpelling(Arg, knownFlags());
+      if (Suggestion.empty())
+        std::fprintf(stderr, "unknown argument '%s'\n", Arg.c_str());
+      else
+        std::fprintf(stderr, "unknown argument '%s'; did you mean '%s'?\n",
+                     Arg.c_str(), Suggestion.c_str());
       return false;
     }
   }
@@ -668,9 +618,12 @@ int runTool(CliOptions Options) {
   // Build the matching simulated board from the accelerator name.
   std::unique_ptr<sim::SoC> Soc;
   if (Options.IsMatMul) {
-    sim::MatMulAccelerator::Version Version;
-    if (!matmulVersionFromName(Accel.Name, Version))
+    FailureOr<sim::MatMulAccelerator::Version> Version =
+        sim::MatMulAccelerator::versionFromName(Accel.Name, Error);
+    if (failed(Version)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
       return 1;
+    }
     // Size the simulated engine from the selected accelerator's largest
     // tile (a floor of 8 here used to break --run for 4-tile configs).
     int64_t Size = 0;
@@ -678,7 +631,7 @@ int runTool(CliOptions Options) {
       Size = std::max(Size, Tile);
     if (Size <= 0)
       Size = 8;
-    Soc = sim::makeMatMulSoC(Version, Size, Kind);
+    Soc = sim::makeMatMulSoC(*Version, Size, Kind);
   } else {
     Soc = sim::makeConvSoC(Kind);
   }
@@ -750,8 +703,12 @@ int runTool(CliOptions Options) {
 int main(int Argc, char **Argv) {
   CliOptions Options;
   if (!parseArgs(Argc, Argv, Options)) {
-    printUsage();
+    printUsage(stderr);
     return 2;
+  }
+  if (Options.Help) {
+    printUsage(stdout);
+    return 0;
   }
   return runTool(Options);
 }
