@@ -1,0 +1,999 @@
+//===- PlanVerifier.cpp - Static ExecPlan verification --------------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// A flow-sensitive abstract interpretation over the flat instruction
+// program. Loops are walked through their structure: a body is
+// interpreted once under first-iteration semantics (with the constants
+// of any slot the body overwrites invalidated, so facts that change
+// across iterations are never trusted), and when the protocol model
+// changed, a second suppressed walk proves the body reaches a protocol
+// fixpoint before its effect is admitted. Zero-trip loops are walked for
+// diagnosis and then fully rolled back; unknown-trip loops merge their
+// exit state against the entry state (definitions become "maybe",
+// disagreeing constants are dropped).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PlanVerifier.h"
+
+#include "analysis/PlanAnalyses.h"
+#include "analysis/PlanView.h"
+
+#include <map>
+#include <utility>
+
+using namespace axi4mlir;
+using namespace axi4mlir::analysis;
+
+std::string VerifyResult::toString() const {
+  std::string Out;
+  for (const PlanDiag &D : Errors)
+    Out += "error: " + D.Message + "\n";
+  for (const PlanDiag &D : Warnings)
+    Out += "warning: " + D.Message + "\n";
+  return Out;
+}
+
+namespace {
+
+using Inst = PlanView::Inst;
+using Op = PlanView::Op;
+
+/// Hard ceiling on reported errors; a corrupted program should not
+/// produce an avalanche.
+constexpr size_t MaxErrors = 64;
+
+/// The slot an instruction defines, or -1 (mirrors the optimizer's
+/// writeSlot).
+int32_t writeSlotOf(const Inst &I) {
+  switch (I.Code) {
+  case Op::ConstInt:
+  case Op::ConstFloat:
+  case Op::Binary:
+  case Op::IndexCast:
+  case Op::LoopBegin: // induction variable
+  case Op::Alloc:
+  case Op::Load:
+  case Op::SubView:
+  case Op::AccelSendLiteral:
+  case Op::AccelSend:
+  case Op::AccelSendDim:
+  case Op::AccelSendIdx:
+  case Op::AccelRecv:
+  case Op::CallCopyToDma:
+  case Op::CallCopyLiteralToDma:
+    return I.Dst;
+  default:
+    return -1;
+  }
+}
+
+class Verifier {
+public:
+  Verifier(const exec::ExecPlan &Plan, const VerifyOptions &Opts)
+      : V(Plan), Opts(Opts), Facts(V.numSlots()) {
+    if (Opts.Model) {
+      Model = *Opts.Model;
+      HaveModel = true;
+    }
+  }
+
+  VerifyResult run();
+
+private:
+  /// Abstract per-slot state. Constant values and static element counts
+  /// live in the shared SlotFacts, kept in sync with every definition.
+  struct AbsSlot {
+    enum class Def : uint8_t { Undef, Maybe, Yes };
+    enum class Kind : uint8_t { Unknown, Scalar, MemRef };
+    Def D = Def::Undef;
+    Kind K = Kind::Unknown;
+    int64_t Rank = -1; ///< memref rank when statically known
+  };
+  enum class Req { Any, Scalar, MemRef };
+
+  struct Snapshot {
+    std::vector<AbsSlot> Slots;
+    SlotFacts Facts;
+    int32_t CurDma;
+    int64_t PendingSend, PendingRecv;
+    ProtocolModel Model;
+    std::map<int64_t, AbstractWord> Region;
+    bool RegionUnknown;
+  };
+
+  //===------------------------------------------------------------------===//
+  // Diagnostics
+  //===------------------------------------------------------------------===//
+
+  std::string at(int64_t Pc) const {
+    if (Pc < 0)
+      return std::string();
+    return "pc " + std::to_string(Pc) + " (" +
+           PlanView::opName(V.program()[static_cast<size_t>(Pc)].Code) +
+           "): ";
+  }
+  void error(int64_t Pc, const std::string &Msg) {
+    if (QuietDepth)
+      return;
+    if (R.Errors.size() >= MaxErrors) {
+      Aborted = true;
+      return;
+    }
+    R.Errors.push_back({Pc, at(Pc) + Msg});
+  }
+  void warn(int64_t Pc, const std::string &Msg) {
+    if (QuietDepth)
+      return;
+    R.Warnings.push_back({Pc, at(Pc) + Msg});
+  }
+
+  //===------------------------------------------------------------------===//
+  // Slot state
+  //===------------------------------------------------------------------===//
+
+  bool inRange(int32_t Slot) const {
+    return Slot >= 0 && static_cast<unsigned>(Slot) < V.numSlots();
+  }
+
+  bool checkWrite(int64_t Pc, int32_t Slot) {
+    if (inRange(Slot))
+      return true;
+    error(Pc, "defines slot %" + std::to_string(Slot) +
+                  " outside the plan's " + std::to_string(V.numSlots()) +
+                  " slots");
+    return false;
+  }
+
+  bool checkRead(int64_t Pc, int32_t Slot, Req Want, const char *What) {
+    if (!inRange(Slot)) {
+      error(Pc, std::string("reads ") + What + " from slot %" +
+                    std::to_string(Slot) + " outside the plan's " +
+                    std::to_string(V.numSlots()) + " slots");
+      return false;
+    }
+    const AbsSlot &S = Slots[Slot];
+    if (S.D == AbsSlot::Def::Undef) {
+      error(Pc, std::string("reads ") + What + " from %" +
+                    std::to_string(Slot) + " before any definition");
+      return false;
+    }
+    if (S.D == AbsSlot::Def::Maybe)
+      warn(Pc, std::string("reads ") + What + " from %" +
+                   std::to_string(Slot) +
+                   " whose only definition sits inside a possibly "
+                   "zero-trip loop");
+    if (Want == Req::MemRef && S.K == AbsSlot::Kind::Scalar) {
+      error(Pc, std::string("expects a memref as ") + What + " but %" +
+                    std::to_string(Slot) + " holds a scalar");
+      return false;
+    }
+    if (Want == Req::Scalar && S.K == AbsSlot::Kind::MemRef) {
+      error(Pc, std::string("expects a scalar as ") + What + " but %" +
+                    std::to_string(Slot) + " holds a memref");
+      return false;
+    }
+    return true;
+  }
+
+  void defineScalar(int32_t Slot, bool IsConst, int64_t Value) {
+    if (!inRange(Slot))
+      return;
+    Slots[Slot] = {AbsSlot::Def::Yes, AbsSlot::Kind::Scalar, -1};
+    Facts.Known[Slot] = IsConst;
+    Facts.Value[Slot] = IsConst ? Value : 0;
+    Facts.SizeKnown[Slot] = 0;
+    Facts.Count[Slot] = 0;
+  }
+  void defineMemRef(int32_t Slot, int64_t Count, int64_t Rank) {
+    if (!inRange(Slot))
+      return;
+    Slots[Slot] = {AbsSlot::Def::Yes, AbsSlot::Kind::MemRef, Rank};
+    Facts.Known[Slot] = 0;
+    Facts.Value[Slot] = 0;
+    Facts.SizeKnown[Slot] = Count >= 0;
+    Facts.Count[Slot] = Count >= 0 ? Count : 0;
+  }
+  void defineUnknown(int32_t Slot) {
+    if (!inRange(Slot))
+      return;
+    Slots[Slot] = {AbsSlot::Def::Yes, AbsSlot::Kind::Unknown, -1};
+    Facts.Known[Slot] = 0;
+    Facts.SizeKnown[Slot] = 0;
+  }
+
+  int64_t memrefCount(int32_t Slot) const {
+    return inRange(Slot) && Facts.SizeKnown[Slot] ? Facts.Count[Slot] : -1;
+  }
+  int64_t memrefRank(int32_t Slot) const {
+    return inRange(Slot) ? Slots[Slot].Rank : -1;
+  }
+
+  bool checkPool(int64_t Pc, int32_t Offset, unsigned Count) {
+    if (Offset >= 0 &&
+        static_cast<size_t>(Offset) + Count <= V.slotPool().size())
+      return true;
+    error(Pc, "index pool range [" + std::to_string(Offset) + ", " +
+                  std::to_string(Offset + static_cast<int32_t>(Count)) +
+                  ") is outside the plan's pool (" +
+                  std::to_string(V.slotPool().size()) + " entries)");
+    return false;
+  }
+
+  //===------------------------------------------------------------------===//
+  // DMA regions
+  //===------------------------------------------------------------------===//
+
+  /// False when no dma_init dominates this point (hard error) or the
+  /// active config is loop-dependent (strict finding).
+  bool requireDma(int64_t Pc) {
+    if (CurDma >= 0)
+      return true;
+    if (CurDma == -1)
+      error(Pc, "transfers before any dma_init configured the DMA region");
+    else
+      warn(Pc, "the active DMA configuration depends on a loop; region "
+               "bounds are not proven");
+    return false;
+  }
+
+  int64_t inputWords() const {
+    return V.dmaConfigs()[CurDma].InputBufferSize / 4;
+  }
+  int64_t outputWords() const {
+    return V.dmaConfigs()[CurDma].OutputBufferSize / 4;
+  }
+
+  void checkRegionRange(int64_t Pc, bool Input, bool OffKnown, int64_t Off,
+                        int64_t Count, const char *What) {
+    if (!requireDma(Pc))
+      return;
+    int64_t Cap = Input ? inputWords() : outputWords();
+    const char *RegionName = Input ? "input" : "output";
+    if (OffKnown && Off < 0) {
+      error(Pc, std::string(What) + " uses negative region offset " +
+                    std::to_string(Off));
+      return;
+    }
+    if (OffKnown && Count >= 0) {
+      if (Off + Count > Cap)
+        error(Pc, std::string(What) + " covers words [" +
+                      std::to_string(Off) + ", " +
+                      std::to_string(Off + Count) + ") but the DMA " +
+                      RegionName + " region holds only " +
+                      std::to_string(Cap) + " words");
+      return;
+    }
+    warn(Pc, std::string("cannot prove ") + What +
+                 " stays inside the DMA " + RegionName +
+                 " region (offset or length is not a compile-time "
+                 "constant)");
+  }
+
+  //===------------------------------------------------------------------===//
+  // Protocol layer
+  //===------------------------------------------------------------------===//
+
+  void noteIfGaveUp(int64_t Pc, bool WasTracking) {
+    if (WasTracking && Model.gaveUp())
+      warn(Pc, "stopped statically tracking the accelerator protocol here "
+               "(a word the checker cannot classify reached the FSM)");
+  }
+  void modelWord(int64_t Pc, const AbstractWord &W) {
+    if (!HaveModel)
+      return;
+    bool WasTracking = !Model.gaveUp();
+    std::string Msg = Model.feedWord(W);
+    if (!Msg.empty())
+      error(Pc, Msg);
+    noteIfGaveUp(Pc, WasTracking);
+  }
+  void modelData(int64_t Pc, int64_t Count) {
+    if (!HaveModel)
+      return;
+    bool WasTracking = !Model.gaveUp();
+    std::string Msg = Model.feedData(Count);
+    if (!Msg.empty())
+      error(Pc, Msg);
+    noteIfGaveUp(Pc, WasTracking);
+  }
+  void modelRecv(int64_t Pc, int64_t Words) {
+    if (!HaveModel)
+      return;
+    std::string Msg = Model.feedRecv(Words);
+    if (!Msg.empty())
+      error(Pc, Msg);
+  }
+
+  /// Replays the staged words [Begin, End) of the input region against
+  /// the model, exactly as dmaStartSend would stream them.
+  void streamStagedRange(int64_t Pc, int64_t Begin, int64_t End) {
+    if (!HaveModel || Model.gaveUp())
+      return;
+    if (RegionUnknown) {
+      warn(Pc, "sends from a staged region the checker could not "
+               "reconstruct; protocol tracking stops");
+      Model.invalidate();
+      return;
+    }
+    bool WarnedUnstaged = false;
+    int64_t O = Begin;
+    while (O < End && !Model.gaveUp() && !Aborted) {
+      auto It = Region.find(O);
+      if (It == Region.end()) {
+        if (!WarnedUnstaged) {
+          warn(Pc, "streams region words never staged since the last "
+                   "dma_init (first at offset " +
+                       std::to_string(O) + ")");
+          WarnedUnstaged = true;
+        }
+        modelWord(Pc, AbstractWord::unknown());
+        ++O;
+        continue;
+      }
+      if (It->second.K == AbstractWord::Kind::Data) {
+        int64_t Run = 0;
+        while (O < End) {
+          auto Next = Region.find(O);
+          if (Next == Region.end() ||
+              Next->second.K != AbstractWord::Kind::Data)
+            break;
+          ++Run;
+          ++O;
+        }
+        modelData(Pc, Run);
+        continue;
+      }
+      modelWord(Pc, It->second);
+      ++O;
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Walk
+  //===------------------------------------------------------------------===//
+
+  Snapshot save() const {
+    return {Slots,  Facts, CurDma,       PendingSend,
+            PendingRecv, Model, Region, RegionUnknown};
+  }
+  void restore(Snapshot &&S) {
+    Slots = std::move(S.Slots);
+    Facts = std::move(S.Facts);
+    CurDma = S.CurDma;
+    PendingSend = S.PendingSend;
+    PendingRecv = S.PendingRecv;
+    Model = S.Model;
+    Region = std::move(S.Region);
+    RegionUnknown = S.RegionUnknown;
+  }
+
+  /// Drops the constants (and memref geometry) of every slot the body
+  /// span writes: a read of such a slot may observe the previous
+  /// iteration's value, so only iteration-independent facts survive.
+  void invalidateBodyWrites(size_t Begin, size_t End) {
+    const std::vector<Inst> &P = V.program();
+    auto drop = [&](int32_t Slot) {
+      if (!inRange(Slot))
+        return;
+      Facts.Known[Slot] = 0;
+      Facts.SizeKnown[Slot] = 0;
+      Slots[Slot].Rank = -1;
+    };
+    for (size_t Pc = Begin; Pc < End; ++Pc) {
+      const Inst &I = P[Pc];
+      drop(writeSlotOf(I));
+      if (I.Code == Op::Generic && I.Aux >= 0 &&
+          static_cast<size_t>(I.Aux) < V.generics().size()) {
+        const PlanView::GenericPlan &G = V.generics()[I.Aux];
+        for (int32_t S : G.BodyArgSlots)
+          drop(S);
+        for (const Inst &B : G.Body)
+          drop(writeSlotOf(B));
+      }
+    }
+  }
+
+  /// Merges the post-body state against the entry state of a loop whose
+  /// trip count is unknown (it may have run zero times).
+  void mergeUnknownTrip(const Snapshot &Pre) {
+    for (unsigned S = 0; S < V.numSlots(); ++S) {
+      AbsSlot &Cur = Slots[S];
+      const AbsSlot &Old = Pre.Slots[S];
+      if (Cur.D != Old.D)
+        Cur.D = AbsSlot::Def::Maybe;
+      if (Cur.K != Old.K)
+        Cur.K = AbsSlot::Kind::Unknown;
+      if (Cur.Rank != Old.Rank)
+        Cur.Rank = -1;
+      if (!(Facts.Known[S] && Pre.Facts.Known[S] &&
+            Facts.Value[S] == Pre.Facts.Value[S]))
+        Facts.Known[S] = Facts.Known[S] && Pre.Facts.Known[S] &&
+                         Facts.Value[S] == Pre.Facts.Value[S];
+      if (!(Facts.SizeKnown[S] && Pre.Facts.SizeKnown[S] &&
+            Facts.Count[S] == Pre.Facts.Count[S]))
+        Facts.SizeKnown[S] = 0;
+    }
+    if (CurDma != Pre.CurDma)
+      CurDma = -2; // some dma_init happened, but which one is open
+    if (HaveModel) {
+      for (auto &Entry : Region) {
+        auto It = Pre.Region.find(Entry.first);
+        if (It == Pre.Region.end() || It->second.K != Entry.second.K ||
+            (Entry.second.K == AbstractWord::Kind::Const &&
+             It->second.Value != Entry.second.Value))
+          Entry.second = AbstractWord::unknown();
+      }
+      for (const auto &Old : Pre.Region)
+        if (!Region.count(Old.first))
+          Region[Old.first] = AbstractWord::unknown();
+      RegionUnknown = RegionUnknown || Pre.RegionUnknown;
+    }
+  }
+
+  /// After a loop body that moved the protocol model: prove the body is
+  /// a protocol fixpoint by walking it once more (suppressed), then
+  /// admit the steady state with extrapolated accumulators. A body that
+  /// does not stabilize is a protocol break when it provably repeats.
+  void stabilizeProtocol(size_t LoopPc, size_t EndPc,
+                         const ProtocolModel &Entry, int64_t Trip) {
+    if (!HaveModel || Entry.gaveUp() || Model.gaveUp())
+      return;
+    if (Model == Entry)
+      return; // protocol-neutral body
+    ProtocolModel AfterOne = Model;
+    int64_t PS = PendingSend, PR = PendingRecv;
+    int32_t CD = CurDma;
+    ++QuietDepth;
+    walkSpan(LoopPc + 1, EndPc);
+    --QuietDepth;
+    PendingSend = PS;
+    PendingRecv = PR;
+    CurDma = CD;
+    ProtocolModel AfterTwo = Model;
+    if (!AfterOne.sameFsmPosition(AfterTwo) || AfterTwo.gaveUp()) {
+      std::string Msg =
+          "loop body does not return the accelerator protocol to a steady "
+          "state (after one iteration: " +
+          AfterOne.stateDescription() +
+          "; after another: " + AfterTwo.stateDescription() + ")";
+      if (Trip >= 2)
+        error(static_cast<int64_t>(LoopPc), Msg);
+      else
+        warn(static_cast<int64_t>(LoopPc), Msg);
+      Model.invalidate();
+      return;
+    }
+    Model = AfterOne;
+    Model.extrapolateAccumulators(AfterTwo, Trip);
+  }
+
+  void walkSpan(size_t Begin, size_t End) {
+    const std::vector<Inst> &P = V.program();
+    size_t Pc = Begin;
+    while (Pc < End && !Aborted) {
+      const Inst &I = P[Pc];
+      if (I.Code == Op::LoopBegin) {
+        Pc = handleLoop(Pc, End);
+        continue;
+      }
+      if (I.Code == Op::LoopEnd) {
+        error(static_cast<int64_t>(Pc),
+              "loop end without a matching loop begin");
+        Aborted = true;
+        return;
+      }
+      interpret(Pc, I);
+      ++Pc;
+    }
+  }
+
+  size_t handleLoop(size_t PcU, size_t End) {
+    const std::vector<Inst> &P = V.program();
+    const Inst &I = P[PcU];
+    int64_t Pc = static_cast<int64_t>(PcU);
+    checkRead(Pc, I.A, Req::Scalar, "the lower bound");
+    checkRead(Pc, I.B, Req::Scalar, "the upper bound");
+    checkRead(Pc, I.C, Req::Scalar, "the step");
+    checkWrite(Pc, I.Dst);
+
+    if (I.Aux < static_cast<int64_t>(PcU) + 2 ||
+        static_cast<size_t>(I.Aux) > End) {
+      error(Pc, "jump target @" + std::to_string(I.Aux) +
+                    " escapes the enclosing body (instructions [" +
+                    std::to_string(PcU + 1) + ", " + std::to_string(End) +
+                    "))");
+      Aborted = true;
+      return End;
+    }
+    size_t EndPc = static_cast<size_t>(I.Aux) - 1;
+    const Inst &E = P[EndPc];
+    if (E.Code != Op::LoopEnd) {
+      error(Pc, "jump target @" + std::to_string(I.Aux) +
+                    " does not follow a loop end (pc " +
+                    std::to_string(EndPc) + " is '" +
+                    PlanView::opName(E.Code) + "')");
+      Aborted = true;
+      return End;
+    }
+    if (E.Dst != I.Dst || E.B != I.B || E.C != I.C)
+      error(static_cast<int64_t>(EndPc),
+            "loop end disagrees with its begin at pc " +
+                std::to_string(PcU) +
+                " (induction/bound/step slots differ)");
+    if (E.Aux != static_cast<int32_t>(PcU) + 1)
+      error(static_cast<int64_t>(EndPc),
+            "back-edge target @" + std::to_string(E.Aux) +
+                " does not point at the loop body (@" +
+                std::to_string(PcU + 1) + ")");
+
+    if (Facts.isConst(I.C) && Facts.Value[I.C] <= 0)
+      error(Pc, "constant step " + std::to_string(Facts.Value[I.C]) +
+                    " is not positive; execution rejects this loop");
+
+    int64_t Trip = constTripCount(I, Facts);
+    Snapshot Pre = save();
+
+    if (Trip != 1 && Trip != 0)
+      invalidateBodyWrites(PcU + 1, EndPc);
+    defineScalar(I.Dst, Trip == 1 && Facts.isConst(I.A),
+                 Facts.isConst(I.A) ? Facts.Value[I.A] : 0);
+
+    walkSpan(PcU + 1, EndPc);
+    if (Aborted)
+      return End;
+
+    if (Trip == 0) {
+      // The body provably never executes: diagnostics stand (the code is
+      // dead but still checked), the state rolls back.
+      restore(std::move(Pre));
+      return static_cast<size_t>(I.Aux);
+    }
+
+    if (Trip != 1) {
+      // The body may repeat: a transfer still in flight at the back edge
+      // would be restarted before its wait.
+      if (PendingSend != Pre.PendingSend) {
+        error(PendingSend >= 0 ? PendingSend : Pc,
+              "send started inside the loop body is still outstanding "
+              "when the body repeats");
+        PendingSend = Pre.PendingSend;
+      }
+      if (PendingRecv != Pre.PendingRecv) {
+        error(PendingRecv >= 0 ? PendingRecv : Pc,
+              "receive started inside the loop body is still outstanding "
+              "when the body repeats");
+        PendingRecv = Pre.PendingRecv;
+      }
+      stabilizeProtocol(PcU, EndPc, Pre.Model, Trip);
+    }
+    if (Trip < 0)
+      mergeUnknownTrip(Pre);
+    return static_cast<size_t>(I.Aux);
+  }
+
+  void interpret(size_t PcU, const Inst &I);
+
+  PlanView V;
+  VerifyOptions Opts;
+  VerifyResult R;
+  SlotFacts Facts;
+  std::vector<AbsSlot> Slots;
+  int32_t CurDma = -1; ///< active dma config (-1 none, -2 loop-dependent)
+  int64_t PendingSend = -1, PendingRecv = -1; ///< pc of outstanding start
+  bool Aborted = false;
+  int QuietDepth = 0;
+
+  ProtocolModel Model;
+  bool HaveModel = false;
+  std::map<int64_t, AbstractWord> Region; ///< staged input-region content
+  bool RegionUnknown = false;
+};
+
+void Verifier::interpret(size_t PcU, const Inst &I) {
+  int64_t Pc = static_cast<int64_t>(PcU);
+  switch (I.Code) {
+  case Op::ConstInt:
+    if (checkWrite(Pc, I.Dst))
+      defineScalar(I.Dst, true, I.Imm);
+    return;
+  case Op::ConstFloat:
+    if (checkWrite(Pc, I.Dst))
+      defineScalar(I.Dst, false, 0);
+    return;
+  case Op::Binary: {
+    checkRead(Pc, I.A, Req::Scalar, "the left operand");
+    checkRead(Pc, I.B, Req::Scalar, "the right operand");
+    if (!checkWrite(Pc, I.Dst))
+      return;
+    int64_t Out;
+    if (evalConstDst(I, Facts, Out))
+      defineScalar(I.Dst, true, Out);
+    else
+      defineScalar(I.Dst, false, 0);
+    return;
+  }
+  case Op::IndexCast: {
+    checkRead(Pc, I.A, Req::Scalar, "its operand");
+    if (!checkWrite(Pc, I.Dst))
+      return;
+    int64_t Out;
+    if (evalConstDst(I, Facts, Out))
+      defineScalar(I.Dst, true, Out);
+    else
+      defineScalar(I.Dst, false, 0);
+    return;
+  }
+  case Op::Alloc: {
+    if (I.Aux < 0 || static_cast<size_t>(I.Aux) >= V.allocs().size()) {
+      error(Pc, "alloc side-table index #" + std::to_string(I.Aux) +
+                    " out of bounds (" + std::to_string(V.allocs().size()) +
+                    " entries)");
+      return;
+    }
+    if (checkWrite(Pc, I.Dst))
+      defineMemRef(I.Dst, staticElementCount(V, I),
+                   static_cast<int64_t>(V.allocs()[I.Aux].Shape.size()));
+    return;
+  }
+  case Op::Dealloc:
+    return;
+  case Op::Load: {
+    if (!checkPool(Pc, I.Aux, I.Sub))
+      return;
+    if (checkRead(Pc, I.A, Req::MemRef, "the loaded memref")) {
+      int64_t Rank = memrefRank(I.A);
+      if (Rank >= 0 && Rank != I.Sub)
+        error(Pc, "indexes a rank-" + std::to_string(Rank) +
+                      " memref with " + std::to_string(I.Sub) + " indices");
+    }
+    for (unsigned K = 0; K < I.Sub; ++K)
+      checkRead(Pc, V.slotPool()[static_cast<size_t>(I.Aux) + K],
+                Req::Scalar, "a load index");
+    if (checkWrite(Pc, I.Dst))
+      defineScalar(I.Dst, false, 0);
+    return;
+  }
+  case Op::Store: {
+    if (!checkPool(Pc, I.Aux, I.Sub))
+      return;
+    checkRead(Pc, I.A, Req::Scalar, "the stored value");
+    if (checkRead(Pc, I.B, Req::MemRef, "the stored-to memref")) {
+      int64_t Rank = memrefRank(I.B);
+      if (Rank >= 0 && Rank != I.Sub)
+        error(Pc, "indexes a rank-" + std::to_string(Rank) +
+                      " memref with " + std::to_string(I.Sub) + " indices");
+    }
+    for (unsigned K = 0; K < I.Sub; ++K)
+      checkRead(Pc, V.slotPool()[static_cast<size_t>(I.Aux) + K],
+                Req::Scalar, "a store index");
+    return;
+  }
+  case Op::Copy: {
+    bool SrcOk = checkRead(Pc, I.A, Req::MemRef, "the copy source");
+    bool DstOk = checkRead(Pc, I.B, Req::MemRef, "the copy destination");
+    if (SrcOk && DstOk) {
+      int64_t CntA = memrefCount(I.A), CntB = memrefCount(I.B);
+      if (CntA >= 0 && CntB >= 0 && CntA != CntB)
+        error(Pc, "copies between memrefs of different element counts (" +
+                      std::to_string(CntA) + " vs " + std::to_string(CntB) +
+                      ")");
+    }
+    return;
+  }
+  case Op::SubView: {
+    if (I.Aux < 0 || static_cast<size_t>(I.Aux) >= V.subViews().size()) {
+      error(Pc, "subview side-table index #" + std::to_string(I.Aux) +
+                    " out of bounds (" +
+                    std::to_string(V.subViews().size()) + " entries)");
+      return;
+    }
+    const PlanView::SubViewPlan &Info = V.subViews()[I.Aux];
+    if (!checkPool(Pc, Info.PoolOffset, Info.NumOffsets))
+      return;
+    checkRead(Pc, I.A, Req::MemRef, "the subview source");
+    for (unsigned K = 0; K < Info.NumOffsets; ++K)
+      checkRead(Pc,
+                V.slotPool()[static_cast<size_t>(Info.PoolOffset) + K],
+                Req::Scalar, "a subview offset");
+    if (checkWrite(Pc, I.Dst))
+      defineMemRef(I.Dst, staticElementCount(V, I),
+                   static_cast<int64_t>(Info.StaticSizes.size()));
+    return;
+  }
+  case Op::Generic: {
+    if (I.Aux < 0 || static_cast<size_t>(I.Aux) >= V.generics().size()) {
+      error(Pc, "generic side-table index #" + std::to_string(I.Aux) +
+                    " out of bounds (" +
+                    std::to_string(V.generics().size()) + " entries)");
+      return;
+    }
+    const PlanView::GenericPlan &G = V.generics()[I.Aux];
+    for (const auto &P : G.Operands)
+      checkRead(Pc, P.Slot, Req::MemRef, "a generic operand");
+    for (int32_t S : G.BodyArgSlots)
+      if (checkWrite(Pc, S))
+        defineScalar(S, false, 0);
+    for (const Inst &B : G.Body) {
+      switch (B.Code) {
+      case Op::Binary:
+        checkRead(Pc, B.A, Req::Scalar, "a generic body operand");
+        checkRead(Pc, B.B, Req::Scalar, "a generic body operand");
+        break;
+      case Op::IndexCast:
+        checkRead(Pc, B.A, Req::Scalar, "a generic body operand");
+        break;
+      default:
+        break;
+      }
+      int32_t W = writeSlotOf(B);
+      if (W >= 0 && checkWrite(Pc, W)) {
+        int64_t Out;
+        if (evalConstDst(B, Facts, Out))
+          defineScalar(W, true, Out);
+        else
+          defineScalar(W, false, 0);
+      }
+    }
+    for (int32_t Y : G.YieldSlots)
+      checkRead(Pc, Y, Req::Scalar, "a generic yield value");
+    return;
+  }
+
+  case Op::AccelDmaInit:
+  case Op::CallDmaInit: {
+    if (I.Aux < 0 || static_cast<size_t>(I.Aux) >= V.dmaConfigs().size()) {
+      error(Pc, "dma config index #" + std::to_string(I.Aux) +
+                    " out of bounds (" +
+                    std::to_string(V.dmaConfigs().size()) + " entries)");
+      return;
+    }
+    CurDma = I.Aux;
+    Region.clear();
+    RegionUnknown = false;
+    return;
+  }
+
+  case Op::AccelSendLiteral: {
+    checkRead(Pc, I.A, Req::Scalar, "the staging offset");
+    bool OffKnown = Facts.isConst(I.A);
+    int64_t Off = OffKnown ? Facts.Value[I.A] : 0;
+    checkRegionRange(Pc, /*Input=*/true, OffKnown, Off, 1,
+                     "the staged literal");
+    modelWord(Pc, AbstractWord::constant(I.Imm));
+    if (checkWrite(Pc, I.Dst))
+      defineScalar(I.Dst, OffKnown, Off + 1);
+    return;
+  }
+  case Op::AccelSend: {
+    checkRead(Pc, I.A, Req::MemRef, "the sent memref");
+    checkRead(Pc, I.B, Req::Scalar, "the staging offset");
+    int64_t Cnt = memrefCount(I.A);
+    bool OffKnown = Facts.isConst(I.B);
+    int64_t Off = OffKnown ? Facts.Value[I.B] : 0;
+    checkRegionRange(Pc, /*Input=*/true, OffKnown, Off, Cnt,
+                     "the sent tile");
+    modelData(Pc, Cnt);
+    if (checkWrite(Pc, I.Dst))
+      defineScalar(I.Dst, OffKnown && Cnt >= 0, Off + (Cnt >= 0 ? Cnt : 0));
+    return;
+  }
+  case Op::AccelSendDim: {
+    checkRead(Pc, I.B, Req::Scalar, "the staging offset");
+    if (checkRead(Pc, I.A, Req::MemRef, "the measured memref") && !I.Sub) {
+      // The runtime indexes Desc.Sizes[Imm] unchecked; prove it here.
+      int64_t Rank = memrefRank(I.A);
+      if (I.Imm < 0 || (Rank >= 0 && I.Imm >= Rank))
+        error(Pc, "reads dimension " + std::to_string(I.Imm) +
+                      " of a rank-" +
+                      (Rank >= 0 ? std::to_string(Rank) : "unknown") +
+                      " memref (out of range)");
+      else if (Rank < 0)
+        warn(Pc, "cannot prove dimension index " + std::to_string(I.Imm) +
+                     " is within the operand's rank (rank unknown)");
+    }
+    bool OffKnown = Facts.isConst(I.B);
+    int64_t Off = OffKnown ? Facts.Value[I.B] : 0;
+    checkRegionRange(Pc, /*Input=*/true, OffKnown, Off, 1,
+                     "the staged dimension word");
+    modelWord(Pc, I.Sub ? AbstractWord::constant(I.Imm)
+                        : AbstractWord::unknown());
+    if (checkWrite(Pc, I.Dst))
+      defineScalar(I.Dst, OffKnown, Off + 1);
+    return;
+  }
+  case Op::AccelSendIdx: {
+    checkRead(Pc, I.A, Req::Scalar, "the sent index value");
+    checkRead(Pc, I.B, Req::Scalar, "the staging offset");
+    bool OffKnown = Facts.isConst(I.B);
+    int64_t Off = OffKnown ? Facts.Value[I.B] : 0;
+    checkRegionRange(Pc, /*Input=*/true, OffKnown, Off, 1,
+                     "the staged index word");
+    modelWord(Pc, Facts.isConst(I.A)
+                      ? AbstractWord::constant(Facts.Value[I.A])
+                      : AbstractWord::unknown());
+    if (checkWrite(Pc, I.Dst))
+      defineScalar(I.Dst, OffKnown, Off + 1);
+    return;
+  }
+  case Op::AccelRecv: {
+    checkRead(Pc, I.A, Req::MemRef, "the receive destination");
+    int64_t Cnt = memrefCount(I.A);
+    checkRegionRange(Pc, /*Input=*/false, true, 0, Cnt,
+                     "the received tile");
+    modelRecv(Pc, Cnt);
+    if (checkWrite(Pc, I.Dst))
+      defineScalar(I.Dst, true, 0);
+    return;
+  }
+
+  case Op::CallCopyToDma: {
+    checkRead(Pc, I.A, Req::MemRef, "the staged memref");
+    checkRead(Pc, I.B, Req::Scalar, "the staging offset");
+    int64_t Cnt = memrefCount(I.A);
+    bool OffKnown = Facts.isConst(I.B);
+    int64_t Off = OffKnown ? Facts.Value[I.B] : 0;
+    checkRegionRange(Pc, /*Input=*/true, OffKnown, Off, Cnt,
+                     "the staged copy");
+    if (HaveModel) {
+      if (OffKnown && Cnt >= 0)
+        for (int64_t O = Off; O < Off + Cnt; ++O)
+          Region[O] = AbstractWord::data();
+      else
+        RegionUnknown = true;
+    }
+    if (!checkWrite(Pc, I.Dst))
+      return;
+    int64_t Out;
+    if (evalConstDst(I, Facts, Out))
+      defineScalar(I.Dst, true, Out);
+    else
+      defineScalar(I.Dst, false, 0);
+    return;
+  }
+  case Op::CallCopyLiteralToDma: {
+    checkRead(Pc, I.A, Req::Scalar, "the staged literal");
+    checkRead(Pc, I.B, Req::Scalar, "the staging offset");
+    bool OffKnown = Facts.isConst(I.B);
+    int64_t Off = OffKnown ? Facts.Value[I.B] : 0;
+    checkRegionRange(Pc, /*Input=*/true, OffKnown, Off, 1,
+                     "the staged literal");
+    if (HaveModel) {
+      if (OffKnown)
+        Region[Off] = Facts.isConst(I.A)
+                          ? AbstractWord::constant(Facts.Value[I.A])
+                          : AbstractWord::unknown();
+      else
+        RegionUnknown = true;
+    }
+    if (!checkWrite(Pc, I.Dst))
+      return;
+    int64_t Out;
+    if (evalConstDst(I, Facts, Out))
+      defineScalar(I.Dst, true, Out);
+    else
+      defineScalar(I.Dst, false, 0);
+    return;
+  }
+
+  case Op::CallStartSend:
+  case Op::CallSendFused: {
+    checkRead(Pc, I.A, Req::Scalar, "the send end offset");
+    checkRead(Pc, I.B, Req::Scalar, "the send begin offset");
+    WordRange Rg;
+    bool RangeKnown = sendRange(I, Facts, Rg);
+    if (RangeKnown && Rg.End < Rg.Begin)
+      error(Pc, "sends a negative-length range [" +
+                    std::to_string(Rg.Begin) + ", " +
+                    std::to_string(Rg.End) + ")");
+    else
+      checkRegionRange(Pc, /*Input=*/true, RangeKnown, Rg.Begin,
+                       RangeKnown ? Rg.size() : -1, "the send");
+    if (PendingSend >= 0)
+      error(Pc, "starts a send while the send at pc " +
+                    std::to_string(PendingSend) +
+                    " is still outstanding (its wait was dropped)");
+    if (I.Code == Op::CallStartSend)
+      PendingSend = Pc;
+    if (RangeKnown && Rg.End >= Rg.Begin) {
+      streamStagedRange(Pc, Rg.Begin, Rg.End);
+    } else if (HaveModel && !Model.gaveUp()) {
+      warn(Pc, "send bounds are not compile-time constants; protocol "
+               "tracking stops");
+      Model.invalidate();
+    }
+    return;
+  }
+  case Op::CallWaitSend:
+    if (PendingSend < 0)
+      error(Pc, "waits for a send that was never started");
+    PendingSend = -1;
+    return;
+  case Op::CallStartRecv:
+  case Op::CallRecvFused: {
+    checkRead(Pc, I.A, Req::Scalar, "the receive length");
+    checkRead(Pc, I.B, Req::Scalar, "the receive offset");
+    bool LenKnown = Facts.isConst(I.A);
+    int64_t Len = LenKnown ? Facts.Value[I.A] : -1;
+    bool OffKnown = Facts.isConst(I.B);
+    int64_t Off = OffKnown ? Facts.Value[I.B] : 0;
+    if (LenKnown && Len < 0)
+      error(Pc, "receives a negative word count (" + std::to_string(Len) +
+                    ")");
+    else
+      checkRegionRange(Pc, /*Input=*/false, OffKnown, Off,
+                       LenKnown ? Len : -1, "the receive");
+    if (PendingRecv >= 0)
+      error(Pc, "starts a receive while the receive at pc " +
+                    std::to_string(PendingRecv) +
+                    " is still outstanding (its wait was dropped)");
+    if (I.Code == Op::CallStartRecv)
+      PendingRecv = Pc;
+    modelRecv(Pc, LenKnown ? Len : -1);
+    return;
+  }
+  case Op::CallWaitRecv:
+    if (PendingRecv < 0)
+      error(Pc, "waits for a receive that was never started");
+    PendingRecv = -1;
+    return;
+  case Op::CallCopyFromDma: {
+    checkRead(Pc, I.A, Req::MemRef, "the read-back destination");
+    checkRead(Pc, I.B, Req::Scalar, "the region offset");
+    bool OffKnown = Facts.isConst(I.B);
+    int64_t Off = OffKnown ? Facts.Value[I.B] : 0;
+    checkRegionRange(Pc, /*Input=*/false, OffKnown, Off, memrefCount(I.A),
+                     "the staged read-back");
+    return;
+  }
+
+  case Op::LoopBegin:
+  case Op::LoopEnd:
+    return; // handled structurally in walkSpan
+  }
+}
+
+VerifyResult Verifier::run() {
+  unsigned N = V.numSlots();
+  Slots.assign(N, AbsSlot());
+  if (V.numArgs() > N) {
+    error(-1, "plan declares " + std::to_string(V.numArgs()) +
+                  " arguments but only " + std::to_string(N) + " slots");
+    return std::move(R);
+  }
+  // Arguments are bound by the caller; their kind and geometry are
+  // runtime facts, so they verify as defined-but-unknown.
+  for (unsigned A = 0; A < V.numArgs(); ++A)
+    defineUnknown(static_cast<int32_t>(A));
+
+  walkSpan(0, V.program().size());
+
+  if (!Aborted) {
+    if (PendingSend >= 0)
+      error(PendingSend, "send started here is never awaited");
+    if (PendingRecv >= 0)
+      error(PendingRecv, "receive started here is never awaited");
+    if (HaveModel && !Model.gaveUp()) {
+      if (!Model.atOpcodeBoundary())
+        error(-1, "program ends with the accelerator " +
+                      Model.stateDescription());
+      else if (Model.pendingOutputWords() > 0)
+        warn(-1, std::to_string(Model.pendingOutputWords()) +
+                     " modeled output words are never received");
+    }
+  }
+  if (R.Errors.size() >= MaxErrors)
+    R.Errors.push_back({-1, "(further diagnostics suppressed)"});
+  return std::move(R);
+}
+
+} // namespace
+
+VerifyResult analysis::verifyPlan(const exec::ExecPlan &Plan,
+                                  const VerifyOptions &Options) {
+  Verifier Vf(Plan, Options);
+  return Vf.run();
+}

@@ -1,0 +1,54 @@
+//===- ProtocolChecker.h - Config-level protocol checking -------*- C++ -*-===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static protocol checking of a user configuration, before any IR is
+/// compiled: the accelerator's init opcodes and selected opcode_flow are
+/// expanded action by action (send_literal -> constant word, send ->
+/// tile-sized data burst from accel_size, send_dim -> the static tile
+/// size, send_idx -> unknown) and streamed through the abstract FSM
+/// model (ProtocolModel). Flow scopes stand for loop nests, so each
+/// scope is additionally proven repeatable: a scope whose opcode
+/// sequence leaves the FSM in a different state each pass is diagnosed.
+///
+/// This is what `axi4mlir-lint` runs over configs/*.json; the same
+/// model also backs the plan-level checks in PlanVerifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AXI4MLIR_ANALYSIS_PROTOCOLCHECKER_H
+#define AXI4MLIR_ANALYSIS_PROTOCOLCHECKER_H
+
+#include <string>
+#include <vector>
+
+namespace axi4mlir {
+namespace parser {
+struct AcceleratorDesc;
+} // namespace parser
+
+namespace analysis {
+
+/// Findings of a config-level protocol check. Errors are protocol
+/// violations the simulated accelerator would reject at run time;
+/// warnings are properties the checker could not prove.
+struct ProtocolFindings {
+  std::vector<std::string> Errors;
+  std::vector<std::string> Warnings;
+
+  bool ok(bool Strict = false) const {
+    return Errors.empty() && (!Strict || Warnings.empty());
+  }
+};
+
+/// Checks \p Accel's init opcodes and selected flow against the
+/// abstract model of its accelerator FSM.
+ProtocolFindings checkConfigProtocol(const parser::AcceleratorDesc &Accel);
+
+} // namespace analysis
+} // namespace axi4mlir
+
+#endif // AXI4MLIR_ANALYSIS_PROTOCOLCHECKER_H

@@ -882,6 +882,11 @@ LogicalResult ExecPlan::runSpan(const std::vector<Inst> &Code,
         break;
       case Op::AccelSendDim: {
         const MemRefDesc &Desc = S.Cells[I.A].M;
+        if (!I.Sub && (I.Imm < 0 ||
+                       static_cast<size_t>(I.Imm) >= Desc.Sizes.size()))
+          return S.fail("accel.send_dim reads dimension " +
+                        std::to_string(I.Imm) + " of a rank-" +
+                        std::to_string(Desc.Sizes.size()) + " memref");
         int64_t Size =
             I.Sub ? I.Imm : Desc.Sizes[static_cast<size_t>(I.Imm)];
         End = Rt.copyLiteralToDmaRegion(static_cast<int32_t>(Size), Offset);

@@ -47,6 +47,9 @@
 #include <vector>
 
 namespace axi4mlir {
+namespace analysis {
+class PlanView;
+} // namespace analysis
 namespace exec {
 
 struct ExecPlanBuilder;
@@ -102,6 +105,10 @@ private:
   /// into its own dispatch-ready representation.
   friend class DecodedPlan;
   friend struct DecodedProgram;
+  /// The static analysis framework (src/analysis) reads the instruction
+  /// program without executing it; PlanView re-exports the internal types
+  /// to the verifier, the protocol checker and the mutation tests.
+  friend class analysis::PlanView;
 
   /// Instruction opcodes (the former string-compare chains).
   enum class Op : uint8_t {

@@ -100,6 +100,14 @@ LogicalResult Interpreter::run(func::FuncOp Func,
       if (!Fresh.Plan)
         return failure();
       Fresh.Stats = opt::optimizePlan(*Fresh.Plan, PlanOptions);
+      if (!Fresh.Stats.VerifyError.empty()) {
+        // Verify-each caught a miscompile between passes: refuse to cache
+        // or run the rejected plan.
+        Error = "plan verification failed after " +
+                Fresh.Stats.VerifyFailedPass + ": " +
+                Fresh.Stats.VerifyError;
+        return failure();
+      }
       OptStats = Fresh.Stats;
       Fresh.For = Func.getOperation();
       Fresh.TopLevelOps = TopLevelOps;

@@ -14,6 +14,8 @@
 
 #include "exec/opt/PlanOpt.h"
 
+#include "analysis/PlanAnalyses.h"
+#include "analysis/PlanVerifier.h"
 #include "exec/ExecPlan.h"
 
 #include <algorithm>
@@ -114,16 +116,10 @@ private:
     std::vector<Node> Body;
   };
 
-  /// A half-open staged-region word range.
-  struct Range {
-    int64_t Begin = 0, End = 0;
-    bool overlaps(const Range &O) const {
-      return Begin < O.End && O.Begin < End;
-    }
-    bool covers(const Range &O) const {
-      return Begin <= O.Begin && O.End <= End;
-    }
-  };
+  /// A half-open staged-region word range (the shared analysis type, so
+  /// the optimizer's legality ranges and the verifier's bounds proofs are
+  /// literally the same values).
+  using Range = analysis::WordRange;
 
   //===--------------------------------------------------------------------===//
   // Tree building / flattening
@@ -303,84 +299,20 @@ private:
   // Constant and memref-size analyses
   //===--------------------------------------------------------------------===//
 
-  struct Analysis {
-    std::vector<int8_t> Known;   // slot holds one constant everywhere
-    std::vector<int64_t> Value;  // that constant (ints only)
-    std::vector<int8_t> SizeKnown; // memref slot with static element count
-    std::vector<int64_t> Count;
-    std::vector<int32_t> NumWriters;
-
-    bool isConst(int32_t Slot) const {
-      return Slot >= 0 && Known[Slot];
-    }
-  };
+  /// Per-slot constant/size facts — the shared analysis type consumed by
+  /// the verifier's proofs and the query functions below.
+  using Analysis = analysis::SlotFacts;
 
   /// Evaluates the instruction's result given current constant facts;
   /// mirrors runSpan's arithmetic exactly (Binary computes in double and
-  /// truncates back, like the walker).
+  /// truncates back, like the walker). Delegates to the shared analysis.
   bool evalConst(const Inst &I, const Analysis &A, int64_t &Out) const {
-    switch (I.Code) {
-    case POp::ConstInt:
-      Out = I.Imm;
-      return true;
-    case POp::IndexCast:
-      if (!A.isConst(I.A))
-        return false;
-      Out = A.Value[I.A];
-      return true;
-    case POp::Binary: {
-      if ((I.Sub & ExecPlan::BinFloatResult) || !A.isConst(I.A) ||
-          !A.isConst(I.B))
-        return false;
-      double LHS = static_cast<double>(A.Value[I.A]);
-      double RHS = static_cast<double>(A.Value[I.B]);
-      double R = 0;
-      switch (static_cast<ExecPlan::BinKind>(I.Sub & 0x7)) {
-      case ExecPlan::BinKind::Add:
-        R = LHS + RHS;
-        break;
-      case ExecPlan::BinKind::Mul:
-        R = LHS * RHS;
-        break;
-      case ExecPlan::BinKind::Sub:
-        R = LHS - RHS;
-        break;
-      case ExecPlan::BinKind::Div:
-        if (RHS == 0)
-          return false;
-        R = LHS / RHS;
-        break;
-      case ExecPlan::BinKind::Max:
-        R = LHS > RHS ? LHS : RHS;
-        break;
-      }
-      Out = static_cast<int64_t>(R);
-      return true;
-    }
-    case POp::CallCopyLiteralToDma:
-      // Result is the end offset: offset + one staged word.
-      if (!A.isConst(I.B))
-        return false;
-      Out = A.Value[I.B] + 1;
-      return true;
-    case POp::CallCopyToDma:
-      if (!A.isConst(I.B) || I.A < 0 || !A.SizeKnown[I.A])
-        return false;
-      Out = A.Value[I.B] + A.Count[I.A];
-      return true;
-    default:
-      return false;
-    }
+    return analysis::evalConstDst(I, A, Out);
   }
 
   Analysis analyze(std::vector<Node> &Tree) {
-    Analysis A;
     unsigned N = Plan.NumSlots;
-    A.Known.assign(N, 0);
-    A.Value.assign(N, 0);
-    A.SizeKnown.assign(N, 0);
-    A.Count.assign(N, 0);
-    A.NumWriters.assign(N, 0);
+    Analysis A(N);
 
     // Collect every defining instruction per slot. Loop nodes write their
     // induction variable (twice at runtime — begin and backedge — which is
@@ -418,20 +350,14 @@ private:
       Unknown[Idx] = 1;
 
     // Static element counts (subviews and allocs have static shapes).
+    analysis::PlanView View(Plan);
     walkInsts(Tree, [&](const Node &Nd) {
       if (Nd.IsLoop)
         return;
       const Inst &I = Nd.I;
-      int64_t Count = 1;
-      if (I.Code == POp::SubView) {
-        for (int64_t S : Plan.SubViews[I.Aux].StaticSizes)
-          Count *= S;
-      } else if (I.Code == POp::Alloc) {
-        for (int64_t S : Plan.Allocs[I.Aux].Shape)
-          Count *= S;
-      } else {
+      int64_t Count = analysis::staticElementCount(View, I);
+      if (Count < 0)
         return;
-      }
       int32_t Slot = I.Dst;
       if (Slot < 0)
         return;
@@ -497,34 +423,13 @@ private:
 
   /// Constant trip count of a loop node, or -1 when unknown.
   int64_t tripCount(const Node &Loop, const Analysis &A) const {
-    if (!A.isConst(Loop.I.A) || !A.isConst(Loop.I.B) ||
-        !A.isConst(Loop.I.C))
-      return -1;
-    int64_t Lb = A.Value[Loop.I.A], Ub = A.Value[Loop.I.B],
-            Step = A.Value[Loop.I.C];
-    if (Step <= 0)
-      return -1;
-    if (Lb >= Ub)
-      return 0;
-    return (Ub - Lb + Step - 1) / Step;
+    return analysis::constTripCount(Loop.I, A);
   }
 
   /// Constant staged-input-region range written by the instruction, if
   /// determinable.
   bool inputWriteRange(const Inst &I, const Analysis &A, Range &R) const {
-    if (I.Code == POp::CallCopyLiteralToDma) {
-      if (!A.isConst(I.B))
-        return false;
-      R = {A.Value[I.B], A.Value[I.B] + 1};
-      return true;
-    }
-    if (I.Code == POp::CallCopyToDma) {
-      if (!A.isConst(I.B) || I.A < 0 || !A.SizeKnown[I.A])
-        return false;
-      R = {A.Value[I.B], A.Value[I.B] + A.Count[I.A]};
-      return true;
-    }
-    return false;
+    return analysis::inputWriteRange(I, A, R);
   }
 
   static bool isInputWrite(POp Code) {
@@ -536,10 +441,7 @@ private:
   }
 
   bool sendRange(const Inst &I, const Analysis &A, Range &R) const {
-    if (!A.isConst(I.A) || !A.isConst(I.B))
-      return false;
-    R = {A.Value[I.B], A.Value[I.A]}; // B = offset, A = end offset
-    return true;
+    return analysis::sendRange(I, A, R);
   }
 
   //===--------------------------------------------------------------------===//
@@ -995,14 +897,7 @@ private:
   }
 
   int64_t inputRegionWords() const {
-    if (Plan.DmaConfigs.empty())
-      return 0;
-    int64_t Words = -1;
-    for (const accel::DmaInitConfig &C : Plan.DmaConfigs) {
-      int64_t W = C.InputBufferSize / 4;
-      Words = Words < 0 ? W : std::min(Words, W);
-    }
-    return std::max<int64_t>(Words, 0);
+    return analysis::inputRegionWords(analysis::PlanView(Plan));
   }
 
   /// Global soundness precondition for merging: every send must stream
@@ -1336,19 +1231,54 @@ PlanOptStats PlanOptimizer::run() {
     return Stats;
   std::vector<Node> Tree = buildTree();
   TreeRoot = &Tree;
+  // Verify-each: re-flatten and run the static verifier after every pass
+  // that changed the tree. The first failure records the offending pass
+  // and aborts the pipeline, leaving the plan in the rejected state so
+  // the caller can dump it next to the diagnostic.
+  auto verifiedAfter = [&](const char *Pass) {
+    if (!Options.VerifyEach)
+      return true;
+    commit(Tree);
+    analysis::VerifyResult R = analysis::verifyPlan(Plan);
+    if (R.Errors.empty())
+      return true;
+    Stats.VerifyError = R.Errors.front().Message;
+    Stats.VerifyFailedPass = Pass;
+    return false;
+  };
   // Canonical order: fold exposes constants, licm hoists, coalesce
   // flattens+merges, dce sweeps the leftovers. Each pass is monotone, so
   // repeating until a full round is quiet terminates.
   for (int Round = 0; Round < 8; ++Round) {
     bool Changed = false;
-    if (Options.Fold && foldPass(Tree))
+    if (Options.Fold && foldPass(Tree)) {
       Changed = true;
-    if (Options.Licm && licmPass(Tree))
+      if (!verifiedAfter("fold")) {
+        TreeRoot = nullptr;
+        return Stats;
+      }
+    }
+    if (Options.Licm && licmPass(Tree)) {
       Changed = true;
-    if (Options.Coalesce && coalescePass(Tree))
+      if (!verifiedAfter("licm")) {
+        TreeRoot = nullptr;
+        return Stats;
+      }
+    }
+    if (Options.Coalesce && coalescePass(Tree)) {
       Changed = true;
-    if (Options.Dce && dcePass(Tree))
+      if (!verifiedAfter("coalesce")) {
+        TreeRoot = nullptr;
+        return Stats;
+      }
+    }
+    if (Options.Dce && dcePass(Tree)) {
       Changed = true;
+      if (!verifiedAfter("dce")) {
+        TreeRoot = nullptr;
+        return Stats;
+      }
+    }
     if (!Changed)
       break;
   }

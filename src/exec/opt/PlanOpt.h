@@ -64,6 +64,18 @@ struct PlanOptOptions {
   bool Licm = false;
   bool Coalesce = false;
 
+  /// Run the static verifier (src/analysis/PlanVerifier) over the plan
+  /// after every pass that changed it; the first verification failure is
+  /// recorded in PlanOptStats::VerifyError and stops the pipeline. This
+  /// is a pure compile-time check (never charged per run); Debug builds
+  /// default it on so every test exercises the verifier, Release builds
+  /// leave it to explicit opt-in (the fuzzers and --verify-each).
+#ifdef NDEBUG
+  bool VerifyEach = false;
+#else
+  bool VerifyEach = true;
+#endif
+
   static PlanOptOptions none() { return {}; }
   static PlanOptOptions all() {
     PlanOptOptions Options;
@@ -103,6 +115,12 @@ struct PlanOptStats {
   /// coalesce: send pairs merged into one burst (each saves one DMA
   /// transfer).
   unsigned CoalescedSends = 0;
+
+  /// With PlanOptOptions::VerifyEach: the first verifier diagnostic hit
+  /// between passes (empty when every stage verified clean), and the pass
+  /// that produced the offending plan.
+  std::string VerifyError;
+  std::string VerifyFailedPass;
 
   bool changedCounters() const {
     return RemovedChargedInsts || HoistedChargedInsts || FlattenedLoops ||

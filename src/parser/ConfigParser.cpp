@@ -48,6 +48,101 @@ static LogicalResult parseCpu(const json::Value &Root, CpuInfo &Cpu,
   return success();
 }
 
+/// Post-parse reference validation of an accelerator's opcode_map: every
+/// action index must resolve against the declared 'data' operands and
+/// 'dims' names, so a config typo like send(9) is diagnosed at load time
+/// by opcode name instead of surfacing as a runtime lowering failure (or,
+/// for send_dim, an out-of-range memref dimension read).
+static LogicalResult validateOpcodeActions(const AcceleratorDesc &Accel,
+                                           std::string *Error) {
+  auto failAction = [&](const std::string &Opcode,
+                        const std::string &Message) {
+    return fail(Error, "in opcode_map of '" + Accel.Name + "': opcode '" +
+                           Opcode + "': " + Message);
+  };
+  int64_t NumOperands = static_cast<int64_t>(Accel.Data.size());
+  int64_t NumDims = static_cast<int64_t>(Accel.Dims.size());
+  for (const accel::OpcodeEntry &Entry : Accel.OpcodeMap.Entries) {
+    for (const accel::OpcodeAction &Action : Entry.Actions) {
+      switch (Action.ActionKind) {
+      case accel::OpcodeAction::Kind::SendLiteral:
+        break;
+      case accel::OpcodeAction::Kind::Send:
+      case accel::OpcodeAction::Kind::Recv: {
+        const char *What =
+            Action.ActionKind == accel::OpcodeAction::Kind::Send ? "send"
+                                                                 : "recv";
+        if (Action.ArgIndex < 0 ||
+            (NumOperands > 0 && Action.ArgIndex >= NumOperands))
+          return failAction(
+              Entry.Name,
+              std::string(What) + "(" + std::to_string(Action.ArgIndex) +
+                  ") references an operand but 'data' defines " +
+                  std::to_string(NumOperands) + " operand(s)");
+        break;
+      }
+      case accel::OpcodeAction::Kind::SendDim:
+        if (Action.ArgIndex >= 0) {
+          if (NumOperands > 0 && Action.ArgIndex >= NumOperands)
+            return failAction(
+                Entry.Name,
+                "send_dim(" + std::to_string(Action.ArgIndex) + ", " +
+                    std::to_string(Action.DimIndex) +
+                    ") references an operand but 'data' defines " +
+                    std::to_string(NumOperands) + " operand(s)");
+          if (NumOperands > 0) {
+            const auto &Operand = Accel.Data[Action.ArgIndex];
+            int64_t Rank = static_cast<int64_t>(Operand.second.size());
+            if (Action.DimIndex < 0 || Action.DimIndex >= Rank)
+              return failAction(
+                  Entry.Name,
+                  "send_dim(" + std::to_string(Action.ArgIndex) + ", " +
+                      std::to_string(Action.DimIndex) +
+                      ") references dimension " +
+                      std::to_string(Action.DimIndex) + " but operand '" +
+                      Operand.first + "' has rank " + std::to_string(Rank));
+          }
+          break;
+        }
+        [[fallthrough]];
+      case accel::OpcodeAction::Kind::SendIdx:
+        if (Action.DimIndex < 0 ||
+            (NumDims > 0 && Action.DimIndex >= NumDims))
+          return failAction(
+              Entry.Name,
+              std::string(Action.ActionKind ==
+                                  accel::OpcodeAction::Kind::SendIdx
+                              ? "send_idx"
+                              : "send_dim") +
+                  "(" + std::to_string(Action.DimIndex) +
+                  ") references a kernel dimension but 'dims' defines " +
+                  std::to_string(NumDims) + " name(s)");
+        break;
+      }
+    }
+  }
+  return success();
+}
+
+/// Rejects empty `()` scopes anywhere in a flow: an empty scope stands
+/// for a loop nest that issues no opcodes, which is always a config
+/// mistake (typically an editing leftover) and would silently drop a
+/// level of the intended tiling structure.
+static LogicalResult validateFlowScopes(const accel::FlowScope &Scope,
+                                        const AcceleratorDesc &Accel,
+                                        const std::string &Where,
+                                        std::string *Error) {
+  if (Scope.Items.empty())
+    return fail(Error, "in " + Where + " of '" + Accel.Name +
+                           "': empty '()' scope (a scope must contain at "
+                           "least one opcode or nested scope)");
+  for (const accel::FlowItem &Item : Scope.Items)
+    if (Item.Scope)
+      if (failed(validateFlowScopes(*Item.Scope, Accel, Where, Error)))
+        return failure();
+  return success();
+}
+
 static LogicalResult parseDmaConfig(const json::Value &AccelValue,
                                     accel::DmaInitConfig &Config,
                                     std::string *Error) {
@@ -152,6 +247,8 @@ static LogicalResult parseAccelerator(const json::Value &AccelValue,
   if (failed(Map))
     return fail(Error, "in opcode_map of '" + Accel.Name + "': " + ParseError);
   Accel.OpcodeMap = std::move(*Map);
+  if (failed(validateOpcodeActions(Accel, Error)))
+    return failure();
 
   // opcode_flow_map + selected_flow.
   const json::Value *FlowMap = AccelValue.get("opcode_flow_map");
@@ -166,6 +263,9 @@ static LogicalResult parseAccelerator(const json::Value &AccelValue,
       return fail(Error, "in flow '" + FlowId + "': " + ParseError);
     if (failed(validateFlowAgainstMap(*Flow, Accel.OpcodeMap, &ParseError)))
       return fail(Error, "in flow '" + FlowId + "': " + ParseError);
+    if (failed(validateFlowScopes(Flow->Root, Accel, "flow '" + FlowId + "'",
+                                  Error)))
+      return failure();
     Accel.FlowMap.emplace_back(FlowId, std::move(*Flow));
   }
   Accel.SelectedFlow = AccelValue.getString("selected_flow");
@@ -185,6 +285,8 @@ static LogicalResult parseAccelerator(const json::Value &AccelValue,
     if (failed(validateFlowAgainstMap(*Init, Accel.OpcodeMap, &ParseError)))
       return fail(Error,
                   "in init_opcodes of '" + Accel.Name + "': " + ParseError);
+    if (failed(validateFlowScopes(Init->Root, Accel, "init_opcodes", Error)))
+      return failure();
     Accel.InitOpcodes = std::move(*Init);
   }
 

@@ -85,6 +85,19 @@ void ConvAccelerator::consumeBurst(const uint32_t *Words, size_t Count) {
   }
 }
 
+bool ConvAccelerator::isSupportedOpcode(uint32_t Opcode) {
+  switch (Opcode) {
+  case CONV_SET_FS:
+  case CONV_SET_IC:
+  case CONV_SF:
+  case CONV_SICO:
+  case CONV_RO:
+    return true;
+  default:
+    return false;
+  }
+}
+
 void ConvAccelerator::startOpcode(uint32_t Opcode) {
   BurstFill = 0;
   switch (Opcode) {

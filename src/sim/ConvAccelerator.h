@@ -31,8 +31,12 @@ namespace sim {
 /// Behavioural model of the Conv2D accelerator.
 class ConvAccelerator : public AcceleratorModel {
 public:
+  /// Window-buffer capacity of the default engine build (256 channels of
+  /// 7x7 filters). The static protocol model uses the same bound.
+  static constexpr int64_t DefaultMaxWindowWords = 256 * 7 * 7;
+
   ConvAccelerator(ElemKind Kind, const SoCParams &Params,
-                  int64_t MaxWindowWords = 256 * 7 * 7);
+                  int64_t MaxWindowWords = DefaultMaxWindowWords);
 
   void consumeWord(uint32_t Word) override;
   void consumeBurst(const uint32_t *Words, size_t Count) override;
@@ -46,12 +50,19 @@ public:
   int64_t getFilterSize() const { return FilterSize; }
   uint64_t getWindowsComputed() const { return WindowsComputed; }
 
+  /// Static FSM introspection for the protocol checker (see the matching
+  /// hooks on MatMulAccelerator).
+  static bool isSupportedOpcode(uint32_t Opcode);
+  static int64_t windowWordsFor(int64_t InputChannels, int64_t FilterSize) {
+    return InputChannels * FilterSize * FilterSize;
+  }
+
 private:
   void startOpcode(uint32_t Opcode);
   void finishBurst();
   template <ElemKind K> double windowDot() const;
   int64_t windowWords() const {
-    return InputChannels * FilterSize * FilterSize;
+    return windowWordsFor(InputChannels, FilterSize);
   }
 
   ElemKind Kind;

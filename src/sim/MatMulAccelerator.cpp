@@ -91,9 +91,43 @@ MatMulAccelerator::MatMulAccelerator(Version Ver, int64_t Size, ElemKind Kind,
   // v4's internal memories allow rectangular tiles up to 128x the default
   // square-tile footprint per operand (a v4_16 fits e.g. 32x16x64,
   // paper Sec. IV-B "flex size").
-  BufferCapacityWords =
-      Ver == Version::V4 ? Size * Size * 16 : Size * Size;
+  BufferCapacityWords = bufferCapacityWordsFor(Ver, Size);
   reset();
+}
+
+int64_t MatMulAccelerator::bufferCapacityWordsFor(Version Ver, int64_t Size) {
+  return Ver == Version::V4 ? Size * Size * 16 : Size * Size;
+}
+
+int64_t MatMulAccelerator::burstWordsFor(uint32_t Opcode, int64_t TileM,
+                                         int64_t TileK, int64_t TileN) {
+  switch (Opcode) {
+  case MM_CFG:
+    return 3; // tM, tK, tN.
+  case MM_SA:
+  case MM_SA_CC_RC:
+    return TileM * TileK;
+  case MM_SB:
+  case MM_SB_CC_RC:
+    return TileK * TileN;
+  case MM_SASBCCRC:
+    return TileM * TileK + TileK * TileN;
+  default:
+    return 0; // immediate: reset / compute / emit.
+  }
+}
+
+bool MatMulAccelerator::opcodeEmitsOutput(uint32_t Opcode) {
+  switch (Opcode) {
+  case MM_SASBCCRC:
+  case MM_SA_CC_RC:
+  case MM_SB_CC_RC:
+  case MM_CC_RC:
+  case MM_RC:
+    return true;
+  default:
+    return false;
+  }
 }
 
 std::string MatMulAccelerator::getName() const {
@@ -131,7 +165,7 @@ void MatMulAccelerator::reset() {
   TilesComputed = 0;
 }
 
-bool MatMulAccelerator::supportsOpcode(uint32_t Opcode) const {
+bool MatMulAccelerator::versionSupportsOpcode(Version Ver, uint32_t Opcode) {
   switch (Opcode) {
   case MM_RESET:
     return true;
@@ -152,6 +186,10 @@ bool MatMulAccelerator::supportsOpcode(uint32_t Opcode) const {
   default:
     return false;
   }
+}
+
+bool MatMulAccelerator::supportsOpcode(uint32_t Opcode) const {
+  return versionSupportsOpcode(Ver, Opcode);
 }
 
 void MatMulAccelerator::consumeWord(uint32_t Word) {
@@ -245,21 +283,21 @@ void MatMulAccelerator::startOpcode(uint32_t Opcode) {
     return;
   case MM_CFG:
     St = State::ReadCfg;
-    BurstExpected = 3; // tM, tK, tN.
+    BurstExpected = static_cast<size_t>(burstWordsFor(Opcode, TileM, TileK, TileN));
     return;
   case MM_SA:
   case MM_SA_CC_RC:
     St = State::ReadA;
-    BurstExpected = static_cast<size_t>(TileM * TileK);
+    BurstExpected = static_cast<size_t>(burstWordsFor(Opcode, TileM, TileK, TileN));
     return;
   case MM_SB:
   case MM_SB_CC_RC:
     St = State::ReadB;
-    BurstExpected = static_cast<size_t>(TileK * TileN);
+    BurstExpected = static_cast<size_t>(burstWordsFor(Opcode, TileM, TileK, TileN));
     return;
   case MM_SASBCCRC:
     St = State::ReadAThenB;
-    BurstExpected = static_cast<size_t>(TileM * TileK + TileK * TileN);
+    BurstExpected = static_cast<size_t>(burstWordsFor(Opcode, TileM, TileK, TileN));
     return;
   case MM_CC:
     compute();

@@ -62,6 +62,28 @@ public:
   int64_t getBufferCapacityWords() const { return BufferCapacityWords; }
   uint64_t getTilesComputed() const { return TilesComputed; }
 
+  //===--------------------------------------------------------------------===//
+  // Static FSM introspection
+  //
+  // The static protocol checker (src/analysis/ProtocolModel) mirrors this
+  // FSM without instantiating it. These hooks are the single source of
+  // truth the real FSM and the abstract model share: the version's opcode
+  // set, the buffer capacity rule and the per-opcode burst length.
+  //===--------------------------------------------------------------------===//
+
+  /// True when \p Opcode is part of version \p Ver's micro-ISA (Table I).
+  static bool versionSupportsOpcode(Version Ver, uint32_t Opcode);
+  /// Per-operand internal buffer capacity in words for \p Ver at default
+  /// tile size \p Size (v4's flex memories allow 16x the square tile).
+  static int64_t bufferCapacityWordsFor(Version Ver, int64_t Size);
+  /// Expected data-burst payload words for \p Opcode under the given tile
+  /// dimensions (0 for immediate opcodes; MM_CFG expects 3 cfg words).
+  static int64_t burstWordsFor(uint32_t Opcode, int64_t TileM, int64_t TileK,
+                               int64_t TileN);
+  /// True when completing \p Opcode pushes a TileM*TileN output tile into
+  /// the drain FIFO.
+  static bool opcodeEmitsOutput(uint32_t Opcode);
+
 protected:
   /// The burst plumbing is protected (not private) so tests can pin the
   /// out-of-protocol paths: calling either in Idle state must signal a

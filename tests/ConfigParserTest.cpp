@@ -462,6 +462,75 @@ TEST(ConfigParser, ServeDiagnostics) {
       << Error;
 }
 
+TEST(ConfigParser, OpcodeActionReferenceValidation) {
+  // Each bad opcode_map/flow below is injected into an otherwise valid
+  // config with 3 'data' operands (A:[m,k] rank 2) and 3 'dims' names, so
+  // every out-of-range action index must be rejected at parse time with a
+  // diagnostic naming the offending opcode.
+  auto withOpcodes = [](const std::string &MapText,
+                        const std::string &Flow) {
+    return std::string(R"json({
+      "accelerators": [
+        { "name": "mm", "kernel": "linalg.matmul", "accel_size": [4, 4, 4],
+          "dims": ["m", "n", "k"],
+          "data": { "A": [m, k], "B": [k, n], "C": [m, n] },
+          "opcode_map": ")json") +
+           MapText + R"json(",
+          "opcode_flow_map": { "Ns": ")json" + Flow + R"json(" } }]
+    })json";
+  };
+  auto expectError = [&](const std::string &MapText, const std::string &Flow,
+                         const std::string &Needle) {
+    std::string Error;
+    EXPECT_TRUE(failed(parseSystemConfig(withOpcodes(MapText, Flow), &Error)))
+        << MapText;
+    EXPECT_NE(Error.find(Needle), std::string::npos) << Error;
+  };
+
+  // send(9): only 3 operands declared.
+  expectError("t = [send_literal(1), send(9), recv(2)]", "(t)",
+              "send(9) references an operand but 'data' defines 3 "
+              "operand(s)");
+  // recv(-2): negative operand index.
+  expectError("t = [send_literal(1), send(0), recv(-2)]", "(t)",
+              "recv(-2) references an operand");
+  // send_dim(0, 5): operand 'A' is rank 2.
+  expectError("t = [send_dim(0, 5), send(0), recv(2)]", "(t)",
+              "but operand 'A' has rank 2");
+  // send_dim(7, 0): operand index out of range.
+  expectError("t = [send_dim(7, 0), send(0), recv(2)]", "(t)",
+              "send_dim(7, 0) references an operand");
+  // send_idx(7): only 3 kernel dims declared. (The name-resolving parser
+  // already rejects unknown names; a raw integer must be range-checked.)
+  expectError("t = [send_idx(7), send(0), recv(2)]", "(t)",
+              "references a kernel dimension but 'dims' defines 3 name(s)");
+  // Empty nested scope in a flow.
+  expectError("t = [send_literal(1), send(0), recv(2)]", "(t ())",
+              "empty '()' scope");
+
+  // A valid map with in-range references still parses.
+  std::string Error;
+  EXPECT_TRUE(succeeded(parseSystemConfig(
+      withOpcodes("t = [send_literal(1), send_dim(0, 1), send(0), recv(2)]",
+                  "(t)"),
+      &Error)))
+      << Error;
+}
+
+TEST(ConfigParser, EmptyInitOpcodesScopeRejected) {
+  std::string Error;
+  EXPECT_TRUE(failed(parseSystemConfig(R"json({
+    "accelerators": [
+      { "name": "mm", "kernel": "linalg.matmul", "accel_size": 4,
+        "opcode_map": "t = [send_literal(1), send(0), recv(2)]",
+        "opcode_flow_map": { "Ns": "(t)" },
+        "init_opcodes": "(t ())" }]
+  })json",
+                                       &Error)));
+  EXPECT_NE(Error.find("empty '()' scope"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("init_opcodes"), std::string::npos) << Error;
+}
+
 TEST(ConfigParser, MissingFileFails) {
   std::string Error;
   EXPECT_TRUE(failed(

@@ -18,7 +18,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/PlanVerifier.h"
 #include "dialects/InitAllDialects.h"
+#include "exec/ExecPlan.h"
 #include "ir/Operation.h"
 #include "ir/Parser.h"
 
@@ -80,6 +82,20 @@ void expectCleanOutcome(const std::string &Source, const std::string &Label,
   std::ostringstream OS;
   Parsed->get()->print(OS);
   EXPECT_FALSE(OS.str().empty());
+  // And they must survive the static analysis front door: a verified
+  // function that compiles to an ExecPlan must be accepted by the plan
+  // verifier — the parser/verifier pair must never hand the executor a
+  // plan the analysis layer would reject (and neither compile nor verify
+  // may crash on fuzzed-but-accepted IR).
+  if (Verify && Parsed->get()->getName() == func::FuncOp::OpName) {
+    std::string CompileError;
+    auto Plan =
+        exec::ExecPlan::compile(func::FuncOp(Parsed->get()), CompileError);
+    if (Plan) {
+      analysis::VerifyResult Verified = analysis::verifyPlan(*Plan);
+      EXPECT_TRUE(Verified.Errors.empty()) << Verified.toString();
+    }
+  }
 }
 
 TEST(ParserFuzz, CheckedInCorpus) {

@@ -28,8 +28,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/PlanVerifier.h"
 #include "dialects/InitAllDialects.h"
 #include "exec/AccelConfigs.h"
+#include "exec/ExecPlan.h"
 #include "exec/Interpreter.h"
 #include "exec/Pipeline.h"
 #include "exec/Reference.h"
@@ -176,6 +178,16 @@ void checkCase(const FuzzCase &Case) {
   std::string Error;
   ASSERT_TRUE(succeeded(Pipeline.run(Func, Error))) << Error;
 
+  // Every lowered function must compile to a plan the static verifier
+  // accepts before any executor touches it: the fuzzer doubles as a
+  // soundness sweep for src/analysis across the whole case space.
+  {
+    auto Plan = ExecPlan::compile(Func, Error);
+    ASSERT_TRUE(Plan) << Error;
+    analysis::VerifyResult Verified = analysis::verifyPlan(*Plan);
+    EXPECT_TRUE(Verified.Errors.empty()) << Verified.toString();
+  }
+
   // Pad-remainder drivers allocate staging buffers mid-run; see
   // expectIdenticalReport for the contract consequence.
   bool StableAddresses = true;
@@ -252,6 +264,11 @@ void checkCase(const FuzzCase &Case) {
     Specs.push_back({"coalesce", O});
   }
   Specs.push_back({"all", opt::PlanOptOptions::all()});
+  // Re-verify the flat plan after every optimizer pass on every spec; a
+  // rejected plan makes the interpreter run fail, which the EXPECTs in
+  // runOnce surface with the pass name and diagnostic.
+  for (PassSpec &Spec : Specs)
+    Spec.Options.VerifyEach = true;
 
   // Snapshot storage is allocated up front: allocating it between the two
   // measured runs would itself shift the heap under the staging buffers.
@@ -293,6 +310,8 @@ void checkCase(const FuzzCase &Case) {
                           std::string(Spec.Name) + " threaded-vs-plan",
                           StableAddresses);
     const opt::PlanOptStats &Stats = PlanInterp.planOptStats();
+    EXPECT_TRUE(Stats.VerifyError.empty())
+        << "after " << Stats.VerifyFailedPass << ": " << Stats.VerifyError;
 
     if (Stats.changedCounters())
       expectImprovedReport(Walker, Optimized, Stats, Spec.Name);

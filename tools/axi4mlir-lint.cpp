@@ -1,0 +1,233 @@
+//===- axi4mlir-lint.cpp - Static config & IR lint driver -----------------===//
+//
+// Part of the AXI4MLIR reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standalone lint front-end over the static analysis framework
+/// (src/analysis): proves user-facing inputs safe without executing
+/// anything.
+///
+///   *.json  — parsed as a system configuration; every accelerator's
+///             init opcodes and selected opcode_flow are streamed through
+///             the abstract FSM model (ProtocolChecker), diagnosing
+///             protocol violations (data before CFG, burst overruns,
+///             unreachable recvs, non-repeatable flow scopes) at config
+///             load time.
+///   *.mlir  — parsed and run through the IR verifier; when the function
+///             is already in lowered (accel/runtime) form it is also
+///             compiled to an ExecPlan and statically verified
+///             (def-before-use, loop structure, DMA bounds).
+///
+/// Directories are scanned recursively for files with those extensions.
+/// Exit status: 0 clean, 1 findings, 2 usage error. With --strict,
+/// warnings (unprovable properties) also fail the run.
+///
+/// Usage:
+///   axi4mlir-lint configs/ examples/
+///   axi4mlir-lint --strict configs/matmul_v3_16.json
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PlanVerifier.h"
+#include "analysis/ProtocolChecker.h"
+#include "dialects/InitAllDialects.h"
+#include "exec/ExecPlan.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "parser/ConfigParser.h"
+#include "support/EditDistance.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace axi4mlir;
+
+namespace {
+
+struct LintOptions {
+  bool Help = false;
+  bool Strict = false;
+  std::vector<std::string> Paths;
+};
+
+void printUsage(std::FILE *Out) {
+  std::fprintf(
+      Out,
+      "usage: axi4mlir-lint [--strict] PATH...\n"
+      "  PATH: a .json config, a .mlir file, or a directory scanned\n"
+      "        recursively for both\n"
+      "  --strict: treat warnings (unprovable properties) as failures\n"
+      "  checks: config opcode_flow/opcode_map protocol conformance\n"
+      "          against the abstract accelerator FSM models, IR\n"
+      "          verification, and static ExecPlan safety for lowered\n"
+      "          functions\n");
+}
+
+const std::vector<std::string> &knownFlags() {
+  static const std::vector<std::string> Flags = {"--strict", "--help"};
+  return Flags;
+}
+
+bool parseArgs(int Argc, char **Argv, LintOptions &Options) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      Options.Help = true;
+      return true;
+    }
+    if (Arg == "--strict") {
+      Options.Strict = true;
+      continue;
+    }
+    if (Arg.rfind("-", 0) == 0) {
+      std::string Suggestion = closestSpelling(Arg, knownFlags());
+      if (Suggestion.empty())
+        std::fprintf(stderr, "unknown argument '%s'\n", Arg.c_str());
+      else
+        std::fprintf(stderr, "unknown argument '%s'; did you mean '%s'?\n",
+                     Arg.c_str(), Suggestion.c_str());
+      return false;
+    }
+    Options.Paths.push_back(Arg);
+  }
+  return !Options.Paths.empty();
+}
+
+struct LintCounters {
+  unsigned Files = 0;
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+};
+
+void lintConfig(const std::string &Path, LintCounters &Counters) {
+  ++Counters.Files;
+  std::string Error;
+  auto Config = parser::parseSystemConfigFile(Path, &Error);
+  if (failed(Config)) {
+    ++Counters.Errors;
+    std::fprintf(stderr, "%s: error: %s\n", Path.c_str(), Error.c_str());
+    return;
+  }
+  for (const parser::AcceleratorDesc &Accel : Config->Accelerators) {
+    analysis::ProtocolFindings Findings =
+        analysis::checkConfigProtocol(Accel);
+    for (const std::string &Message : Findings.Errors) {
+      ++Counters.Errors;
+      std::fprintf(stderr, "%s: error: %s\n", Path.c_str(),
+                   Message.c_str());
+    }
+    for (const std::string &Message : Findings.Warnings) {
+      ++Counters.Warnings;
+      std::fprintf(stderr, "%s: warning: %s\n", Path.c_str(),
+                   Message.c_str());
+    }
+  }
+}
+
+void lintIr(const std::string &Path, LintCounters &Counters) {
+  ++Counters.Files;
+  std::string Error;
+  MLIRContext Context;
+  registerAllDialects(Context);
+  auto Parsed = parseSourceFile(Path, &Context, &Error);
+  if (failed(Parsed)) {
+    ++Counters.Errors;
+    std::fprintf(stderr, "%s: error: %s\n", Path.c_str(), Error.c_str());
+    return;
+  }
+  if (failed(verify(Parsed->get(), Error))) {
+    ++Counters.Errors;
+    std::fprintf(stderr, "%s: error: %s\n", Path.c_str(), Error.c_str());
+    return;
+  }
+  if ((*Parsed)->getName() != func::FuncOp::OpName)
+    return;
+  // Linalg-level examples are not plan-compilable until the pipeline has
+  // lowered them against a config; a compile failure is therefore not a
+  // lint finding. A function that does compile must verify.
+  auto Plan = exec::ExecPlan::compile(func::FuncOp(Parsed->get()), Error);
+  if (!Plan)
+    return;
+  analysis::VerifyResult Result = analysis::verifyPlan(*Plan);
+  for (const analysis::PlanDiag &D : Result.Errors) {
+    ++Counters.Errors;
+    std::fprintf(stderr, "%s: error: %s\n", Path.c_str(),
+                 D.Message.c_str());
+  }
+  for (const analysis::PlanDiag &D : Result.Warnings) {
+    ++Counters.Warnings;
+    std::fprintf(stderr, "%s: warning: %s\n", Path.c_str(),
+                 D.Message.c_str());
+  }
+}
+
+bool collect(const std::string &Root, std::vector<std::string> &Json,
+             std::vector<std::string> &Mlir) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::file_status Status = fs::status(Root, Ec);
+  if (Ec || !fs::exists(Status)) {
+    std::fprintf(stderr, "error: no such file or directory: '%s'\n",
+                 Root.c_str());
+    return false;
+  }
+  auto classify = [&](const fs::path &P) {
+    if (P.extension() == ".json")
+      Json.push_back(P.string());
+    else if (P.extension() == ".mlir")
+      Mlir.push_back(P.string());
+  };
+  if (fs::is_directory(Status)) {
+    for (const fs::directory_entry &Entry :
+         fs::recursive_directory_iterator(Root, Ec))
+      if (Entry.is_regular_file())
+        classify(Entry.path());
+    return true;
+  }
+  fs::path P(Root);
+  if (P.extension() != ".json" && P.extension() != ".mlir") {
+    std::fprintf(stderr,
+                 "error: '%s' is neither a .json config nor a .mlir "
+                 "file\n",
+                 Root.c_str());
+    return false;
+  }
+  classify(P);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  LintOptions Options;
+  if (!parseArgs(Argc, Argv, Options)) {
+    printUsage(stderr);
+    return 2;
+  }
+  if (Options.Help) {
+    printUsage(stdout);
+    return 0;
+  }
+
+  std::vector<std::string> Json, Mlir;
+  for (const std::string &Path : Options.Paths)
+    if (!collect(Path, Json, Mlir))
+      return 2;
+  std::sort(Json.begin(), Json.end());
+  std::sort(Mlir.begin(), Mlir.end());
+
+  LintCounters Counters;
+  for (const std::string &Path : Json)
+    lintConfig(Path, Counters);
+  for (const std::string &Path : Mlir)
+    lintIr(Path, Counters);
+
+  std::printf("axi4mlir-lint: %u file(s), %u error(s), %u warning(s)\n",
+              Counters.Files, Counters.Errors, Counters.Warnings);
+  return Counters.Errors || (Options.Strict && Counters.Warnings) ? 1 : 0;
+}

@@ -32,8 +32,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/PlanVerifier.h"
+#include "analysis/ProtocolModel.h"
 #include "codegen/CEmitter.h"
 #include "dialects/InitAllDialects.h"
+#include "exec/ExecPlan.h"
 #include "exec/Interpreter.h"
 #include "exec/Pipeline.h"
 #include "exec/Reference.h"
@@ -63,6 +66,13 @@ struct CliOptions {
   bool CpuTiling = true;
   bool Specialize = true;
   bool Run = false;
+  /// --verify-plan[=strict]: statically verify the compiled ExecPlan
+  /// (and every optimizer stage) before anything executes.
+  bool VerifyPlan = false;
+  bool VerifyStrict = false;
+  /// --verify-each: run the verifier between optimizer passes under
+  /// --run too (the Debug default, forced on in Release).
+  bool VerifyEach = false;
   std::string Flow; // override selected_flow
   /// ExecPlan optimizer passes for --run ("none", "all" or a comma list
   /// of fold/dce/licm/coalesce).
@@ -92,7 +102,14 @@ void printUsage(std::FILE *Out) {
       "                    [--remainder pad|peel|reject]\n"
       "                    [--plan-opt none|all|fold,dce,licm,coalesce]\n"
       "                    [--exec walker|plan|threaded]\n"
+      "                    [--verify-plan[=strict]] [--verify-each]\n"
       "                    [--faults SPEC] [--spares N]\n"
+      "  --verify-plan: statically verify the compiled plan (slot\n"
+      "    def-before-use, loop structure, DMA bounds, protocol FSM\n"
+      "    conformance) plus every optimizer stage; exits 1 on errors\n"
+      "    (with =strict also on unproven warnings)\n"
+      "  --verify-each: with --run, verify the plan between optimizer\n"
+      "    passes (on by default in Debug builds)\n"
       "  --faults SPEC: comma-separated fault schedule / recovery policy,\n"
       "    e.g. 'transient@2,corrupt@5:word=3,retries=2' or\n"
       "    'rand=7:n=4,norecover' (see docs/CONFIG.md)\n");
@@ -132,6 +149,7 @@ const std::vector<std::string> &knownFlags() {
       "--config",    "--input",         "--matmul",        "--conv",
       "--flow",      "--emit",          "--remainder",     "--plan-opt",
       "--exec",      "--faults",        "--spares",        "--run",
+      "--verify-plan", "--verify-each",
       "--no-cpu-tiling", "--no-specialize", "--help"};
   return Flags;
 }
@@ -255,6 +273,19 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
         return false;
       }
       Options.Spares = Value;
+    } else if (Arg == "--verify-plan") {
+      Options.VerifyPlan = true;
+      if (HasInline) {
+        if (Inline != "strict") {
+          std::fprintf(stderr,
+                       "unknown verify-plan mode '%s' (expected 'strict')\n",
+                       Inline.c_str());
+          return false;
+        }
+        Options.VerifyStrict = true;
+      }
+    } else if (Arg == "--verify-each") {
+      Options.VerifyEach = true;
     } else if (Arg == "--run") {
       Options.Run = true;
     } else if (Arg == "--no-cpu-tiling") {
@@ -612,8 +643,63 @@ int runTool(CliOptions Options) {
     std::cout << "// ---- generated C driver ----\n" << *CSource << "\n";
   }
 
+  if (Options.VerifyPlan) {
+    // Static verification: compile the lowered driver to an ExecPlan,
+    // prove it safe, then re-prove every optimizer stage (verify-each)
+    // and the optimized result. Nothing executes.
+    auto Plan = exec::ExecPlan::compile(Func, Error);
+    if (!Plan) {
+      std::fprintf(stderr, "verify-plan error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::string ModelError;
+    FailureOr<analysis::ProtocolModel> Model =
+        analysis::ProtocolModel::forAccelerator(Accel, ModelError);
+    analysis::VerifyOptions VerifierOptions;
+    VerifierOptions.Strict = Options.VerifyStrict;
+    if (succeeded(Model))
+      VerifierOptions.Model = &*Model;
+    else
+      std::fprintf(stderr, "// verify-plan: %s; protocol checks skipped\n",
+                   ModelError.c_str());
+    unsigned NumErrors = 0, NumWarnings = 0;
+    auto report = [&](const char *Stage,
+                      const analysis::VerifyResult &R) {
+      NumErrors += R.Errors.size();
+      NumWarnings += R.Warnings.size();
+      for (const analysis::PlanDiag &D : R.Errors)
+        std::fprintf(stderr, "verify-plan (%s) error: %s\n", Stage,
+                     D.Message.c_str());
+      for (const analysis::PlanDiag &D : R.Warnings)
+        std::fprintf(stderr, "verify-plan (%s) warning: %s\n", Stage,
+                     D.Message.c_str());
+    };
+    report("compiled", analysis::verifyPlan(*Plan, VerifierOptions));
+    if (Options.PlanOpt.any()) {
+      exec::opt::PlanOptOptions StagedOptions = Options.PlanOpt;
+      StagedOptions.VerifyEach = true;
+      exec::opt::PlanOptStats Stats =
+          exec::opt::optimizePlan(*Plan, StagedOptions);
+      if (!Stats.VerifyError.empty()) {
+        ++NumErrors;
+        std::fprintf(stderr, "verify-plan (after %s) error: %s\n",
+                     Stats.VerifyFailedPass.c_str(),
+                     Stats.VerifyError.c_str());
+      } else {
+        report("optimized", analysis::verifyPlan(*Plan, VerifierOptions));
+      }
+    }
+    std::fprintf(stderr, "// verify-plan: %u error(s), %u warning(s)\n",
+                 NumErrors, NumWarnings);
+    if (NumErrors || (Options.VerifyStrict && NumWarnings))
+      return 1;
+  }
+
   if (!Options.Run)
     return 0;
+
+  if (Options.VerifyEach)
+    Options.PlanOpt.VerifyEach = true;
 
   // Build the matching simulated board from the accelerator name.
   std::unique_ptr<sim::SoC> Soc;
